@@ -1,0 +1,62 @@
+"""Ablation: the cost-scaling alpha factor (Section 7.2 footnote).
+
+Quincy's cs2 solver divides epsilon by alpha = 2 between scaling phases; the
+paper found alpha = 9 to be ~30 % faster on scheduling graphs.  This ablation
+sweeps alpha on the same Quincy-policy graph and reports runtime and the
+number of scaling phases, asserting the qualitative claim: a larger alpha
+uses fewer phases and the tuned value is not slower than cs2's default.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.common import bench_scale, scheduling_network
+from repro.analysis.reporting import format_table
+from repro.solvers import CostScalingSolver
+
+MACHINES = 48 * bench_scale()
+ALPHAS = (2, 4, 9, 16)
+
+
+def measure(alpha: int, network):
+    solver = CostScalingSolver(alpha=alpha)
+    start = time.perf_counter()
+    result = solver.solve(network.copy())
+    runtime = time.perf_counter() - start
+    return runtime, result.statistics.epsilon_phases, result.total_cost
+
+
+def test_ablation_alpha_factor(benchmark):
+    """Larger alpha -> fewer scaling phases; alpha=9 never loses to alpha=2."""
+    network = scheduling_network(MACHINES, utilization=0.6, pending_tasks=MACHINES)
+
+    rows = []
+    runtimes = {}
+    phases = {}
+    costs = set()
+    for alpha in ALPHAS:
+        runtime, num_phases, cost = measure(alpha, network)
+        runtimes[alpha] = runtime
+        phases[alpha] = num_phases
+        costs.add(cost)
+        rows.append([str(alpha), f"{runtime:.3f}", str(num_phases)])
+
+    print()
+    print(f"Ablation: cost-scaling alpha factor ({MACHINES} machines, Quincy policy)")
+    print(format_table(["alpha", "runtime [s]", "scaling phases"], rows))
+
+    # The alpha factor is a performance knob only: every setting must find a
+    # flow of the same optimal cost.
+    assert len(costs) == 1
+    # More aggressive scaling uses fewer phases...
+    assert phases[9] < phases[2]
+    assert phases[16] <= phases[9]
+    # ...and the paper's tuned value must not lose badly to cs2's default
+    # (the paper reports ~30 % faster; at this scale we assert no regression
+    # beyond noise).
+    assert runtimes[9] <= runtimes[2] * 1.25
+
+    benchmark(lambda: CostScalingSolver(alpha=9).solve(network.copy()))

@@ -1,0 +1,64 @@
+"""Figure 3: Quincy's algorithm runtime grows poorly with cluster size.
+
+The paper replays Google-trace subsets against Quincy (flow scheduling with
+a from-scratch cost-scaling solver) and shows the algorithm runtime rising
+to a 64 s median / 83 s 99th percentile at 12,500 machines.  This benchmark
+sweeps scaled-down cluster sizes with proportional workload growth and
+reports the same box-plot percentiles; the expected shape is a superlinear
+increase of runtime with cluster size.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.common import bench_scale, scheduling_network
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import boxplot_stats
+from repro.solvers import CostScalingSolver
+
+CLUSTER_SIZES = [16 * bench_scale(), 48 * bench_scale(), 96 * bench_scale(),
+                 192 * bench_scale()]
+RUNS_PER_SIZE = 3
+
+
+def quincy_runtime_samples(num_machines: int, runs: int = RUNS_PER_SIZE):
+    """Measure from-scratch cost-scaling runtimes at one cluster size."""
+    samples = []
+    for run in range(runs):
+        network = scheduling_network(
+            num_machines, utilization=0.5, pending_tasks=num_machines, seed=run
+        )
+        solver = CostScalingSolver()
+        start = time.perf_counter()
+        solver.solve(network)
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def test_fig03_quincy_runtime_grows_with_cluster_size(benchmark):
+    """Regenerates Figure 3 (scaled down) and checks the growth shape."""
+    rows = []
+    medians = {}
+    for size in CLUSTER_SIZES:
+        stats = boxplot_stats(quincy_runtime_samples(size))
+        medians[size] = stats.p50
+        rows.append([size, f"{stats.p25:.3f}", f"{stats.p50:.3f}", f"{stats.p75:.3f}",
+                     f"{stats.maximum:.3f}"])
+    print()
+    print("Figure 3: Quincy (cost scaling) algorithm runtime vs cluster size")
+    print(format_table(["machines", "p25 [s]", "p50 [s]", "p75 [s]", "max [s]"], rows))
+
+    smallest, largest = CLUSTER_SIZES[0], CLUSTER_SIZES[-1]
+    growth = medians[largest] / max(medians[smallest], 1e-9)
+    size_ratio = largest / smallest
+    print(f"median runtime grew {growth:.1f}x for a {size_ratio:.0f}x larger cluster")
+    # Quincy's runtime must grow at least linearly with cluster size (the
+    # paper observes clearly superlinear growth).
+    assert growth > size_ratio * 0.5
+
+    # pytest-benchmark timing for the largest configuration.
+    network = scheduling_network(largest, utilization=0.5, pending_tasks=largest, seed=99)
+    benchmark(lambda: CostScalingSolver().solve(network.copy()))

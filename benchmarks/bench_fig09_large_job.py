@@ -1,0 +1,70 @@
+"""Figure 9: large arriving jobs slow relaxation down under contention.
+
+Under the load-spreading policy, every task of a newly arriving job wants
+the same under-populated machines, which creates contention.  The paper
+shows relaxation's runtime growing roughly linearly with the arriving job's
+size and crossing cost scaling at just under 3,000 tasks.  The benchmark
+sweeps the arriving-job size on a scaled-down cluster and checks that
+relaxation's runtime grows significantly faster than cost scaling's.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.common import bench_scale, build_cluster_state, build_policy_network
+from repro.analysis.reporting import format_table
+from repro.cluster import Job, Task
+from repro.core.policies import LoadSpreadingPolicy
+from repro.solvers import CostScalingSolver, RelaxationSolver
+
+MACHINES = 48 * bench_scale()
+#: Arriving-job sizes as a fraction of the cluster's total slots; the larger
+#: ones exceed the remaining capacity, which is where contention bites.
+JOB_SIZES = [12 * bench_scale(), 48 * bench_scale(), 192 * bench_scale(),
+             384 * bench_scale()]
+
+
+def build_network(job_size: int):
+    state = build_cluster_state(MACHINES, utilization=0.10, seed=1)
+    job = Job(job_id=7_000, submit_time=0.0)
+    for index in range(job_size):
+        job.add_task(Task(task_id=7_000_000 + index, job_id=7_000, duration=300.0))
+    state.submit_job(job)
+    _, network = build_policy_network(state, LoadSpreadingPolicy())
+    return network
+
+
+def test_fig09_relaxation_runtime_grows_with_arriving_job_size(benchmark):
+    """Regenerates Figure 9 (scaled down)."""
+    rows = []
+    relaxation_times = []
+    cost_scaling_times = []
+    for size in JOB_SIZES:
+        network = build_network(size)
+        start = time.perf_counter()
+        RelaxationSolver().solve(network.copy())
+        relaxation_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        CostScalingSolver().solve(network.copy())
+        cost_scaling_times.append(time.perf_counter() - start)
+        rows.append([size, f"{relaxation_times[-1]:.3f}", f"{cost_scaling_times[-1]:.3f}"])
+
+    print()
+    print(f"Figure 9: runtime vs arriving job size (load-spreading policy, {MACHINES} machines)")
+    print(format_table(["tasks in arriving job", "relaxation [s]", "cost scaling [s]"], rows))
+
+    relaxation_growth = relaxation_times[-1] / max(relaxation_times[0], 1e-9)
+    cost_scaling_growth = cost_scaling_times[-1] / max(cost_scaling_times[0], 1e-9)
+    size_growth = JOB_SIZES[-1] / JOB_SIZES[0]
+    print(f"relaxation grew {relaxation_growth:.1f}x, cost scaling {cost_scaling_growth:.1f}x "
+          f"for a {size_growth:.0f}x larger job")
+    # Relaxation's runtime is strongly sensitive to the arriving job's size,
+    # much more so than cost scaling's (the paper's crossover mechanism).
+    assert relaxation_growth > 3.0
+    assert relaxation_growth > 1.5 * cost_scaling_growth
+
+    network = build_network(JOB_SIZES[-1])
+    benchmark(lambda: RelaxationSolver().solve(network.copy()))

@@ -1,0 +1,96 @@
+"""Figure 13: price refine accelerates the relaxation-to-cost-scaling handoff.
+
+Firmament usually adopts the relaxation solution, but the next incremental
+cost scaling run must warm-start from it.  Relaxation's potentials satisfy
+only reduced-cost optimality, which fits poorly into cost scaling's
+complementary-slackness requirement; the price-refine heuristic recomputes
+potentials that do, letting cost scaling start from a small epsilon.  The
+paper reports a ~4x speedup in 90 % of cases.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.common import (
+    add_pending_batch_job,
+    bench_scale,
+    build_cluster_state,
+    build_policy_network,
+)
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import percentile
+from repro.core import GraphManager, QuincyPolicy
+from repro.solvers import CostScalingSolver, RelaxationSolver
+
+MACHINES = 48 * bench_scale()
+TRIALS = 5
+
+
+def one_trial(seed: int):
+    """Relaxation solves round N; measure the round N+1 incremental cost
+    scaling run with and without price refine."""
+    state = build_cluster_state(MACHINES, utilization=0.6, seed=seed)
+    add_pending_batch_job(state, MACHINES // 2, seed=seed + 1)
+    manager = GraphManager(QuincyPolicy())
+    network = manager.update(state, now=10.0)
+    relaxation_result = RelaxationSolver().solve(network.copy())
+
+    # The cluster changes a little before the next run: waiting costs grow.
+    changed = manager.update(state, now=30.0)
+
+    # The naive handoff cannot reuse relaxation's potentials (they live in a
+    # different reduced-cost representation, Section 6.2), so the comparison
+    # is "derive potentials with price refine" vs "start with none".
+    times = {}
+    for use_price_refine in (False, True):
+        solver = CostScalingSolver()
+        start = time.perf_counter()
+        solver.solve_warm(
+            changed.copy(),
+            relaxation_result.flows,
+            warm_potentials=None,
+            apply_price_refine=use_price_refine,
+        )
+        times[use_price_refine] = time.perf_counter() - start
+    return times
+
+
+def test_fig13_price_refine_speeds_up_warm_started_cost_scaling(benchmark):
+    """Regenerates Figure 13 (scaled down)."""
+    without_refine = []
+    with_refine = []
+    for seed in range(TRIALS):
+        times = one_trial(seed)
+        without_refine.append(times[False])
+        with_refine.append(times[True])
+
+    rows = [
+        ["cost scaling (no price refine)", f"{percentile(without_refine, 50):.3f}",
+         f"{max(without_refine):.3f}"],
+        ["price refine + cost scaling", f"{percentile(with_refine, 50):.3f}",
+         f"{max(with_refine):.3f}"],
+    ]
+    print()
+    print(f"Figure 13: warm-started cost scaling after a relaxation run ({TRIALS} trials)")
+    print(format_table(["variant", "median [s]", "max [s]"], rows))
+    speedup = percentile(without_refine, 50) / max(percentile(with_refine, 50), 1e-9)
+    print(f"median speedup from price refine: {speedup:.1f}x")
+
+    # Price refine must make the handoff faster (the paper observes ~4x).
+    assert speedup > 1.3
+
+    state = build_cluster_state(MACHINES, utilization=0.6, seed=99)
+    add_pending_batch_job(state, MACHINES // 2, seed=100)
+    manager, network = build_policy_network(state, QuincyPolicy())
+    relaxation_result = RelaxationSolver().solve(network.copy())
+    benchmark(
+        lambda: CostScalingSolver().solve_warm(
+            network.copy(),
+            relaxation_result.flows,
+            warm_potentials=None,
+            apply_price_refine=True,
+        )
+    )

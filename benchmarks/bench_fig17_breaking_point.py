@@ -1,0 +1,98 @@
+"""Figure 17: the breaking point for workloads of very short tasks.
+
+Jobs of ten short tasks arrive at an interarrival time that keeps the
+cluster at 80 % load; as the task duration shrinks, the scheduler must keep
+up with an ever higher placement throughput.  With an ideal scheduler, job
+response time equals task duration; the breaking point is where the measured
+response time departs from that diagonal.  The paper finds Firmament stays
+near-ideal down to 5 ms tasks on 100 machines and 375 ms tasks on 1,000
+machines.  The benchmark sweeps task durations on two cluster sizes and
+reports the response-time inflation over the ideal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import bench_scale, build_cluster_state
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import percentile
+from repro.core import FirmamentScheduler, QuincyPolicy
+from repro.simulation import ClusterSimulator, SimulationConfig, make_job_of_short_tasks
+
+CLUSTER_SIZES = [16 * bench_scale(), 48 * bench_scale()]
+TASK_DURATIONS = [4.0, 1.0, 0.25]
+TASKS_PER_JOB = 10
+TARGET_LOAD = 0.8
+EXPERIMENT_SECONDS = 30.0
+
+
+def run_short_task_workload(num_machines: int, task_duration: float):
+    state = build_cluster_state(num_machines, slots_per_machine=4)
+    total_slots = state.topology.total_slots
+    # Interarrival time that keeps the cluster at the target load if the
+    # scheduler itself adds no overhead.
+    jobs_per_second = TARGET_LOAD * total_slots / (TASKS_PER_JOB * task_duration)
+    interarrival = 1.0 / jobs_per_second
+    simulator = ClusterSimulator(
+        state,
+        FirmamentScheduler(QuincyPolicy()),
+        SimulationConfig(max_time=EXPERIMENT_SECONDS),
+    )
+    submit_time = 0.0
+    job_id = 1
+    task_id = 0
+    while submit_time < EXPERIMENT_SECONDS:
+        simulator.submit_job(
+            make_job_of_short_tasks(
+                job_id=job_id,
+                num_tasks=TASKS_PER_JOB,
+                task_duration=task_duration,
+                submit_time=submit_time,
+                task_id_offset=task_id,
+            )
+        )
+        job_id += 1
+        task_id += TASKS_PER_JOB
+        submit_time += interarrival
+    result = simulator.run()
+    return result
+
+
+def test_fig17_job_response_time_vs_task_duration(benchmark):
+    """Regenerates Figure 17 (scaled down)."""
+    rows = []
+    inflation = {}
+    for num_machines in CLUSTER_SIZES:
+        for duration in TASK_DURATIONS:
+            result = run_short_task_workload(num_machines, duration)
+            job_response = percentile(result.metrics.job_response_times, 50)
+            ratio = job_response / duration
+            inflation[(num_machines, duration)] = ratio
+            rows.append([
+                num_machines, f"{duration * 1000:.0f} ms", f"{job_response:.3f}",
+                f"{ratio:.2f}x",
+            ])
+    print()
+    print("Figure 17: median job response time vs task duration (ideal = task duration)")
+    print(format_table(
+        ["machines", "task duration", "median job response [s]", "inflation over ideal"],
+        rows,
+    ))
+
+    for num_machines in CLUSTER_SIZES:
+        # Long tasks are handled near-ideally (the flat part of the curve).
+        assert inflation[(num_machines, TASK_DURATIONS[0])] < 1.8
+        # Shorter tasks see monotonically growing relative overhead: the
+        # approach to the breaking point.
+        assert (
+            inflation[(num_machines, TASK_DURATIONS[-1])]
+            >= inflation[(num_machines, TASK_DURATIONS[0])]
+        )
+    # A larger cluster reaches its breaking point at longer task durations.
+    assert (
+        inflation[(CLUSTER_SIZES[-1], TASK_DURATIONS[-1])]
+        >= inflation[(CLUSTER_SIZES[0], TASK_DURATIONS[-1])] * 0.8
+    )
+
+    benchmark(lambda: run_short_task_workload(CLUSTER_SIZES[0], TASK_DURATIONS[1]))

@@ -1,0 +1,67 @@
+"""Table 3: which arc changes break feasibility or optimality.
+
+The classification determines how much repair work incremental cost scaling
+must do after a batch of cluster changes.  The benchmark prints the table as
+produced by :func:`repro.flow.changes.classify_arc_change` and then measures
+the end-to-end consequence: a batch of "green" (safe) changes lets the
+incremental solver finish without any scaling phase, while "red" changes
+force re-optimization.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import bench_scale, scheduling_network
+from repro.analysis.reporting import format_table
+from repro.flow.changes import ChangeEffect, classify_arc_change
+from repro.solvers import IncrementalCostScalingSolver
+
+MACHINES = 24 * bench_scale()
+
+
+def test_tab03_arc_change_classification(benchmark):
+    """Prints Table 3 and checks its consequences for incremental solving."""
+    cases = [
+        ("increase capacity", dict(old_capacity=1, new_capacity=2)),
+        ("decrease capacity (flow fits)", dict(old_capacity=2, new_capacity=1)),
+        ("decrease capacity (below flow)", dict(old_capacity=2, new_capacity=0)),
+        ("increase cost", dict(new_reduced_cost=5)),
+        ("decrease cost (stays >= 0)", dict(new_reduced_cost=0)),
+        ("decrease cost (goes < 0)", dict(new_reduced_cost=-3)),
+    ]
+    reduced_costs = [-1, 0, 1]
+    rows = []
+    for label, kwargs in cases:
+        row = [label]
+        for rc in reduced_costs:
+            flow = 1 if rc <= 0 else 0
+            effect = classify_arc_change(reduced_cost=rc, flow=flow, **kwargs)
+            row.append({
+                ChangeEffect.NONE: "ok",
+                ChangeEffect.BREAKS_OPTIMALITY: "opt!",
+                ChangeEffect.BREAKS_FEASIBILITY: "feas!",
+            }[effect])
+        rows.append(row)
+    print()
+    print("Table 3: effect of arc changes by sign of the arc's reduced cost")
+    print(format_table(["change", "rc < 0", "rc = 0", "rc > 0"], rows))
+
+    # End-to-end consequence: an unchanged problem needs no scaling phase on
+    # the warm-started run, while a disruptive cost change forces phases.
+    network = scheduling_network(MACHINES, utilization=0.5, pending_tasks=MACHINES)
+    solver = IncrementalCostScalingSolver()
+    solver.solve(network.copy())
+    unchanged = solver.solve(network.copy())
+    assert unchanged.statistics.epsilon_phases == 0
+
+    disrupted_network = network.copy()
+    flow_arc = max(
+        (arc for arc in disrupted_network.arcs() if arc.cost > 0),
+        key=lambda arc: arc.cost,
+    )
+    disrupted_network.set_arc_cost(flow_arc.src, flow_arc.dst, 0)
+    disrupted = solver.solve(disrupted_network)
+    assert disrupted.statistics.epsilon_phases >= 1
+
+    benchmark(lambda: solver.solve(network.copy()))

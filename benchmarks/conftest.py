@@ -1,0 +1,7 @@
+"""Pytest configuration for the benchmark harness."""
+
+import sys
+from pathlib import Path
+
+# Make `benchmarks.common` importable regardless of pytest's rootdir setup.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Writing a custom scheduling policy against Firmament's policy API.
+
+The paper (Section 3.3) emphasizes that Firmament generalizes flow-based
+scheduling: cluster administrators express their own policy as a flow
+network generator, using policy-defined aggregator nodes to encode
+constraints compactly.  This example implements a small *rack anti-affinity*
+policy from scratch -- tasks of the same job should spread across racks for
+fault tolerance -- and runs it through the unmodified Firmament scheduler.
+
+The encoding shows off what aggregators are for: every (job, rack) pair gets
+a quota aggregator whose arc to the rack carries only the job's fair share
+of that rack (``ceil(tasks / racks)``).  Routing through the quota node is
+cheap; packing more of the job into the same rack is still possible, but
+only via a penalized direct arc.  The min-cost solution therefore spreads
+each job across racks whenever capacity allows -- within a single scheduling
+run, not just across runs.
+
+Run with::
+
+    python examples/custom_policy.py
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+from repro.cluster import ClusterState, Job, JobType, Task, build_topology
+from repro.core import FirmamentScheduler
+from repro.core.policies import SchedulingPolicy
+from repro.core.policies.base import PolicyNetworkBuilder
+from repro.flow.graph import NodeType
+
+
+class RackAntiAffinityPolicy(SchedulingPolicy):
+    """Spread each job's tasks across racks using per-(job, rack) quotas."""
+
+    name = "rack_anti_affinity"
+
+    #: Extra cost for exceeding a job's fair share of a rack.
+    colocation_penalty: int = 40
+
+    def build(self, state: ClusterState, builder: PolicyNetworkBuilder, now: float) -> None:
+        topology = state.topology
+        tasks = state.schedulable_tasks()
+        if not tasks:
+            return
+
+        # Backbone: rack aggregator -> machines -> sink.
+        for rack_id, rack in topology.racks.items():
+            rack_node = builder.rack_node(rack_id)
+            for machine_id in rack.machine_ids:
+                machine = topology.machine(machine_id)
+                if not machine.is_available:
+                    continue
+                machine_node = builder.machine_node(machine_id)
+                builder.add_arc(rack_node, machine_node, machine.num_slots, 0)
+                builder.add_arc(machine_node, builder.sink, machine.num_slots, 0)
+
+        tasks_per_job = defaultdict(int)
+        for task in tasks:
+            tasks_per_job[task.job_id] += 1
+
+        jobs_seen = set()
+        for task in tasks:
+            task_node = builder.task_node(task.task_id)
+            jobs_seen.add(task.job_id)
+            fair_share = math.ceil(tasks_per_job[task.job_id] / max(1, topology.num_racks))
+            for rack_id in topology.racks:
+                rack_node = builder.rack_node(rack_id)
+                # Cheap path, capped at the job's fair share of the rack.
+                quota_node = builder.aggregator(
+                    f"quota-j{task.job_id}-r{rack_id}", NodeType.OTHER
+                )
+                builder.add_arc(task_node, quota_node, 1, self.placement_base_cost)
+                builder.add_arc(quota_node, rack_node, fair_share, 0)
+                # Overflow path: allowed, but penalized.
+                builder.add_arc(
+                    task_node,
+                    rack_node,
+                    1,
+                    self.placement_base_cost + self.colocation_penalty,
+                )
+            builder.add_arc(
+                task_node,
+                builder.unscheduled_node(task.job_id),
+                1,
+                self.unscheduled_cost(task, now),
+            )
+            if task.is_running and task.machine_id is not None:
+                builder.add_arc(
+                    task_node,
+                    builder.machine_node(task.machine_id),
+                    1,
+                    self.continuation_cost(task),
+                )
+
+        for job_id in jobs_seen:
+            builder.add_arc(
+                builder.unscheduled_node(job_id),
+                builder.sink,
+                state.jobs[job_id].num_tasks,
+                0,
+            )
+
+
+def main() -> None:
+    topology = build_topology(num_machines=12, machines_per_rack=3, slots_per_machine=4)
+    state = ClusterState(topology)
+
+    # One service job with eight replicas that should spread across racks.
+    job = Job(job_id=1, job_type=JobType.SERVICE, submit_time=0.0)
+    for index in range(8):
+        job.add_task(Task(task_id=index, job_id=1, duration=None))
+    state.submit_job(job)
+
+    scheduler = FirmamentScheduler(RackAntiAffinityPolicy())
+    decision = scheduler.schedule_and_apply(state, now=0.0)
+
+    print("=== Custom policy: rack anti-affinity ===")
+    print(f"tasks placed: {len(decision.placements)} / {job.num_tasks}")
+    racks = defaultdict(list)
+    for task_id, machine_id in sorted(decision.placements.items()):
+        rack_id = topology.machine(machine_id).rack_id
+        racks[rack_id].append(task_id)
+    for rack_id in sorted(racks):
+        print(f"  rack {rack_id}: tasks {racks[rack_id]}")
+    print(f"job spread across {len(racks)} of {topology.num_racks} racks "
+          f"(fair share: {math.ceil(job.num_tasks / topology.num_racks)} tasks/rack)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Machine failures and rescheduling under continuous flow-based scheduling.
+
+Flow-based scheduling reconsiders the entire workload on every run, so a
+machine failure needs no special-case recovery code: the failed machine's
+arcs disappear from the flow network, its evicted tasks become sources
+again, and the next solver run re-places them (paper, Section 5.2).
+
+This example runs a trace-driven simulation with injected machine failures
+and reports how many tasks were evicted, how quickly they were re-placed,
+and the impact on response time compared to a failure-free run.
+
+Run with::
+
+    python examples/failure_recovery.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster import ClusterState, build_topology
+from repro.core import FirmamentScheduler, QuincyPolicy
+from repro.simulation import (
+    ClusterSimulator,
+    FailureInjector,
+    GoogleTraceGenerator,
+    SimulationConfig,
+    TraceConfig,
+)
+
+MACHINES = 24
+DURATION = 300.0
+
+
+def run_simulation(inject_failures: bool):
+    """Run the same workload with or without machine failures."""
+    topology = build_topology(num_machines=MACHINES, slots_per_machine=4)
+    state = ClusterState(topology)
+    scheduler = FirmamentScheduler(QuincyPolicy())
+
+    trace = GoogleTraceGenerator(
+        TraceConfig(
+            num_machines=MACHINES,
+            target_utilization=0.6,
+            duration=DURATION,
+            seed=17,
+        ),
+        topology,
+    )
+    simulator = ClusterSimulator(state, scheduler, SimulationConfig(max_time=DURATION))
+    simulator.submit_jobs(trace.generate())
+
+    schedule = None
+    if inject_failures:
+        injector = FailureInjector(
+            mean_time_between_failures=60.0, mean_time_to_repair=90.0, seed=4
+        )
+        schedule = injector.inject(simulator, horizon=DURATION)
+
+    result = simulator.run()
+    return result, schedule
+
+
+def main() -> None:
+    baseline, _ = run_simulation(inject_failures=False)
+    with_failures, schedule = run_simulation(inject_failures=True)
+
+    print("=== Failure injection and recovery ===")
+    print(f"machines: {MACHINES}, trace duration: {DURATION:.0f}s")
+    print(f"failures injected: {schedule.num_failures} "
+          f"on machines {schedule.machines_affected()}")
+    print()
+    header = f"{'metric':<34}{'no failures':>14}{'with failures':>16}"
+    print(header)
+    print("-" * len(header))
+    rows = [
+        ("tasks completed", baseline.metrics.tasks_completed,
+         with_failures.metrics.tasks_completed),
+        ("p50 placement latency [s]",
+         f"{baseline.metrics.placement_latency_percentile(50):.2f}",
+         f"{with_failures.metrics.placement_latency_percentile(50):.2f}"),
+        ("p99 placement latency [s]",
+         f"{baseline.metrics.placement_latency_percentile(99):.2f}",
+         f"{with_failures.metrics.placement_latency_percentile(99):.2f}"),
+        ("p50 task response time [s]",
+         f"{baseline.metrics.response_time_percentile(50):.2f}",
+         f"{with_failures.metrics.response_time_percentile(50):.2f}"),
+        ("p99 task response time [s]",
+         f"{baseline.metrics.response_time_percentile(99):.2f}",
+         f"{with_failures.metrics.response_time_percentile(99):.2f}"),
+    ]
+    for name, base_value, fail_value in rows:
+        print(f"{name:<34}{str(base_value):>14}{str(fail_value):>16}")
+    print()
+    print("Evicted tasks are re-placed automatically by the next scheduling "
+          "run; the tail of the response-time distribution absorbs the rework.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Multi-dimensional scheduling and runtime-aware cost models.
+
+The paper's head-to-head comparison with Quincy uses slot-based assignment,
+but Firmament itself supports Borg-style multi-dimensional feasibility
+checking and arbitrary cost models (Sections 3.3 and 7.1).  This example
+exercises both extensions shipped with the reproduction:
+
+1. the CPU/RAM policy places a mixed workload of small and large tasks
+   without overcommitting any machine dimension, and
+2. the shortest-job-first policy uses the knowledge base's runtime history
+   so that short tasks win scarce slots, cutting mean response time compared
+   to runtime-oblivious load spreading.
+
+Run with::
+
+    python examples/multi_dimensional.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster import (
+    ClusterState,
+    Job,
+    JobType,
+    KnowledgeBase,
+    ResourceVector,
+    Task,
+    build_topology,
+)
+from repro.core import FirmamentScheduler
+from repro.core.policies import CpuMemoryPolicy, LoadSpreadingPolicy, ShortestJobFirstPolicy
+from repro.simulation import ClusterSimulator, SimulationConfig
+
+
+def demo_cpu_memory() -> None:
+    """Place small and large tasks under multi-dimensional feasibility."""
+    topology = build_topology(num_machines=6, slots_per_machine=8, cpu_cores=8, ram_gb=32)
+    state = ClusterState(topology)
+
+    job = Job(job_id=1, job_type=JobType.BATCH)
+    for index in range(12):
+        large = index < 4
+        job.add_task(
+            Task(
+                task_id=index,
+                job_id=1,
+                duration=60.0,
+                cpu_request=4.0 if large else 1.0,
+                ram_request_gb=16.0 if large else 2.0,
+            )
+        )
+    state.submit_job(job)
+
+    scheduler = FirmamentScheduler(CpuMemoryPolicy())
+    decision = scheduler.schedule_and_apply(state, now=0.0)
+
+    print("--- CPU/RAM policy ---")
+    print(f"tasks placed: {len(decision.placements)} / {job.num_tasks}")
+    for machine_id in sorted(topology.machines):
+        in_use = state.resources_in_use(machine_id)
+        capacity = ResourceVector.for_machine(topology.machine(machine_id))
+        print(f"  machine {machine_id}: "
+              f"cpu {in_use.cpu_cores:.0f}/{capacity.cpu_cores:.0f} cores, "
+              f"ram {in_use.ram_gb:.0f}/{capacity.ram_gb:.0f} GB")
+    print()
+
+
+def run_sjf_comparison(policy, jobs):
+    """Simulate a scarce cluster with the given policy and return mean response time."""
+    topology = build_topology(num_machines=2, slots_per_machine=2)
+    state = ClusterState(topology)
+    scheduler = FirmamentScheduler(policy)
+    simulator = ClusterSimulator(state, scheduler, SimulationConfig(max_time=600.0))
+    simulator.submit_jobs(jobs)
+    result = simulator.run()
+    times = result.metrics.response_times
+    return sum(times) / len(times) if times else 0.0
+
+
+def make_mixed_jobs():
+    """Four short tasks and four long tasks competing for four slots."""
+    jobs = []
+    short = Job(job_id=1, job_type=JobType.BATCH, submit_time=0.0)
+    for index in range(4):
+        short.add_task(Task(task_id=index, job_id=1, duration=10.0, cpu_request=1.0))
+    long = Job(job_id=2, job_type=JobType.BATCH, submit_time=0.0)
+    for index in range(4):
+        long.add_task(Task(task_id=100 + index, job_id=2, duration=120.0, cpu_request=2.0))
+    jobs.extend([short, long])
+    return jobs
+
+
+def demo_shortest_job_first() -> None:
+    """Compare SJF against load spreading on a slot-scarce cluster."""
+    # Seed the knowledge base with the runtime history of both task classes.
+    knowledge_base = KnowledgeBase()
+    for job in make_mixed_jobs():
+        for task in job.tasks:
+            knowledge_base.record_completion(task, runtime=task.duration)
+
+    sjf_mean = run_sjf_comparison(
+        ShortestJobFirstPolicy(knowledge_base=knowledge_base), make_mixed_jobs()
+    )
+    spread_mean = run_sjf_comparison(LoadSpreadingPolicy(), make_mixed_jobs())
+
+    print("--- Shortest-job-first cost model ---")
+    print(f"mean task response time, load spreading   : {spread_mean:.1f} s")
+    print(f"mean task response time, shortest job first: {sjf_mean:.1f} s")
+    if sjf_mean < spread_mean:
+        print("SJF lets the short tasks run first, improving mean response time.")
+    print()
+
+
+def main() -> None:
+    print("=== Multi-dimensional scheduling and cost models ===\n")
+    demo_cpu_memory()
+    demo_shortest_job_first()
+
+
+if __name__ == "__main__":
+    main()

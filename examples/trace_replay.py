@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Replay a synthetic Google-like trace against several schedulers.
+
+This is the simulation setup behind the paper's scalability experiments
+(Figures 3, 14, 18), scaled down to run in seconds: a cluster is pre-filled
+to a target utilization, a synthetic trace with heavy-tailed job sizes and a
+batch/service mix is generated, and the same trace is replayed against
+Firmament (dual MCMF solver), Quincy (cost scaling only), and a Sparrow-like
+distributed sampler.  The script prints placement latency and response-time
+percentiles for each scheduler.
+
+Run with::
+
+    python examples/trace_replay.py [num_machines] [trace_seconds]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.stats import percentile
+from repro.baselines import SparrowScheduler, make_quincy_scheduler
+from repro.cluster import ClusterState, build_topology
+from repro.core import FirmamentScheduler, QuincyPolicy
+from repro.simulation import (
+    ClusterSimulator,
+    GoogleTraceGenerator,
+    SimulationConfig,
+    TraceConfig,
+    fill_cluster_to_utilization,
+)
+
+
+def replay(scheduler, name: str, num_machines: int, trace_seconds: float) -> None:
+    topology = build_topology(num_machines=num_machines, machines_per_rack=20,
+                              slots_per_machine=4)
+    state = ClusterState(topology)
+    fill_cluster_to_utilization(state, utilization=0.6)
+
+    trace_config = TraceConfig(
+        num_machines=num_machines,
+        slots_per_machine=4,
+        target_utilization=0.3,
+        duration=trace_seconds,
+        seed=123,
+        service_job_fraction=0.15,
+    )
+    jobs = GoogleTraceGenerator(trace_config).generate()
+
+    simulator = ClusterSimulator(state, scheduler, SimulationConfig(max_time=trace_seconds))
+    simulator.submit_jobs(jobs)
+    result = simulator.run()
+
+    latencies = result.metrics.placement_latencies
+    responses = result.metrics.response_times
+    print(f"{name:28s} placed={result.metrics.tasks_placed:4d} "
+          f"placement latency p50={percentile(latencies, 50):6.3f}s "
+          f"p99={percentile(latencies, 99):6.3f}s   "
+          f"task response p50={percentile(responses, 50):7.2f}s")
+
+
+def main() -> None:
+    num_machines = int(sys.argv[1]) if len(sys.argv) > 1 else 48
+    trace_seconds = float(sys.argv[2]) if len(sys.argv) > 2 else 60.0
+
+    print(f"=== Trace replay on {num_machines} machines, {trace_seconds:.0f}s of trace ===")
+    replay(FirmamentScheduler(QuincyPolicy()), "firmament (dual solver)",
+           num_machines, trace_seconds)
+    replay(make_quincy_scheduler(), "quincy (cost scaling only)",
+           num_machines, trace_seconds)
+    replay(SparrowScheduler(), "sparrow (batch sampling)",
+           num_machines, trace_seconds)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` can use the legacy editable-install path on
+environments where the ``wheel`` package is unavailable (offline installs).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,176 @@
+"""Export experiment results as CSV and JSON documents.
+
+Every benchmark prints the table or series the corresponding paper figure
+reports; this module provides the equivalent machine-readable exports so
+results can be post-processed or plotted outside the test run (the paper's
+figures are CDFs, box plots, and line series over a swept parameter).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, TextIO, Union
+
+from repro.analysis.stats import cdf_points
+
+Number = Union[int, float]
+
+
+@dataclass
+class Series:
+    """One named line of a figure: y-values over a swept x-parameter.
+
+    Attributes:
+        name: Legend label (e.g. ``"relaxation"``).
+        x: Swept parameter values (e.g. cluster sizes).
+        y: Measured values (e.g. algorithm runtimes).
+    """
+
+    name: str
+    x: List[Number] = field(default_factory=list)
+    y: List[Number] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.name!r} has {len(self.x)} x-values "
+                f"but {len(self.y)} y-values"
+            )
+
+    def append(self, x: Number, y: Number) -> None:
+        """Append one measurement."""
+        self.x.append(x)
+        self.y.append(y)
+
+
+@dataclass
+class FigureData:
+    """All series of one figure plus axis metadata."""
+
+    title: str
+    x_label: str = "x"
+    y_label: str = "y"
+    series: List[Series] = field(default_factory=list)
+
+    def add_series(self, name: str) -> Series:
+        """Create, register, and return a new empty series."""
+        series = Series(name=name)
+        self.series.append(series)
+        return series
+
+    def series_by_name(self, name: str) -> Series:
+        """Return the series with the given name.
+
+        Raises:
+            KeyError: If no series has that name.
+        """
+        for series in self.series:
+            if series.name == name:
+                return series
+        raise KeyError(f"figure {self.title!r} has no series named {name!r}")
+
+
+def write_series_csv(figure: FigureData, stream: Optional[TextIO] = None) -> str:
+    """Write a figure's series as CSV (columns: series, x, y).
+
+    Args:
+        figure: The figure data to write.
+        stream: Optional open text stream; when omitted the CSV text is only
+            returned.
+
+    Returns:
+        The CSV document as a string.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["series", figure.x_label, figure.y_label])
+    for series in figure.series:
+        for x, y in zip(series.x, series.y):
+            writer.writerow([series.name, x, y])
+    text = buffer.getvalue()
+    if stream is not None:
+        stream.write(text)
+    return text
+
+
+def write_figure_json(figure: FigureData, stream: Optional[TextIO] = None) -> str:
+    """Write a figure (metadata plus all series) as a JSON document."""
+    document = {
+        "title": figure.title,
+        "x_label": figure.x_label,
+        "y_label": figure.y_label,
+        "series": [
+            {"name": series.name, "x": list(series.x), "y": list(series.y)}
+            for series in figure.series
+        ],
+    }
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if stream is not None:
+        stream.write(text)
+    return text
+
+
+def read_figure_json(text: Union[str, TextIO]) -> FigureData:
+    """Parse a JSON document produced by :func:`write_figure_json`."""
+    if hasattr(text, "read"):
+        document = json.load(text)
+    else:
+        document = json.loads(text)
+    figure = FigureData(
+        title=document["title"],
+        x_label=document.get("x_label", "x"),
+        y_label=document.get("y_label", "y"),
+    )
+    for entry in document.get("series", []):
+        figure.series.append(
+            Series(name=entry["name"], x=list(entry["x"]), y=list(entry["y"]))
+        )
+    return figure
+
+
+def write_cdf_csv(
+    samples_by_name: Mapping[str, Sequence[float]],
+    stream: Optional[TextIO] = None,
+    value_label: str = "value",
+) -> str:
+    """Write one or more empirical CDFs as CSV (columns: series, value, fraction).
+
+    The CDF experiments in the paper (Figures 13, 14, 15a, 19) compare the
+    distributions of several schedulers or configurations; this helper turns
+    raw per-task samples into the cumulative points a plotting tool needs.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["series", value_label, "cumulative_fraction"])
+    for name, samples in samples_by_name.items():
+        for value, fraction in cdf_points(list(samples)):
+            writer.writerow([name, value, fraction])
+    text = buffer.getvalue()
+    if stream is not None:
+        stream.write(text)
+    return text
+
+
+def write_table_csv(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    stream: Optional[TextIO] = None,
+) -> str:
+    """Write a plain table (e.g. Table 15b) as CSV."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells but the table has "
+                f"{len(headers)} columns"
+            )
+        writer.writerow(list(row))
+    text = buffer.getvalue()
+    if stream is not None:
+        stream.write(text)
+    return text

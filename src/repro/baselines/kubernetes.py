@@ -1,0 +1,62 @@
+"""Kubernetes-style filter-and-score scheduler.
+
+The default Kubernetes scheduler filters out machines that cannot host the
+pod and then scores the remainder; the two classic scoring terms are
+*least requested* (prefer machines with more free resources) and *balanced
+resource allocation* (prefer machines whose CPU and memory utilization stay
+similar).  It does not consider network bandwidth, which is what the paper's
+testbed experiment exploits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines.base import QueueBasedScheduler
+from repro.cluster.machine import Machine
+from repro.cluster.state import ClusterState
+from repro.cluster.task import Task
+
+
+class KubernetesScheduler(QueueBasedScheduler):
+    """Filter feasible machines, score them, pick the highest score."""
+
+    name = "kubernetes"
+
+    def __init__(self, least_requested_weight: float = 1.0, balance_weight: float = 1.0, **kwargs) -> None:
+        """Create the scheduler.
+
+        Args:
+            least_requested_weight: Weight of the least-requested score term.
+            balance_weight: Weight of the balanced-allocation score term.
+            **kwargs: Forwarded to :class:`QueueBasedScheduler`.
+        """
+        super().__init__(**kwargs)
+        self.least_requested_weight = least_requested_weight
+        self.balance_weight = balance_weight
+
+    def score(self, task: Task, machine: Machine, state: ClusterState) -> float:
+        """Score a machine for a task; higher is better."""
+        free = self.effective_free_slots(state, machine.machine_id)
+        least_requested = max(0, free) / machine.num_slots
+
+        tasks_here = state.tasks_on_machine(machine.machine_id)
+        cpu_used = sum(t.cpu_request for t in tasks_here) + task.cpu_request
+        ram_used = sum(t.ram_request_gb for t in tasks_here) + task.ram_request_gb
+        cpu_fraction = min(1.0, cpu_used / machine.cpu_cores)
+        ram_fraction = min(1.0, ram_used / machine.ram_gb)
+        balance = 1.0 - abs(cpu_fraction - ram_fraction)
+
+        return (
+            self.least_requested_weight * least_requested
+            + self.balance_weight * balance
+        )
+
+    def select_machine(
+        self, task: Task, candidates: List[Machine], state: ClusterState
+    ) -> Optional[int]:
+        """Pick the highest-scoring feasible machine."""
+        if not candidates:
+            return None
+        best = max(candidates, key=lambda m: (self.score(task, m, state), -m.machine_id))
+        return best.machine_id

@@ -1,0 +1,51 @@
+"""Mesos-style offer-based scheduler.
+
+Mesos offers available resources to frameworks, which greedily accept offers
+that fit their tasks.  From the point of view of placement quality this
+behaves like first fit over a randomly ordered subset of machines: the
+framework rarely has global information, so placements are insensitive to
+data locality and network load.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines.base import QueueBasedScheduler
+from repro.cluster.machine import Machine
+from repro.cluster.state import ClusterState
+from repro.cluster.task import Task
+
+
+class MesosScheduler(QueueBasedScheduler):
+    """First fit over a random subset of offered machines."""
+
+    name = "mesos"
+
+    def __init__(self, offer_fraction: float = 0.5, **kwargs) -> None:
+        """Create the scheduler.
+
+        Args:
+            offer_fraction: Fraction of feasible machines offered to the
+                framework for each task (the allocator never offers the whole
+                cluster at once).
+            **kwargs: Forwarded to :class:`QueueBasedScheduler`.
+        """
+        super().__init__(**kwargs)
+        if not 0.0 < offer_fraction <= 1.0:
+            raise ValueError("offer fraction must be in (0, 1]")
+        self.offer_fraction = offer_fraction
+
+    def select_machine(
+        self, task: Task, candidates: List[Machine], state: ClusterState
+    ) -> Optional[int]:
+        """Accept the first offer that fits the task."""
+        if not candidates:
+            return None
+        offer_count = max(1, int(len(candidates) * self.offer_fraction))
+        offers = self.rng.sample(candidates, min(offer_count, len(candidates)))
+        self.rng.shuffle(offers)
+        for machine in offers:
+            if self.effective_free_slots(state, machine.machine_id) > 0:
+                return machine.machine_id
+        return None

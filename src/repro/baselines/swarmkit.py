@@ -1,0 +1,33 @@
+"""Docker SwarmKit-style spread scheduler.
+
+SwarmKit's default strategy spreads tasks so that the number of tasks per
+node stays balanced; it performs a simple global least-loaded selection with
+no awareness of data locality or network bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines.base import QueueBasedScheduler
+from repro.cluster.machine import Machine
+from repro.cluster.state import ClusterState
+from repro.cluster.task import Task
+
+
+class SwarmKitScheduler(QueueBasedScheduler):
+    """Place each task on the machine with the fewest running tasks."""
+
+    name = "swarmkit"
+
+    def select_machine(
+        self, task: Task, candidates: List[Machine], state: ClusterState
+    ) -> Optional[int]:
+        """Pick the machine currently running the fewest tasks."""
+        if not candidates:
+            return None
+        best = min(
+            candidates,
+            key=lambda m: (self.effective_task_count(state, m.machine_id), m.machine_id),
+        )
+        return best.machine_id

@@ -1,0 +1,43 @@
+"""Top-level argument parsing for the ``firmament-repro`` command."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.cli import simulate_command, solve_command, trace_command
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level parser with all subcommands registered."""
+    parser = argparse.ArgumentParser(
+        prog="firmament-repro",
+        description=(
+            "Reproduction of Firmament (OSDI 2016): solve scheduling flow "
+            "networks, simulate cluster scheduling, and inspect synthetic traces."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", metavar="command")
+    solve_command.register(subparsers)
+    simulate_command.register(subparsers)
+    trace_command.register(subparsers)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the CLI and return a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if not getattr(args, "command", None):
+        parser.print_help()
+        return 2
+    try:
+        return args.handler(args)
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - direct module execution
+    sys.exit(main())

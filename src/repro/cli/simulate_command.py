@@ -1,0 +1,189 @@
+"""``firmament-repro simulate``: trace-driven scheduling simulation."""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+from repro.analysis.reporting import format_table
+from repro.baselines import (
+    KubernetesScheduler,
+    MesosScheduler,
+    SparrowScheduler,
+    SwarmKitScheduler,
+    make_quincy_scheduler,
+)
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import build_topology
+from repro.core import FirmamentScheduler
+from repro.core.policies import (
+    CpuMemoryPolicy,
+    LoadSpreadingPolicy,
+    NetworkAwarePolicy,
+    QuincyPolicy,
+    RandomPlacementPolicy,
+    ShortestJobFirstPolicy,
+)
+from repro.simulation.failures import FailureInjector
+from repro.simulation.simulator import ClusterSimulator, SimulationConfig
+from repro.simulation.trace import GoogleTraceGenerator, TraceConfig
+
+#: Scheduler names accepted by ``--scheduler``.
+SCHEDULERS = ("firmament", "quincy", "sparrow", "swarmkit", "kubernetes", "mesos")
+
+#: Policy names accepted by ``--policy`` (Firmament and Quincy only).
+POLICIES = (
+    "quincy",
+    "load_spreading",
+    "network_aware",
+    "cpu_memory",
+    "shortest_job_first",
+    "random",
+)
+
+
+def register(subparsers) -> None:
+    """Register the ``simulate`` subcommand."""
+    parser = subparsers.add_parser(
+        "simulate",
+        help="replay a synthetic Google-like trace against a scheduler",
+        description=(
+            "Generate a synthetic Google-like workload, replay it against the "
+            "chosen scheduler, and print placement latency, response time, and "
+            "algorithm runtime summaries."
+        ),
+    )
+    parser.add_argument("--machines", type=int, default=32, help="cluster size (default: 32)")
+    parser.add_argument(
+        "--slots-per-machine", type=int, default=4, help="task slots per machine (default: 4)"
+    )
+    parser.add_argument(
+        "--duration", type=float, default=300.0, help="trace duration in virtual seconds"
+    )
+    parser.add_argument(
+        "--utilization", type=float, default=0.6, help="target slot utilization (default: 0.6)"
+    )
+    parser.add_argument(
+        "--speedup", type=float, default=1.0, help="trace speedup factor (Figure 18)"
+    )
+    parser.add_argument(
+        "--scheduler",
+        choices=SCHEDULERS,
+        default="firmament",
+        help="scheduler to drive (default: firmament)",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=POLICIES,
+        default="quincy",
+        help="scheduling policy for the flow-based schedulers (default: quincy)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="workload seed")
+    parser.add_argument(
+        "--failure-mtbf",
+        type=float,
+        default=0.0,
+        help="inject machine failures with this cluster-wide MTBF in seconds (0 disables)",
+    )
+    parser.add_argument(
+        "--failure-mttr",
+        type=float,
+        default=120.0,
+        help="mean machine repair time in seconds when failures are injected",
+    )
+    parser.set_defaults(handler=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute the ``simulate`` subcommand."""
+    if args.machines <= 0:
+        raise ValueError("--machines must be positive")
+    if not 0.0 < args.utilization <= 1.0:
+        raise ValueError("--utilization must be in (0, 1]")
+
+    topology = build_topology(args.machines, slots_per_machine=args.slots_per_machine)
+    state = ClusterState(topology)
+    scheduler = _make_scheduler(args.scheduler, args.policy)
+
+    trace_config = TraceConfig(
+        num_machines=args.machines,
+        slots_per_machine=args.slots_per_machine,
+        target_utilization=args.utilization,
+        duration=args.duration,
+        speedup=args.speedup,
+        seed=args.seed,
+    )
+    generator = GoogleTraceGenerator(trace_config, topology)
+    jobs = generator.generate()
+
+    simulator = ClusterSimulator(
+        state, scheduler, SimulationConfig(max_time=args.duration)
+    )
+    simulator.submit_jobs(jobs)
+
+    schedule = None
+    if args.failure_mtbf > 0:
+        injector = FailureInjector(
+            mean_time_between_failures=args.failure_mtbf,
+            mean_time_to_repair=args.failure_mttr,
+            seed=args.seed,
+        )
+        schedule = injector.inject(simulator, horizon=args.duration)
+
+    result = simulator.run()
+    metrics = result.metrics
+
+    print(f"scheduler: {args.scheduler} (policy: {args.policy})")
+    print(f"jobs submitted: {len(jobs)}, tasks placed: {metrics.tasks_placed}, "
+          f"tasks completed: {metrics.tasks_completed}")
+    if schedule is not None:
+        print(f"machine failures injected: {schedule.num_failures}")
+    rows = [
+        ["placement latency [s]",
+         f"{metrics.placement_latency_percentile(50):.3f}",
+         f"{metrics.placement_latency_percentile(90):.3f}",
+         f"{metrics.placement_latency_percentile(99):.3f}"],
+        ["task response time [s]",
+         f"{metrics.response_time_percentile(50):.3f}",
+         f"{metrics.response_time_percentile(90):.3f}",
+         f"{metrics.response_time_percentile(99):.3f}"],
+        ["algorithm runtime [s]",
+         f"{metrics.algorithm_runtime_percentile(50):.3f}",
+         f"{metrics.algorithm_runtime_percentile(90):.3f}",
+         f"{metrics.algorithm_runtime_percentile(99):.3f}"],
+    ]
+    print(format_table(["metric", "p50", "p90", "p99"], rows))
+    print(f"input data locality: {100 * metrics.data_locality:.1f}%")
+    return 0
+
+
+def _make_policy(name: str):
+    if name == "quincy":
+        return QuincyPolicy()
+    if name == "load_spreading":
+        return LoadSpreadingPolicy()
+    if name == "network_aware":
+        return NetworkAwarePolicy()
+    if name == "cpu_memory":
+        return CpuMemoryPolicy()
+    if name == "shortest_job_first":
+        return ShortestJobFirstPolicy()
+    if name == "random":
+        return RandomPlacementPolicy()
+    raise ValueError(f"unknown policy {name!r}")
+
+
+def _make_scheduler(scheduler_name: str, policy_name: str):
+    if scheduler_name == "firmament":
+        return FirmamentScheduler(_make_policy(policy_name))
+    if scheduler_name == "quincy":
+        return make_quincy_scheduler()
+    if scheduler_name == "sparrow":
+        return SparrowScheduler()
+    if scheduler_name == "swarmkit":
+        return SwarmKitScheduler()
+    if scheduler_name == "kubernetes":
+        return KubernetesScheduler()
+    if scheduler_name == "mesos":
+        return MesosScheduler()
+    raise ValueError(f"unknown scheduler {scheduler_name!r}")

@@ -1,0 +1,83 @@
+"""Monitoring data: per-machine load and network bandwidth observations.
+
+Firmament's scheduling policies consume monitoring data in addition to the
+static cluster topology (Figure 4): the network-aware policy, in particular,
+reacts to the *observed* bandwidth use of machines, not only to reservations.
+The monitor is deliberately simple -- a per-machine statistics record the
+simulator or testbed model updates -- but it gives policies the same
+interface a real cluster manager's monitoring pipeline would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.cluster.topology import ClusterTopology
+
+
+@dataclass
+class MachineStatistics:
+    """Observed resource usage of one machine.
+
+    Attributes:
+        machine_id: The machine these statistics describe.
+        cpu_used: CPU cores in use.
+        ram_used_gb: RAM in use (GB).
+        network_used_mbps: Observed NIC bandwidth use (Mb/s) from traffic the
+            scheduler did not reserve (e.g., background services).
+        last_update: Time of the last update.
+    """
+
+    machine_id: int
+    cpu_used: float = 0.0
+    ram_used_gb: float = 0.0
+    network_used_mbps: int = 0
+    last_update: float = 0.0
+
+
+class ResourceMonitor:
+    """Collects per-machine statistics for the scheduling policies."""
+
+    def __init__(self, topology: ClusterTopology) -> None:
+        self._topology = topology
+        self._stats: Dict[int, MachineStatistics] = {
+            machine_id: MachineStatistics(machine_id=machine_id)
+            for machine_id in topology.machines
+        }
+
+    def statistics(self, machine_id: int) -> MachineStatistics:
+        """Return (creating if necessary) the statistics of a machine."""
+        if machine_id not in self._stats:
+            self._stats[machine_id] = MachineStatistics(machine_id=machine_id)
+        return self._stats[machine_id]
+
+    def record_network_use(self, machine_id: int, used_mbps: int, now: float = 0.0) -> None:
+        """Record observed network bandwidth use on a machine."""
+        stats = self.statistics(machine_id)
+        stats.network_used_mbps = max(0, used_mbps)
+        stats.last_update = now
+
+    def record_cpu_use(self, machine_id: int, cpu_used: float, now: float = 0.0) -> None:
+        """Record observed CPU use on a machine."""
+        stats = self.statistics(machine_id)
+        stats.cpu_used = max(0.0, cpu_used)
+        stats.last_update = now
+
+    def record_ram_use(self, machine_id: int, ram_used_gb: float, now: float = 0.0) -> None:
+        """Record observed RAM use on a machine."""
+        stats = self.statistics(machine_id)
+        stats.ram_used_gb = max(0.0, ram_used_gb)
+        stats.last_update = now
+
+    def all_statistics(self) -> Iterable[MachineStatistics]:
+        """Iterate over the statistics of every known machine."""
+        return self._stats.values()
+
+    def reset(self) -> None:
+        """Clear all observations (used between simulation runs)."""
+        for stats in self._stats.values():
+            stats.cpu_used = 0.0
+            stats.ram_used_gb = 0.0
+            stats.network_used_mbps = 0
+            stats.last_update = 0.0

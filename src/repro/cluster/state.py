@@ -1,0 +1,239 @@
+"""Mutable cluster state: jobs, tasks, and the current task-to-machine map.
+
+:class:`ClusterState` is the single source of truth the scheduler consumes
+(Figure 4 of the paper: "jobs and tasks", "cluster topology", "monitoring
+data") and the object the simulator mutates as events occur.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.cluster.machine import Machine
+from repro.cluster.monitor import ResourceMonitor
+from repro.cluster.resources import ResourceVector
+from repro.cluster.task import Job, Task, TaskState
+from repro.cluster.topology import ClusterTopology
+
+
+@dataclass
+class Placement:
+    """A task-to-machine assignment decided by a scheduler."""
+
+    task_id: int
+    machine_id: int
+
+
+class ClusterState:
+    """Jobs, tasks, topology, and the current placement of running tasks."""
+
+    def __init__(self, topology: ClusterTopology) -> None:
+        self.topology = topology
+        self.jobs: Dict[int, Job] = {}
+        self.tasks: Dict[int, Task] = {}
+        self.monitor = ResourceMonitor(topology)
+        self._machine_tasks: Dict[int, set] = {
+            machine_id: set() for machine_id in topology.machines
+        }
+
+    # ------------------------------------------------------------------ #
+    # Workload management
+    # ------------------------------------------------------------------ #
+    def submit_job(self, job: Job) -> None:
+        """Register a job and all of its tasks."""
+        if job.job_id in self.jobs:
+            raise ValueError(f"job {job.job_id} already submitted")
+        self.jobs[job.job_id] = job
+        for task in job.tasks:
+            if task.task_id in self.tasks:
+                raise ValueError(f"task {task.task_id} already submitted")
+            self.tasks[task.task_id] = task
+
+    def submit_task(self, task: Task) -> None:
+        """Register a single task into an existing job."""
+        job = self.jobs.get(task.job_id)
+        if job is None:
+            raise KeyError(f"job {task.job_id} does not exist")
+        if task.task_id in self.tasks:
+            raise ValueError(f"task {task.task_id} already submitted")
+        job.add_task(task)
+        self.tasks[task.task_id] = task
+
+    def remove_job(self, job_id: int) -> None:
+        """Remove a job and its tasks (all tasks must have terminated)."""
+        job = self.jobs.pop(job_id)
+        for task in job.tasks:
+            if task.is_running:
+                raise ValueError(f"cannot remove job {job_id}: task {task.task_id} running")
+            self.tasks.pop(task.task_id, None)
+
+    # ------------------------------------------------------------------ #
+    # Placement management
+    # ------------------------------------------------------------------ #
+    def place_task(self, task_id: int, machine_id: int, now: float) -> None:
+        """Place a pending task onto a machine and start it."""
+        task = self.tasks[task_id]
+        machine = self.topology.machine(machine_id)
+        if not machine.is_available:
+            raise ValueError(f"machine {machine_id} is not available")
+        if len(self._machine_tasks[machine_id]) >= machine.num_slots:
+            raise ValueError(f"machine {machine_id} has no free slots")
+        if task.is_running:
+            raise ValueError(f"task {task_id} is already running")
+        task.state = TaskState.RUNNING
+        task.machine_id = machine_id
+        if task.placement_time is None:
+            task.placement_time = now
+        task.start_time = now
+        self._machine_tasks[machine_id].add(task_id)
+
+    def migrate_task(self, task_id: int, machine_id: int, now: float) -> None:
+        """Move a running task to another machine (preempt + restart)."""
+        task = self.tasks[task_id]
+        if not task.is_running:
+            raise ValueError(f"task {task_id} is not running")
+        self._machine_tasks[task.machine_id].discard(task_id)
+        task.state = TaskState.SUBMITTED
+        task.machine_id = None
+        self.place_task(task_id, machine_id, now)
+
+    def preempt_task(self, task_id: int, now: float) -> None:
+        """Preempt a running task; it becomes pending again."""
+        task = self.tasks[task_id]
+        if not task.is_running:
+            raise ValueError(f"task {task_id} is not running")
+        self._machine_tasks[task.machine_id].discard(task_id)
+        task.state = TaskState.PREEMPTED
+        task.machine_id = None
+        task.start_time = None
+
+    def complete_task(self, task_id: int, now: float) -> None:
+        """Mark a running task as completed and free its slot.
+
+        The task keeps its ``machine_id`` so post-hoc metrics (e.g. the data
+        locality of the placement it ran with) remain computable.
+        """
+        task = self.tasks[task_id]
+        if not task.is_running:
+            raise ValueError(f"task {task_id} is not running")
+        self._machine_tasks[task.machine_id].discard(task_id)
+        task.state = TaskState.COMPLETED
+        task.finish_time = now
+
+    def fail_machine(self, machine_id: int, now: float) -> List[int]:
+        """Fail a machine; its tasks become pending again.
+
+        Returns the identifiers of the evicted tasks.
+        """
+        machine = self.topology.machine(machine_id)
+        machine.fail()
+        evicted = list(self._machine_tasks[machine_id])
+        for task_id in evicted:
+            task = self.tasks[task_id]
+            task.state = TaskState.PREEMPTED
+            task.machine_id = None
+            task.start_time = None
+        self._machine_tasks[machine_id].clear()
+        return evicted
+
+    # ------------------------------------------------------------------ #
+    # Queries used by scheduling policies
+    # ------------------------------------------------------------------ #
+    def pending_tasks(self) -> List[Task]:
+        """Return tasks waiting to be placed, oldest submission first."""
+        pending = [t for t in self.tasks.values() if t.is_pending]
+        pending.sort(key=lambda t: (t.submit_time, t.task_id))
+        return pending
+
+    def running_tasks(self) -> List[Task]:
+        """Return currently running tasks."""
+        return [t for t in self.tasks.values() if t.is_running]
+
+    def schedulable_tasks(self) -> List[Task]:
+        """Return tasks eligible for (re)scheduling: pending plus running.
+
+        Flow-based scheduling continuously reconsiders the entire workload,
+        so running tasks also appear in the flow network.
+        """
+        return [t for t in self.tasks.values() if t.is_pending or t.is_running]
+
+    def tasks_on_machine(self, machine_id: int) -> List[Task]:
+        """Return the tasks currently running on a machine."""
+        return [self.tasks[t] for t in self._machine_tasks.get(machine_id, ())]
+
+    def task_count_on_machine(self, machine_id: int) -> int:
+        """Return how many tasks run on a machine."""
+        return len(self._machine_tasks.get(machine_id, ()))
+
+    def free_slots(self, machine_id: int) -> int:
+        """Return the number of free slots on a machine."""
+        machine = self.topology.machine(machine_id)
+        if not machine.is_available:
+            return 0
+        return machine.num_slots - len(self._machine_tasks[machine_id])
+
+    def total_free_slots(self) -> int:
+        """Return the number of free slots across the cluster."""
+        return sum(self.free_slots(m) for m in self.topology.machines)
+
+    def slot_utilization(self) -> float:
+        """Return the fraction of slots currently occupied."""
+        total = self.topology.total_slots
+        if total == 0:
+            return 0.0
+        used = sum(len(tasks) for tasks in self._machine_tasks.values())
+        return used / total
+
+    def resources_in_use(self, machine_id: int) -> ResourceVector:
+        """Return the multi-dimensional resources reserved on a machine.
+
+        Sums the requests of the tasks currently running there; used by the
+        multi-dimensional policy's Borg-style feasibility check.
+        """
+        return ResourceVector.sum(
+            ResourceVector.for_task(task) for task in self.tasks_on_machine(machine_id)
+        )
+
+    def spare_resources(self, machine_id: int) -> ResourceVector:
+        """Return the unreserved multi-dimensional capacity of a machine.
+
+        A failed or drained machine has no spare capacity.
+        """
+        machine = self.topology.machine(machine_id)
+        if not machine.is_available:
+            return ResourceVector.zero()
+        return ResourceVector.for_machine(machine) - self.resources_in_use(machine_id)
+
+    def task_fits(self, task: Task, machine_id: int) -> bool:
+        """Return whether a task's resource request fits on a machine.
+
+        The check ignores the task's own reservation when it already runs on
+        the machine, so a running task always "fits" where it is.
+        """
+        spare = self.spare_resources(machine_id)
+        if task.is_running and task.machine_id == machine_id:
+            spare = spare + ResourceVector.for_task(task)
+        return ResourceVector.for_task(task).fits_into(spare)
+
+    def network_bandwidth_in_use(self, machine_id: int) -> int:
+        """Return the bandwidth (Mb/s) reserved by tasks on a machine."""
+        return sum(t.network_request_mbps for t in self.tasks_on_machine(machine_id))
+
+    def spare_network_bandwidth(self, machine_id: int) -> int:
+        """Return unreserved NIC bandwidth (Mb/s) on a machine.
+
+        Combines static reservations with the monitor's observed background
+        use, mirroring the network-aware policy's inputs (Figure 6c).
+        """
+        machine = self.topology.machine(machine_id)
+        reserved = self.network_bandwidth_in_use(machine_id)
+        observed = self.monitor.statistics(machine_id).network_used_mbps
+        return max(0, machine.network_bandwidth_mbps - reserved - observed)
+
+    def placements(self) -> List[Placement]:
+        """Return the current task-to-machine assignments."""
+        return [
+            Placement(task_id=t.task_id, machine_id=t.machine_id)
+            for t in self.running_tasks()
+        ]

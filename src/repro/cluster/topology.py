@@ -1,0 +1,114 @@
+"""Cluster topology construction helpers.
+
+The simulated clusters mirror the Google cluster used in the paper's
+evaluation: machines grouped into racks, each machine exposing a fixed
+number of task slots.  The topology object is immutable once built; dynamic
+state (which task runs where) lives in :class:`~repro.cluster.state.ClusterState`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.cluster.machine import Machine, Rack
+
+
+@dataclass
+class ClusterTopology:
+    """Racks and machines of a cluster."""
+
+    machines: Dict[int, Machine] = field(default_factory=dict)
+    racks: Dict[int, Rack] = field(default_factory=dict)
+
+    @property
+    def num_machines(self) -> int:
+        """Number of machines in the topology."""
+        return len(self.machines)
+
+    @property
+    def num_racks(self) -> int:
+        """Number of racks in the topology."""
+        return len(self.racks)
+
+    @property
+    def total_slots(self) -> int:
+        """Total number of task slots across all machines."""
+        return sum(m.num_slots for m in self.machines.values())
+
+    def machine(self, machine_id: int) -> Machine:
+        """Return a machine by identifier."""
+        return self.machines[machine_id]
+
+    def rack(self, rack_id: int) -> Rack:
+        """Return a rack by identifier."""
+        return self.racks[rack_id]
+
+    def rack_of(self, machine_id: int) -> Rack:
+        """Return the rack containing the given machine."""
+        return self.racks[self.machines[machine_id].rack_id]
+
+    def machines_in_rack(self, rack_id: int) -> List[Machine]:
+        """Return the machines in a rack."""
+        return [self.machines[m] for m in self.racks[rack_id].machine_ids]
+
+    def healthy_machines(self) -> List[Machine]:
+        """Return all machines that can currently accept tasks."""
+        return [m for m in self.machines.values() if m.is_available]
+
+    def add_machine(self, machine: Machine) -> None:
+        """Add a machine, creating its rack if necessary."""
+        self.machines[machine.machine_id] = machine
+        rack = self.racks.get(machine.rack_id)
+        if rack is None:
+            rack = Rack(rack_id=machine.rack_id)
+            self.racks[machine.rack_id] = rack
+        rack.add_machine(machine.machine_id)
+
+    def remove_machine(self, machine_id: int) -> None:
+        """Remove a machine from the topology (e.g., permanent failure)."""
+        machine = self.machines.pop(machine_id)
+        self.racks[machine.rack_id].remove_machine(machine_id)
+
+
+def build_topology(
+    num_machines: int,
+    machines_per_rack: int = 40,
+    slots_per_machine: int = 4,
+    cpu_cores: int = 12,
+    ram_gb: int = 64,
+    network_bandwidth_mbps: int = 10_000,
+) -> ClusterTopology:
+    """Build a homogeneous cluster topology.
+
+    Args:
+        num_machines: Total machine count.
+        machines_per_rack: Rack size; the Google cluster uses racks of
+            roughly 40 machines.
+        slots_per_machine: Task slots per machine (slot-based assignment is
+            used to compare fairly with Quincy).
+        cpu_cores: Cores per machine.
+        ram_gb: RAM per machine in GB.
+        network_bandwidth_mbps: NIC capacity per machine in Mb/s.
+
+    Returns:
+        The constructed :class:`ClusterTopology`.
+    """
+    if num_machines <= 0:
+        raise ValueError("cluster must have at least one machine")
+    if machines_per_rack <= 0:
+        raise ValueError("racks must hold at least one machine")
+    topology = ClusterTopology()
+    for machine_id in range(num_machines):
+        rack_id = machine_id // machines_per_rack
+        topology.add_machine(
+            Machine(
+                machine_id=machine_id,
+                rack_id=rack_id,
+                num_slots=slots_per_machine,
+                cpu_cores=cpu_cores,
+                ram_gb=ram_gb,
+                network_bandwidth_mbps=network_bandwidth_mbps,
+            )
+        )
+    return topology

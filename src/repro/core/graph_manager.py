@@ -1,0 +1,206 @@
+"""Graph manager: maintains the scheduling flow network across runs.
+
+The graph manager owns the mapping between cluster entities (tasks,
+machines, racks, jobs) and flow-network nodes.  Node identifiers are stable
+for as long as the entity exists, which is what allows the incremental cost
+scaling solver to reuse the previous run's flow (keyed by node-id pairs) as
+a warm start even though the arcs are re-derived every run.
+
+Updating the network for a new solver run follows the paper's two-pass
+scheme (Section 6.3):
+
+1. a *statistics pass* starting from the nodes adjacent to the sink
+   (machines) gathers per-entity statistics -- here, machine load, spare
+   bandwidth, and slot occupancy, collected from the cluster state and the
+   monitor -- and
+2. a *policy pass* starting from the task nodes lets the scheduling policy
+   add aggregators and arcs using those statistics.
+
+Because the Python policies read statistics directly from
+:class:`~repro.cluster.state.ClusterState`, the first pass materializes as
+the cheap bookkeeping the state object performs; the structure (and cost) of
+the update is nevertheless the same: two linear passes over the graph,
+negligible next to the solver runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cluster.state import ClusterState
+from repro.core.policies.base import PolicyNetworkBuilder, SchedulingPolicy
+from repro.flow.graph import FlowNetwork, NodeType
+
+
+class GraphManager:
+    """Builds and maintains the flow network for a scheduling policy."""
+
+    def __init__(self, policy: SchedulingPolicy) -> None:
+        self.policy = policy
+        self._next_node_id = 0
+        self._sink_node: Optional[int] = None
+        self._task_nodes: Dict[int, int] = {}
+        self._machine_nodes: Dict[int, int] = {}
+        self._rack_nodes: Dict[int, int] = {}
+        self._unscheduled_nodes: Dict[int, int] = {}
+        self._aggregator_nodes: Dict[str, Tuple[int, NodeType]] = {}
+        self.network: Optional[FlowNetwork] = None
+
+    # ------------------------------------------------------------------ #
+    # Node identity management
+    # ------------------------------------------------------------------ #
+    def _allocate(self) -> int:
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        return node_id
+
+    def _node_for_task(self, task_id: int) -> int:
+        if task_id not in self._task_nodes:
+            self._task_nodes[task_id] = self._allocate()
+        return self._task_nodes[task_id]
+
+    def _node_for_machine(self, machine_id: int) -> int:
+        if machine_id not in self._machine_nodes:
+            self._machine_nodes[machine_id] = self._allocate()
+        return self._machine_nodes[machine_id]
+
+    def _node_for_rack(self, rack_id: int) -> int:
+        if rack_id not in self._rack_nodes:
+            self._rack_nodes[rack_id] = self._allocate()
+        return self._rack_nodes[rack_id]
+
+    def _node_for_job(self, job_id: int) -> int:
+        if job_id not in self._unscheduled_nodes:
+            self._unscheduled_nodes[job_id] = self._allocate()
+        return self._unscheduled_nodes[job_id]
+
+    def _node_for_sink(self) -> int:
+        if self._sink_node is None:
+            self._sink_node = self._allocate()
+        return self._sink_node
+
+    def _node_for_aggregator(self, key: str, node_type: NodeType) -> int:
+        if key not in self._aggregator_nodes:
+            self._aggregator_nodes[key] = (self._allocate(), node_type)
+        node_id, stored_type = self._aggregator_nodes[key]
+        if self.network is not None and not self.network.has_node(node_id):
+            self.network.add_node(
+                node_type=stored_type, supply=0, name=key, node_id=node_id
+            )
+        return node_id
+
+    # ------------------------------------------------------------------ #
+    # Mappings needed by placement extraction and the scheduler
+    # ------------------------------------------------------------------ #
+    @property
+    def task_nodes(self) -> Dict[int, int]:
+        """Mapping from task id to flow-network node id."""
+        return dict(self._task_nodes)
+
+    @property
+    def machine_nodes(self) -> Dict[int, int]:
+        """Mapping from machine id to flow-network node id."""
+        return dict(self._machine_nodes)
+
+    @property
+    def sink_node(self) -> Optional[int]:
+        """Node id of the sink, once the first network has been built."""
+        return self._sink_node
+
+    # ------------------------------------------------------------------ #
+    # Network construction
+    # ------------------------------------------------------------------ #
+    def update(self, state: ClusterState, now: float = 0.0) -> FlowNetwork:
+        """Build the flow network reflecting the current cluster state.
+
+        Entities that disappeared since the previous run lose their nodes
+        (their identifiers are retired, never reused); new entities receive
+        fresh nodes.  The scheduling policy then adds aggregators and arcs.
+        """
+        tasks = state.schedulable_tasks()
+        task_ids = {t.task_id for t in tasks}
+        machine_ids = {
+            m.machine_id for m in state.topology.healthy_machines()
+        }
+        rack_ids = set(state.topology.racks)
+        job_ids = {t.job_id for t in tasks}
+
+        # Retire nodes of entities that no longer exist.
+        self._task_nodes = {t: n for t, n in self._task_nodes.items() if t in task_ids}
+        self._machine_nodes = {
+            m: n for m, n in self._machine_nodes.items() if m in machine_ids
+        }
+        self._rack_nodes = {r: n for r, n in self._rack_nodes.items() if r in rack_ids}
+        self._unscheduled_nodes = {
+            j: n for j, n in self._unscheduled_nodes.items() if j in job_ids
+        }
+
+        network = FlowNetwork()
+        self.network = network
+
+        sink = self._node_for_sink()
+        network.add_node(
+            node_type=NodeType.SINK, supply=-len(tasks), name="S", node_id=sink
+        )
+
+        for machine_id in sorted(machine_ids):
+            network.add_node(
+                node_type=NodeType.MACHINE,
+                supply=0,
+                name=f"M{machine_id}",
+                ref=machine_id,
+                node_id=self._node_for_machine(machine_id),
+            )
+        for rack_id in sorted(rack_ids):
+            network.add_node(
+                node_type=NodeType.RACK_AGGREGATOR,
+                supply=0,
+                name=f"R{rack_id}",
+                ref=rack_id,
+                node_id=self._node_for_rack(rack_id),
+            )
+        for job_id in sorted(job_ids):
+            network.add_node(
+                node_type=NodeType.UNSCHEDULED_AGGREGATOR,
+                supply=0,
+                name=f"U{job_id}",
+                ref=job_id,
+                node_id=self._node_for_job(job_id),
+            )
+        for task in tasks:
+            network.add_node(
+                node_type=NodeType.TASK,
+                supply=1,
+                name=f"T{task.job_id},{task.task_id}",
+                ref=task.task_id,
+                node_id=self._node_for_task(task.task_id),
+            )
+
+        builder = PolicyNetworkBuilder(
+            network=network,
+            task_nodes=self._task_nodes,
+            machine_nodes=self._machine_nodes,
+            rack_nodes=self._rack_nodes,
+            unscheduled_nodes=self._unscheduled_nodes,
+            sink_node=sink,
+            aggregator_factory=self._node_for_aggregator,
+        )
+        self.policy.build(state, builder, now)
+        self._prune_isolated_nodes(network)
+        return network
+
+    def _prune_isolated_nodes(self, network: FlowNetwork) -> None:
+        """Drop zero-supply nodes with no arcs (unused racks or aggregators).
+
+        Keeping them would be harmless for correctness but would make the
+        solvers iterate over dead nodes.
+        """
+        isolated = [
+            node.node_id
+            for node in network.nodes()
+            if node.supply == 0
+            and not network.outgoing(node.node_id)
+            and not network.incoming(node.node_id)
+        ]
+        for node_id in isolated:
+            network.remove_node(node_id)

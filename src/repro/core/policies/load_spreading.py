@@ -1,0 +1,86 @@
+"""Load-spreading policy (Figure 6a of the paper).
+
+All tasks connect to a single cluster-wide aggregator ``X``; the cost of
+scheduling a task on a machine grows with the number of tasks already on
+that machine, so machines fill up evenly (the behaviour of Docker SwarmKit's
+spread strategy).  The policy neither requires nor uses the full
+sophistication of flow-based scheduling -- the paper uses it to expose MCMF
+edge cases, because the under-populated machines it prefers become contended
+destinations for many tasks' flow (Section 4.3, Figure 9).
+
+Because one MCMF run prices all arcs statically, the per-machine "cost grows
+with occupancy" rule is expressed with *slot-level nodes*: the k-th free
+slot of a machine is reachable from the aggregator through a unit-capacity
+node whose arc costs ``k * cost_per_running_task``.  The solver therefore
+fills cheap (low-occupancy) slots across the whole cluster before it starts
+doubling up, even within a single batch -- which is also exactly what makes
+the cheapest slots contended when a large job arrives (Figure 9).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.state import ClusterState
+from repro.core.policies.base import PolicyNetworkBuilder, SchedulingPolicy
+from repro.flow.graph import NodeType
+
+
+class LoadSpreadingPolicy(SchedulingPolicy):
+    """Balance the number of tasks per machine via a cluster aggregator."""
+
+    name = "load_spreading"
+
+    def __init__(self, cost_per_running_task: int = 10) -> None:
+        """Create the policy.
+
+        Args:
+            cost_per_running_task: Cost added per task already occupying the
+                machine a new task would be placed on.
+        """
+        self.cost_per_running_task = cost_per_running_task
+
+    def build(self, state: ClusterState, builder: PolicyNetworkBuilder, now: float) -> None:
+        """Add the cluster aggregator, slot-level nodes, and all policy arcs."""
+        tasks = state.schedulable_tasks()
+        if not tasks:
+            return
+        cluster_agg = builder.aggregator("X", NodeType.CLUSTER_AGGREGATOR)
+
+        # Aggregator -> slot-level nodes -> machines: the k-th task placed on
+        # a machine costs k * cost_per_running_task, so occupancy only grows
+        # once every other machine has caught up.
+        for machine in state.topology.healthy_machines():
+            machine_node = builder.machine_node(machine.machine_id)
+            running = state.task_count_on_machine(machine.machine_id)
+            builder.add_arc(machine_node, builder.sink, machine.num_slots, 0)
+            for level in range(running, machine.num_slots):
+                level_node = builder.aggregator(
+                    f"L{machine.machine_id}.{level}", NodeType.OTHER
+                )
+                builder.add_arc(
+                    cluster_agg,
+                    level_node,
+                    1,
+                    level * self.cost_per_running_task + self.placement_base_cost,
+                )
+                builder.add_arc(level_node, machine_node, 1, 0)
+
+        # Tasks -> aggregator, current machine, and unscheduled aggregator.
+        jobs_seen = set()
+        for task in tasks:
+            task_node = builder.task_node(task.task_id)
+            builder.add_arc(task_node, cluster_agg, 1, 0)
+            if task.is_running and task.machine_id is not None:
+                builder.add_arc(
+                    task_node,
+                    builder.machine_node(task.machine_id),
+                    1,
+                    self.continuation_cost(task),
+                )
+            unsched = builder.unscheduled_node(task.job_id)
+            builder.add_arc(task_node, unsched, 1, self.unscheduled_cost(task, now))
+            jobs_seen.add(task.job_id)
+
+        # Unscheduled aggregators -> sink.
+        for job_id in jobs_seen:
+            job = state.jobs[job_id]
+            builder.add_arc(builder.unscheduled_node(job_id), builder.sink, job.num_tasks, 0)

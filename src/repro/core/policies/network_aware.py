@@ -1,0 +1,124 @@
+"""Network-aware scheduling policy (Figure 6c of the paper).
+
+Each task connects to a *request aggregator* (RA) for its network bandwidth
+request; the request aggregator has arcs only to machines with enough spare
+bandwidth, and the cost of those arcs is the sum of the request and the
+bandwidth already in use on the machine, which steers tasks towards
+lightly-loaded network links and balances utilization.  The arcs are
+re-derived every scheduling run from the monitor's observed bandwidth use,
+so they adapt dynamically as background traffic changes.
+
+The paper uses this policy on the 40-machine testbed (Section 7.5), where
+it reduces the tail of short batch tasks' response times by 3.4-6.2x
+compared to schedulers that ignore network interference.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.state import ClusterState
+from repro.core.policies.base import PolicyNetworkBuilder, SchedulingPolicy
+from repro.flow.graph import NodeType
+
+
+class NetworkAwarePolicy(SchedulingPolicy):
+    """Avoid overcommitting machine network bandwidth."""
+
+    name = "network_aware"
+
+    def __init__(self, bandwidth_bucket_mbps: int = 250, cost_per_mbps: float = 0.01) -> None:
+        """Create the policy.
+
+        Args:
+            bandwidth_bucket_mbps: Tasks are grouped into request aggregators
+                by their bandwidth request rounded up to this bucket size, so
+                similar requests share one aggregator node.
+            cost_per_mbps: Conversion from Mb/s of (requested + used)
+                bandwidth into cost units on the RA->machine arcs.
+        """
+        if bandwidth_bucket_mbps <= 0:
+            raise ValueError("bandwidth bucket must be positive")
+        self.bandwidth_bucket_mbps = bandwidth_bucket_mbps
+        self.cost_per_mbps = cost_per_mbps
+
+    def request_bucket(self, request_mbps: int) -> int:
+        """Return the bucketed bandwidth request used for aggregator identity."""
+        if request_mbps <= 0:
+            return 0
+        buckets = (request_mbps + self.bandwidth_bucket_mbps - 1) // self.bandwidth_bucket_mbps
+        return buckets * self.bandwidth_bucket_mbps
+
+    def build(self, state: ClusterState, builder: PolicyNetworkBuilder, now: float) -> None:
+        """Add request aggregators and bandwidth-aware arcs."""
+        tasks = state.schedulable_tasks()
+        if not tasks:
+            return
+        topology = state.topology
+
+        # Machines -> sink.
+        for machine in topology.healthy_machines():
+            builder.add_arc(
+                builder.machine_node(machine.machine_id),
+                builder.sink,
+                machine.num_slots,
+                0,
+            )
+
+        # Group tasks by bandwidth request bucket.
+        buckets = {}
+        jobs_seen = set()
+        for task in tasks:
+            bucket = self.request_bucket(task.network_request_mbps)
+            buckets.setdefault(bucket, []).append(task)
+            jobs_seen.add(task.job_id)
+
+        for bucket, bucket_tasks in sorted(buckets.items()):
+            aggregator = builder.aggregator(
+                f"RA{bucket}", NodeType.REQUEST_AGGREGATOR
+            )
+            for task in bucket_tasks:
+                task_node = builder.task_node(task.task_id)
+                builder.add_arc(task_node, aggregator, 1, 0)
+                builder.add_arc(
+                    task_node,
+                    builder.unscheduled_node(task.job_id),
+                    1,
+                    self.unscheduled_cost(task, now),
+                )
+                if task.is_running and task.machine_id is not None:
+                    builder.add_arc(
+                        task_node,
+                        builder.machine_node(task.machine_id),
+                        1,
+                        self.continuation_cost(task),
+                    )
+
+            # Aggregator -> machines with sufficient spare bandwidth.  The
+            # cost reflects request size plus current utilization.  The arc
+            # capacity admits at most one *new* task with this request per
+            # machine per scheduling run: because arc costs are static within
+            # one MCMF run, a larger capacity would let the solver stack
+            # several bandwidth-hungry tasks on one machine at the same cost
+            # as spreading them; limiting the per-run capacity (the arcs are
+            # re-derived every run, so subsequent runs can add more) keeps
+            # the placement faithful to the policy's intent.
+            for machine in topology.healthy_machines():
+                spare = state.spare_network_bandwidth(machine.machine_id)
+                free_slots = state.free_slots(machine.machine_id)
+                if free_slots <= 0 and bucket > 0:
+                    continue
+                if bucket > 0:
+                    if spare < bucket:
+                        continue
+                    capacity = 1
+                else:
+                    capacity = max(1, free_slots)
+                used = machine.network_bandwidth_mbps - spare
+                cost = (
+                    int(round((bucket + used) * self.cost_per_mbps))
+                    + self.placement_base_cost
+                )
+                builder.add_arc(aggregator, builder.machine_node(machine.machine_id), capacity, cost)
+
+        for job_id in jobs_seen:
+            job = state.jobs[job_id]
+            builder.add_arc(builder.unscheduled_node(job_id), builder.sink, job.num_tasks, 0)

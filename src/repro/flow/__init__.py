@@ -1,0 +1,72 @@
+"""Flow-network substrate used by the Firmament scheduler.
+
+This package contains the data structures shared by the scheduler and the
+min-cost max-flow solvers:
+
+* :mod:`repro.flow.graph` -- the directed flow network (nodes, arcs,
+  capacities, costs, supplies) that scheduling policies build and solvers
+  consume.
+* :mod:`repro.flow.changes` -- typed graph-change records (supply, capacity,
+  and cost changes) and the Table-3 classification of which changes break
+  feasibility or optimality of an existing solution.
+* :mod:`repro.flow.validation` -- checkers for flow feasibility,
+  reduced-cost optimality, and epsilon-optimality used in tests and by the
+  incremental solvers.
+* :mod:`repro.flow.dimacs` -- DIMACS min-cost-flow serialization plus the
+  incremental-change text format used towards an out-of-process solver.
+"""
+
+from repro.flow.graph import Arc, FlowNetwork, Node, NodeType
+from repro.flow.changes import (
+    ArcAddition,
+    ArcCapacityChange,
+    ArcCostChange,
+    ArcRemoval,
+    ChangeEffect,
+    GraphChange,
+    NodeAddition,
+    NodeRemoval,
+    SupplyChange,
+    apply_changes,
+    classify_arc_change,
+)
+from repro.flow.dimacs import (
+    DimacsFormatError,
+    read_dimacs,
+    read_incremental,
+    write_dimacs,
+    write_incremental,
+)
+from repro.flow.validation import (
+    check_epsilon_optimality,
+    check_feasibility,
+    check_reduced_cost_optimality,
+    flow_cost,
+)
+
+__all__ = [
+    "Arc",
+    "FlowNetwork",
+    "Node",
+    "NodeType",
+    "ArcAddition",
+    "ArcCapacityChange",
+    "ArcCostChange",
+    "ArcRemoval",
+    "ChangeEffect",
+    "GraphChange",
+    "NodeAddition",
+    "NodeRemoval",
+    "SupplyChange",
+    "apply_changes",
+    "classify_arc_change",
+    "DimacsFormatError",
+    "read_dimacs",
+    "read_incremental",
+    "write_dimacs",
+    "write_incremental",
+    "check_epsilon_optimality",
+    "check_feasibility",
+    "check_reduced_cost_optimality",
+    "flow_cost",
+]

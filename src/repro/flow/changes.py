@@ -1,0 +1,265 @@
+"""Typed graph changes and their effect on an existing MCMF solution.
+
+All cluster events (task submissions, completions, machine failures, cost
+updates from monitoring data) ultimately reduce to three kinds of change to
+the flow network (paper, Section 5.2):
+
+1. **Supply changes** at nodes -- task submission adds a source, task
+   completion/removal removes one.
+2. **Capacity changes** on arcs -- machines failing or (re)joining the
+   cluster; arc addition/removal is a capacity change from/to zero.
+3. **Cost changes** on arcs -- the desirability of a route changed.
+
+Table 3 of the paper classifies which arc changes invalidate feasibility or
+optimality of the previously computed flow.  :func:`classify_arc_change`
+implements that classification so the incremental solvers can decide how much
+repair work a batch of changes requires.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.flow.graph import FlowNetwork, NodeType
+
+
+class ChangeEffect(enum.Enum):
+    """Effect of a graph change on an existing optimal, feasible solution."""
+
+    NONE = "none"
+    BREAKS_OPTIMALITY = "breaks_optimality"
+    BREAKS_FEASIBILITY = "breaks_feasibility"
+
+
+@dataclass
+class GraphChange:
+    """Base class for all graph changes applied between scheduling runs."""
+
+    def apply(self, network: FlowNetwork) -> None:
+        """Apply the change to the network in place."""
+        raise NotImplementedError
+
+
+@dataclass
+class SupplyChange(GraphChange):
+    """Change the supply of an existing node by ``delta``."""
+
+    node_id: int
+    delta: int
+
+    def apply(self, network: FlowNetwork) -> None:
+        node = network.node(self.node_id)
+        network.set_supply(self.node_id, node.supply + self.delta)
+
+
+@dataclass
+class NodeAddition(GraphChange):
+    """Add a node (typically a task node with unit supply) and its arcs.
+
+    Attributes:
+        node_type: Type of the node to create.
+        supply: Supply of the new node.
+        name: Human-readable label.
+        ref: Scheduler-level entity reference.
+        arcs_out: Sequence of ``(dst, capacity, cost)`` tuples.
+        arcs_in: Sequence of ``(src, capacity, cost)`` tuples.
+        node_id: Optional explicit identifier; allocated if omitted.
+    """
+
+    node_type: NodeType
+    supply: int = 0
+    name: str = ""
+    ref: Optional[object] = None
+    arcs_out: Sequence[Tuple[int, int, int]] = field(default_factory=tuple)
+    arcs_in: Sequence[Tuple[int, int, int]] = field(default_factory=tuple)
+    node_id: Optional[int] = None
+    created_node_id: Optional[int] = None
+
+    def apply(self, network: FlowNetwork) -> None:
+        node = network.add_node(
+            node_type=self.node_type,
+            supply=self.supply,
+            name=self.name,
+            ref=self.ref,
+            node_id=self.node_id,
+        )
+        self.created_node_id = node.node_id
+        for dst, capacity, cost in self.arcs_out:
+            network.add_arc(node.node_id, dst, capacity, cost)
+        for src, capacity, cost in self.arcs_in:
+            network.add_arc(src, node.node_id, capacity, cost)
+
+
+@dataclass
+class NodeRemoval(GraphChange):
+    """Remove a node (typically a completed task or failed machine)."""
+
+    node_id: int
+
+    def apply(self, network: FlowNetwork) -> None:
+        network.remove_node(self.node_id)
+
+
+@dataclass
+class ArcCapacityChange(GraphChange):
+    """Change the capacity of an arc; capacity zero models arc removal."""
+
+    src: int
+    dst: int
+    new_capacity: int
+
+    def apply(self, network: FlowNetwork) -> None:
+        network.set_arc_capacity(self.src, self.dst, self.new_capacity)
+
+
+@dataclass
+class ArcCostChange(GraphChange):
+    """Change the cost of an arc."""
+
+    src: int
+    dst: int
+    new_cost: int
+
+    def apply(self, network: FlowNetwork) -> None:
+        network.set_arc_cost(self.src, self.dst, self.new_cost)
+
+
+@dataclass
+class ArcAddition(GraphChange):
+    """Add a new arc between existing nodes."""
+
+    src: int
+    dst: int
+    capacity: int
+    cost: int
+
+    def apply(self, network: FlowNetwork) -> None:
+        network.add_arc(self.src, self.dst, self.capacity, self.cost)
+
+
+@dataclass
+class ArcRemoval(GraphChange):
+    """Remove an existing arc."""
+
+    src: int
+    dst: int
+
+    def apply(self, network: FlowNetwork) -> None:
+        network.remove_arc(self.src, self.dst)
+
+
+def apply_changes(network: FlowNetwork, changes: Sequence[GraphChange]) -> None:
+    """Apply a batch of graph changes to the network in order."""
+    for change in changes:
+        change.apply(network)
+
+
+def classify_arc_change(
+    reduced_cost: int,
+    flow: int,
+    *,
+    new_capacity: Optional[int] = None,
+    old_capacity: Optional[int] = None,
+    new_reduced_cost: Optional[int] = None,
+) -> ChangeEffect:
+    """Classify an arc change per Table 3 of the paper.
+
+    Given the reduced cost ``c^pi_ij`` and the flow on the arc under the
+    previous (optimal, feasible) solution, determine whether changing the
+    arc's capacity or cost preserves optimality and feasibility.
+
+    Exactly one kind of change must be described: either capacity (pass both
+    ``old_capacity`` and ``new_capacity``) or cost (pass ``new_reduced_cost``,
+    the reduced cost after the change under the old potentials).
+
+    Args:
+        reduced_cost: Reduced cost of the arc before the change.
+        flow: Flow on the arc in the previous solution.
+        new_capacity: New capacity, for a capacity change.
+        old_capacity: Previous capacity, for a capacity change.
+        new_reduced_cost: Reduced cost after a cost change.
+
+    Returns:
+        The :class:`ChangeEffect` of the change.
+
+    Raises:
+        ValueError: If neither or both change kinds are described.
+    """
+    is_capacity_change = new_capacity is not None and old_capacity is not None
+    is_cost_change = new_reduced_cost is not None
+    if is_capacity_change == is_cost_change:
+        raise ValueError("describe exactly one of capacity change or cost change")
+
+    if is_capacity_change:
+        if new_capacity > old_capacity:
+            # Increasing capacity: under complementary slackness flow on an arc
+            # with negative reduced cost must saturate it, so extra capacity on
+            # such an arc breaks optimality.  Zero/positive reduced cost arcs
+            # are unaffected.
+            if reduced_cost < 0:
+                return ChangeEffect.BREAKS_OPTIMALITY
+            return ChangeEffect.NONE
+        if new_capacity < old_capacity:
+            # Decreasing capacity below the carried flow breaks feasibility.
+            if flow > new_capacity:
+                return ChangeEffect.BREAKS_FEASIBILITY
+            return ChangeEffect.NONE
+        return ChangeEffect.NONE
+
+    # Cost change.
+    if new_reduced_cost > reduced_cost:
+        # Increasing cost: if the arc carried flow and its reduced cost becomes
+        # positive, complementary slackness is violated.
+        if flow > 0 and new_reduced_cost > 0:
+            return ChangeEffect.BREAKS_OPTIMALITY
+        return ChangeEffect.NONE
+    if new_reduced_cost < reduced_cost:
+        # Decreasing cost: if the reduced cost becomes negative while the arc
+        # has residual capacity, a cheaper route exists and optimality breaks.
+        if new_reduced_cost < 0:
+            return ChangeEffect.BREAKS_OPTIMALITY
+        return ChangeEffect.NONE
+    return ChangeEffect.NONE
+
+
+def summarize_changes(changes: Sequence[GraphChange]) -> Dict[str, int]:
+    """Count changes by kind.
+
+    Used by the scheduler for logging and by the incremental solver to decide
+    whether a warm start is worthwhile (a batch dominated by node additions
+    and removals breaks feasibility everywhere, limiting reuse).
+    """
+    summary: Dict[str, int] = {}
+    for change in changes:
+        key = type(change).__name__
+        summary[key] = summary.get(key, 0) + 1
+    return summary
+
+
+def changes_break_feasibility(
+    network: FlowNetwork, changes: Sequence[GraphChange]
+) -> bool:
+    """Return True if any change in the batch can break flow feasibility.
+
+    Node additions with non-zero supply, node removals, and capacity
+    reductions below the carried flow all break feasibility of the previous
+    solution; cost changes only ever break optimality (Table 3).
+    """
+    for change in changes:
+        if isinstance(change, NodeAddition) and change.supply != 0:
+            return True
+        if isinstance(change, NodeRemoval):
+            return True
+        if isinstance(change, SupplyChange) and change.delta != 0:
+            return True
+        if isinstance(change, (ArcRemoval,)):
+            if network.has_arc(change.src, change.dst):
+                if network.arc(change.src, change.dst).flow > 0:
+                    return True
+        if isinstance(change, ArcCapacityChange):
+            if network.has_arc(change.src, change.dst):
+                if network.arc(change.src, change.dst).flow > change.new_capacity:
+                    return True
+    return False

@@ -1,0 +1,39 @@
+"""Trace-driven cluster simulation (the paper's "Fauxmaster"-style setup).
+
+The simulator replays a workload -- either a synthetic Google-like trace or
+one of the purpose-built experiment workloads -- against a real scheduler
+instance: the scheduler's actual code runs and its measured algorithm
+runtime is charged as virtual time, exactly as the paper's simulator runs
+Firmament's real scheduling logic against simulated machines.
+"""
+
+from repro.simulation.simulator import ClusterSimulator, SimulationConfig, SimulationResult
+from repro.simulation.trace import GoogleTraceGenerator, TraceConfig
+from repro.simulation.workload import (
+    fill_cluster_to_utilization,
+    make_job_of_short_tasks,
+    make_single_large_job,
+)
+from repro.simulation.metrics import (
+    MetricsSummary,
+    collect_metrics,
+    input_data_locality,
+)
+from repro.simulation.failures import FailureEvent, FailureInjector, FailureSchedule
+
+__all__ = [
+    "ClusterSimulator",
+    "SimulationConfig",
+    "SimulationResult",
+    "FailureEvent",
+    "FailureInjector",
+    "FailureSchedule",
+    "GoogleTraceGenerator",
+    "TraceConfig",
+    "fill_cluster_to_utilization",
+    "make_job_of_short_tasks",
+    "make_single_large_job",
+    "MetricsSummary",
+    "collect_metrics",
+    "input_data_locality",
+]

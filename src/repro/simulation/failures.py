@@ -1,0 +1,165 @@
+"""Machine failure injection for simulation experiments.
+
+The paper motivates rescheduling partly by fault tolerance (Section 1) and
+models machine failures as one of the cluster events that reduce to flow
+network changes (Section 5.2): a failed machine loses its arcs (capacity
+changes to zero) and its evicted tasks become sources again (supply
+changes).  The Google trace itself contains machine failures.
+
+The :class:`FailureInjector` produces a deterministic, seeded schedule of
+machine failures and recoveries drawn from exponential inter-failure and
+repair-time distributions, and installs them into a
+:class:`~repro.simulation.simulator.ClusterSimulator`.  Experiments use it
+to verify that the scheduler re-places evicted work and to measure how much
+placement latency and response time degrade under churn.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.cluster.topology import ClusterTopology
+from repro.simulation.simulator import ClusterSimulator
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One machine failure with its subsequent recovery.
+
+    Attributes:
+        machine_id: The machine that fails.
+        fail_time: Virtual time of the failure.
+        recover_time: Virtual time of the recovery; ``None`` means the
+            machine never comes back within the experiment horizon.
+    """
+
+    machine_id: int
+    fail_time: float
+    recover_time: Optional[float]
+
+
+@dataclass
+class FailureSchedule:
+    """A time-ordered list of failure/recovery events."""
+
+    events: List[FailureEvent] = field(default_factory=list)
+
+    @property
+    def num_failures(self) -> int:
+        """Number of machine failures in the schedule."""
+        return len(self.events)
+
+    def machines_affected(self) -> List[int]:
+        """Return the distinct machines that fail at least once."""
+        return sorted({event.machine_id for event in self.events})
+
+    def install(self, simulator: ClusterSimulator) -> None:
+        """Enqueue every failure and recovery into a simulator."""
+        for event in self.events:
+            simulator.fail_machine_at(event.machine_id, event.fail_time)
+            if event.recover_time is not None:
+                simulator.recover_machine_at(event.machine_id, event.recover_time)
+
+
+class FailureInjector:
+    """Generates seeded machine-failure schedules from MTBF/MTTR parameters."""
+
+    def __init__(
+        self,
+        mean_time_between_failures: float = 3_600.0,
+        mean_time_to_repair: float = 600.0,
+        seed: int = 0,
+    ) -> None:
+        """Create an injector.
+
+        Args:
+            mean_time_between_failures: Cluster-wide MTBF in virtual seconds;
+                the gap between consecutive failures is exponentially
+                distributed with this mean.
+            mean_time_to_repair: Mean repair time in virtual seconds; repair
+                times are exponentially distributed.  Zero (or a negative
+                value) means failed machines never recover.
+            seed: Seed for the deterministic schedule.
+        """
+        if mean_time_between_failures <= 0:
+            raise ValueError("mean time between failures must be positive")
+        self.mean_time_between_failures = mean_time_between_failures
+        self.mean_time_to_repair = mean_time_to_repair
+        self.seed = seed
+
+    def generate(
+        self,
+        topology: ClusterTopology,
+        horizon: float,
+        start_time: float = 0.0,
+        eligible_machines: Optional[Sequence[int]] = None,
+    ) -> FailureSchedule:
+        """Generate a failure schedule for the given cluster and horizon.
+
+        Args:
+            topology: The cluster; machines are drawn uniformly from it.
+            horizon: Virtual time at which the schedule ends.
+            start_time: Virtual time at which failures may begin.
+            eligible_machines: Restrict failures to these machines (all
+                machines by default).
+
+        Returns:
+            A :class:`FailureSchedule` with events ordered by failure time.
+        """
+        if horizon <= start_time:
+            return FailureSchedule()
+        machine_ids = list(
+            eligible_machines if eligible_machines is not None else topology.machines
+        )
+        if not machine_ids:
+            return FailureSchedule()
+
+        rng = random.Random(self.seed)
+        events: List[FailureEvent] = []
+        # Track when each machine is next available to fail, so a machine
+        # cannot fail again while it is still down.
+        next_available = {machine_id: start_time for machine_id in machine_ids}
+
+        time = start_time
+        while True:
+            time += rng.expovariate(1.0 / self.mean_time_between_failures)
+            if time >= horizon:
+                break
+            candidates = [m for m in machine_ids if next_available[m] <= time]
+            if not candidates:
+                continue
+            machine_id = rng.choice(candidates)
+            recover_time: Optional[float] = None
+            if self.mean_time_to_repair > 0:
+                recover_time = time + rng.expovariate(1.0 / self.mean_time_to_repair)
+                next_available[machine_id] = recover_time
+            else:
+                next_available[machine_id] = float("inf")
+            events.append(
+                FailureEvent(
+                    machine_id=machine_id,
+                    fail_time=time,
+                    recover_time=recover_time,
+                )
+            )
+        return FailureSchedule(events=events)
+
+    def inject(
+        self,
+        simulator: ClusterSimulator,
+        horizon: float,
+        start_time: float = 0.0,
+        eligible_machines: Optional[Iterable[int]] = None,
+    ) -> FailureSchedule:
+        """Generate a schedule for the simulator's cluster and install it."""
+        eligible = list(eligible_machines) if eligible_machines is not None else None
+        schedule = self.generate(
+            simulator.state.topology,
+            horizon=horizon,
+            start_time=start_time,
+            eligible_machines=eligible,
+        )
+        schedule.install(simulator)
+        return schedule

@@ -1,0 +1,117 @@
+"""Metrics collected from simulation runs.
+
+The experiments report three families of metrics (Figure 1 in the paper):
+per-task placement latency (submission to placement), per-task and per-job
+response time (submission to completion), and the scheduler's algorithm
+runtime per run.  Data locality -- the fraction of input data local to the
+machine a task ran on -- is additionally reported for the Quincy-policy
+experiments (Table 15b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.stats import percentile
+from repro.cluster.state import ClusterState
+from repro.cluster.task import JobType, TaskState
+
+
+@dataclass
+class MetricsSummary:
+    """Summary of one simulation run."""
+
+    placement_latencies: List[float] = field(default_factory=list)
+    response_times: List[float] = field(default_factory=list)
+    job_response_times: List[float] = field(default_factory=list)
+    algorithm_runtimes: List[float] = field(default_factory=list)
+    tasks_completed: int = 0
+    tasks_placed: int = 0
+    tasks_unplaced: int = 0
+    data_locality: float = 0.0
+
+    def placement_latency_percentile(self, q: float) -> float:
+        """Return the q-th percentile of task placement latency."""
+        return percentile(self.placement_latencies, q)
+
+    def response_time_percentile(self, q: float) -> float:
+        """Return the q-th percentile of task response time."""
+        return percentile(self.response_times, q)
+
+    def algorithm_runtime_percentile(self, q: float) -> float:
+        """Return the q-th percentile of per-run algorithm runtime."""
+        return percentile(self.algorithm_runtimes, q)
+
+    def mean_algorithm_runtime(self) -> float:
+        """Return the mean per-run algorithm runtime."""
+        if not self.algorithm_runtimes:
+            return 0.0
+        return sum(self.algorithm_runtimes) / len(self.algorithm_runtimes)
+
+
+def collect_metrics(
+    state: ClusterState,
+    algorithm_runtimes: Optional[Sequence[float]] = None,
+    batch_only: bool = True,
+) -> MetricsSummary:
+    """Build a :class:`MetricsSummary` from the final cluster state.
+
+    Args:
+        state: Cluster state after the simulation finished.
+        algorithm_runtimes: Per-run solver runtimes recorded by the driver.
+        batch_only: Restrict response-time metrics to batch tasks (service
+            tasks never complete, so their response time is undefined).
+    """
+    summary = MetricsSummary()
+    if algorithm_runtimes:
+        summary.algorithm_runtimes = list(algorithm_runtimes)
+
+    for task in state.tasks.values():
+        job = state.jobs.get(task.job_id)
+        is_service = job is not None and job.job_type is JobType.SERVICE
+        latency = task.placement_latency()
+        if latency is not None:
+            summary.placement_latencies.append(latency)
+            summary.tasks_placed += 1
+        elif task.state is TaskState.SUBMITTED:
+            summary.tasks_unplaced += 1
+        if batch_only and is_service:
+            continue
+        response = task.response_time()
+        if response is not None:
+            summary.response_times.append(response)
+            summary.tasks_completed += 1
+
+    for job in state.jobs.values():
+        if batch_only and job.job_type is JobType.SERVICE:
+            continue
+        response = job.response_time()
+        if response is not None:
+            summary.job_response_times.append(response)
+
+    summary.data_locality = input_data_locality(state)
+    return summary
+
+
+def input_data_locality(state: ClusterState) -> float:
+    """Return the fraction of input data that was local to tasks' machines.
+
+    Only tasks that have been placed at least once and declare an input size
+    contribute.  The metric matches Table 15b in the paper: the preference
+    threshold of the Quincy policy directly controls it.
+    """
+    local_gb = 0.0
+    total_gb = 0.0
+    for task in state.tasks.values():
+        if task.input_size_gb <= 0:
+            continue
+        machine_id = task.machine_id
+        if machine_id is None and task.placement_time is None:
+            continue
+        total_gb += task.input_size_gb
+        if machine_id is not None:
+            local_gb += task.input_size_gb * task.locality_fraction(machine_id)
+    if total_gb == 0:
+        return 0.0
+    return local_gb / total_gb

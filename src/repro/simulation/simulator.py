@@ -1,0 +1,331 @@
+"""Event-driven cluster simulator (the paper's "Fauxmaster"-style setup).
+
+The simulator replays a workload against a *real* scheduler instance: the
+scheduler's actual placement code runs on every invocation, and the measured
+algorithm runtime is charged as virtual time before the resulting placements
+take effect.  This mirrors how the paper's simulator runs Firmament's real
+code and scheduling logic against simulated machines, stubbing out only RPCs
+and task execution.
+
+Two scheduler shapes are supported transparently:
+
+* flow-based schedulers (:class:`~repro.core.scheduler.FirmamentScheduler`),
+  whose whole decision becomes visible when the solver finishes, and
+* queue-based baselines (:class:`~repro.baselines.base.QueueBasedScheduler`),
+  whose per-task decisions become visible one after another.
+
+Placement latency and response time are recorded on the task objects, so the
+metrics module can summarize a run from the final cluster state alone.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.state import ClusterState
+from repro.cluster.task import Job, Task, TaskState
+from repro.core.scheduler import SchedulingDecision
+from repro.simulation.metrics import MetricsSummary, collect_metrics
+
+
+@dataclass
+class SimulationConfig:
+    """Simulator parameters.
+
+    Attributes:
+        max_time: Stop the simulation at this virtual time (seconds).
+        runtime_scale: Multiply the measured algorithm runtime by this factor
+            before charging it as virtual time.  1.0 charges the Python
+            solver's real runtime; values below 1.0 model the faster C++
+            solver of the paper, values above 1.0 model larger clusters.
+        min_scheduler_interval: Do not start a new scheduling run within this
+            many virtual seconds of the previous run starting (batching).
+        reschedule_running: Invoke the scheduler even when no task is
+            pending, letting flow-based schedulers rebalance running work.
+        drain: Keep simulating past ``max_time`` (but submit nothing new)
+            until all batch tasks have completed.
+    """
+
+    max_time: float = 3_600.0
+    runtime_scale: float = 1.0
+    min_scheduler_interval: float = 0.0
+    reschedule_running: bool = False
+    drain: bool = True
+
+
+@dataclass
+class ScheduleRecord:
+    """One scheduler invocation, for timeline-style experiments (Figure 16)."""
+
+    start_time: float
+    algorithm_runtime: float
+    num_placements: int
+    num_pending_before: int
+    winning_algorithm: str = ""
+
+
+@dataclass
+class SimulationResult:
+    """Everything a benchmark needs from one simulation run."""
+
+    state: ClusterState
+    metrics: MetricsSummary
+    schedule_records: List[ScheduleRecord] = field(default_factory=list)
+    virtual_time: float = 0.0
+
+    @property
+    def algorithm_runtimes(self) -> List[float]:
+        """Per-run algorithm runtimes in invocation order."""
+        return [record.algorithm_runtime for record in self.schedule_records]
+
+
+class ClusterSimulator:
+    """Discrete-event simulator driving a scheduler against a cluster state."""
+
+    _SUBMIT = 0
+    _COMPLETE = 1
+    _SCHEDULER_DONE = 2
+    _MACHINE_FAIL = 3
+    _MACHINE_RECOVER = 4
+
+    def __init__(
+        self,
+        state: ClusterState,
+        scheduler,
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        """Create a simulator.
+
+        Args:
+            state: Initial cluster state (may already contain running tasks).
+            scheduler: A Firmament scheduler or a queue-based baseline; it
+                must expose ``schedule(state, now)`` returning a
+                :class:`~repro.core.scheduler.SchedulingDecision`.
+            config: Simulation parameters.
+        """
+        self.state = state
+        self.scheduler = scheduler
+        self.config = config or SimulationConfig()
+        self._events: List[Tuple[float, int, int, object]] = []
+        self._sequence = itertools.count()
+        self._scheduler_busy = False
+        self._last_schedule_start = -float("inf")
+        # Change detection (Figure 2b): the scheduler is only invoked when
+        # cluster state changed since the previous invocation started.
+        self._state_version = 0
+        self._scheduled_version = -1
+        self.now = 0.0
+        self.schedule_records: List[ScheduleRecord] = []
+        # Completion events already scheduled for running tasks.
+        for task in state.running_tasks():
+            self._schedule_completion(task, task.start_time or 0.0)
+
+    # ------------------------------------------------------------------ #
+    # Workload submission
+    # ------------------------------------------------------------------ #
+    def submit_job(self, job: Job, time: Optional[float] = None) -> None:
+        """Enqueue a job submission event at ``time`` (defaults to the job's
+        own submit time)."""
+        when = job.submit_time if time is None else time
+        self._push(when, self._SUBMIT, job)
+
+    def submit_jobs(self, jobs: List[Job]) -> None:
+        """Enqueue submission events for a list of jobs."""
+        for job in jobs:
+            self.submit_job(job)
+
+    def fail_machine_at(self, machine_id: int, time: float) -> None:
+        """Enqueue a machine failure event.
+
+        When the event fires, the machine's tasks are evicted back to the
+        pending state (Section 5.2: machine failures reduce to capacity
+        changes plus supply changes in the flow network) and the scheduler
+        is re-invoked on the next opportunity.
+        """
+        self._push(time, self._MACHINE_FAIL, machine_id)
+
+    def recover_machine_at(self, machine_id: int, time: float) -> None:
+        """Enqueue a machine recovery event (the machine rejoins the cluster)."""
+        self._push(time, self._MACHINE_RECOVER, machine_id)
+
+    # ------------------------------------------------------------------ #
+    # Event machinery
+    # ------------------------------------------------------------------ #
+    def _push(self, time: float, kind: int, payload: object) -> None:
+        heapq.heappush(self._events, (time, kind, next(self._sequence), payload))
+
+    def _schedule_completion(self, task: Task, start_time: float) -> None:
+        if task.duration is None:
+            return
+        # The payload carries the start time the event was scheduled for, so
+        # a stale completion (the task was preempted or evicted and later
+        # restarted) can be recognized and ignored.
+        self._push(start_time + task.duration, self._COMPLETE, (task.task_id, start_time))
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> SimulationResult:
+        """Run the simulation until the event queue drains or time runs out."""
+        config = self.config
+        # Hard stop protecting against workloads that can never drain (e.g.
+        # pending tasks behind never-completing service jobs).
+        hard_stop = config.max_time * 2.0 + 600.0
+        while self._events:
+            time, kind, _, payload = heapq.heappop(self._events)
+            if time > hard_stop:
+                break
+            if time > config.max_time and not (config.drain and kind != self._SUBMIT):
+                continue
+            self.now = max(self.now, time)
+            if kind == self._SUBMIT:
+                self._handle_submission(payload)
+            elif kind == self._COMPLETE:
+                self._handle_completion(payload)
+            elif kind == self._SCHEDULER_DONE:
+                self._handle_scheduler_done(payload)
+            elif kind == self._MACHINE_FAIL:
+                self._handle_machine_failure(payload)
+            elif kind == self._MACHINE_RECOVER:
+                self._handle_machine_recovery(payload)
+            self._maybe_run_scheduler()
+
+        metrics = collect_metrics(
+            self.state,
+            algorithm_runtimes=[r.algorithm_runtime for r in self.schedule_records],
+        )
+        return SimulationResult(
+            state=self.state,
+            metrics=metrics,
+            schedule_records=self.schedule_records,
+            virtual_time=self.now,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Event handlers
+    # ------------------------------------------------------------------ #
+    def _handle_submission(self, job: Job) -> None:
+        self.state.submit_job(job)
+        self._state_version += 1
+
+    def _handle_completion(self, payload) -> None:
+        if isinstance(payload, tuple):
+            task_id, scheduled_start = payload
+        else:  # pragma: no cover - compatibility with externally pushed events
+            task_id, scheduled_start = payload, None
+        task = self.state.tasks.get(task_id)
+        if task is None or not task.is_running:
+            # The task was preempted, migrated, or evicted; its completion is
+            # rescheduled when it restarts.
+            return
+        if scheduled_start is not None and task.start_time != scheduled_start:
+            # Stale event from before a preemption/eviction: the task has
+            # restarted since and its new completion event is already queued.
+            return
+        self.state.complete_task(task_id, self.now)
+        self._state_version += 1
+
+    def _handle_scheduler_done(self, decision: SchedulingDecision) -> None:
+        self._scheduler_busy = False
+        self._apply_decision(decision, self.now)
+
+    def _handle_machine_failure(self, machine_id: int) -> None:
+        machine = self.state.topology.machines.get(machine_id)
+        if machine is None or not machine.is_available:
+            return
+        evicted = self.state.fail_machine(machine_id, self.now)
+        # Evicted tasks restart from scratch once re-placed; their stale
+        # completion events are ignored because the tasks are no longer
+        # running when those events fire.
+        self._state_version += 1 + len(evicted)
+
+    def _handle_machine_recovery(self, machine_id: int) -> None:
+        machine = self.state.topology.machines.get(machine_id)
+        if machine is None or machine.is_available:
+            return
+        machine.recover()
+        self._state_version += 1
+
+    # ------------------------------------------------------------------ #
+    # Scheduler invocation
+    # ------------------------------------------------------------------ #
+    def _maybe_run_scheduler(self) -> None:
+        if self._scheduler_busy:
+            return
+        if self._state_version == self._scheduled_version:
+            # Nothing changed since the last run started; rerunning the
+            # solver could not produce a different answer (change detection,
+            # Figure 2b of the paper).
+            return
+        has_pending = any(True for _ in self.state.pending_tasks())
+        if not has_pending and not self.config.reschedule_running:
+            return
+        if not has_pending and not self.state.running_tasks():
+            return
+        if self.now - self._last_schedule_start < self.config.min_scheduler_interval:
+            return
+        if self.now > self.config.max_time and self.state.total_free_slots() == 0:
+            # Draining: nothing can be placed until a slot frees up, so wait
+            # for the next completion instead of spinning the solver.
+            return
+        pending_before = len(self.state.pending_tasks())
+        decision = self.scheduler.schedule(self.state, self.now)
+        runtime = decision.algorithm_runtime * self.config.runtime_scale
+        winning = ""
+        if decision.solver_result is not None:
+            winning = decision.solver_result.algorithm
+        self.schedule_records.append(
+            ScheduleRecord(
+                start_time=self.now,
+                algorithm_runtime=runtime,
+                num_placements=decision.num_assignments,
+                num_pending_before=pending_before,
+                winning_algorithm=winning,
+            )
+        )
+        self._last_schedule_start = self.now
+        self._scheduled_version = self._state_version
+        self._scheduler_busy = True
+        self._push(self.now + runtime, self._SCHEDULER_DONE, decision)
+
+    def _apply_decision(self, decision: SchedulingDecision, finish_time: float) -> None:
+        """Apply a decision, tolerating state drift during the solver run."""
+        start_time = finish_time
+        if self.schedule_records:
+            start_time = self.schedule_records[-1].start_time
+
+        for task_id in decision.preemptions:
+            task = self.state.tasks.get(task_id)
+            if task is not None and task.is_running:
+                self.state.preempt_task(task_id, finish_time)
+                self._state_version += 1
+
+        for task_id, machine_id in decision.migrations.items():
+            task = self.state.tasks.get(task_id)
+            if task is None or not task.is_running:
+                continue
+            if task.machine_id == machine_id:
+                continue
+            if self.state.free_slots(machine_id) <= 0:
+                continue
+            self.state.migrate_task(task_id, machine_id, finish_time)
+            self._schedule_completion(task, finish_time)
+            self._state_version += 1
+
+        for task_id, machine_id in decision.placements.items():
+            task = self.state.tasks.get(task_id)
+            if task is None or not task.is_pending:
+                continue
+            if self.state.free_slots(machine_id) <= 0:
+                continue
+            effective = finish_time
+            if task_id in decision.per_task_latency:
+                effective = min(
+                    finish_time, start_time + decision.per_task_latency[task_id]
+                )
+            self.state.place_task(task_id, machine_id, effective)
+            self._schedule_completion(task, effective)
+            self._state_version += 1

@@ -1,0 +1,125 @@
+"""Purpose-built experiment workloads.
+
+Besides the Google-like trace, several experiments use deliberately simple
+workloads: a cluster pre-filled to a target utilization (Figures 8, 14, 16),
+a single very large arriving job (Figure 9), and homogeneous jobs of short
+tasks arriving at a fixed rate (Figure 17, the breaking-point experiment).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.cluster.state import ClusterState
+from repro.cluster.task import Job, JobType, Task
+
+
+def make_single_large_job(
+    num_tasks: int,
+    job_id: int = 10_000,
+    submit_time: float = 0.0,
+    duration: float = 600.0,
+    task_id_offset: int = 1_000_000,
+) -> Job:
+    """Build one job with ``num_tasks`` identical tasks (Figure 9's workload).
+
+    Large arriving jobs create contention under the load-spreading policy
+    because every new task wants the same under-populated machines.
+    """
+    job = Job(job_id=job_id, job_type=JobType.BATCH, submit_time=submit_time)
+    for i in range(num_tasks):
+        job.add_task(
+            Task(
+                task_id=task_id_offset + i,
+                job_id=job_id,
+                duration=duration,
+                submit_time=submit_time,
+            )
+        )
+    return job
+
+
+def make_job_of_short_tasks(
+    job_id: int,
+    num_tasks: int,
+    task_duration: float,
+    submit_time: float,
+    task_id_offset: int,
+    network_request_mbps: int = 0,
+) -> Job:
+    """Build a job of ``num_tasks`` short tasks (Figure 17's workload)."""
+    job = Job(job_id=job_id, job_type=JobType.BATCH, submit_time=submit_time)
+    for i in range(num_tasks):
+        job.add_task(
+            Task(
+                task_id=task_id_offset + i,
+                job_id=job_id,
+                duration=task_duration,
+                submit_time=submit_time,
+                network_request_mbps=network_request_mbps,
+            )
+        )
+    return job
+
+
+def fill_cluster_to_utilization(
+    state: ClusterState,
+    utilization: float,
+    rng: Optional[random.Random] = None,
+    task_duration: Optional[float] = None,
+    job_size: int = 20,
+    job_id_offset: int = 50_000,
+    task_id_offset: int = 5_000_000,
+    now: float = 0.0,
+) -> List[Job]:
+    """Submit and place tasks until the cluster reaches a slot utilization.
+
+    Tasks are placed round-robin (the placement quality of the pre-fill does
+    not matter; the experiments only need the cluster to be busy).  Returns
+    the submitted jobs.
+    """
+    if not 0.0 <= utilization <= 1.0:
+        raise ValueError("utilization must be between 0 and 1")
+    rng = rng or random.Random(0)
+    total_slots = state.topology.total_slots
+    target_tasks = int(round(total_slots * utilization))
+
+    machines = [m.machine_id for m in state.topology.healthy_machines()]
+    jobs: List[Job] = []
+    placed = 0
+    job_id = job_id_offset
+    task_id = task_id_offset
+    while placed < target_tasks:
+        size = min(job_size, target_tasks - placed)
+        job = Job(job_id=job_id, job_type=JobType.BATCH, submit_time=now)
+        for _ in range(size):
+            job.add_task(
+                Task(
+                    task_id=task_id,
+                    job_id=job_id,
+                    duration=task_duration,
+                    submit_time=now,
+                )
+            )
+            task_id += 1
+        state.submit_job(job)
+        jobs.append(job)
+        for task in job.tasks:
+            machine_id = _next_machine_with_slot(state, machines, rng)
+            if machine_id is None:
+                return jobs
+            state.place_task(task.task_id, machine_id, now)
+            placed += 1
+        job_id += 1
+    return jobs
+
+
+def _next_machine_with_slot(
+    state: ClusterState, machines: List[int], rng: random.Random
+) -> Optional[int]:
+    """Return a machine with a free slot, preferring the least loaded."""
+    candidates = [m for m in machines if state.free_slots(m) > 0]
+    if not candidates:
+        return None
+    return min(candidates, key=lambda m: (state.task_count_on_machine(m), rng.random()))

@@ -1,0 +1,148 @@
+"""Common solver interface, result types, and the paper's static tables.
+
+Every MCMF solver implements :class:`Solver`: it receives a
+:class:`~repro.flow.graph.FlowNetwork`, computes a minimum-cost maximum
+flow, assigns the flow onto the network's arcs, and returns a
+:class:`SolverResult` describing the solution and runtime statistics.
+
+The module also records Table 1 (worst-case complexities) and Table 2
+(per-iteration preconditions) from the paper as data so benchmarks and
+documentation can render them.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.flow.graph import FlowNetwork
+
+
+@dataclass
+class SolverStatistics:
+    """Counters collected by a solver during one run.
+
+    Not every solver populates every counter; unused counters stay zero.
+    """
+
+    iterations: int = 0
+    augmentations: int = 0
+    pushes: int = 0
+    relabels: int = 0
+    potential_updates: int = 0
+    negative_cycles_canceled: int = 0
+    arcs_scanned: int = 0
+    epsilon_phases: int = 0
+    warm_start: bool = False
+
+    def merge(self, other: "SolverStatistics") -> "SolverStatistics":
+        """Return statistics summing this run with another."""
+        return SolverStatistics(
+            iterations=self.iterations + other.iterations,
+            augmentations=self.augmentations + other.augmentations,
+            pushes=self.pushes + other.pushes,
+            relabels=self.relabels + other.relabels,
+            potential_updates=self.potential_updates + other.potential_updates,
+            negative_cycles_canceled=(
+                self.negative_cycles_canceled + other.negative_cycles_canceled
+            ),
+            arcs_scanned=self.arcs_scanned + other.arcs_scanned,
+            epsilon_phases=self.epsilon_phases + other.epsilon_phases,
+            warm_start=self.warm_start or other.warm_start,
+        )
+
+
+@dataclass
+class SolverResult:
+    """Outcome of a solver run.
+
+    Attributes:
+        algorithm: Name of the algorithm that produced the solution.
+        total_cost: Cost of the computed min-cost flow.
+        flows: Sparse ``{(src, dst): flow}`` mapping of non-zero arc flows.
+        potentials: Node potentials (dual variables) keyed by node id.
+        runtime_seconds: Wall-clock algorithm runtime.
+        statistics: Low-level operation counters.
+        optimal: Whether the solution is optimal (False only when a solver
+            was deliberately terminated early, Section 5.1).
+    """
+
+    algorithm: str
+    total_cost: int
+    flows: Dict[Tuple[int, int], int]
+    potentials: Dict[int, int]
+    runtime_seconds: float
+    statistics: SolverStatistics = field(default_factory=SolverStatistics)
+    optimal: bool = True
+
+    @property
+    def total_flow_out_of_sources(self) -> int:
+        """Return total flow leaving source nodes (for sanity checks)."""
+        return sum(self.flows.values())
+
+
+class Solver(abc.ABC):
+    """Abstract base class for min-cost max-flow solvers."""
+
+    #: Human-readable algorithm name; overridden by subclasses.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def solve(self, network: FlowNetwork) -> SolverResult:
+        """Compute a min-cost max-flow and assign it to ``network``'s arcs."""
+
+    def _timed(self, start_time: float) -> float:
+        """Return elapsed wall-clock seconds since ``start_time``."""
+        return time.perf_counter() - start_time
+
+
+class SolverError(RuntimeError):
+    """Raised when a solver cannot produce a feasible solution."""
+
+
+class InfeasibleProblemError(SolverError):
+    """Raised when the network admits no feasible flow routing all supply."""
+
+
+#: Table 1 of the paper: worst-case time complexities.  ``N`` is the number of
+#: nodes, ``M`` the number of arcs, ``C`` the largest arc cost and ``U`` the
+#: largest arc capacity.  In scheduling graphs ``M > N > C > U``.
+COMPLEXITY_TABLE: Dict[str, str] = {
+    "relaxation": "O(M^3 * C * U^2)",
+    "cycle_canceling": "O(N * M^2 * C * U)",
+    "cost_scaling": "O(N^2 * M * log(N * C))",
+    "successive_shortest_path": "O(N^2 * U * log(N))",
+}
+
+#: Table 2 of the paper: invariants each algorithm maintains before every
+#: internal iteration.  Cost scaling requires both feasibility and
+#: epsilon-optimality, which is what makes it hard to incrementalize.
+PRECONDITION_TABLE: Dict[str, Dict[str, bool]] = {
+    "relaxation": {
+        "feasibility": False,
+        "reduced_cost_optimality": True,
+        "epsilon_optimality": False,
+    },
+    "cycle_canceling": {
+        "feasibility": True,
+        "reduced_cost_optimality": False,
+        "epsilon_optimality": False,
+    },
+    "cost_scaling": {
+        "feasibility": True,
+        "reduced_cost_optimality": False,
+        "epsilon_optimality": True,
+    },
+    "successive_shortest_path": {
+        "feasibility": False,
+        "reduced_cost_optimality": True,
+        "epsilon_optimality": False,
+    },
+}
+
+
+def expected_total_supply(network: FlowNetwork) -> int:
+    """Return the total positive supply that a feasible solution must route."""
+    return sum(node.supply for node in network.nodes() if node.supply > 0)

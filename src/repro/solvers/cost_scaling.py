@@ -1,0 +1,580 @@
+"""Cost scaling MCMF algorithm (Goldberg-Tarjan), as used by Quincy.
+
+Cost scaling maintains a feasible flow at all times and iteratively tightens
+a relaxed complementary-slackness condition called *epsilon-optimality*: a
+flow is epsilon-optimal when no residual arc has reduced cost below
+``-epsilon``.  Each phase divides epsilon by a constant *alpha* factor and
+re-establishes epsilon-optimality with push/relabel operations; once
+epsilon drops below ``1/n`` the flow is optimal.
+
+This implementation includes the two features the paper relies on:
+
+* the tunable **alpha factor** (the paper finds alpha = 9 is ~30 % faster
+  than cs2's default of 2 on scheduling graphs, Section 7.2), and
+* the **price refine** heuristic (:func:`price_refine`), used in Section 6.2
+  to convert the potentials left behind by a relaxation run into potentials
+  that satisfy complementary slackness, so that a following incremental cost
+  scaling run can start from a small epsilon.
+
+The solver also supports warm starts from an existing feasible flow and
+potentials, which is the basis of
+:class:`~repro.solvers.incremental.IncrementalCostScalingSolver`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Tuple
+
+from repro.flow.graph import FlowNetwork
+from repro.solvers.base import (
+    InfeasibleProblemError,
+    Solver,
+    SolverResult,
+    SolverStatistics,
+)
+from repro.solvers.residual import ResidualNetwork
+
+#: Default alpha scaling factor used by Goldberg's cs2 solver (and Quincy).
+DEFAULT_ALPHA = 2
+
+#: Alpha factor the paper found best for scheduling graphs (Section 7.2).
+TUNED_ALPHA = 9
+
+
+def price_refine(residual: ResidualNetwork) -> bool:
+    """Recompute node potentials that prove optimality of the current flow.
+
+    Runs a Bellman-Ford sweep over the residual network (all nodes start at
+    distance zero, modelling a virtual source connected to every node with
+    zero-cost arcs).  If the residual network has no negative-cost cycle --
+    which holds whenever the current flow is optimal, e.g. when it was
+    produced by a relaxation run -- the negated distances are valid
+    potentials under which no residual arc has negative reduced cost.
+
+    Returns:
+        True when new potentials were installed (flow was optimal), False
+        when a negative cycle makes the current flow non-optimal, in which
+        case the potentials are left untouched.
+    """
+    n = residual.num_nodes
+    if n == 0:
+        return True
+    dist = [0] * n
+    for iteration in range(n):
+        changed = False
+        for arc_index in range(residual.num_arcs):
+            if residual.arc_residual[arc_index] <= 0:
+                continue
+            u = residual.arc_from[arc_index]
+            v = residual.arc_to[arc_index]
+            cost = residual.arc_cost[arc_index]
+            if dist[u] + cost < dist[v]:
+                dist[v] = dist[u] + cost
+                changed = True
+        if not changed:
+            break
+    else:
+        # n full passes all improved something: negative cycle present.
+        return False
+    for i in range(n):
+        residual.potential[i] = -dist[i]
+    return True
+
+
+class CostScalingSolver(Solver):
+    """Goldberg-Tarjan cost scaling (push/relabel with epsilon scaling)."""
+
+    name = "cost_scaling"
+
+    def __init__(
+        self,
+        alpha: int = DEFAULT_ALPHA,
+        max_phases: Optional[int] = None,
+    ) -> None:
+        """Create the solver.
+
+        Args:
+            alpha: Epsilon division factor between scaling phases (>= 2).
+            max_phases: Optional limit on the number of scaling phases; used
+                by the approximate-solution experiment (Figure 10).  ``None``
+                runs to optimality.
+        """
+        if alpha < 2:
+            raise ValueError("alpha must be at least 2")
+        self.alpha = alpha
+        self.max_phases = max_phases
+        #: Exact scaled potentials of the most recent run, for warm starts.
+        self.last_scaled_potentials: Optional[Dict[int, int]] = None
+        self.last_scale: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def solve(self, network: FlowNetwork) -> SolverResult:
+        """Compute a min-cost max-flow from scratch."""
+        start = time.perf_counter()
+        residual = ResidualNetwork(network)
+        stats = SolverStatistics()
+        scale = self._cost_scale(residual)
+        self._scale_costs(residual, scale)
+
+        # Establish a feasible flow first (costs ignored): route all supply.
+        self._establish_feasible_flow(residual, stats)
+
+        epsilon = max(1, residual.max_cost())
+        self._run_phases(residual, epsilon, stats)
+
+        self._record_scaled_state(residual, scale)
+        self._unscale_costs(residual, scale)
+        residual.write_flow_back(network)
+        runtime = time.perf_counter() - start
+        return SolverResult(
+            algorithm=self.name,
+            total_cost=residual.total_cost(),
+            flows=residual.flows(),
+            potentials=self._unscaled_potentials(residual, scale),
+            runtime_seconds=runtime,
+            statistics=stats,
+            optimal=self.max_phases is None,
+        )
+
+    def solve_warm(
+        self,
+        network: FlowNetwork,
+        warm_flows: Dict[Tuple[int, int], int],
+        warm_potentials: Optional[Dict[int, int]] = None,
+        apply_price_refine: bool = True,
+        warm_scaled_potentials: Optional[Dict[int, int]] = None,
+        warm_scale: Optional[int] = None,
+    ) -> SolverResult:
+        """Re-optimize starting from a previous solution.
+
+        The warm flow is loaded arc by arc (clamped to the arc's current
+        capacity) and node potentials are recovered -- from the previous
+        run's scaled potentials if available, via the price-refine heuristic
+        (Section 6.2) otherwise.  Optimality is then repaired cheaply:
+        residual arcs whose reduced cost turned negative are saturated, and
+        the resulting excesses (together with any new task supply) are routed
+        along shortest reduced-cost paths, which preserves reduced-cost
+        optimality.  Scaling phases only run as a fallback, starting from an
+        epsilon sized to the worst remaining violation rather than from the
+        maximum arc cost.
+
+        Args:
+            network: The (already updated) flow network to solve.
+            warm_flows: Flow of the previous solution keyed by arc endpoints.
+            warm_potentials: Node potentials of the previous solution in
+                original (unscaled) cost units, e.g. from a relaxation run.
+            apply_price_refine: Derive complementary-slackness potentials
+                from the warm flow when no scaled potentials are available.
+                With this disabled and no usable potentials, the solver falls
+                back to zero potentials -- the "naive handoff" the paper's
+                Figure 13 compares against.
+            warm_scaled_potentials: Potentials in the scaled units of a
+                previous cost-scaling run (takes precedence; avoids rounding
+                losses across runs).
+            warm_scale: The cost scale those potentials were computed under.
+        """
+        start = time.perf_counter()
+        for arc in network.arcs():
+            arc.flow = min(warm_flows.get(arc.key(), 0), arc.capacity)
+        residual = ResidualNetwork(network, use_existing_flow=True)
+        stats = SolverStatistics(warm_start=True)
+
+        scale = self._cost_scale(residual)
+        if warm_scaled_potentials is not None and warm_scale:
+            # Choose the new scale as an integer multiple of the previous one
+            # so the stored potentials transfer exactly (no rounding, hence
+            # no spurious epsilon-optimality violations).
+            multiplier = max(1, -(-scale // warm_scale))  # ceil division
+            scale = warm_scale * multiplier
+        self._scale_costs(residual, scale)
+
+        have_good_potentials = True
+        if warm_scaled_potentials is not None and warm_scale:
+            multiplier = scale // warm_scale
+            for node_id, value in warm_scaled_potentials.items():
+                if node_id in residual.index:
+                    residual.potential[residual.index[node_id]] = value * multiplier
+        elif apply_price_refine and price_refine(residual):
+            stats.potential_updates += 1
+        elif warm_potentials is not None:
+            residual.load_potentials(warm_potentials)
+            for i in range(residual.num_nodes):
+                residual.potential[i] *= scale
+        else:
+            # Naive handoff: no usable potentials.  This is the slow path
+            # Figure 13 compares price refine against.
+            have_good_potentials = False
+
+        if have_good_potentials:
+            # With (near-)optimal potentials the changes are repaired
+            # directly, without re-running the scaling ladder: residual arcs
+            # whose reduced cost turned negative (cost changes) are
+            # saturated, then every remaining excess (new tasks, surpluses
+            # and deficits left by removals and the saturation step) is
+            # routed along shortest reduced-cost paths.  Both steps preserve
+            # reduced-cost optimality, so the repaired feasible flow is
+            # optimal, and the work done is proportional to the size of the
+            # change batch rather than to the graph.  A completely unchanged
+            # problem needs no repair at all.
+            violation = self._max_violation(residual)
+            excess = residual.total_excess()
+            if violation > 0 and excess == 0 and price_refine(residual):
+                # The warm flow is still feasible; the previous run's
+                # potentials were merely 1-optimal (in scaled units) rather
+                # than exact.  Price refine re-derives potentials that prove
+                # the flow optimal, so no repair work is needed (Section 6.2
+                # applies the same heuristic to relaxation hand-offs).
+                stats.potential_updates += 1
+                violation = 0
+            if violation > 0 or excess > 0:
+                self._repair_warm_solution(residual, stats)
+                stats.epsilon_phases += 1
+        else:
+            # Naive handoff: no usable potentials, so behave like Quincy's
+            # from-scratch solver except for reusing the warm flow -- route
+            # all supply ignoring costs, then run the full scaling ladder
+            # starting from the worst observed violation.
+            self._establish_feasible_flow(residual, stats)
+            violation = self._max_violation(residual)
+            if violation > 0:
+                self._run_phases(residual, max(1, violation), stats)
+
+        self._record_scaled_state(residual, scale)
+        self._unscale_costs(residual, scale)
+        residual.write_flow_back(network)
+        runtime = time.perf_counter() - start
+        return SolverResult(
+            algorithm="incremental_cost_scaling",
+            total_cost=residual.total_cost(),
+            flows=residual.flows(),
+            potentials=self._unscaled_potentials(residual, scale),
+            runtime_seconds=runtime,
+            statistics=stats,
+        )
+
+    def _repair_warm_solution(
+        self, residual: ResidualNetwork, stats: SolverStatistics
+    ) -> None:
+        """Restore feasibility and optimality of a warm-started solution.
+
+        The warm flow is feasible for the *previous* problem and the warm
+        potentials certify its optimality there.  Graph changes leave two
+        kinds of damage: residual arcs whose reduced cost is now negative
+        (cost decreases, capacity increases) and node excesses/deficits (new
+        or removed tasks, capacity decreases clamping flow).  Saturating the
+        violating arcs restores reduced-cost optimality at the price of new
+        excesses; routing every excess to a deficit along shortest
+        reduced-cost paths (Dijkstra with potential updates, exactly as in
+        successive shortest path) then restores feasibility while keeping
+        reduced cost optimality, so the result is an optimal flow.
+        """
+        for arc_index in range(residual.num_arcs):
+            if residual.arc_residual[arc_index] <= 0:
+                continue
+            if residual.reduced_cost(arc_index) < 0:
+                residual.push(arc_index, residual.arc_residual[arc_index])
+                stats.pushes += 1
+
+        sources = residual.source_indices()
+        while sources:
+            source = sources[-1]
+            if residual.excess[source] <= 0:
+                sources.pop()
+                continue
+            routed = self._augment_along_reduced_costs(residual, source, stats)
+            if routed == 0:
+                raise InfeasibleProblemError(
+                    "warm-start repair could not route all supply to a "
+                    "deficit node; the updated flow network is infeasible"
+                )
+
+    def _augment_along_reduced_costs(
+        self, residual: ResidualNetwork, source: int, stats: SolverStatistics
+    ) -> int:
+        """Send flow from ``source`` to the nearest deficit by reduced cost.
+
+        Returns the amount routed (zero when no deficit is reachable).
+        Potentials are updated with the Dijkstra distances so reduced costs
+        stay non-negative for subsequent augmentations.
+        """
+        n = residual.num_nodes
+        infinity = float("inf")
+        dist: List[float] = [infinity] * n
+        pred_arc: List[Optional[int]] = [None] * n
+        visited = [False] * n
+        dist[source] = 0
+        heap: List[Tuple[float, int]] = [(0, source)]
+        target = -1
+
+        while heap:
+            d, u = heappop(heap)
+            if visited[u]:
+                continue
+            visited[u] = True
+            stats.iterations += 1
+            if residual.excess[u] < 0:
+                target = u
+                break
+            for arc_index in residual.adjacency[u]:
+                if residual.arc_residual[arc_index] <= 0:
+                    continue
+                v = residual.arc_to[arc_index]
+                if visited[v]:
+                    continue
+                stats.arcs_scanned += 1
+                new_dist = d + residual.reduced_cost(arc_index)
+                if new_dist < dist[v]:
+                    dist[v] = new_dist
+                    pred_arc[v] = arc_index
+                    heappush(heap, (new_dist, v))
+
+        if target < 0:
+            return 0
+
+        target_dist = dist[target]
+        for i in range(n):
+            residual.potential[i] -= int(min(dist[i], target_dist))
+        stats.potential_updates += 1
+
+        amount = min(residual.excess[source], -residual.excess[target])
+        node = target
+        while node != source:
+            arc_index = pred_arc[node]
+            amount = min(amount, residual.arc_residual[arc_index])
+            node = residual.arc_from[arc_index]
+
+        path_arcs: List[int] = []
+        node = target
+        while node != source:
+            arc_index = pred_arc[node]
+            path_arcs.append(arc_index)
+            node = residual.arc_from[arc_index]
+        for arc_index in reversed(path_arcs):
+            residual.push(arc_index, amount)
+        stats.augmentations += 1
+        return amount
+
+    def _record_scaled_state(self, residual: ResidualNetwork, scale: int) -> None:
+        """Remember the exact scaled potentials for the next warm start."""
+        self.last_scaled_potentials = {
+            nid: residual.potential[i] for nid, i in residual.index.items()
+        }
+        self.last_scale = scale
+
+    # ------------------------------------------------------------------ #
+    # Cost scaling internals
+    # ------------------------------------------------------------------ #
+    def _cost_scale(self, residual: ResidualNetwork) -> int:
+        """Return the integer factor by which costs are multiplied.
+
+        Scaling costs by ``n + 1`` makes 1-optimality in scaled units imply
+        ``1/(n+1)``-optimality in original units, which guarantees optimality
+        for integer costs.
+        """
+        return residual.num_nodes + 1
+
+    def _scale_costs(self, residual: ResidualNetwork, scale: int) -> None:
+        for arc_index in range(residual.num_arcs):
+            residual.arc_cost[arc_index] *= scale
+
+    def _unscale_costs(self, residual: ResidualNetwork, scale: int) -> None:
+        for arc_index in range(residual.num_arcs):
+            residual.arc_cost[arc_index] //= scale
+
+    def _unscaled_potentials(
+        self, residual: ResidualNetwork, scale: int
+    ) -> Dict[int, int]:
+        return {nid: residual.potential[i] // scale for nid, i in residual.index.items()}
+
+    def _max_violation(self, residual: ResidualNetwork) -> int:
+        """Return the magnitude of the worst negative reduced cost on a
+        residual arc with remaining capacity (zero when epsilon-optimal for
+        epsilon = 0)."""
+        worst = 0
+        for arc_index in range(residual.num_arcs):
+            if residual.arc_residual[arc_index] <= 0:
+                continue
+            rc = residual.reduced_cost(arc_index)
+            if rc < -worst:
+                worst = -rc
+        return worst
+
+    def _run_phases(
+        self, residual: ResidualNetwork, initial_epsilon: int, stats: SolverStatistics
+    ) -> None:
+        """Run scaling phases from ``initial_epsilon`` down to 1."""
+        epsilon = initial_epsilon
+        phases = 0
+        while True:
+            self._refine(residual, epsilon, stats)
+            phases += 1
+            stats.epsilon_phases += 1
+            if epsilon <= 1:
+                break
+            if self.max_phases is not None and phases >= self.max_phases:
+                break
+            epsilon = max(1, epsilon // self.alpha)
+
+    def _establish_feasible_flow(
+        self, residual: ResidualNetwork, stats: SolverStatistics
+    ) -> None:
+        """Route all positive excess to deficit nodes, ignoring costs.
+
+        Uses breadth-first augmentation; this corresponds to the max-flow
+        computation that precedes cost optimization.  Raises
+        :class:`InfeasibleProblemError` when supply cannot be routed.
+        """
+        for source in range(residual.num_nodes):
+            while residual.excess[source] > 0:
+                path = self._bfs_path_to_deficit(residual, source, stats)
+                if path is None:
+                    raise InfeasibleProblemError(
+                        "cannot route all supply to the sink; scheduling graphs "
+                        "must always provide unscheduled aggregator capacity"
+                    )
+                target = residual.arc_to[path[-1]]
+                amount = min(residual.excess[source], -residual.excess[target])
+                amount = min(
+                    amount, min(residual.arc_residual[arc_index] for arc_index in path)
+                )
+                for arc_index in path:
+                    residual.push(arc_index, amount)
+                stats.augmentations += 1
+
+    def _bfs_path_to_deficit(
+        self, residual: ResidualNetwork, source: int, stats: SolverStatistics
+    ) -> Optional[List[int]]:
+        pred_arc: List[Optional[int]] = [None] * residual.num_nodes
+        visited = [False] * residual.num_nodes
+        visited[source] = True
+        queue = deque([source])
+        target = -1
+        while queue:
+            u = queue.popleft()
+            if residual.excess[u] < 0:
+                target = u
+                break
+            for arc_index in residual.adjacency[u]:
+                if residual.arc_residual[arc_index] <= 0:
+                    continue
+                v = residual.arc_to[arc_index]
+                stats.arcs_scanned += 1
+                if not visited[v]:
+                    visited[v] = True
+                    pred_arc[v] = arc_index
+                    queue.append(v)
+        if target < 0:
+            return None
+        path: List[int] = []
+        node = target
+        while node != source:
+            arc_index = pred_arc[node]
+            path.append(arc_index)
+            node = residual.arc_from[arc_index]
+        path.reverse()
+        return path
+
+    def _refine(
+        self, residual: ResidualNetwork, epsilon: int, stats: SolverStatistics
+    ) -> None:
+        """Re-establish epsilon-optimality of the current feasible flow."""
+        # Saturate every residual arc with negative reduced cost.  This makes
+        # the pseudo-flow 0-optimal for the current potentials but creates
+        # excesses and deficits that the push/relabel loop drains.
+        for arc_index in range(residual.num_arcs):
+            if residual.arc_residual[arc_index] <= 0:
+                continue
+            if residual.reduced_cost(arc_index) < 0:
+                residual.push(arc_index, residual.arc_residual[arc_index])
+                stats.pushes += 1
+
+        active = deque(
+            i for i in range(residual.num_nodes) if residual.excess[i] > 0
+        )
+        in_queue = [False] * residual.num_nodes
+        for i in active:
+            in_queue[i] = True
+
+        # Generous potential-increase bound used purely as an infeasibility
+        # safety net; feasible scheduling graphs never get close to it.
+        max_increase = 4 * (residual.num_nodes + 2) * (epsilon + residual.max_cost() + 1)
+        start_potential = list(residual.potential)
+
+        while active:
+            u = active.popleft()
+            in_queue[u] = False
+            self._discharge(
+                residual,
+                u,
+                epsilon,
+                active,
+                in_queue,
+                stats,
+                start_potential[u] + max_increase,
+            )
+
+    def _discharge(
+        self,
+        residual: ResidualNetwork,
+        u: int,
+        epsilon: int,
+        active: deque,
+        in_queue: List[bool],
+        stats: SolverStatistics,
+        potential_bound: int,
+    ) -> None:
+        """Push the excess of node ``u`` along admissible arcs, relabeling as needed."""
+        while residual.excess[u] > 0:
+            pushed_any = False
+            for arc_index in residual.adjacency[u]:
+                if residual.excess[u] <= 0:
+                    break
+                if residual.arc_residual[arc_index] <= 0:
+                    continue
+                stats.arcs_scanned += 1
+                if residual.reduced_cost(arc_index) < 0:
+                    v = residual.arc_to[arc_index]
+                    amount = min(residual.excess[u], residual.arc_residual[arc_index])
+                    residual.push(arc_index, amount)
+                    stats.pushes += 1
+                    pushed_any = True
+                    if residual.excess[v] > 0 and not in_queue[v]:
+                        active.append(v)
+                        in_queue[v] = True
+            if residual.excess[u] <= 0:
+                return
+            if not pushed_any:
+                self._relabel(residual, u, epsilon, stats)
+                if residual.potential[u] > potential_bound:
+                    raise InfeasibleProblemError(
+                        "potential of a node grew without bound during refine; "
+                        "the flow network admits no feasible routing"
+                    )
+
+    def _relabel(
+        self,
+        residual: ResidualNetwork,
+        u: int,
+        epsilon: int,
+        stats: SolverStatistics,
+    ) -> None:
+        """Raise the potential of ``u`` just enough to create an admissible arc."""
+        best = None
+        for arc_index in residual.adjacency[u]:
+            if residual.arc_residual[arc_index] <= 0:
+                continue
+            v = residual.arc_to[arc_index]
+            candidate = residual.arc_cost[arc_index] + residual.potential[v]
+            if best is None or candidate < best:
+                best = candidate
+        if best is None:
+            raise InfeasibleProblemError(
+                f"node {u} has excess but no outgoing residual arcs"
+            )
+        residual.potential[u] = best + epsilon
+        stats.relabels += 1

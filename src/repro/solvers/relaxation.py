@@ -1,0 +1,301 @@
+"""Relaxation MCMF algorithm (Bertsekas-Tseng), Section 4 of the paper.
+
+The relaxation algorithm maintains reduced-cost optimality at every step and
+works towards feasibility, like successive shortest path, but it optimizes
+the dual problem directly: for each node with remaining supply it grows a
+tree of zero-reduced-cost residual arcs; when the tree reaches a node with
+demand, flow is augmented along the tree path, and when the tree cannot grow
+any further, a dual-ascent step raises the potentials of the whole tree by
+the smallest reduced cost leaving it, which both decreases the dual cost and
+creates new zero-reduced-cost arcs to continue with.
+
+The paper's key empirical finding (Figure 7) is that relaxation vastly
+outperforms the other algorithms on scheduling graphs in the common case --
+when tasks' preferred destinations are uncontested, most supply is routed in
+a single pass -- but degrades badly under contention and oversubscription
+(Figures 8 and 9): the zero-reduced-cost trees become large and are
+re-traversed after every ascent.
+
+This implementation includes the **arc prioritization** heuristic of
+Section 5.3.1: when growing the tree, arcs that lead towards nodes with
+demand are explored first (depth-first bias), which the paper reports cuts
+runtime by ~45 % on contended graphs.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.flow.graph import FlowNetwork
+from repro.solvers.base import (
+    InfeasibleProblemError,
+    Solver,
+    SolverResult,
+    SolverStatistics,
+)
+from repro.solvers.residual import ResidualNetwork
+
+_INF = float("inf")
+
+
+class RelaxationSolver(Solver):
+    """Bertsekas-Tseng relaxation (dual ascent with tree augmentation)."""
+
+    name = "relaxation"
+
+    def __init__(
+        self,
+        arc_prioritization: bool = True,
+        priority_probe_limit: int = 32,
+    ) -> None:
+        """Create the solver.
+
+        Args:
+            arc_prioritization: Enable the Section 5.3.1 heuristic that
+                biases tree growth towards nodes with demand.
+            priority_probe_limit: Maximum number of a discovered node's arcs
+                probed when deciding whether it leads to a demand node; keeps
+                the heuristic's bookkeeping cheap on high-degree aggregators.
+        """
+        self.arc_prioritization = arc_prioritization
+        self.priority_probe_limit = priority_probe_limit
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def solve(self, network: FlowNetwork) -> SolverResult:
+        """Compute a min-cost max-flow on the network."""
+        start = time.perf_counter()
+        residual = ResidualNetwork(network)
+        stats = SolverStatistics()
+        self._run(residual, stats)
+        residual.write_flow_back(network)
+        runtime = time.perf_counter() - start
+        return SolverResult(
+            algorithm=self.name,
+            total_cost=residual.total_cost(),
+            flows=residual.flows(),
+            potentials=residual.export_potentials(),
+            runtime_seconds=runtime,
+            statistics=stats,
+        )
+
+    def solve_warm(
+        self,
+        network: FlowNetwork,
+        warm_flows: Dict[Tuple[int, int], int],
+        warm_potentials: Dict[int, int],
+    ) -> SolverResult:
+        """Re-optimize starting from a previous solution.
+
+        The paper found incremental relaxation to be of limited value
+        (Section 5.2): the warm solution already contains large
+        zero-reduced-cost trees that must be re-traversed for every new
+        source.  The capability is provided for completeness and for the
+        experiments that demonstrate exactly that behaviour.
+        """
+        start = time.perf_counter()
+        for arc in network.arcs():
+            arc.flow = min(warm_flows.get(arc.key(), 0), arc.capacity)
+        residual = ResidualNetwork(network, use_existing_flow=True)
+        residual.load_potentials(warm_potentials)
+        stats = SolverStatistics(warm_start=True)
+        self._run(residual, stats)
+        residual.write_flow_back(network)
+        runtime = time.perf_counter() - start
+        return SolverResult(
+            algorithm="incremental_relaxation",
+            total_cost=residual.total_cost(),
+            flows=residual.flows(),
+            potentials=residual.export_potentials(),
+            runtime_seconds=runtime,
+            statistics=stats,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Core algorithm
+    # ------------------------------------------------------------------ #
+    def _run(self, residual: ResidualNetwork, stats: SolverStatistics) -> None:
+        self._restore_reduced_cost_optimality(residual, stats)
+        # The ascent-count guard depends on the largest arc cost; compute it
+        # once per run rather than per source.
+        max_cost = max(1, residual.max_cost())
+        for source in range(residual.num_nodes):
+            while residual.excess[source] > 0:
+                self._route_from_source(residual, source, stats, max_cost)
+
+    def _restore_reduced_cost_optimality(
+        self, residual: ResidualNetwork, stats: SolverStatistics
+    ) -> None:
+        """Saturate residual arcs with negative reduced cost.
+
+        With non-negative costs and zero potentials (the from-scratch case)
+        this is a no-op; it matters for warm starts and for test graphs with
+        negative costs, where reduced-cost optimality must be restored before
+        the main loop may run.
+        """
+        for arc_index in range(residual.num_arcs):
+            if residual.arc_residual[arc_index] <= 0:
+                continue
+            if residual.reduced_cost(arc_index) < 0:
+                residual.push(arc_index, residual.arc_residual[arc_index])
+                stats.pushes += 1
+
+    def _route_from_source(
+        self,
+        residual: ResidualNetwork,
+        source: int,
+        stats: SolverStatistics,
+        max_cost: int,
+    ) -> None:
+        """Route one batch of supply from ``source`` to a demand node.
+
+        Grows the zero-reduced-cost tree, performing dual-ascent steps
+        whenever the tree can no longer be extended, until a node with
+        negative excess is reached; then augments along the tree path.
+        """
+        n = residual.num_nodes
+        in_tree = [False] * n
+        pred_arc: List[Optional[int]] = [None] * n
+        tree_nodes: List[int] = [source]
+        in_tree[source] = True
+        frontier: deque = deque([source])
+        target = -1
+        ascent_guard = 0
+        max_ascents = 2 * n * max_cost + n + 16
+
+        while target < 0:
+            target = self._grow_tree(
+                residual, frontier, in_tree, pred_arc, tree_nodes, stats
+            )
+            if target >= 0:
+                break
+            # The tree is maximal but contains no demand node: dual ascent.
+            delta = self._ascent_step(residual, tree_nodes, in_tree, stats)
+            if delta is None:
+                raise InfeasibleProblemError(
+                    "supply cannot reach any demand node; the scheduling graph "
+                    "must provide unscheduled aggregator capacity for every task"
+                )
+            ascent_guard += 1
+            if ascent_guard > max_ascents:
+                raise InfeasibleProblemError(
+                    "dual ascent failed to converge; the problem is infeasible "
+                    "or costs are not integral"
+                )
+            # Newly created zero-reduced-cost arcs may leave any tree node, so
+            # the whole tree re-enters the frontier.  This re-traversal is the
+            # behaviour that makes relaxation slow on large contended trees.
+            frontier = deque(tree_nodes)
+
+        self._augment(residual, source, target, pred_arc, stats)
+
+    def _grow_tree(
+        self,
+        residual: ResidualNetwork,
+        frontier: deque,
+        in_tree: List[bool],
+        pred_arc: List[Optional[int]],
+        tree_nodes: List[int],
+        stats: SolverStatistics,
+    ) -> int:
+        """Extend the tree along zero-reduced-cost residual arcs.
+
+        Returns the index of a demand node as soon as one enters the tree, or
+        ``-1`` when the frontier is exhausted without finding one.
+        """
+        while frontier:
+            u = frontier.popleft()
+            for arc_index in residual.adjacency[u]:
+                if residual.arc_residual[arc_index] <= 0:
+                    continue
+                v = residual.arc_to[arc_index]
+                if in_tree[v]:
+                    continue
+                stats.arcs_scanned += 1
+                if residual.reduced_cost(arc_index) != 0:
+                    continue
+                in_tree[v] = True
+                pred_arc[v] = arc_index
+                tree_nodes.append(v)
+                if residual.excess[v] < 0:
+                    return v
+                if self.arc_prioritization and self._leads_to_demand(residual, v):
+                    frontier.appendleft(v)
+                else:
+                    frontier.append(v)
+        return -1
+
+    def _leads_to_demand(self, residual: ResidualNetwork, node: int) -> bool:
+        """Return True when the node has a usable residual arc to a demand node."""
+        probes = 0
+        for arc_index in residual.adjacency[node]:
+            probes += 1
+            if probes > self.priority_probe_limit:
+                return False
+            if residual.arc_residual[arc_index] <= 0:
+                continue
+            if residual.excess[residual.arc_to[arc_index]] < 0:
+                return True
+        return False
+
+    def _ascent_step(
+        self,
+        residual: ResidualNetwork,
+        tree_nodes: List[int],
+        in_tree: List[bool],
+        stats: SolverStatistics,
+    ) -> Optional[int]:
+        """Raise the potentials of every tree node by the smallest reduced
+        cost of a residual arc leaving the tree.
+
+        Returns the applied delta, or ``None`` when no residual arc leaves
+        the tree (the problem is infeasible).
+        """
+        delta: float = _INF
+        for u in tree_nodes:
+            for arc_index in residual.adjacency[u]:
+                if residual.arc_residual[arc_index] <= 0:
+                    continue
+                v = residual.arc_to[arc_index]
+                if in_tree[v]:
+                    continue
+                stats.arcs_scanned += 1
+                rc = residual.reduced_cost(arc_index)
+                if rc < delta:
+                    delta = rc
+        if delta == _INF:
+            return None
+        delta_int = max(0, int(delta))
+        for u in tree_nodes:
+            residual.potential[u] += delta_int
+        stats.potential_updates += 1
+        stats.iterations += 1
+        return delta_int
+
+    def _augment(
+        self,
+        residual: ResidualNetwork,
+        source: int,
+        target: int,
+        pred_arc: List[Optional[int]],
+        stats: SolverStatistics,
+    ) -> None:
+        """Push flow from ``source`` to ``target`` along tree predecessor arcs."""
+        amount = min(residual.excess[source], -residual.excess[target])
+        node = target
+        while node != source:
+            arc_index = pred_arc[node]
+            amount = min(amount, residual.arc_residual[arc_index])
+            node = residual.arc_from[arc_index]
+        path: List[int] = []
+        node = target
+        while node != source:
+            arc_index = pred_arc[node]
+            path.append(arc_index)
+            node = residual.arc_from[arc_index]
+        for arc_index in reversed(path):
+            residual.push(arc_index, amount)
+        stats.augmentations += 1

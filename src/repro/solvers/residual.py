@@ -1,0 +1,187 @@
+"""Compact residual-network representation shared by the MCMF solvers.
+
+The scheduler-facing :class:`~repro.flow.graph.FlowNetwork` is an object
+graph optimized for incremental mutation by scheduling policies.  The
+solvers instead operate on this array-based residual network: nodes are
+renumbered ``0..n-1`` and every original arc is stored as a pair of directed
+residual arcs (forward at an even index, its reverse at the following odd
+index), so that the reverse of arc ``k`` is always ``k ^ 1``.
+
+The representation supports warm starts: an existing flow and set of node
+potentials can be loaded so the incremental solvers resume from the previous
+scheduling run's solution rather than from scratch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.flow.graph import FlowNetwork
+
+
+class ResidualNetwork:
+    """Array-based residual graph with node excesses and potentials."""
+
+    def __init__(self, network: FlowNetwork, use_existing_flow: bool = False) -> None:
+        """Build the residual network from a flow network.
+
+        Args:
+            network: The scheduling flow network.
+            use_existing_flow: When True the arcs' current ``flow`` values are
+                loaded into the residual capacities and the node excesses are
+                reduced accordingly (warm start); otherwise flow starts at
+                zero and every source node carries its full supply as excess.
+        """
+        self.node_ids: List[int] = list(network.node_ids())
+        self.index: Dict[int, int] = {nid: i for i, nid in enumerate(self.node_ids)}
+        self.num_nodes: int = len(self.node_ids)
+
+        self.excess: List[int] = [0] * self.num_nodes
+        for node in network.nodes():
+            self.excess[self.index[node.node_id]] = node.supply
+
+        self.potential: List[int] = [0] * self.num_nodes
+
+        # Residual arcs: forward arc 2k pairs with backward arc 2k+1.
+        self.arc_from: List[int] = []
+        self.arc_to: List[int] = []
+        self.arc_residual: List[int] = []
+        self.arc_cost: List[int] = []
+        self.adjacency: List[List[int]] = [[] for _ in range(self.num_nodes)]
+        # Original arc endpoints for forward arcs, used to write flow back.
+        self.forward_arc_keys: List[Tuple[int, int]] = []
+
+        for arc in network.arcs():
+            u = self.index[arc.src]
+            v = self.index[arc.dst]
+            flow = arc.flow if use_existing_flow else 0
+            if flow < 0 or flow > arc.capacity:
+                raise ValueError(
+                    f"arc {arc.src}->{arc.dst} has invalid warm-start flow {flow}"
+                )
+            self._add_arc_pair(u, v, arc.capacity, arc.cost, flow)
+            self.forward_arc_keys.append((arc.src, arc.dst))
+            if use_existing_flow and flow:
+                self.excess[u] -= flow
+                self.excess[v] += flow
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    def _add_arc_pair(self, u: int, v: int, capacity: int, cost: int, flow: int) -> None:
+        forward_index = len(self.arc_to)
+        self.arc_from.append(u)
+        self.arc_to.append(v)
+        self.arc_residual.append(capacity - flow)
+        self.arc_cost.append(cost)
+        self.adjacency[u].append(forward_index)
+
+        self.arc_from.append(v)
+        self.arc_to.append(u)
+        self.arc_residual.append(flow)
+        self.arc_cost.append(-cost)
+        self.adjacency[v].append(forward_index + 1)
+
+    # ------------------------------------------------------------------ #
+    # Basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_arcs(self) -> int:
+        """Number of residual arcs (twice the number of original arcs)."""
+        return len(self.arc_to)
+
+    def reverse(self, arc_index: int) -> int:
+        """Return the index of the reverse residual arc."""
+        return arc_index ^ 1
+
+    def is_forward(self, arc_index: int) -> bool:
+        """Return True when the residual arc corresponds to an original arc."""
+        return arc_index % 2 == 0
+
+    def reduced_cost(self, arc_index: int) -> int:
+        """Return the reduced cost of a residual arc under current potentials."""
+        u = self.arc_from[arc_index]
+        v = self.arc_to[arc_index]
+        return self.arc_cost[arc_index] - self.potential[u] + self.potential[v]
+
+    def push(self, arc_index: int, amount: int) -> None:
+        """Push ``amount`` units of flow along a residual arc.
+
+        Updates residual capacities of the arc and its reverse as well as the
+        excesses of the endpoints.
+        """
+        if amount < 0:
+            raise ValueError("push amount must be non-negative")
+        if amount > self.arc_residual[arc_index]:
+            raise ValueError(
+                f"push of {amount} exceeds residual capacity "
+                f"{self.arc_residual[arc_index]} on arc {arc_index}"
+            )
+        u = self.arc_from[arc_index]
+        v = self.arc_to[arc_index]
+        self.arc_residual[arc_index] -= amount
+        self.arc_residual[self.reverse(arc_index)] += amount
+        self.excess[u] -= amount
+        self.excess[v] += amount
+
+    def flow_on_forward_arc(self, forward_position: int) -> int:
+        """Return the flow on the ``forward_position``-th original arc."""
+        return self.arc_residual[2 * forward_position + 1]
+
+    def total_excess(self) -> int:
+        """Return the sum of positive node excesses (remaining supply)."""
+        return sum(e for e in self.excess if e > 0)
+
+    def source_indices(self) -> List[int]:
+        """Return node indices with positive excess."""
+        return [i for i, e in enumerate(self.excess) if e > 0]
+
+    def deficit_indices(self) -> List[int]:
+        """Return node indices with negative excess (demand)."""
+        return [i for i, e in enumerate(self.excess) if e < 0]
+
+    def max_cost(self) -> int:
+        """Return the largest absolute arc cost."""
+        if not self.arc_cost:
+            return 0
+        return max(abs(c) for c in self.arc_cost)
+
+    # ------------------------------------------------------------------ #
+    # Potentials / warm start
+    # ------------------------------------------------------------------ #
+    def load_potentials(self, potentials: Mapping[int, int]) -> None:
+        """Load node potentials keyed by original node identifiers."""
+        for node_id, value in potentials.items():
+            if node_id in self.index:
+                self.potential[self.index[node_id]] = value
+
+    def export_potentials(self) -> Dict[int, int]:
+        """Export node potentials keyed by original node identifiers."""
+        return {nid: self.potential[i] for nid, i in self.index.items()}
+
+    # ------------------------------------------------------------------ #
+    # Result extraction
+    # ------------------------------------------------------------------ #
+    def write_flow_back(self, network: FlowNetwork) -> None:
+        """Write the computed flow back onto the original network's arcs."""
+        for position, (src, dst) in enumerate(self.forward_arc_keys):
+            if network.has_arc(src, dst):
+                network.arc(src, dst).flow = self.flow_on_forward_arc(position)
+
+    def flows(self) -> Dict[Tuple[int, int], int]:
+        """Return the computed flow as a ``{(src, dst): flow}`` mapping."""
+        result: Dict[Tuple[int, int], int] = {}
+        for position, key in enumerate(self.forward_arc_keys):
+            flow = self.flow_on_forward_arc(position)
+            if flow:
+                result[key] = flow
+        return result
+
+    def total_cost(self) -> int:
+        """Return the total cost of the current flow."""
+        total = 0
+        for position in range(len(self.forward_arc_keys)):
+            flow = self.flow_on_forward_arc(position)
+            if flow:
+                total += flow * self.arc_cost[2 * position]
+        return total

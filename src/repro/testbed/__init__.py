@@ -1,0 +1,38 @@
+"""Local-testbed model for the placement-quality experiments (Section 7.5).
+
+The paper's testbed is a 40-machine cluster with 10 Gbps full-bisection
+Ethernet, an HDFS installation, short batch analytics tasks reading 4-8 GB
+inputs, and background traffic from iperf-style batch jobs and nginx-style
+services.  The experiments measure how task response time degrades when the
+scheduler overcommits machines' network links.
+
+This package substitutes the physical cluster with a flow-level network
+model: task input transfers and background traffic are flows whose rates are
+computed by max-min fair sharing of NIC capacities (with a priority class
+for the background batch traffic, as in the paper's setup), and task
+response time is derived from the achieved transfer rate plus compute time.
+The substitution preserves the quantity the experiment actually measures --
+the consequence of placing tasks onto network-loaded machines.
+"""
+
+from repro.testbed.network import BackgroundFlow, FlowLevelNetwork, TransferRequest
+from repro.testbed.storage import HdfsStorage
+from repro.testbed.workload import (
+    make_batch_analytics_jobs,
+    make_iperf_background,
+    make_nginx_background,
+)
+from repro.testbed.experiment import TestbedConfig, TestbedExperiment, TestbedRunResult
+
+__all__ = [
+    "BackgroundFlow",
+    "FlowLevelNetwork",
+    "TransferRequest",
+    "HdfsStorage",
+    "make_batch_analytics_jobs",
+    "make_iperf_background",
+    "make_nginx_background",
+    "TestbedConfig",
+    "TestbedExperiment",
+    "TestbedRunResult",
+]

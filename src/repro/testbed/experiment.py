@@ -1,0 +1,259 @@
+"""The Section 7.5 testbed experiment: placement quality on a local cluster.
+
+The experiment measures the response time of short batch analytics tasks
+under different schedulers, (a) on an otherwise idle network and (b) with
+high-priority background traffic from iperf-style batch jobs and nginx-style
+services (Figure 19a/b in the paper).  Schedulers that account for network
+load (Firmament's network-aware policy) avoid placing tasks onto machines
+whose NICs are already busy, which shows up as a much shorter response-time
+tail.
+
+A run proceeds in two phases:
+
+1. a scheduling phase, where jobs are submitted in arrival order and the
+   scheduler under test places their tasks (slot occupancy is tracked with a
+   rough per-task completion estimate so the cluster does not overfill); and
+2. a network phase, where every placed task's remote input transfer is
+   simulated by the flow-level network model with max-min sharing, yielding
+   the task's transfer time and hence its response time.
+
+Task response time = scheduling wait + input transfer time (remote part over
+the network, local part from disk, overlapped) + compute time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import build_topology
+from repro.testbed.network import BackgroundFlow, FlowLevelNetwork, TransferRequest
+from repro.testbed.storage import HdfsStorage
+from repro.testbed.workload import (
+    make_batch_analytics_jobs,
+    make_iperf_background,
+    make_nginx_background,
+)
+
+
+@dataclass
+class TestbedConfig:
+    """Parameters of the testbed experiment.
+
+    Attributes:
+        num_machines: Cluster size (the paper's testbed has 40 machines).
+        slots_per_machine: Task slots per machine.
+        nic_capacity_mbps: NIC capacity (10 Gbps on the testbed).
+        num_jobs: Number of short batch analytics jobs submitted.
+        tasks_per_job: Tasks per job.
+        job_interarrival_s: Spacing between job submissions.
+        with_background: Add the iperf and nginx background traffic
+            (Figure 19b); without it the network is otherwise idle (19a).
+        local_read_mbps: Rate at which the local part of an input is read.
+        seed: Seed shared by storage placement and workload generation so
+            every scheduler sees the identical workload.
+    """
+
+    # Not a pytest test class despite the "Test" prefix.
+    __test__ = False
+
+    num_machines: int = 40
+    slots_per_machine: int = 4
+    nic_capacity_mbps: float = 10_000.0
+    num_jobs: int = 20
+    tasks_per_job: int = 10
+    job_interarrival_s: float = 2.0
+    with_background: bool = False
+    local_read_mbps: float = 6_000.0
+    seed: int = 29
+
+
+@dataclass
+class TestbedRunResult:
+    """Outcome of running one scheduler through the testbed experiment."""
+
+    # Not a pytest test class despite the "Test" prefix.
+    __test__ = False
+
+    scheduler_name: str
+    response_times: List[float] = field(default_factory=list)
+    transfer_times: Dict[int, float] = field(default_factory=dict)
+    placements: Dict[int, int] = field(default_factory=dict)
+    unplaced_tasks: int = 0
+
+    def percentile(self, q: float) -> float:
+        """Return the q-th percentile of task response time."""
+        from repro.analysis.stats import percentile
+
+        return percentile(self.response_times, q)
+
+
+class TestbedExperiment:
+    """Drives schedulers through the Section 7.5 testbed scenario."""
+
+    # Not a pytest test class despite the "Test" prefix.
+    __test__ = False
+
+    def __init__(self, config: Optional[TestbedConfig] = None) -> None:
+        self.config = config or TestbedConfig()
+
+    # ------------------------------------------------------------------ #
+    # Experiment pieces (rebuilt per run so every scheduler sees the same
+    # deterministic workload on fresh state)
+    # ------------------------------------------------------------------ #
+    def _build_environment(self):
+        config = self.config
+        topology = build_topology(
+            num_machines=config.num_machines,
+            machines_per_rack=max(1, config.num_machines // 4),
+            slots_per_machine=config.slots_per_machine,
+            network_bandwidth_mbps=int(config.nic_capacity_mbps),
+        )
+        state = ClusterState(topology)
+        machine_ids = sorted(topology.machines)
+        storage = HdfsStorage(machine_ids, seed=config.seed)
+        jobs, compute_times = make_batch_analytics_jobs(
+            storage,
+            num_jobs=config.num_jobs,
+            tasks_per_job=config.tasks_per_job,
+            interarrival_s=config.job_interarrival_s,
+            seed=config.seed,
+        )
+        network = FlowLevelNetwork(machine_ids, config.nic_capacity_mbps)
+        if config.with_background:
+            for flow in make_iperf_background(machine_ids, seed=config.seed + 1):
+                network.add_background_flow(flow)
+            for flow in make_nginx_background(machine_ids, seed=config.seed + 2):
+                network.add_background_flow(flow)
+        # Publish the observed background bandwidth to the monitor so the
+        # network-aware policy (and any bandwidth feasibility checks) see it.
+        for machine_id in machine_ids:
+            used = network.background_ingress_mbps(machine_id) + network.background_egress_mbps(
+                machine_id
+            )
+            state.monitor.record_network_use(machine_id, int(used))
+        return state, storage, jobs, compute_times, network
+
+    # ------------------------------------------------------------------ #
+    # Runs
+    # ------------------------------------------------------------------ #
+    def run_idle_baseline(self) -> TestbedRunResult:
+        """Response times with each task run in isolation on an idle network."""
+        config = self.config
+        _, storage, jobs, compute_times, _ = self._build_environment()
+        result = TestbedRunResult(scheduler_name="idle")
+        for job in jobs:
+            for task in job.tasks:
+                transfer = task.input_size_gb * FlowLevelNetwork.MBITS_PER_GB / config.nic_capacity_mbps
+                result.response_times.append(transfer + compute_times[task.task_id])
+        return result
+
+    def run_with_scheduler(self, scheduler, name: str) -> TestbedRunResult:
+        """Run the experiment with the given scheduler.
+
+        The scheduler must expose ``schedule(state, now)`` returning a
+        :class:`~repro.core.scheduler.SchedulingDecision`; both Firmament and
+        the queue-based baselines qualify.  Flow-based schedulers should be
+        created with ``allow_migrations=False`` so running transfers are not
+        disturbed mid-flight.
+        """
+        config = self.config
+        state, storage, jobs, compute_times, network = self._build_environment()
+        result = TestbedRunResult(scheduler_name=name)
+
+        # Rough per-task completion estimates used only to free slots while
+        # scheduling; precise transfer times come from the network phase.
+        completion_heap: List[Tuple[float, int]] = []
+        transfers: List[TransferRequest] = []
+        start_times: Dict[int, float] = {}
+        remote_sizes: Dict[int, float] = {}
+        submit_times: Dict[int, float] = {}
+        active_per_machine: Dict[int, int] = {}
+
+        def advance_to(now: float) -> None:
+            while completion_heap and completion_heap[0][0] <= now:
+                _, finished_task = heapq.heappop(completion_heap)
+                task = state.tasks.get(finished_task)
+                if task is not None and task.is_running:
+                    active_per_machine[task.machine_id] = max(
+                        0, active_per_machine.get(task.machine_id, 1) - 1
+                    )
+                    state.complete_task(finished_task, now)
+
+        def place_decision(decision, now: float) -> None:
+            for task_id, machine_id in decision.placements.items():
+                if state.free_slots(machine_id) <= 0:
+                    continue
+                state.place_task(task_id, machine_id, now)
+                task = state.tasks[task_id]
+                remote_gb = task.input_size_gb * (1.0 - task.locality_fraction(machine_id))
+                remote_sizes[task_id] = remote_gb
+                start_times[task_id] = now
+                result.placements[task_id] = machine_id
+                transfers.append(
+                    TransferRequest(
+                        transfer_id=task_id,
+                        dst=machine_id,
+                        size_gb=remote_gb,
+                        start_time=now,
+                    )
+                )
+                # Rough completion estimate for slot management.
+                concurrent = active_per_machine.get(machine_id, 0) + 1
+                active_per_machine[machine_id] = concurrent
+                leftover = max(
+                    100.0,
+                    config.nic_capacity_mbps
+                    - network.background_ingress_mbps(machine_id),
+                )
+                est_transfer = remote_gb * FlowLevelNetwork.MBITS_PER_GB / (leftover / concurrent)
+                heapq.heappush(
+                    completion_heap,
+                    (now + est_transfer + compute_times[task_id], task_id),
+                )
+
+        for job in sorted(jobs, key=lambda j: j.submit_time):
+            now = job.submit_time
+            advance_to(now)
+            state.submit_job(job)
+            for task in job.tasks:
+                submit_times[task.task_id] = job.submit_time
+            decision = scheduler.schedule(state, now)
+            place_decision(decision, now)
+
+        # Drain phase: tasks that could not be placed while the cluster (or
+        # its network) was too busy are retried as capacity frees up.
+        drain_rounds = 0
+        now = max((j.submit_time for j in jobs), default=0.0)
+        while state.pending_tasks() and drain_rounds < 10 * len(jobs) + 10:
+            drain_rounds += 1
+            if completion_heap:
+                now = max(now, completion_heap[0][0])
+                advance_to(now)
+            else:
+                now += config.job_interarrival_s
+            decision = scheduler.schedule(state, now)
+            place_decision(decision, now)
+            if not decision.placements and not completion_heap:
+                break
+
+        # Network phase: precise transfer times under max-min sharing.
+        completions = network.simulate_transfers(transfers)
+        for task_id, machine_id in result.placements.items():
+            start = start_times[task_id]
+            transfer_time = max(0.0, completions.get(task_id, start) - start)
+            task = state.tasks[task_id]
+            local_gb = task.input_size_gb - remote_sizes[task_id]
+            local_read = local_gb * FlowLevelNetwork.MBITS_PER_GB / config.local_read_mbps
+            io_time = max(transfer_time, local_read)
+            result.transfer_times[task_id] = io_time
+            response = (start - submit_times[task_id]) + io_time + compute_times[task_id]
+            result.response_times.append(response)
+
+        result.unplaced_tasks = sum(
+            1 for job in jobs for task in job.tasks if task.task_id not in result.placements
+        )
+        return result

@@ -1,0 +1,103 @@
+"""HDFS-like block storage model.
+
+Batch analytics tasks on the paper's testbed read 4-8 GB inputs from a
+cluster-wide HDFS installation.  The storage model places fixed-size blocks
+with three-way replication across machines and answers the question the
+scheduler and the network model need: what fraction of a given task's input
+is local to a given machine?
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class StoredInput:
+    """The block placement of one task's input dataset."""
+
+    input_id: int
+    size_gb: float
+    block_size_gb: float
+    block_replicas: List[List[int]] = field(default_factory=list)
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks in the dataset."""
+        return len(self.block_replicas)
+
+    def locality_fractions(self) -> Dict[int, float]:
+        """Return, per machine, the fraction of this input stored locally."""
+        if not self.block_replicas:
+            return {}
+        per_block = 1.0 / len(self.block_replicas)
+        fractions: Dict[int, float] = {}
+        for replicas in self.block_replicas:
+            for machine_id in replicas:
+                fractions[machine_id] = fractions.get(machine_id, 0.0) + per_block
+        return {m: min(1.0, f) for m, f in fractions.items()}
+
+    def local_fraction(self, machine_id: int) -> float:
+        """Return the fraction of the input local to one machine."""
+        return self.locality_fractions().get(machine_id, 0.0)
+
+
+class HdfsStorage:
+    """Places task inputs as replicated blocks across the cluster."""
+
+    def __init__(
+        self,
+        machine_ids: List[int],
+        block_size_gb: float = 0.5,
+        replication: int = 3,
+        seed: int = 7,
+    ) -> None:
+        """Create the storage layer.
+
+        Args:
+            machine_ids: Machines holding HDFS data nodes.
+            block_size_gb: Block size (HDFS defaults to 128-512 MB; a larger
+                value keeps block counts manageable for 4-8 GB inputs).
+            replication: Replicas per block.
+            seed: RNG seed for block placement.
+        """
+        if not machine_ids:
+            raise ValueError("storage needs at least one machine")
+        self.machine_ids = list(machine_ids)
+        self.block_size_gb = block_size_gb
+        self.replication = min(replication, len(machine_ids))
+        self._rng = random.Random(seed)
+        self._inputs: Dict[int, StoredInput] = {}
+        self._next_input_id = 0
+
+    def store_input(self, size_gb: float, input_id: Optional[int] = None) -> StoredInput:
+        """Place a new input dataset of the given size and return it."""
+        if size_gb <= 0:
+            raise ValueError("input size must be positive")
+        if input_id is None:
+            input_id = self._next_input_id
+            self._next_input_id += 1
+        num_blocks = max(1, int(round(size_gb / self.block_size_gb)))
+        block_replicas = [
+            self._rng.sample(self.machine_ids, self.replication)
+            for _ in range(num_blocks)
+        ]
+        stored = StoredInput(
+            input_id=input_id,
+            size_gb=size_gb,
+            block_size_gb=self.block_size_gb,
+            block_replicas=block_replicas,
+        )
+        self._inputs[input_id] = stored
+        return stored
+
+    def input(self, input_id: int) -> StoredInput:
+        """Return a previously stored input."""
+        return self._inputs[input_id]
+
+    def remote_gb(self, input_id: int, machine_id: int) -> float:
+        """Return how many GB of an input must be fetched remotely by a machine."""
+        stored = self._inputs[input_id]
+        return stored.size_gb * (1.0 - stored.local_fraction(machine_id))

@@ -1,0 +1,137 @@
+"""Testbed workloads: batch analytics tasks, iperf and nginx background load.
+
+Three workload components reproduce the Section 7.5 setup:
+
+* **short batch analytics tasks** that take 3.5-5 s on an idle cluster and
+  read 4-8 GB inputs from HDFS -- the tasks whose response-time CDF the
+  experiment reports;
+* **iperf-style batch background jobs**: fourteen clients sending sustained
+  4 Gb/s UDP streams to seven servers, in a higher-priority network service
+  class; and
+* **nginx-style service jobs**: three web servers and seven HTTP clients
+  creating moderate, long-lived background traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.task import Job, JobType, Task
+from repro.testbed.network import BackgroundFlow
+from repro.testbed.storage import HdfsStorage
+
+
+def make_batch_analytics_jobs(
+    storage: HdfsStorage,
+    num_jobs: int,
+    tasks_per_job: int = 10,
+    input_size_range_gb: Tuple[float, float] = (4.0, 8.0),
+    compute_time_range_s: Tuple[float, float] = (0.4, 1.0),
+    interarrival_s: float = 2.0,
+    network_request_mbps: int = 5_000,
+    seed: int = 11,
+    job_id_offset: int = 0,
+    task_id_offset: int = 0,
+) -> Tuple[List[Job], Dict[int, float]]:
+    """Build the short batch analytics jobs of the testbed experiment.
+
+    Each task's input is stored in HDFS (which determines its locality
+    fractions), its ``duration`` is the compute portion of its runtime, and
+    the transfer portion is simulated by the network model at experiment
+    time.
+
+    Returns:
+        The jobs (with submit times spaced by ``interarrival_s``) and a
+        mapping from task id to the compute seconds of that task.
+    """
+    rng = random.Random(seed)
+    jobs: List[Job] = []
+    compute_times: Dict[int, float] = {}
+    task_id = task_id_offset
+    for index in range(num_jobs):
+        submit_time = index * interarrival_s
+        job = Job(
+            job_id=job_id_offset + index,
+            job_type=JobType.BATCH,
+            submit_time=submit_time,
+        )
+        for _ in range(tasks_per_job):
+            input_size = rng.uniform(*input_size_range_gb)
+            stored = storage.store_input(input_size, input_id=task_id)
+            compute = rng.uniform(*compute_time_range_s)
+            job.add_task(
+                Task(
+                    task_id=task_id,
+                    job_id=job.job_id,
+                    duration=compute,
+                    submit_time=submit_time,
+                    input_size_gb=input_size,
+                    input_locality=stored.locality_fractions(),
+                    network_request_mbps=network_request_mbps,
+                )
+            )
+            compute_times[task_id] = compute
+            task_id += 1
+        jobs.append(job)
+    return jobs, compute_times
+
+
+def make_iperf_background(
+    machine_ids: List[int],
+    num_clients: int = 14,
+    num_servers: int = 7,
+    rate_mbps: float = 4_000.0,
+    seed: int = 13,
+) -> List[BackgroundFlow]:
+    """Build the iperf-style high-priority background flows.
+
+    Clients and servers are placed on distinct machines (as the paper's
+    deployment does); each client sends a sustained stream to one server.
+    """
+    rng = random.Random(seed)
+    if num_clients + num_servers > len(machine_ids):
+        raise ValueError("not enough machines for the requested iperf deployment")
+    chosen = rng.sample(machine_ids, num_clients + num_servers)
+    clients = chosen[:num_clients]
+    servers = chosen[num_clients:]
+    flows = []
+    for index, client in enumerate(clients):
+        server = servers[index % len(servers)]
+        flows.append(
+            BackgroundFlow(
+                src=client,
+                dst=server,
+                demand_mbps=rate_mbps,
+                name=f"iperf-{index}",
+            )
+        )
+    return flows
+
+
+def make_nginx_background(
+    machine_ids: List[int],
+    num_servers: int = 3,
+    num_clients: int = 7,
+    rate_mbps: float = 800.0,
+    seed: int = 17,
+) -> List[BackgroundFlow]:
+    """Build the nginx-style service background flows (servers to clients)."""
+    rng = random.Random(seed)
+    if num_servers + num_clients > len(machine_ids):
+        raise ValueError("not enough machines for the requested nginx deployment")
+    chosen = rng.sample(machine_ids, num_servers + num_clients)
+    servers = chosen[:num_servers]
+    clients = chosen[num_servers:]
+    flows = []
+    for index, client in enumerate(clients):
+        server = servers[index % len(servers)]
+        flows.append(
+            BackgroundFlow(
+                src=server,
+                dst=client,
+                demand_mbps=rate_mbps,
+                name=f"nginx-{index}",
+            )
+        )
+    return flows

@@ -1,0 +1,111 @@
+"""Tests for the CSV/JSON experiment-result exporters."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    FigureData,
+    Series,
+    read_figure_json,
+    write_cdf_csv,
+    write_figure_json,
+    write_series_csv,
+    write_table_csv,
+)
+
+
+def make_figure() -> FigureData:
+    figure = FigureData(title="Figure 7", x_label="machines", y_label="runtime_s")
+    relaxation = figure.add_series("relaxation")
+    relaxation.append(50, 0.01)
+    relaxation.append(100, 0.02)
+    cost_scaling = figure.add_series("cost_scaling")
+    cost_scaling.append(50, 0.2)
+    cost_scaling.append(100, 0.7)
+    return figure
+
+
+class TestSeries:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Series(name="bad", x=[1, 2], y=[1])
+
+    def test_append_grows_both_axes(self):
+        series = Series(name="s")
+        series.append(1, 2.0)
+        assert series.x == [1]
+        assert series.y == [2.0]
+
+    def test_series_by_name(self):
+        figure = make_figure()
+        assert figure.series_by_name("relaxation").y[0] == 0.01
+        with pytest.raises(KeyError):
+            figure.series_by_name("missing")
+
+
+class TestCsvExports:
+    def test_series_csv_has_one_row_per_point(self):
+        text = write_series_csv(make_figure())
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["series", "machines", "runtime_s"]
+        assert len(rows) == 1 + 4
+        assert rows[1][0] == "relaxation"
+
+    def test_series_csv_writes_to_stream(self):
+        stream = io.StringIO()
+        text = write_series_csv(make_figure(), stream)
+        assert stream.getvalue() == text
+
+    def test_cdf_csv_is_cumulative(self):
+        text = write_cdf_csv({"firmament": [3.0, 1.0, 2.0]})
+        rows = list(csv.reader(io.StringIO(text)))[1:]
+        values = [float(row[1]) for row in rows]
+        fractions = [float(row[2]) for row in rows]
+        assert values == sorted(values)
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_cdf_csv_multiple_series(self):
+        text = write_cdf_csv({"a": [1.0], "b": [2.0, 3.0]})
+        rows = list(csv.reader(io.StringIO(text)))[1:]
+        assert {row[0] for row in rows} == {"a", "b"}
+        assert len(rows) == 3
+
+    def test_table_csv_round_trip(self):
+        text = write_table_csv(["threshold", "locality"], [["14%", "56%"], ["2%", "71%"]])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows == [["threshold", "locality"], ["14%", "56%"], ["2%", "71%"]]
+
+    def test_table_csv_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            write_table_csv(["a", "b"], [["only one cell"]])
+
+
+class TestJsonExports:
+    def test_json_round_trip(self):
+        figure = make_figure()
+        restored = read_figure_json(write_figure_json(figure))
+        assert restored.title == figure.title
+        assert restored.x_label == figure.x_label
+        assert [s.name for s in restored.series] == [s.name for s in figure.series]
+        assert restored.series_by_name("cost_scaling").y == [0.2, 0.7]
+
+    def test_json_document_is_valid_json(self):
+        document = json.loads(write_figure_json(make_figure()))
+        assert document["title"] == "Figure 7"
+        assert len(document["series"]) == 2
+
+    def test_json_read_from_stream(self):
+        stream = io.StringIO(write_figure_json(make_figure()))
+        restored = read_figure_json(stream)
+        assert restored.title == "Figure 7"
+
+    def test_json_write_to_stream(self):
+        stream = io.StringIO()
+        text = write_figure_json(make_figure(), stream)
+        assert stream.getvalue() == text

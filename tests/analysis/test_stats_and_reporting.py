@@ -1,0 +1,105 @@
+"""Unit tests for the statistics and reporting helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.reporting import format_cdf, format_series, format_table
+from repro.analysis.stats import (
+    boxplot_stats,
+    cdf_points,
+    fraction_below,
+    mean,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_empty_sequence(self):
+        assert percentile([], 50) == 0.0
+        assert mean([]) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0) == 7.0
+        assert percentile([7.0], 100) == 7.0
+
+    def test_interpolation(self):
+        data = [0.0, 10.0]
+        assert percentile(data, 50) == pytest.approx(5.0)
+        assert percentile(data, 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [5.0, 1.0, 9.0, 3.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 9.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 120)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+           st.floats(min_value=0, max_value=100))
+    def test_property_percentile_within_range(self, data, q):
+        value = percentile(data, q)
+        assert min(data) <= value <= max(data)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    def test_property_percentiles_are_monotone(self, data):
+        values = [percentile(data, q) for q in (1, 25, 50, 75, 99)]
+        assert values == sorted(values)
+
+
+class TestSummaries:
+    def test_boxplot_stats(self):
+        data = list(range(1, 101))
+        stats = boxplot_stats(data)
+        assert stats.p50 == pytest.approx(50.5)
+        assert stats.maximum == 100
+        assert stats.count == 100
+        assert stats.p25 < stats.p50 < stats.p75 < stats.p99
+        assert len(stats.as_row()) == 6
+
+    def test_boxplot_stats_empty(self):
+        stats = boxplot_stats([])
+        assert stats.maximum == 0.0
+        assert stats.count == 0
+
+    def test_cdf_points(self):
+        points = cdf_points([3.0, 1.0, 2.0])
+        assert points == [(1.0, pytest.approx(1 / 3)), (2.0, pytest.approx(2 / 3)), (3.0, 1.0)]
+        assert cdf_points([]) == []
+
+    def test_fraction_below(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert fraction_below(data, 2.5) == 0.5
+        assert fraction_below(data, 0.0) == 0.0
+        assert fraction_below([], 1.0) == 0.0
+
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["name", "value"],
+            [["relaxation", 0.123456], ["cost scaling", 12.0]],
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "relaxation" in lines[2]
+        assert "0.1235" in lines[2]
+
+    def test_format_series(self):
+        text = format_series("runtime", [(100, 0.5), (200, 1.5)])
+        assert "runtime:" in text
+        assert "100 -> 0.5" in text
+
+    def test_format_cdf(self):
+        text = format_cdf("latency", [1.0, 2.0, 3.0, 4.0], points=4)
+        assert "latency (n=4):" in text
+        assert "p100.0" in text
+
+    def test_format_cdf_empty(self):
+        assert "no samples" in format_cdf("latency", [])

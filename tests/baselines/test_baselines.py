@@ -1,0 +1,158 @@
+"""Unit tests for the queue-based comparator schedulers."""
+
+import pytest
+
+from repro.baselines import (
+    KubernetesScheduler,
+    MesosScheduler,
+    SparrowScheduler,
+    SwarmKitScheduler,
+    make_quincy_scheduler,
+)
+from repro.core.scheduler import FirmamentScheduler
+from repro.solvers.cost_scaling import CostScalingSolver
+from tests.conftest import make_cluster_state, make_job
+
+ALL_BASELINES = [SparrowScheduler, SwarmKitScheduler, KubernetesScheduler, MesosScheduler]
+
+
+@pytest.mark.parametrize("scheduler_class", ALL_BASELINES)
+class TestCommonBehaviour:
+    def test_places_all_tasks_when_capacity_allows(self, scheduler_class, small_state):
+        small_state.submit_job(make_job(job_id=1, num_tasks=6))
+        scheduler = scheduler_class()
+        decision = scheduler.schedule_and_apply(small_state, now=0.0)
+        assert len(decision.placements) == 6
+        assert decision.unscheduled == []
+        assert scheduler.tasks_scheduled == 6
+        assert scheduler.runs == 1
+
+    def test_never_overcommits_slots(self, scheduler_class):
+        state = make_cluster_state(num_machines=2, slots_per_machine=2)
+        state.submit_job(make_job(job_id=1, num_tasks=10))
+        scheduler = scheduler_class()
+        decision = scheduler.schedule_and_apply(state, now=0.0)
+        assert len(decision.placements) == 4
+        assert len(decision.unscheduled) == 6
+        for machine_id in state.topology.machines:
+            assert state.task_count_on_machine(machine_id) <= 2
+
+    def test_per_task_latency_is_monotone_in_queue_position(self, scheduler_class, small_state):
+        small_state.submit_job(make_job(job_id=1, num_tasks=4))
+        scheduler = scheduler_class(per_task_decision_seconds=0.01)
+        decision = scheduler.schedule(small_state, now=0.0)
+        latencies = [decision.per_task_latency[t] for t in sorted(decision.per_task_latency)]
+        assert latencies == sorted(latencies)
+        assert decision.algorithm_runtime == pytest.approx(0.04)
+
+    def test_skips_failed_machines(self, scheduler_class):
+        state = make_cluster_state(num_machines=2, slots_per_machine=4)
+        state.topology.machine(0).fail()
+        state.submit_job(make_job(job_id=1, num_tasks=3))
+        decision = scheduler_class().schedule_and_apply(state, now=0.0)
+        assert set(decision.placements.values()) == {1}
+
+    def test_never_migrates_or_preempts(self, scheduler_class, loaded_state):
+        loaded_state.submit_job(make_job(job_id=2, num_tasks=2))
+        decision = scheduler_class().schedule(loaded_state, now=1.0)
+        assert decision.migrations == {}
+        assert decision.preemptions == []
+
+
+class TestSparrow:
+    def test_sample_size_validation(self):
+        with pytest.raises(ValueError):
+            SparrowScheduler(sample_size=0)
+
+    def test_probes_limit_choice_quality(self):
+        """With a single probe, Sparrow is blind to load and piles tasks onto
+        whatever machine it sampled; with many probes it behaves like a
+        global least-loaded scheduler."""
+        state = make_cluster_state(num_machines=8, slots_per_machine=8)
+        state.submit_job(make_job(job_id=1, num_tasks=16))
+        wide = SparrowScheduler(sample_size=8, seed=1)
+        decision = wide.schedule_and_apply(state, now=0.0)
+        counts = [state.task_count_on_machine(m) for m in range(8)]
+        assert max(counts) - min(counts) <= 1
+
+    def test_deterministic_given_seed(self, small_state):
+        small_state.submit_job(make_job(job_id=1, num_tasks=5))
+        first = SparrowScheduler(seed=3).schedule(small_state, now=0.0)
+        second = SparrowScheduler(seed=3).schedule(small_state, now=0.0)
+        assert first.placements == second.placements
+
+
+class TestSwarmKit:
+    def test_spreads_by_task_count(self):
+        state = make_cluster_state(num_machines=4, slots_per_machine=4)
+        state.submit_job(make_job(job_id=1, num_tasks=8))
+        SwarmKitScheduler().schedule_and_apply(state, now=0.0)
+        counts = [state.task_count_on_machine(m) for m in range(4)]
+        assert max(counts) - min(counts) <= 1
+
+    def test_prefers_less_loaded_machine(self):
+        state = make_cluster_state(num_machines=2, slots_per_machine=4)
+        seed_job = make_job(job_id=1, num_tasks=2)
+        state.submit_job(seed_job)
+        state.place_task(seed_job.tasks[0].task_id, 0, 0.0)
+        state.place_task(seed_job.tasks[1].task_id, 0, 0.0)
+        new_job = make_job(job_id=2, num_tasks=1)
+        state.submit_job(new_job)
+        decision = SwarmKitScheduler().schedule(state, now=0.0)
+        assert decision.placements[new_job.tasks[0].task_id] == 1
+
+
+class TestKubernetes:
+    def test_least_requested_prefers_empty_machines(self):
+        state = make_cluster_state(num_machines=2, slots_per_machine=4)
+        seed_job = make_job(job_id=1, num_tasks=3)
+        state.submit_job(seed_job)
+        for task in seed_job.tasks:
+            state.place_task(task.task_id, 0, 0.0)
+        new_job = make_job(job_id=2, num_tasks=1)
+        state.submit_job(new_job)
+        decision = KubernetesScheduler().schedule(state, now=0.0)
+        assert decision.placements[new_job.tasks[0].task_id] == 1
+
+    def test_score_is_higher_for_emptier_machine(self, small_state):
+        job = make_job(job_id=1, num_tasks=1)
+        small_state.submit_job(job)
+        seed_job = make_job(job_id=2, num_tasks=2)
+        small_state.submit_job(seed_job)
+        small_state.place_task(seed_job.tasks[0].task_id, 0, 0.0)
+        scheduler = KubernetesScheduler()
+        machine0 = small_state.topology.machine(0)
+        machine1 = small_state.topology.machine(1)
+        assert scheduler.score(job.tasks[0], machine1, small_state) > scheduler.score(
+            job.tasks[0], machine0, small_state
+        )
+
+
+class TestMesos:
+    def test_offer_fraction_validation(self):
+        with pytest.raises(ValueError):
+            MesosScheduler(offer_fraction=0.0)
+        with pytest.raises(ValueError):
+            MesosScheduler(offer_fraction=1.5)
+
+    def test_accepts_any_fitting_offer(self, small_state):
+        small_state.submit_job(make_job(job_id=1, num_tasks=4))
+        decision = MesosScheduler(offer_fraction=1.0).schedule_and_apply(small_state, 0.0)
+        assert len(decision.placements) == 4
+
+
+class TestQuincyFactory:
+    def test_returns_cost_scaling_firmament(self):
+        scheduler = make_quincy_scheduler()
+        assert isinstance(scheduler, FirmamentScheduler)
+        assert isinstance(scheduler.solver, CostScalingSolver)
+        assert scheduler.policy.name == "quincy"
+
+    def test_alpha_passthrough(self):
+        scheduler = make_quincy_scheduler(alpha=9)
+        assert scheduler.solver.alpha == 9
+
+    def test_schedules_like_firmament(self, small_state):
+        small_state.submit_job(make_job(job_id=1, num_tasks=5))
+        decision = make_quincy_scheduler().schedule_and_apply(small_state, now=0.0)
+        assert len(decision.placements) == 5

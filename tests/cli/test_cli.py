@@ -1,0 +1,125 @@
+"""Tests for the ``firmament-repro`` command-line interface."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.flow.dimacs import write_dimacs
+
+from tests.conftest import build_scheduling_network
+
+
+@pytest.fixture
+def dimacs_file(tmp_path):
+    network = build_scheduling_network(seed=4)
+    path = tmp_path / "problem.dimacs"
+    path.write_text(write_dimacs(network), encoding="utf-8")
+    return path
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["solve", "some.dimacs"])
+        assert args.command == "solve"
+        args = parser.parse_args(["simulate", "--machines", "4"])
+        assert args.command == "simulate"
+        args = parser.parse_args(["trace", "--duration", "10"])
+        assert args.command == "trace"
+
+    def test_no_command_prints_help_and_fails(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+
+class TestSolveCommand:
+    def test_solve_prints_cost_and_succeeds(self, dimacs_file, capsys):
+        assert main(["solve", str(dimacs_file)]) == 0
+        output = capsys.readouterr().out
+        assert "total cost:" in output
+        assert "relaxation" in output
+
+    def test_solve_with_explicit_algorithm_and_flows(self, dimacs_file, capsys):
+        assert main(["solve", str(dimacs_file), "--algorithm", "cost_scaling",
+                     "--print-flows"]) == 0
+        output = capsys.readouterr().out
+        assert "cost_scaling" in output
+        assert "->" in output
+
+    def test_solve_writes_output_file(self, dimacs_file, tmp_path, capsys):
+        out_path = tmp_path / "solution.dimacs"
+        assert main(["solve", str(dimacs_file), "--output", str(out_path)]) == 0
+        content = out_path.read_text(encoding="utf-8")
+        assert content.startswith("c DIMACS")
+        assert "c solution flows" in content
+
+    def test_all_algorithms_agree_on_cost(self, dimacs_file, capsys):
+        costs = set()
+        for algorithm in ("relaxation", "cost_scaling", "successive_shortest_path"):
+            assert main(["solve", str(dimacs_file), "--algorithm", algorithm]) == 0
+            output = capsys.readouterr().out
+            cost_line = [l for l in output.splitlines() if l.startswith("total cost")][0]
+            costs.add(int(cost_line.split(":")[1]))
+        assert len(costs) == 1
+
+    def test_missing_file_reports_error(self, capsys):
+        assert main(["solve", "/nonexistent/problem.dimacs"]) == 1
+        assert "error" in capsys.readouterr().err.lower()
+
+
+class TestSimulateCommand:
+    def test_small_firmament_simulation(self, capsys):
+        code = main([
+            "simulate", "--machines", "8", "--duration", "60",
+            "--utilization", "0.5", "--seed", "1",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "placement latency" in output
+        assert "firmament" in output
+
+    def test_baseline_scheduler_simulation(self, capsys):
+        code = main([
+            "simulate", "--machines", "6", "--duration", "40",
+            "--scheduler", "sparrow", "--seed", "2",
+        ])
+        assert code == 0
+        assert "sparrow" in capsys.readouterr().out
+
+    def test_failure_injection_reported(self, capsys):
+        code = main([
+            "simulate", "--machines", "8", "--duration", "120",
+            "--failure-mtbf", "20", "--seed", "3",
+        ])
+        assert code == 0
+        assert "machine failures injected" in capsys.readouterr().out
+
+    def test_invalid_machine_count_fails(self, capsys):
+        assert main(["simulate", "--machines", "0"]) == 1
+        assert "error" in capsys.readouterr().err.lower()
+
+    def test_invalid_utilization_fails(self, capsys):
+        assert main(["simulate", "--machines", "4", "--utilization", "2.0"]) == 1
+        assert "error" in capsys.readouterr().err.lower()
+
+
+class TestTraceCommand:
+    def test_trace_summary(self, capsys):
+        assert main(["trace", "--machines", "20", "--duration", "60", "--seed", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "jobs:" in output
+        assert "job size [tasks]" in output
+
+    def test_trace_csv_export(self, tmp_path, capsys):
+        csv_path = tmp_path / "trace.csv"
+        assert main([
+            "trace", "--machines", "20", "--duration", "60",
+            "--seed", "5", "--csv", str(csv_path),
+        ]) == 0
+        with open(csv_path, newline="", encoding="utf-8") as stream:
+            rows = list(csv.reader(stream))
+        assert rows[0][0] == "job_id"
+        assert len(rows) > 1

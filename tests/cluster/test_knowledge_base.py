@@ -1,0 +1,143 @@
+"""Tests for the task-profiling knowledge base."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.knowledge_base import (
+    KnowledgeBase,
+    RuntimeStatistics,
+    UsageStatistics,
+)
+from repro.cluster.resources import ResourceVector
+from repro.cluster.task import Task
+
+
+def make_task(task_id: int = 1, job_id: int = 1, cpu: float = 1.0, ram: float = 1.0) -> Task:
+    return Task(task_id=task_id, job_id=job_id, cpu_request=cpu, ram_request_gb=ram)
+
+
+class TestRuntimeStatistics:
+    def test_record_updates_aggregates(self):
+        stats = RuntimeStatistics()
+        for runtime in (10.0, 20.0, 30.0):
+            stats.record(runtime)
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(20.0)
+        assert stats.min_runtime == 10.0
+        assert stats.max_runtime == 30.0
+
+    def test_record_rejects_negative_runtime(self):
+        with pytest.raises(ValueError):
+            RuntimeStatistics().record(-1.0)
+
+    def test_percentile_over_samples(self):
+        stats = RuntimeStatistics()
+        for runtime in range(1, 101):
+            stats.record(float(runtime))
+        assert stats.percentile(0.0) == 1.0
+        assert stats.percentile(1.0) == 100.0
+        assert 45.0 <= stats.percentile(0.5) <= 55.0
+
+    def test_percentile_empty_and_bounds(self):
+        stats = RuntimeStatistics()
+        assert stats.percentile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            stats.percentile(1.5)
+
+    def test_mean_of_empty_statistics_is_zero(self):
+        assert RuntimeStatistics().mean == 0.0
+
+    def test_sample_reservoir_is_bounded(self):
+        stats = RuntimeStatistics()
+        for runtime in range(1000):
+            stats.record(float(runtime))
+        assert len(stats.samples) == 256
+        assert stats.count == 1000
+
+
+class TestUsageStatistics:
+    def test_first_observation_becomes_average(self):
+        stats = UsageStatistics()
+        stats.record(ResourceVector(cpu_cores=2.0, ram_gb=4.0))
+        assert stats.average.cpu_cores == pytest.approx(2.0)
+
+    def test_moving_average_converges_towards_new_values(self):
+        stats = UsageStatistics(alpha=0.5)
+        stats.record(ResourceVector(cpu_cores=0.0))
+        for _ in range(20):
+            stats.record(ResourceVector(cpu_cores=10.0))
+        assert stats.average.cpu_cores == pytest.approx(10.0, abs=0.1)
+
+
+class TestKnowledgeBase:
+    def test_default_runtime_before_any_observation(self):
+        kb = KnowledgeBase(default_runtime=42.0)
+        assert kb.estimate_runtime(make_task()) == 42.0
+
+    def test_estimate_uses_class_statistics(self):
+        kb = KnowledgeBase()
+        for index in range(5):
+            kb.record_completion(make_task(task_id=index), runtime=100.0)
+        assert kb.estimate_runtime(make_task(task_id=99)) == pytest.approx(100.0)
+
+    def test_estimate_falls_back_to_job_statistics(self):
+        kb = KnowledgeBase()
+        # Observation for job 7 but in a different resource class.
+        kb.record_completion(make_task(task_id=1, job_id=7, cpu=8.0, ram=32.0), runtime=200.0)
+        estimate = kb.estimate_runtime(make_task(task_id=2, job_id=7, cpu=0.5, ram=0.5))
+        assert estimate == pytest.approx(200.0)
+
+    def test_percentile_estimate(self):
+        kb = KnowledgeBase()
+        for runtime in (10.0, 20.0, 30.0, 40.0, 50.0):
+            kb.record_completion(make_task(), runtime=runtime)
+        assert kb.estimate_runtime(make_task(), percentile=1.0) == 50.0
+
+    def test_record_completion_derives_runtime_from_timestamps(self):
+        kb = KnowledgeBase()
+        task = make_task()
+        task.start_time = 5.0
+        task.finish_time = 25.0
+        kb.record_completion(task)
+        assert kb.estimate_runtime(make_task()) == pytest.approx(20.0)
+
+    def test_record_completion_without_timestamps_raises(self):
+        with pytest.raises(ValueError):
+            KnowledgeBase().record_completion(make_task())
+
+    def test_estimate_usage_falls_back_to_request(self):
+        kb = KnowledgeBase()
+        task = make_task(cpu=3.0, ram=6.0)
+        assert kb.estimate_usage(task) == ResourceVector.for_task(task)
+
+    def test_estimate_usage_uses_observations(self):
+        kb = KnowledgeBase()
+        task = make_task(cpu=4.0, ram=8.0)
+        for _ in range(10):
+            kb.record_usage(task, ResourceVector(cpu_cores=1.0, ram_gb=2.0))
+        estimate = kb.estimate_usage(task)
+        assert estimate.cpu_cores < 4.0
+        assert estimate.ram_gb < 8.0
+
+    def test_observe_completed_tasks_filters_unfinished(self):
+        kb = KnowledgeBase()
+        finished = make_task(task_id=1)
+        finished.start_time = 0.0
+        finished.finish_time = 10.0
+        finished.state = finished.state.COMPLETED
+        running = make_task(task_id=2)
+        recorded = kb.observe_completed_tasks([finished, running])
+        assert recorded == 1
+        assert kb.num_observations == 1
+
+    def test_counts(self):
+        kb = KnowledgeBase()
+        kb.record_completion(make_task(cpu=1.0), runtime=5.0)
+        kb.record_completion(make_task(cpu=8.0, ram=16.0), runtime=5.0)
+        assert kb.num_classes == 2
+        assert kb.num_observations == 2
+
+    def test_invalid_default_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            KnowledgeBase(default_runtime=0.0)

@@ -1,0 +1,116 @@
+"""Unit tests for machines, racks, jobs, and tasks."""
+
+import pytest
+
+from repro.cluster.machine import Machine, MachineState, Rack
+from repro.cluster.task import Job, JobType, Task, TaskState
+
+
+class TestMachine:
+    def test_defaults_and_name(self):
+        machine = Machine(machine_id=3, rack_id=0)
+        assert machine.name == "machine-3"
+        assert machine.is_available
+        assert machine.state is MachineState.HEALTHY
+
+    def test_requires_at_least_one_slot(self):
+        with pytest.raises(ValueError):
+            Machine(machine_id=0, rack_id=0, num_slots=0)
+
+    def test_fail_and_recover(self):
+        machine = Machine(machine_id=1, rack_id=0)
+        machine.fail()
+        assert not machine.is_available
+        assert machine.state is MachineState.FAILED
+        machine.recover()
+        assert machine.is_available
+
+
+class TestRack:
+    def test_add_and_remove_machines(self):
+        rack = Rack(rack_id=2)
+        assert rack.name == "rack-2"
+        rack.add_machine(1)
+        rack.add_machine(1)  # idempotent
+        rack.add_machine(2)
+        assert rack.size == 2
+        rack.remove_machine(1)
+        rack.remove_machine(99)  # removing an absent machine is a no-op
+        assert rack.machine_ids == [2]
+
+
+class TestTaskLifecycle:
+    def test_initial_state(self):
+        task = Task(task_id=1, job_id=0, submit_time=5.0)
+        assert task.is_pending
+        assert not task.is_running
+        assert not task.is_finished
+        assert task.placement_latency() is None
+        assert task.response_time() is None
+
+    def test_latency_and_response_time(self):
+        task = Task(task_id=1, job_id=0, submit_time=10.0)
+        task.placement_time = 12.5
+        task.finish_time = 30.0
+        assert task.placement_latency() == pytest.approx(2.5)
+        assert task.response_time() == pytest.approx(20.0)
+
+    def test_preempted_task_is_pending_again(self):
+        task = Task(task_id=1, job_id=0)
+        task.state = TaskState.PREEMPTED
+        assert task.is_pending
+
+    def test_locality_helpers(self):
+        task = Task(task_id=1, job_id=0, input_locality={0: 0.5, 3: 0.25})
+        assert task.locality_fraction(0) == 0.5
+        assert task.locality_fraction(9) == 0.0
+        assert task.rack_locality_fraction([0, 3]) == pytest.approx(0.75)
+        assert task.rack_locality_fraction([7]) == 0.0
+
+
+class TestJob:
+    def test_add_task_inherits_job_attributes(self):
+        job = Job(job_id=4, priority=7)
+        task = Task(task_id=1, job_id=99)
+        job.add_task(task)
+        assert task.job_id == 4
+        assert task.priority == 7
+        assert job.num_tasks == 1
+        assert job.name == "job-4"
+
+    def test_task_priority_not_overwritten(self):
+        job = Job(job_id=4, priority=7)
+        task = Task(task_id=1, job_id=4, priority=3)
+        job.add_task(task)
+        assert task.priority == 3
+
+    def test_pending_and_running_views(self):
+        job = Job(job_id=1)
+        for index in range(3):
+            job.add_task(Task(task_id=index, job_id=1))
+        job.tasks[0].state = TaskState.RUNNING
+        job.tasks[1].state = TaskState.COMPLETED
+        assert [t.task_id for t in job.running_tasks()] == [0]
+        assert [t.task_id for t in job.pending_tasks()] == [2]
+        assert not job.is_complete()
+
+    def test_job_response_time_is_max_of_tasks(self):
+        job = Job(job_id=1, submit_time=0.0)
+        for index, finish in enumerate([10.0, 25.0, 15.0]):
+            task = Task(task_id=index, job_id=1, submit_time=0.0)
+            task.finish_time = finish
+            task.state = TaskState.COMPLETED
+            job.add_task(task)
+        assert job.response_time() == pytest.approx(25.0)
+
+    def test_job_response_time_undefined_until_all_tasks_finish(self):
+        job = Job(job_id=1)
+        done = Task(task_id=0, job_id=1)
+        done.finish_time = 5.0
+        job.add_task(done)
+        job.add_task(Task(task_id=1, job_id=1))
+        assert job.response_time() is None
+
+    def test_job_types(self):
+        assert JobType.BATCH.value == "batch"
+        assert JobType.SERVICE.value == "service"

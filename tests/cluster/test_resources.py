@@ -1,0 +1,180 @@
+"""Tests for the multi-dimensional resource model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.machine import Machine
+from repro.cluster.resources import (
+    ResourceVector,
+    equivalence_class,
+    task_fits_on_machine,
+)
+from repro.cluster.task import Task
+
+from tests.conftest import make_cluster_state, make_job
+
+
+def make_task(task_id: int = 1, cpu: float = 1.0, ram: float = 1.0, net: int = 0) -> Task:
+    return Task(
+        task_id=task_id,
+        job_id=1,
+        cpu_request=cpu,
+        ram_request_gb=ram,
+        network_request_mbps=net,
+    )
+
+
+class TestResourceVector:
+    def test_addition_adds_every_dimension(self):
+        total = ResourceVector(1, 2, 3, 4) + ResourceVector(5, 6, 7, 8)
+        assert total == ResourceVector(6, 8, 10, 12)
+
+    def test_subtraction_clamps_at_zero(self):
+        result = ResourceVector(1, 1, 1, 1) - ResourceVector(2, 0.5, 3, 0)
+        assert result == ResourceVector(0, 0.5, 0, 1)
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceVector(cpu_cores=-1)
+
+    def test_scaled_multiplies_every_dimension(self):
+        assert ResourceVector(1, 2, 3, 4).scaled(2) == ResourceVector(2, 4, 6, 8)
+
+    def test_scaled_rejects_negative_factor(self):
+        with pytest.raises(ValueError):
+            ResourceVector(1, 1).scaled(-1)
+
+    def test_fits_into_requires_every_dimension(self):
+        capacity = ResourceVector(4, 16, 1000)
+        assert ResourceVector(2, 8, 500).fits_into(capacity)
+        assert not ResourceVector(2, 32, 500).fits_into(capacity)
+        assert not ResourceVector(8, 8, 500).fits_into(capacity)
+
+    def test_zero_request_fits_anywhere(self):
+        assert ResourceVector.zero().fits_into(ResourceVector.zero())
+        assert ResourceVector.zero().is_zero()
+
+    def test_dominant_share_picks_largest_fraction(self):
+        capacity = ResourceVector(10, 100, 1000)
+        request = ResourceVector(5, 10, 100)
+        assert request.dominant_share(capacity) == pytest.approx(0.5)
+
+    def test_dominant_share_skips_zero_capacity_dimensions(self):
+        capacity = ResourceVector(10, 0, 0)
+        request = ResourceVector(2, 50, 999)
+        assert request.dominant_share(capacity) == pytest.approx(0.2)
+
+    def test_dominant_share_zero_capacity_everywhere(self):
+        assert ResourceVector(1, 1).dominant_share(ResourceVector.zero()) == 0.0
+
+    def test_for_task_and_machine_constructors(self):
+        task = make_task(cpu=2.0, ram=4.0, net=100)
+        machine = Machine(machine_id=0, rack_id=0, cpu_cores=12, ram_gb=64)
+        assert ResourceVector.for_task(task) == ResourceVector(2.0, 4.0, 100.0)
+        machine_vector = ResourceVector.for_machine(machine)
+        assert machine_vector.cpu_cores == 12
+        assert machine_vector.ram_gb == 64
+
+    def test_sum_of_vectors(self):
+        vectors = [ResourceVector(1, 1), ResourceVector(2, 2), ResourceVector(3, 3)]
+        assert ResourceVector.sum(vectors) == ResourceVector(6, 6)
+
+    def test_as_tuple_and_dict_are_consistent(self):
+        vector = ResourceVector(1, 2, 3, 4)
+        assert vector.as_tuple() == (1, 2, 3, 4)
+        assert vector.as_dict() == {
+            "cpu_cores": 1,
+            "ram_gb": 2,
+            "network_mbps": 3,
+            "disk_gb": 4,
+        }
+
+    @given(
+        cpu=st.floats(min_value=0, max_value=100),
+        ram=st.floats(min_value=0, max_value=100),
+    )
+    def test_property_subtract_then_add_never_exceeds_original(self, cpu, ram):
+        capacity = ResourceVector(cpu_cores=100, ram_gb=100)
+        request = ResourceVector(cpu_cores=cpu, ram_gb=ram)
+        spare = capacity - request
+        assert spare.fits_into(capacity)
+
+    @given(
+        a=st.floats(min_value=0, max_value=50),
+        b=st.floats(min_value=0, max_value=50),
+    )
+    def test_property_fits_is_monotone_in_capacity(self, a, b):
+        request = ResourceVector(cpu_cores=a, ram_gb=b)
+        small = ResourceVector(cpu_cores=50, ram_gb=50)
+        large = ResourceVector(cpu_cores=100, ram_gb=100)
+        if request.fits_into(small):
+            assert request.fits_into(large)
+
+
+class TestFeasibilityHelpers:
+    def test_task_fits_on_machine_accounts_for_usage(self):
+        machine = Machine(machine_id=0, rack_id=0, cpu_cores=4, ram_gb=8)
+        task = make_task(cpu=2.0, ram=4.0)
+        assert task_fits_on_machine(task, machine, ResourceVector.zero())
+        assert task_fits_on_machine(task, machine, ResourceVector(cpu_cores=2, ram_gb=4))
+        assert not task_fits_on_machine(task, machine, ResourceVector(cpu_cores=3, ram_gb=0))
+
+    def test_equivalence_class_rounds_up(self):
+        task = make_task(cpu=1.5, ram=3.2)
+        assert equivalence_class(task, cpu_granularity=1.0, ram_granularity_gb=2.0) == (2, 2)
+
+    def test_equivalence_class_groups_similar_requests(self):
+        a = make_task(task_id=1, cpu=0.4, ram=0.9)
+        b = make_task(task_id=2, cpu=0.9, ram=0.2)
+        assert equivalence_class(a) == equivalence_class(b)
+
+    def test_equivalence_class_rejects_bad_granularity(self):
+        with pytest.raises(ValueError):
+            equivalence_class(make_task(), cpu_granularity=0)
+
+
+class TestClusterStateResourceQueries:
+    def test_resources_in_use_sums_running_tasks(self):
+        state = make_cluster_state(num_machines=2)
+        job = make_job(job_id=1, num_tasks=2)
+        for task in job.tasks:
+            task.cpu_request = 2.0
+            task.ram_request_gb = 4.0
+        state.submit_job(job)
+        for task in job.tasks:
+            state.place_task(task.task_id, 0, now=0.0)
+        in_use = state.resources_in_use(0)
+        assert in_use.cpu_cores == pytest.approx(4.0)
+        assert in_use.ram_gb == pytest.approx(8.0)
+        assert state.resources_in_use(1).is_zero()
+
+    def test_spare_resources_shrinks_with_placements(self):
+        state = make_cluster_state(num_machines=1)
+        machine = state.topology.machine(0)
+        job = make_job(job_id=1, num_tasks=1)
+        job.tasks[0].cpu_request = 3.0
+        state.submit_job(job)
+        before = state.spare_resources(0)
+        state.place_task(job.tasks[0].task_id, 0, now=0.0)
+        after = state.spare_resources(0)
+        assert after.cpu_cores == pytest.approx(before.cpu_cores - 3.0)
+        assert before.cpu_cores == pytest.approx(float(machine.cpu_cores))
+
+    def test_spare_resources_zero_for_failed_machine(self):
+        state = make_cluster_state(num_machines=1)
+        state.topology.machine(0).fail()
+        assert state.spare_resources(0).is_zero()
+
+    def test_task_fits_ignores_own_reservation(self):
+        state = make_cluster_state(num_machines=1)
+        job = make_job(job_id=1, num_tasks=1)
+        task = job.tasks[0]
+        task.cpu_request = float(state.topology.machine(0).cpu_cores)
+        state.submit_job(job)
+        assert state.task_fits(task, 0)
+        state.place_task(task.task_id, 0, now=0.0)
+        # The machine is now fully committed, but the committed task itself
+        # still "fits" where it runs.
+        assert state.task_fits(task, 0)

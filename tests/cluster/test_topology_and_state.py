@@ -1,0 +1,211 @@
+"""Unit tests for cluster topology and mutable cluster state."""
+
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.cluster.state import ClusterState
+from repro.cluster.task import TaskState
+from repro.cluster.topology import build_topology
+from tests.conftest import make_cluster_state, make_job
+
+
+class TestTopology:
+    def test_build_topology_shapes_racks(self):
+        topology = build_topology(num_machines=10, machines_per_rack=4, slots_per_machine=3)
+        assert topology.num_machines == 10
+        assert topology.num_racks == 3
+        assert topology.total_slots == 30
+        assert topology.rack_of(5).rack_id == 1
+        assert len(topology.machines_in_rack(0)) == 4
+        assert len(topology.machines_in_rack(2)) == 2
+
+    def test_build_topology_validation(self):
+        with pytest.raises(ValueError):
+            build_topology(num_machines=0)
+        with pytest.raises(ValueError):
+            build_topology(num_machines=4, machines_per_rack=0)
+
+    def test_healthy_machines_excludes_failed(self):
+        topology = build_topology(num_machines=4, machines_per_rack=2)
+        topology.machine(1).fail()
+        healthy = {m.machine_id for m in topology.healthy_machines()}
+        assert healthy == {0, 2, 3}
+
+    def test_add_and_remove_machine(self):
+        topology = build_topology(num_machines=2, machines_per_rack=2)
+        topology.add_machine(Machine(machine_id=10, rack_id=5))
+        assert topology.num_racks == 2
+        assert topology.rack_of(10).rack_id == 5
+        topology.remove_machine(10)
+        assert 10 not in topology.machines
+        assert topology.rack(5).size == 0
+
+
+class TestClusterStateWorkload:
+    def test_submit_job_registers_tasks(self, small_state):
+        job = make_job(job_id=1, num_tasks=3)
+        small_state.submit_job(job)
+        assert len(small_state.tasks) == 3
+        assert len(small_state.pending_tasks()) == 3
+
+    def test_duplicate_job_rejected(self, small_state):
+        job = make_job(job_id=1, num_tasks=1)
+        small_state.submit_job(job)
+        with pytest.raises(ValueError):
+            small_state.submit_job(make_job(job_id=1, num_tasks=1))
+
+    def test_submit_task_into_existing_job(self, small_state):
+        job = make_job(job_id=1, num_tasks=1)
+        small_state.submit_job(job)
+        from repro.cluster.task import Task
+
+        small_state.submit_task(Task(task_id=999, job_id=1))
+        assert 999 in small_state.tasks
+        assert small_state.jobs[1].num_tasks == 2
+
+    def test_submit_task_to_unknown_job_rejected(self, small_state):
+        from repro.cluster.task import Task
+
+        with pytest.raises(KeyError):
+            small_state.submit_task(Task(task_id=1, job_id=77))
+
+    def test_remove_job(self, small_state):
+        job = make_job(job_id=1, num_tasks=2)
+        small_state.submit_job(job)
+        small_state.remove_job(1)
+        assert small_state.tasks == {}
+
+
+class TestPlacementLifecycle:
+    def test_place_and_complete(self, small_state):
+        job = make_job(job_id=1, num_tasks=1)
+        small_state.submit_job(job)
+        task = job.tasks[0]
+        small_state.place_task(task.task_id, 0, now=2.0)
+        assert task.is_running
+        assert task.machine_id == 0
+        assert task.placement_time == 2.0
+        assert small_state.task_count_on_machine(0) == 1
+        assert small_state.free_slots(0) == 1
+
+        small_state.complete_task(task.task_id, now=9.0)
+        assert task.state is TaskState.COMPLETED
+        assert task.finish_time == 9.0
+        assert task.machine_id == 0  # retained for post-hoc metrics
+        assert small_state.free_slots(0) == 2
+
+    def test_place_respects_slot_capacity(self, small_state):
+        job = make_job(job_id=1, num_tasks=3)
+        small_state.submit_job(job)
+        small_state.place_task(job.tasks[0].task_id, 0, 0.0)
+        small_state.place_task(job.tasks[1].task_id, 0, 0.0)
+        with pytest.raises(ValueError):
+            small_state.place_task(job.tasks[2].task_id, 0, 0.0)
+
+    def test_place_on_failed_machine_rejected(self, small_state):
+        job = make_job(job_id=1, num_tasks=1)
+        small_state.submit_job(job)
+        small_state.topology.machine(0).fail()
+        with pytest.raises(ValueError):
+            small_state.place_task(job.tasks[0].task_id, 0, 0.0)
+
+    def test_double_place_rejected(self, small_state):
+        job = make_job(job_id=1, num_tasks=1)
+        small_state.submit_job(job)
+        small_state.place_task(job.tasks[0].task_id, 0, 0.0)
+        with pytest.raises(ValueError):
+            small_state.place_task(job.tasks[0].task_id, 1, 0.0)
+
+    def test_migrate_task(self, small_state):
+        job = make_job(job_id=1, num_tasks=1)
+        small_state.submit_job(job)
+        task = job.tasks[0]
+        small_state.place_task(task.task_id, 0, 0.0)
+        small_state.migrate_task(task.task_id, 3, 5.0)
+        assert task.machine_id == 3
+        assert small_state.task_count_on_machine(0) == 0
+        assert small_state.task_count_on_machine(3) == 1
+        # Placement time records the first placement, not the migration.
+        assert task.placement_time == 0.0
+
+    def test_preempt_task(self, small_state):
+        job = make_job(job_id=1, num_tasks=1)
+        small_state.submit_job(job)
+        task = job.tasks[0]
+        small_state.place_task(task.task_id, 0, 0.0)
+        small_state.preempt_task(task.task_id, 4.0)
+        assert task.state is TaskState.PREEMPTED
+        assert task.is_pending
+        assert small_state.free_slots(0) == 2
+
+    def test_machine_failure_evicts_tasks(self, small_state):
+        job = make_job(job_id=1, num_tasks=2)
+        small_state.submit_job(job)
+        small_state.place_task(job.tasks[0].task_id, 0, 0.0)
+        small_state.place_task(job.tasks[1].task_id, 0, 0.0)
+        evicted = small_state.fail_machine(0, 3.0)
+        assert set(evicted) == {job.tasks[0].task_id, job.tasks[1].task_id}
+        assert all(small_state.tasks[t].is_pending for t in evicted)
+        assert small_state.free_slots(0) == 0  # failed machines expose no slots
+
+
+class TestStateQueries:
+    def test_utilization_and_slots(self, loaded_state):
+        # 4 tasks on a 16-slot cluster.
+        assert loaded_state.slot_utilization() == pytest.approx(0.25)
+        assert loaded_state.total_free_slots() == 12
+
+    def test_pending_tasks_sorted_by_submit_time(self, small_state):
+        early = make_job(job_id=1, num_tasks=1, submit_time=5.0)
+        late = make_job(job_id=2, num_tasks=1, submit_time=1.0)
+        small_state.submit_job(early)
+        small_state.submit_job(late)
+        pending = small_state.pending_tasks()
+        assert pending[0].job_id == 2
+        assert pending[1].job_id == 1
+
+    def test_schedulable_includes_running(self, loaded_state):
+        extra = make_job(job_id=2, num_tasks=2)
+        loaded_state.submit_job(extra)
+        schedulable = loaded_state.schedulable_tasks()
+        assert len(schedulable) == 6
+
+    def test_network_bandwidth_accounting(self, small_state):
+        job = make_job(job_id=1, num_tasks=2, network_request_mbps=400)
+        small_state.submit_job(job)
+        small_state.place_task(job.tasks[0].task_id, 0, 0.0)
+        small_state.place_task(job.tasks[1].task_id, 0, 0.0)
+        assert small_state.network_bandwidth_in_use(0) == 800
+        capacity = small_state.topology.machine(0).network_bandwidth_mbps
+        assert small_state.spare_network_bandwidth(0) == capacity - 800
+        small_state.monitor.record_network_use(0, 5_000)
+        assert small_state.spare_network_bandwidth(0) == capacity - 800 - 5_000
+
+    def test_placements_view(self, loaded_state):
+        placements = loaded_state.placements()
+        assert len(placements) == 4
+        assert {p.machine_id for p in placements} == {0, 1, 2, 3}
+
+
+class TestMonitor:
+    def test_record_and_reset(self, small_state):
+        monitor = small_state.monitor
+        monitor.record_cpu_use(0, 3.5, now=1.0)
+        monitor.record_ram_use(0, 10.0, now=1.0)
+        monitor.record_network_use(0, 2_000, now=2.0)
+        stats = monitor.statistics(0)
+        assert stats.cpu_used == 3.5
+        assert stats.ram_used_gb == 10.0
+        assert stats.network_used_mbps == 2_000
+        assert stats.last_update == 2.0
+        monitor.reset()
+        assert monitor.statistics(0).network_used_mbps == 0
+
+    def test_statistics_created_on_demand(self, small_state):
+        stats = small_state.monitor.statistics(999)
+        assert stats.machine_id == 999
+        assert len(list(small_state.monitor.all_statistics())) >= 9
+
+    def test_negative_values_clamped(self, small_state):
+        small_state.monitor.record_network_use(0, -50)
+        assert small_state.monitor.statistics(0).network_used_mbps == 0

@@ -1,0 +1,142 @@
+"""Shared fixtures and graph/cluster builders for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+import pytest
+
+from repro.cluster import ClusterState, Job, JobType, Task, build_topology
+from repro.flow.graph import FlowNetwork, NodeType
+
+
+def build_scheduling_network(
+    seed: int = 0,
+    num_tasks: int = 6,
+    num_machines: int = 4,
+    slots_per_machine: int = 2,
+    max_cost: int = 10,
+    preference_arcs: int = 3,
+) -> FlowNetwork:
+    """Build a random but well-formed scheduling flow network.
+
+    The network has the canonical structure: task nodes with unit supply,
+    machine nodes with arcs to a single sink, an unscheduled aggregator per
+    synthetic job, and task preference arcs to a random subset of machines.
+    Every task can always drain via the unscheduled aggregator, so the
+    problem is guaranteed feasible.
+    """
+    rng = random.Random(seed)
+    net = FlowNetwork()
+    sink = net.add_node(NodeType.SINK, supply=-num_tasks, name="S")
+    machines = [
+        net.add_node(NodeType.MACHINE, name=f"M{i}", ref=i) for i in range(num_machines)
+    ]
+    for machine in machines:
+        net.add_arc(machine.node_id, sink.node_id, slots_per_machine, 0)
+    unscheduled = net.add_node(NodeType.UNSCHEDULED_AGGREGATOR, name="U0")
+    net.add_arc(unscheduled.node_id, sink.node_id, num_tasks, 0)
+    for index in range(num_tasks):
+        task = net.add_node(NodeType.TASK, supply=1, name=f"T{index}", ref=index)
+        net.add_arc(task.node_id, unscheduled.node_id, 1, rng.randint(max_cost // 2, max_cost))
+        targets = rng.sample(machines, k=min(preference_arcs, num_machines))
+        for machine in targets:
+            net.add_arc(task.node_id, machine.node_id, 1, rng.randint(0, max_cost // 2))
+    return net
+
+
+def build_contended_network(
+    num_tasks: int = 40, num_machines: int = 4, slots_per_machine: int = 2
+) -> FlowNetwork:
+    """Build a network where many tasks compete for few machine slots.
+
+    Tasks all prefer the (cheap) machines, but there are far fewer slots than
+    tasks, so most flow must fall back to the expensive unscheduled
+    aggregator -- the contended regime where relaxation struggles.
+    """
+    net = FlowNetwork()
+    sink = net.add_node(NodeType.SINK, supply=-num_tasks, name="S")
+    machines = [
+        net.add_node(NodeType.MACHINE, name=f"M{i}", ref=i) for i in range(num_machines)
+    ]
+    aggregator = net.add_node(NodeType.CLUSTER_AGGREGATOR, name="X")
+    for machine in machines:
+        net.add_arc(machine.node_id, sink.node_id, slots_per_machine, 0)
+        net.add_arc(aggregator.node_id, machine.node_id, slots_per_machine, 1)
+    unscheduled = net.add_node(NodeType.UNSCHEDULED_AGGREGATOR, name="U0")
+    net.add_arc(unscheduled.node_id, sink.node_id, num_tasks, 0)
+    for index in range(num_tasks):
+        task = net.add_node(NodeType.TASK, supply=1, name=f"T{index}", ref=index)
+        net.add_arc(task.node_id, aggregator.node_id, 1, 0)
+        net.add_arc(task.node_id, unscheduled.node_id, 1, 100)
+    return net
+
+
+def reference_min_cost(network: FlowNetwork) -> int:
+    """Compute the optimal cost with networkx, as an independent oracle."""
+    import networkx as nx
+
+    graph = network.to_networkx()
+    flow = nx.min_cost_flow(graph)
+    return nx.cost_of_flow(graph, flow)
+
+
+def make_cluster_state(
+    num_machines: int = 8,
+    machines_per_rack: int = 4,
+    slots_per_machine: int = 2,
+) -> ClusterState:
+    """Build an empty cluster state with a small homogeneous topology."""
+    topology = build_topology(
+        num_machines=num_machines,
+        machines_per_rack=machines_per_rack,
+        slots_per_machine=slots_per_machine,
+    )
+    return ClusterState(topology)
+
+
+def make_job(
+    job_id: int,
+    num_tasks: int,
+    submit_time: float = 0.0,
+    duration: Optional[float] = 10.0,
+    job_type: JobType = JobType.BATCH,
+    task_id_offset: Optional[int] = None,
+    input_size_gb: float = 0.0,
+    input_locality: Optional[Dict[int, float]] = None,
+    network_request_mbps: int = 0,
+) -> Job:
+    """Build a job with ``num_tasks`` identical tasks."""
+    offset = task_id_offset if task_id_offset is not None else job_id * 1000
+    job = Job(job_id=job_id, job_type=job_type, submit_time=submit_time)
+    for index in range(num_tasks):
+        job.add_task(
+            Task(
+                task_id=offset + index,
+                job_id=job_id,
+                duration=duration,
+                submit_time=submit_time,
+                input_size_gb=input_size_gb,
+                input_locality=dict(input_locality or {}),
+                network_request_mbps=network_request_mbps,
+            )
+        )
+    return job
+
+
+@pytest.fixture
+def small_state() -> ClusterState:
+    """An empty 8-machine, 2-rack, 2-slot cluster state."""
+    return make_cluster_state()
+
+
+@pytest.fixture
+def loaded_state() -> ClusterState:
+    """A cluster state with one job of four tasks already running."""
+    state = make_cluster_state()
+    job = make_job(job_id=1, num_tasks=4)
+    state.submit_job(job)
+    for index, task in enumerate(job.tasks):
+        state.place_task(task.task_id, index % state.topology.num_machines, now=0.0)
+    return state

@@ -1,0 +1,116 @@
+"""Unit tests for the graph manager (node identity and network construction)."""
+
+import pytest
+
+from repro.core.graph_manager import GraphManager
+from repro.core.policies import LoadSpreadingPolicy, QuincyPolicy
+from repro.flow.graph import NodeType
+from tests.conftest import make_cluster_state, make_job
+
+
+class TestNetworkConstruction:
+    def test_basic_structure(self, small_state):
+        small_state.submit_job(make_job(job_id=1, num_tasks=3))
+        manager = GraphManager(LoadSpreadingPolicy())
+        network = manager.update(small_state, now=0.0)
+
+        tasks = network.nodes_of_type(NodeType.TASK)
+        machines = network.nodes_of_type(NodeType.MACHINE)
+        sinks = network.nodes_of_type(NodeType.SINK)
+        assert len(tasks) == 3
+        assert len(machines) == small_state.topology.num_machines
+        assert len(sinks) == 1
+        assert sinks[0].supply == -3
+        assert all(t.supply == 1 for t in tasks)
+        assert network.validate_structure() == []
+
+    def test_every_task_can_reach_the_sink(self, small_state):
+        small_state.submit_job(make_job(job_id=1, num_tasks=4))
+        manager = GraphManager(QuincyPolicy())
+        network = manager.update(small_state, now=0.0)
+        for task_id, node_id in manager.task_nodes.items():
+            assert network.outgoing(node_id), f"task {task_id} has no outgoing arcs"
+
+    def test_empty_workload_produces_trivial_network(self, small_state):
+        manager = GraphManager(LoadSpreadingPolicy())
+        network = manager.update(small_state, now=0.0)
+        assert manager.task_nodes == {}
+        assert network.nodes_of_type(NodeType.TASK) == []
+
+    def test_isolated_nodes_are_pruned(self, small_state):
+        # With the load-spreading policy racks are never used, so no rack
+        # aggregator nodes should survive pruning.
+        small_state.submit_job(make_job(job_id=1, num_tasks=2))
+        manager = GraphManager(LoadSpreadingPolicy())
+        network = manager.update(small_state, now=0.0)
+        assert network.nodes_of_type(NodeType.RACK_AGGREGATOR) == []
+
+
+class TestNodeIdentityStability:
+    def test_node_ids_stable_across_runs(self, small_state):
+        job = make_job(job_id=1, num_tasks=3)
+        small_state.submit_job(job)
+        manager = GraphManager(QuincyPolicy())
+        manager.update(small_state, now=0.0)
+        first_tasks = manager.task_nodes
+        first_machines = manager.machine_nodes
+        first_sink = manager.sink_node
+
+        manager.update(small_state, now=1.0)
+        assert manager.task_nodes == first_tasks
+        assert manager.machine_nodes == first_machines
+        assert manager.sink_node == first_sink
+
+    def test_completed_task_node_retired_and_not_reused(self, small_state):
+        job = make_job(job_id=1, num_tasks=2)
+        small_state.submit_job(job)
+        manager = GraphManager(QuincyPolicy())
+        manager.update(small_state, now=0.0)
+        retired_node = manager.task_nodes[job.tasks[0].task_id]
+
+        small_state.place_task(job.tasks[0].task_id, 0, 0.0)
+        small_state.complete_task(job.tasks[0].task_id, 1.0)
+        manager.update(small_state, now=2.0)
+        assert job.tasks[0].task_id not in manager.task_nodes
+
+        # A newly submitted task must not recycle the retired identifier.
+        new_job = make_job(job_id=2, num_tasks=1)
+        small_state.submit_job(new_job)
+        manager.update(small_state, now=3.0)
+        assert manager.task_nodes[new_job.tasks[0].task_id] != retired_node
+
+    def test_failed_machine_dropped_from_network(self, small_state):
+        small_state.submit_job(make_job(job_id=1, num_tasks=2))
+        manager = GraphManager(LoadSpreadingPolicy())
+        manager.update(small_state, now=0.0)
+        assert 0 in manager.machine_nodes
+        small_state.topology.machine(0).fail()
+        manager.update(small_state, now=1.0)
+        assert 0 not in manager.machine_nodes
+
+    def test_aggregator_identity_stable(self, small_state):
+        small_state.submit_job(make_job(job_id=1, num_tasks=2))
+        manager = GraphManager(LoadSpreadingPolicy())
+        first = manager.update(small_state, now=0.0)
+        agg_first = first.nodes_of_type(NodeType.CLUSTER_AGGREGATOR)[0].node_id
+        second = manager.update(small_state, now=1.0)
+        agg_second = second.nodes_of_type(NodeType.CLUSTER_AGGREGATOR)[0].node_id
+        assert agg_first == agg_second
+
+
+class TestWarmStartCompatibility:
+    def test_incremental_solver_can_reuse_flows_across_rebuilds(self, small_state):
+        """The point of stable node ids: warm flows keyed by node pairs stay
+        valid when the graph manager rebuilds the network."""
+        from repro.solvers import IncrementalCostScalingSolver
+
+        small_state.submit_job(make_job(job_id=1, num_tasks=4))
+        manager = GraphManager(QuincyPolicy())
+        solver = IncrementalCostScalingSolver()
+        first_network = manager.update(small_state, now=0.0)
+        first = solver.solve(first_network)
+
+        second_network = manager.update(small_state, now=10.0)
+        second = solver.solve(second_network)
+        assert second.statistics.warm_start
+        assert second.total_cost <= first.total_cost + 100  # wait costs grew

@@ -1,0 +1,182 @@
+"""Unit tests for graph changes and the Table-3 classification."""
+
+import pytest
+
+from repro.flow.changes import (
+    ArcAddition,
+    ArcCapacityChange,
+    ArcCostChange,
+    ArcRemoval,
+    ChangeEffect,
+    NodeAddition,
+    NodeRemoval,
+    SupplyChange,
+    apply_changes,
+    changes_break_feasibility,
+    classify_arc_change,
+    summarize_changes,
+)
+from repro.flow.graph import FlowNetwork, NodeType
+
+
+def simple_network():
+    net = FlowNetwork()
+    task = net.add_node(NodeType.TASK, supply=1, name="T")
+    machine = net.add_node(NodeType.MACHINE, name="M")
+    sink = net.add_node(NodeType.SINK, supply=-1, name="S")
+    net.add_arc(task.node_id, machine.node_id, 1, 3)
+    net.add_arc(machine.node_id, sink.node_id, 1, 0)
+    return net, task, machine, sink
+
+
+class TestChangeApplication:
+    def test_supply_change(self):
+        net, task, _, _ = simple_network()
+        SupplyChange(node_id=task.node_id, delta=2).apply(net)
+        assert net.node(task.node_id).supply == 3
+
+    def test_node_addition_with_arcs(self):
+        net, _, machine, sink = simple_network()
+        change = NodeAddition(
+            node_type=NodeType.TASK,
+            supply=1,
+            name="T2",
+            arcs_out=[(machine.node_id, 1, 4)],
+        )
+        change.apply(net)
+        assert change.created_node_id is not None
+        assert net.has_arc(change.created_node_id, machine.node_id)
+        assert net.node(change.created_node_id).supply == 1
+
+    def test_node_removal(self):
+        net, task, _, _ = simple_network()
+        NodeRemoval(node_id=task.node_id).apply(net)
+        assert not net.has_node(task.node_id)
+
+    def test_arc_capacity_and_cost_changes(self):
+        net, task, machine, _ = simple_network()
+        ArcCapacityChange(task.node_id, machine.node_id, 5).apply(net)
+        ArcCostChange(task.node_id, machine.node_id, 9).apply(net)
+        arc = net.arc(task.node_id, machine.node_id)
+        assert arc.capacity == 5
+        assert arc.cost == 9
+
+    def test_arc_addition_and_removal(self):
+        net, task, _, sink = simple_network()
+        ArcAddition(task.node_id, sink.node_id, 1, 7).apply(net)
+        assert net.has_arc(task.node_id, sink.node_id)
+        ArcRemoval(task.node_id, sink.node_id).apply(net)
+        assert not net.has_arc(task.node_id, sink.node_id)
+
+    def test_apply_changes_in_order(self):
+        net, task, machine, sink = simple_network()
+        apply_changes(
+            net,
+            [
+                ArcRemoval(task.node_id, machine.node_id),
+                ArcAddition(task.node_id, sink.node_id, 1, 2),
+            ],
+        )
+        assert not net.has_arc(task.node_id, machine.node_id)
+        assert net.has_arc(task.node_id, sink.node_id)
+
+    def test_summarize_changes(self):
+        summary = summarize_changes(
+            [
+                SupplyChange(0, 1),
+                SupplyChange(1, -1),
+                ArcCostChange(0, 1, 5),
+            ]
+        )
+        assert summary == {"SupplyChange": 2, "ArcCostChange": 1}
+
+
+class TestTable3Classification:
+    """The classification mirrors Table 3 of the paper."""
+
+    def test_increasing_capacity_on_negative_reduced_cost_breaks_optimality(self):
+        effect = classify_arc_change(
+            reduced_cost=-2, flow=1, old_capacity=1, new_capacity=3
+        )
+        assert effect is ChangeEffect.BREAKS_OPTIMALITY
+
+    def test_increasing_capacity_on_nonnegative_reduced_cost_is_safe(self):
+        for rc in (0, 4):
+            effect = classify_arc_change(
+                reduced_cost=rc, flow=0, old_capacity=1, new_capacity=3
+            )
+            assert effect is ChangeEffect.NONE
+
+    def test_decreasing_capacity_below_flow_breaks_feasibility(self):
+        effect = classify_arc_change(
+            reduced_cost=0, flow=3, old_capacity=4, new_capacity=2
+        )
+        assert effect is ChangeEffect.BREAKS_FEASIBILITY
+
+    def test_decreasing_capacity_above_flow_is_safe(self):
+        effect = classify_arc_change(
+            reduced_cost=0, flow=1, old_capacity=4, new_capacity=2
+        )
+        assert effect is ChangeEffect.NONE
+
+    def test_unchanged_capacity_is_safe(self):
+        effect = classify_arc_change(
+            reduced_cost=-1, flow=1, old_capacity=2, new_capacity=2
+        )
+        assert effect is ChangeEffect.NONE
+
+    def test_increasing_cost_on_flow_carrying_arc_breaks_optimality(self):
+        effect = classify_arc_change(reduced_cost=-1, flow=1, new_reduced_cost=2)
+        assert effect is ChangeEffect.BREAKS_OPTIMALITY
+
+    def test_increasing_cost_without_flow_is_safe(self):
+        effect = classify_arc_change(reduced_cost=0, flow=0, new_reduced_cost=3)
+        assert effect is ChangeEffect.NONE
+
+    def test_decreasing_cost_below_zero_breaks_optimality(self):
+        effect = classify_arc_change(reduced_cost=1, flow=0, new_reduced_cost=-2)
+        assert effect is ChangeEffect.BREAKS_OPTIMALITY
+
+    def test_decreasing_cost_staying_nonnegative_is_safe(self):
+        effect = classify_arc_change(reduced_cost=5, flow=0, new_reduced_cost=1)
+        assert effect is ChangeEffect.NONE
+
+    def test_must_describe_exactly_one_change(self):
+        with pytest.raises(ValueError):
+            classify_arc_change(reduced_cost=0, flow=0)
+        with pytest.raises(ValueError):
+            classify_arc_change(
+                reduced_cost=0,
+                flow=0,
+                old_capacity=1,
+                new_capacity=2,
+                new_reduced_cost=1,
+            )
+
+
+class TestFeasibilityScreening:
+    def test_node_addition_with_supply_breaks_feasibility(self):
+        net, *_ = simple_network()
+        changes = [NodeAddition(node_type=NodeType.TASK, supply=1)]
+        assert changes_break_feasibility(net, changes)
+
+    def test_cost_change_does_not_break_feasibility(self):
+        net, task, machine, _ = simple_network()
+        changes = [ArcCostChange(task.node_id, machine.node_id, 50)]
+        assert not changes_break_feasibility(net, changes)
+
+    def test_capacity_reduction_below_flow_breaks_feasibility(self):
+        net, task, machine, _ = simple_network()
+        net.arc(task.node_id, machine.node_id).flow = 1
+        changes = [ArcCapacityChange(task.node_id, machine.node_id, 0)]
+        assert changes_break_feasibility(net, changes)
+
+    def test_arc_removal_with_flow_breaks_feasibility(self):
+        net, task, machine, _ = simple_network()
+        net.arc(task.node_id, machine.node_id).flow = 1
+        changes = [ArcRemoval(task.node_id, machine.node_id)]
+        assert changes_break_feasibility(net, changes)
+
+    def test_node_removal_breaks_feasibility(self):
+        net, task, *_ = simple_network()
+        assert changes_break_feasibility(net, [NodeRemoval(task.node_id)])

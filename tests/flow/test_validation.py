@@ -1,0 +1,124 @@
+"""Unit tests for flow feasibility and optimality checkers."""
+
+import pytest
+
+from repro.flow.graph import FlowNetwork, NodeType
+from repro.flow.validation import (
+    assert_optimal,
+    check_complementary_slackness,
+    check_epsilon_optimality,
+    check_feasibility,
+    check_reduced_cost_optimality,
+    flow_cost,
+    has_negative_cycle,
+    is_feasible,
+)
+
+
+def diamond_network():
+    """Task with a cheap and an expensive route to the sink."""
+    net = FlowNetwork()
+    task = net.add_node(NodeType.TASK, supply=1)
+    cheap = net.add_node(NodeType.MACHINE, name="cheap")
+    costly = net.add_node(NodeType.MACHINE, name="costly")
+    sink = net.add_node(NodeType.SINK, supply=-1)
+    net.add_arc(task.node_id, cheap.node_id, 1, 1)
+    net.add_arc(task.node_id, costly.node_id, 1, 10)
+    net.add_arc(cheap.node_id, sink.node_id, 1, 0)
+    net.add_arc(costly.node_id, sink.node_id, 1, 0)
+    return net, task, cheap, costly, sink
+
+
+class TestFeasibility:
+    def test_zero_flow_on_balanced_graph_is_infeasible(self):
+        net, *_ = diamond_network()
+        problems = check_feasibility(net)
+        # Supply at the task and demand at the sink are not routed.
+        assert len(problems) == 2
+        assert not is_feasible(net)
+
+    def test_valid_flow_is_feasible(self):
+        net, task, cheap, _, sink = diamond_network()
+        net.arc(task.node_id, cheap.node_id).flow = 1
+        net.arc(cheap.node_id, sink.node_id).flow = 1
+        assert is_feasible(net)
+        assert flow_cost(net) == 1
+
+    def test_capacity_violation_detected(self):
+        net, task, cheap, _, sink = diamond_network()
+        net.arc(task.node_id, cheap.node_id).flow = 2
+        net.arc(cheap.node_id, sink.node_id).flow = 2
+        problems = check_feasibility(net)
+        assert any("exceeds capacity" in p for p in problems)
+
+    def test_negative_flow_detected(self):
+        net, task, cheap, _, _ = diamond_network()
+        net.arc(task.node_id, cheap.node_id).flow = -1
+        problems = check_feasibility(net)
+        assert any("negative flow" in p for p in problems)
+
+    def test_mass_balance_violation_detected(self):
+        net, task, cheap, _, _ = diamond_network()
+        net.arc(task.node_id, cheap.node_id).flow = 1
+        problems = check_feasibility(net)
+        assert any("mass balance" in p for p in problems)
+
+
+class TestOptimalityConditions:
+    def test_optimal_flow_passes_all_checks(self):
+        net, task, cheap, costly, sink = diamond_network()
+        net.arc(task.node_id, cheap.node_id).flow = 1
+        net.arc(cheap.node_id, sink.node_id).flow = 1
+        potentials = {task.node_id: 1, cheap.node_id: 0, costly.node_id: 0, sink.node_id: 0}
+        assert check_reduced_cost_optimality(net, potentials) == []
+        assert check_epsilon_optimality(net, potentials, epsilon=0) == []
+        assert not has_negative_cycle(net)
+        assert_optimal(net, potentials)
+
+    def test_suboptimal_flow_fails_negative_cycle_check(self):
+        net, task, cheap, costly, sink = diamond_network()
+        # Route through the expensive machine: residual cycle via the cheap
+        # one has negative cost.
+        net.arc(task.node_id, costly.node_id).flow = 1
+        net.arc(costly.node_id, sink.node_id).flow = 1
+        assert has_negative_cycle(net)
+        with pytest.raises(AssertionError):
+            assert_optimal(net)
+
+    def test_reduced_cost_violation_detected(self):
+        net, task, cheap, costly, sink = diamond_network()
+        net.arc(task.node_id, costly.node_id).flow = 1
+        net.arc(costly.node_id, sink.node_id).flow = 1
+        potentials = {n.node_id: 0 for n in net.nodes()}
+        problems = check_reduced_cost_optimality(net, potentials)
+        assert problems  # the unsaturated cheap arc plus residual back-arcs
+
+    def test_epsilon_optimality_is_weaker_than_reduced_cost(self):
+        net, task, cheap, costly, sink = diamond_network()
+        net.arc(task.node_id, costly.node_id).flow = 1
+        net.arc(costly.node_id, sink.node_id).flow = 1
+        potentials = {n.node_id: 0 for n in net.nodes()}
+        # The worst residual reduced cost is -10 (back-arc of the costly
+        # route), so the flow is 10-optimal but not 5-optimal.
+        assert check_epsilon_optimality(net, potentials, epsilon=10) == []
+        assert check_epsilon_optimality(net, potentials, epsilon=5) != []
+
+    def test_complementary_slackness(self):
+        net, task, cheap, costly, sink = diamond_network()
+        net.arc(task.node_id, cheap.node_id).flow = 1
+        net.arc(cheap.node_id, sink.node_id).flow = 1
+        # With these potentials the cheap arc has negative reduced cost and
+        # is saturated, the costly arc has positive reduced cost and is idle.
+        potentials = {task.node_id: 5, cheap.node_id: 0, costly.node_id: 0, sink.node_id: 0}
+        assert check_complementary_slackness(net, potentials) == []
+        # Removing the flow breaks the "saturate negative arcs" half.
+        net.clear_flow()
+        assert check_complementary_slackness(net, potentials) != []
+
+    def test_assert_optimal_rejects_infeasible_flow(self):
+        net, *_ = diamond_network()
+        with pytest.raises(AssertionError, match="infeasible"):
+            assert_optimal(net)
+
+    def test_empty_network_has_no_negative_cycle(self):
+        assert not has_negative_cycle(FlowNetwork())

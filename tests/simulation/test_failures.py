@@ -1,0 +1,145 @@
+"""Tests for machine-failure injection and the simulator's failure handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FirmamentScheduler, QuincyPolicy
+from repro.simulation.failures import FailureInjector, FailureSchedule
+from repro.simulation.simulator import ClusterSimulator, SimulationConfig
+
+from tests.conftest import make_cluster_state, make_job
+
+
+def make_simulator(num_machines=4, slots_per_machine=2, max_time=200.0):
+    state = make_cluster_state(num_machines=num_machines, slots_per_machine=slots_per_machine)
+    scheduler = FirmamentScheduler(QuincyPolicy())
+    return ClusterSimulator(state, scheduler, SimulationConfig(max_time=max_time)), state
+
+
+class TestFailureInjector:
+    def test_schedule_is_deterministic_for_a_seed(self):
+        state = make_cluster_state(num_machines=8)
+        injector = FailureInjector(mean_time_between_failures=50.0, seed=7)
+        first = injector.generate(state.topology, horizon=1_000.0)
+        second = FailureInjector(mean_time_between_failures=50.0, seed=7).generate(
+            state.topology, horizon=1_000.0
+        )
+        assert first.events == second.events
+        assert first.num_failures > 0
+
+    def test_different_seeds_differ(self):
+        state = make_cluster_state(num_machines=8)
+        a = FailureInjector(mean_time_between_failures=50.0, seed=1).generate(
+            state.topology, horizon=1_000.0
+        )
+        b = FailureInjector(mean_time_between_failures=50.0, seed=2).generate(
+            state.topology, horizon=1_000.0
+        )
+        assert a.events != b.events
+
+    def test_failures_respect_horizon_and_start_time(self):
+        state = make_cluster_state(num_machines=4)
+        injector = FailureInjector(mean_time_between_failures=20.0, seed=3)
+        schedule = injector.generate(state.topology, horizon=500.0, start_time=100.0)
+        assert all(100.0 <= event.fail_time < 500.0 for event in schedule.events)
+
+    def test_empty_horizon_gives_empty_schedule(self):
+        state = make_cluster_state(num_machines=4)
+        injector = FailureInjector()
+        assert injector.generate(state.topology, horizon=0.0).num_failures == 0
+
+    def test_machine_does_not_fail_while_down(self):
+        state = make_cluster_state(num_machines=2)
+        injector = FailureInjector(
+            mean_time_between_failures=5.0, mean_time_to_repair=10_000.0, seed=5
+        )
+        schedule = injector.generate(state.topology, horizon=500.0)
+        # With a repair time far beyond the horizon each machine can fail at
+        # most once.
+        machines = [event.machine_id for event in schedule.events]
+        assert len(machines) == len(set(machines))
+
+    def test_no_recovery_when_mttr_is_zero(self):
+        state = make_cluster_state(num_machines=4)
+        injector = FailureInjector(
+            mean_time_between_failures=20.0, mean_time_to_repair=0.0, seed=11
+        )
+        schedule = injector.generate(state.topology, horizon=400.0)
+        assert schedule.num_failures > 0
+        assert all(event.recover_time is None for event in schedule.events)
+
+    def test_eligible_machines_restriction(self):
+        state = make_cluster_state(num_machines=8)
+        injector = FailureInjector(mean_time_between_failures=10.0, seed=13)
+        schedule = injector.generate(
+            state.topology, horizon=500.0, eligible_machines=[0, 1]
+        )
+        assert set(schedule.machines_affected()).issubset({0, 1})
+
+    def test_invalid_mtbf_rejected(self):
+        with pytest.raises(ValueError):
+            FailureInjector(mean_time_between_failures=0.0)
+
+
+class TestSimulatorFailureHandling:
+    def test_failure_evicts_and_rescheduler_replaces_tasks(self):
+        simulator, state = make_simulator(num_machines=4, max_time=100.0)
+        job = make_job(job_id=1, num_tasks=4, duration=80.0)
+        simulator.submit_jobs([job])
+        simulator.fail_machine_at(0, time=10.0)
+        result = simulator.run()
+        # The machine is down, yet every task eventually completes because
+        # evicted tasks are re-placed on the remaining machines.
+        assert result.metrics.tasks_completed == 4
+        assert not state.topology.machine(0).is_available
+
+    def test_recovery_makes_machine_usable_again(self):
+        simulator, state = make_simulator(num_machines=2, slots_per_machine=1, max_time=300.0)
+        job = make_job(job_id=1, num_tasks=2, duration=50.0)
+        simulator.submit_jobs([job])
+        simulator.fail_machine_at(0, time=5.0)
+        simulator.recover_machine_at(0, time=20.0)
+        result = simulator.run()
+        assert state.topology.machine(0).is_available
+        assert result.metrics.tasks_completed == 2
+
+    def test_stale_completion_after_eviction_is_ignored(self):
+        simulator, state = make_simulator(num_machines=2, slots_per_machine=2, max_time=300.0)
+        job = make_job(job_id=1, num_tasks=1, duration=40.0)
+        simulator.submit_jobs([job])
+        # Fail the machine shortly before the task would have completed had
+        # it kept running; the restarted task must run its full duration.
+        simulator.fail_machine_at(0, time=30.0)
+        simulator.fail_machine_at(1, time=30.0)
+        simulator.recover_machine_at(0, time=35.0)
+        simulator.recover_machine_at(1, time=35.0)
+        result = simulator.run()
+        task = state.tasks[job.tasks[0].task_id]
+        assert task.is_finished
+        # Restarted around t>=35 with a 40 s duration: cannot finish before 75.
+        assert task.finish_time >= 70.0
+        assert result.metrics.tasks_completed == 1
+
+    def test_failing_unknown_or_failed_machine_is_harmless(self):
+        simulator, state = make_simulator(num_machines=2, max_time=50.0)
+        job = make_job(job_id=1, num_tasks=1, duration=10.0)
+        simulator.submit_jobs([job])
+        simulator.fail_machine_at(99, time=1.0)
+        simulator.fail_machine_at(0, time=2.0)
+        simulator.fail_machine_at(0, time=3.0)
+        simulator.recover_machine_at(99, time=4.0)
+        result = simulator.run()
+        assert result.metrics.tasks_completed == 1
+
+    def test_injector_install_into_simulator(self):
+        simulator, state = make_simulator(num_machines=6, max_time=150.0)
+        job = make_job(job_id=1, num_tasks=6, duration=30.0)
+        simulator.submit_jobs([job])
+        injector = FailureInjector(
+            mean_time_between_failures=40.0, mean_time_to_repair=20.0, seed=21
+        )
+        schedule = injector.inject(simulator, horizon=150.0)
+        assert isinstance(schedule, FailureSchedule)
+        result = simulator.run()
+        assert result.metrics.tasks_completed == 6

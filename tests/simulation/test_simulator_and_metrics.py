@@ -1,0 +1,182 @@
+"""Unit and integration tests for the event-driven simulator and metrics."""
+
+import pytest
+
+from repro.baselines import SparrowScheduler, SwarmKitScheduler
+from repro.core import FirmamentScheduler, LoadSpreadingPolicy, QuincyPolicy
+from repro.simulation.metrics import collect_metrics, input_data_locality
+from repro.simulation.simulator import ClusterSimulator, SimulationConfig
+from repro.simulation.trace import GoogleTraceGenerator, TraceConfig
+from tests.conftest import make_cluster_state, make_job
+
+
+class TestSimulatorBasics:
+    def test_single_job_runs_to_completion(self):
+        state = make_cluster_state(num_machines=4, slots_per_machine=2)
+        simulator = ClusterSimulator(
+            state, FirmamentScheduler(QuincyPolicy()), SimulationConfig(max_time=100.0)
+        )
+        simulator.submit_job(make_job(job_id=1, num_tasks=4, duration=5.0, submit_time=1.0))
+        result = simulator.run()
+        metrics = result.metrics
+        assert metrics.tasks_placed == 4
+        assert metrics.tasks_completed == 4
+        assert metrics.tasks_unplaced == 0
+        assert len(result.schedule_records) >= 1
+        assert all(t.finish_time is not None for t in state.tasks.values())
+        # Response time is at least the task duration.
+        assert metrics.response_time_percentile(0) >= 5.0
+
+    def test_placement_latency_includes_solver_runtime(self):
+        state = make_cluster_state(num_machines=4, slots_per_machine=2)
+        config = SimulationConfig(max_time=50.0, runtime_scale=100.0)
+        simulator = ClusterSimulator(state, FirmamentScheduler(QuincyPolicy()), config)
+        simulator.submit_job(make_job(job_id=1, num_tasks=3, duration=2.0, submit_time=0.0))
+        result = simulator.run()
+        # The (scaled) solver runtime shows up as placement latency.
+        scaled_runtime = result.schedule_records[0].algorithm_runtime
+        assert result.metrics.placement_latency_percentile(50) >= scaled_runtime * 0.5
+
+    def test_queue_based_scheduler_places_tasks_one_by_one(self):
+        state = make_cluster_state(num_machines=4, slots_per_machine=2)
+        scheduler = SparrowScheduler(per_task_decision_seconds=0.01)
+        simulator = ClusterSimulator(state, scheduler, SimulationConfig(max_time=50.0))
+        simulator.submit_job(make_job(job_id=1, num_tasks=4, duration=2.0, submit_time=0.0))
+        result = simulator.run()
+        latencies = sorted(result.metrics.placement_latencies)
+        assert len(latencies) == 4
+        # Tasks placed later in the queue waited longer.
+        assert latencies[-1] > latencies[0]
+
+    def test_tasks_queue_when_cluster_is_full(self):
+        state = make_cluster_state(num_machines=2, slots_per_machine=1)
+        simulator = ClusterSimulator(
+            state, FirmamentScheduler(QuincyPolicy()), SimulationConfig(max_time=200.0)
+        )
+        simulator.submit_job(make_job(job_id=1, num_tasks=6, duration=5.0, submit_time=0.0))
+        result = simulator.run()
+        # All six tasks eventually completed on two slots.
+        assert result.metrics.tasks_completed == 6
+        # The last tasks had to wait for at least two full task durations.
+        assert result.metrics.placement_latency_percentile(100) >= 10.0
+
+    def test_service_tasks_never_complete(self):
+        from repro.cluster.task import JobType
+
+        state = make_cluster_state(num_machines=4, slots_per_machine=2)
+        simulator = ClusterSimulator(
+            state, FirmamentScheduler(QuincyPolicy()), SimulationConfig(max_time=30.0)
+        )
+        simulator.submit_job(
+            make_job(job_id=1, num_tasks=2, duration=None, job_type=JobType.SERVICE)
+        )
+        result = simulator.run()
+        assert result.metrics.tasks_placed == 2
+        assert result.metrics.tasks_completed == 0
+        assert all(t.is_running for t in state.tasks.values())
+
+    def test_multiple_jobs_over_time(self):
+        state = make_cluster_state(num_machines=6, slots_per_machine=2)
+        simulator = ClusterSimulator(
+            state, FirmamentScheduler(LoadSpreadingPolicy()), SimulationConfig(max_time=100.0)
+        )
+        for index in range(5):
+            simulator.submit_job(
+                make_job(job_id=index + 1, num_tasks=3, duration=4.0, submit_time=index * 3.0)
+            )
+        result = simulator.run()
+        assert result.metrics.tasks_completed == 15
+        assert len(result.schedule_records) >= 5
+
+    def test_reschedule_running_flag(self):
+        state = make_cluster_state(num_machines=4, slots_per_machine=2)
+        job = make_job(job_id=1, num_tasks=2, duration=None)
+        state.submit_job(job)
+        state.place_task(job.tasks[0].task_id, 0, 0.0)
+        state.place_task(job.tasks[1].task_id, 0, 0.0)
+        config = SimulationConfig(max_time=5.0, reschedule_running=True)
+        simulator = ClusterSimulator(state, FirmamentScheduler(LoadSpreadingPolicy()), config)
+        simulator.submit_job(make_job(job_id=2, num_tasks=1, duration=1.0, submit_time=0.5))
+        result = simulator.run()
+        assert result.schedule_records
+
+
+class TestMetrics:
+    def test_collect_metrics_from_state(self):
+        state = make_cluster_state(num_machines=2, slots_per_machine=2)
+        job = make_job(job_id=1, num_tasks=2, duration=5.0)
+        state.submit_job(job)
+        state.place_task(job.tasks[0].task_id, 0, now=1.0)
+        state.complete_task(job.tasks[0].task_id, now=6.0)
+        summary = collect_metrics(state, algorithm_runtimes=[0.25, 0.75])
+        assert summary.tasks_placed == 1
+        assert summary.tasks_completed == 1
+        assert summary.tasks_unplaced == 1
+        assert summary.placement_latency_percentile(50) == pytest.approx(1.0)
+        assert summary.response_time_percentile(50) == pytest.approx(6.0)
+        assert summary.mean_algorithm_runtime() == pytest.approx(0.5)
+        assert summary.algorithm_runtime_percentile(100) == pytest.approx(0.75)
+
+    def test_job_response_time_requires_all_tasks(self):
+        state = make_cluster_state()
+        job = make_job(job_id=1, num_tasks=2, duration=5.0)
+        state.submit_job(job)
+        state.place_task(job.tasks[0].task_id, 0, now=0.0)
+        state.complete_task(job.tasks[0].task_id, now=5.0)
+        summary = collect_metrics(state)
+        assert summary.job_response_times == []
+
+    def test_data_locality_metric(self):
+        state = make_cluster_state()
+        job = make_job(
+            job_id=1, num_tasks=1, input_size_gb=10.0, input_locality={0: 0.8, 1: 0.1}
+        )
+        state.submit_job(job)
+        state.place_task(job.tasks[0].task_id, 0, now=0.0)
+        assert input_data_locality(state) == pytest.approx(0.8)
+        state.complete_task(job.tasks[0].task_id, now=5.0)
+        assert input_data_locality(state) == pytest.approx(0.8)
+
+    def test_data_locality_ignores_tasks_without_input(self):
+        state = make_cluster_state()
+        job = make_job(job_id=1, num_tasks=1)
+        state.submit_job(job)
+        state.place_task(job.tasks[0].task_id, 0, now=0.0)
+        assert input_data_locality(state) == 0.0
+
+    def test_empty_metrics(self):
+        state = make_cluster_state()
+        summary = collect_metrics(state)
+        assert summary.placement_latencies == []
+        assert summary.mean_algorithm_runtime() == 0.0
+
+
+class TestTraceReplayIntegration:
+    def test_firmament_keeps_up_with_small_trace(self):
+        config = TraceConfig(num_machines=16, slots_per_machine=4,
+                             target_utilization=0.4, duration=80.0, seed=21)
+        state = make_cluster_state(num_machines=16, machines_per_rack=8, slots_per_machine=4)
+        simulator = ClusterSimulator(
+            state, FirmamentScheduler(QuincyPolicy()), SimulationConfig(max_time=80.0)
+        )
+        simulator.submit_jobs(GoogleTraceGenerator(config).generate())
+        result = simulator.run()
+        assert result.metrics.tasks_placed > 0
+        # Placement latencies on a small cluster are far below a second.
+        assert result.metrics.placement_latency_percentile(50) < 1.0
+
+    def test_same_trace_same_results_for_deterministic_scheduler(self):
+        config = TraceConfig(num_machines=12, duration=60.0, seed=31, service_job_fraction=0.0)
+
+        def run_once():
+            state = make_cluster_state(num_machines=12, machines_per_rack=6)
+            simulator = ClusterSimulator(
+                state, SwarmKitScheduler(), SimulationConfig(max_time=60.0)
+            )
+            simulator.submit_jobs(GoogleTraceGenerator(config).generate())
+            return simulator.run()
+
+        first = run_once()
+        second = run_once()
+        assert first.metrics.tasks_completed == second.metrics.tasks_completed
+        assert first.metrics.response_times == second.metrics.response_times

@@ -1,0 +1,131 @@
+"""Unit tests for the synthetic trace generator and experiment workloads."""
+
+import pytest
+
+from repro.cluster.task import JobType
+from repro.simulation.trace import GoogleTraceGenerator, TraceConfig
+from repro.simulation.workload import (
+    fill_cluster_to_utilization,
+    make_job_of_short_tasks,
+    make_single_large_job,
+)
+from tests.conftest import make_cluster_state
+
+
+class TestTraceGenerator:
+    def test_deterministic_given_seed(self):
+        config = TraceConfig(num_machines=20, duration=120.0, seed=5)
+        first = GoogleTraceGenerator(config).generate()
+        second = GoogleTraceGenerator(config).generate()
+        assert len(first) == len(second)
+        assert [j.num_tasks for j in first] == [j.num_tasks for j in second]
+        assert [j.submit_time for j in first] == [j.submit_time for j in second]
+
+    def test_jobs_arrive_within_duration(self):
+        config = TraceConfig(num_machines=20, duration=100.0, seed=1)
+        jobs = GoogleTraceGenerator(config).generate()
+        assert jobs, "the trace should contain jobs"
+        assert all(0 <= j.submit_time < 100.0 for j in jobs)
+
+    def test_mix_of_batch_and_service_jobs(self):
+        config = TraceConfig(num_machines=50, duration=600.0, seed=2,
+                             service_job_fraction=0.3)
+        jobs = GoogleTraceGenerator(config).generate()
+        types = {j.job_type for j in jobs}
+        assert JobType.BATCH in types
+        assert JobType.SERVICE in types
+        for job in jobs:
+            for task in job.tasks:
+                if job.job_type is JobType.SERVICE:
+                    assert task.duration is None
+                    assert task.priority == 10
+                else:
+                    assert task.duration is not None and task.duration > 0
+
+    def test_batch_tasks_have_inputs_and_locality(self):
+        config = TraceConfig(num_machines=30, duration=300.0, seed=3,
+                             service_job_fraction=0.0)
+        jobs = GoogleTraceGenerator(config).generate()
+        tasks = [t for j in jobs for t in j.tasks]
+        assert all(t.input_size_gb > 0 for t in tasks)
+        assert all(t.input_locality for t in tasks)
+        for task in tasks:
+            assert all(0 < f <= 1.0 for f in task.input_locality.values())
+            assert all(0 <= m < 30 for m in task.input_locality)
+
+    def test_speedup_shortens_durations_and_gaps(self):
+        slow_config = TraceConfig(num_machines=30, duration=300.0, seed=4, speedup=1.0,
+                                  service_job_fraction=0.0)
+        fast_config = TraceConfig(num_machines=30, duration=300.0, seed=4, speedup=10.0,
+                                  service_job_fraction=0.0)
+        slow_jobs = GoogleTraceGenerator(slow_config).generate()
+        fast_jobs = GoogleTraceGenerator(fast_config).generate()
+        slow_mean = sum(t.duration for j in slow_jobs for t in j.tasks) / sum(
+            j.num_tasks for j in slow_jobs
+        )
+        fast_mean = sum(t.duration for j in fast_jobs for t in j.tasks) / sum(
+            j.num_tasks for j in fast_jobs
+        )
+        assert fast_mean < slow_mean / 3
+        # More jobs arrive per unit time under speedup.
+        assert len(fast_jobs) > len(slow_jobs)
+
+    def test_job_size_tail_exists(self):
+        config = TraceConfig(num_machines=100, duration=2_000.0, seed=6,
+                             large_job_fraction=0.1, large_job_scale=20.0)
+        jobs = GoogleTraceGenerator(config).generate()
+        sizes = [j.num_tasks for j in jobs]
+        assert max(sizes) > 5 * (sum(sizes) / len(sizes))
+
+    def test_steady_state_jobs_hits_task_target(self):
+        config = TraceConfig(num_machines=20, seed=7)
+        jobs = GoogleTraceGenerator(config).steady_state_jobs(num_tasks_target=37)
+        assert sum(j.num_tasks for j in jobs) == 37
+
+    def test_explicit_job_size(self):
+        generator = GoogleTraceGenerator(TraceConfig(seed=8))
+        job = generator.generate_job(submit_time=3.0, num_tasks=12)
+        assert job.num_tasks == 12
+        assert job.submit_time == 3.0
+        assert all(t.submit_time == 3.0 for t in job.tasks)
+
+    def test_task_ids_unique_across_jobs(self):
+        generator = GoogleTraceGenerator(TraceConfig(num_machines=20, duration=200.0, seed=9))
+        jobs = generator.generate()
+        ids = [t.task_id for j in jobs for t in j.tasks]
+        assert len(ids) == len(set(ids))
+
+
+class TestExperimentWorkloads:
+    def test_single_large_job(self):
+        job = make_single_large_job(num_tasks=500, submit_time=2.0)
+        assert job.num_tasks == 500
+        assert job.submit_time == 2.0
+        assert len({t.task_id for t in job.tasks}) == 500
+
+    def test_job_of_short_tasks(self):
+        job = make_job_of_short_tasks(
+            job_id=3, num_tasks=10, task_duration=0.5, submit_time=1.0, task_id_offset=100
+        )
+        assert job.num_tasks == 10
+        assert all(t.duration == 0.5 for t in job.tasks)
+        assert job.tasks[0].task_id == 100
+
+    def test_fill_cluster_to_utilization(self):
+        state = make_cluster_state(num_machines=10, slots_per_machine=4)
+        jobs = fill_cluster_to_utilization(state, utilization=0.75)
+        assert state.slot_utilization() == pytest.approx(0.75)
+        assert jobs
+        # Pre-filled tasks are spread, not piled onto one machine.
+        counts = [state.task_count_on_machine(m) for m in state.topology.machines]
+        assert max(counts) - min(counts) <= 1
+
+    def test_fill_cluster_full(self):
+        state = make_cluster_state(num_machines=4, slots_per_machine=2)
+        fill_cluster_to_utilization(state, utilization=1.0)
+        assert state.total_free_slots() == 0
+
+    def test_fill_cluster_validation(self):
+        state = make_cluster_state()
+        with pytest.raises(ValueError):
+            fill_cluster_to_utilization(state, utilization=1.5)

@@ -1,0 +1,98 @@
+"""Unit tests for the cycle canceling and successive shortest path solvers."""
+
+import pytest
+
+from repro.flow.graph import FlowNetwork, NodeType
+from repro.flow.validation import assert_optimal, check_feasibility
+from repro.solvers.base import InfeasibleProblemError
+from repro.solvers.cycle_canceling import CycleCancelingSolver
+from repro.solvers.successive_shortest_path import SuccessiveShortestPathSolver
+from tests.conftest import build_scheduling_network, reference_min_cost
+
+
+class TestCycleCanceling:
+    def test_optimal_on_small_graph(self):
+        network = build_scheduling_network(seed=21)
+        expected = reference_min_cost(network)
+        result = CycleCancelingSolver().solve(network)
+        assert result.total_cost == expected
+        assert_optimal(network)
+
+    def test_counts_canceled_cycles(self):
+        network = FlowNetwork()
+        task = network.add_node(NodeType.TASK, supply=1)
+        cheap = network.add_node(NodeType.MACHINE)
+        costly = network.add_node(NodeType.MACHINE)
+        sink = network.add_node(NodeType.SINK, supply=-1)
+        # BFS feasibility will route through whatever it finds first; if that
+        # is the expensive machine, exactly one cycle cancellation fixes it.
+        network.add_arc(task.node_id, costly.node_id, 1, 10)
+        network.add_arc(task.node_id, cheap.node_id, 1, 1)
+        network.add_arc(costly.node_id, sink.node_id, 1, 0)
+        network.add_arc(cheap.node_id, sink.node_id, 1, 0)
+        result = CycleCancelingSolver().solve(network)
+        assert result.total_cost == 1
+        assert result.statistics.negative_cycles_canceled <= 2
+
+    def test_iteration_limit_yields_feasible_but_suboptimal_flow(self):
+        network = build_scheduling_network(seed=22, num_tasks=12, max_cost=50)
+        limited = CycleCancelingSolver(max_iterations=0).solve(network)
+        assert not limited.optimal
+        assert check_feasibility(network) == []
+        full = CycleCancelingSolver().solve(network.copy())
+        assert limited.total_cost >= full.total_cost
+
+    def test_infeasible_problem_raises(self):
+        network = FlowNetwork()
+        task = network.add_node(NodeType.TASK, supply=1)
+        sink = network.add_node(NodeType.SINK, supply=-1)
+        network.add_arc(task.node_id, sink.node_id, 0, 1)
+        with pytest.raises(InfeasibleProblemError):
+            CycleCancelingSolver().solve(network)
+
+
+class TestSuccessiveShortestPath:
+    def test_optimal_on_small_graph(self):
+        network = build_scheduling_network(seed=23)
+        expected = reference_min_cost(network)
+        result = SuccessiveShortestPathSolver().solve(network)
+        assert result.total_cost == expected
+        assert_optimal(network, result.potentials)
+
+    def test_one_augmentation_per_unit_of_supply_at_most(self):
+        network = build_scheduling_network(seed=24, num_tasks=9)
+        result = SuccessiveShortestPathSolver().solve(network)
+        assert result.statistics.augmentations <= 9 * 2
+        assert result.statistics.augmentations >= 1
+
+    def test_handles_negative_costs_via_bellman_ford_init(self):
+        network = FlowNetwork()
+        task = network.add_node(NodeType.TASK, supply=1)
+        machine = network.add_node(NodeType.MACHINE)
+        sink = network.add_node(NodeType.SINK, supply=-1)
+        network.add_arc(task.node_id, machine.node_id, 1, -3)
+        network.add_arc(machine.node_id, sink.node_id, 1, 2)
+        result = SuccessiveShortestPathSolver().solve(network)
+        assert result.total_cost == -1
+        assert check_feasibility(network) == []
+
+    def test_infeasible_problem_raises(self):
+        network = FlowNetwork()
+        task = network.add_node(NodeType.TASK, supply=1)
+        machine = network.add_node(NodeType.MACHINE)
+        sink = network.add_node(NodeType.SINK, supply=-1)
+        network.add_arc(machine.node_id, sink.node_id, 1, 0)  # task is isolated
+        with pytest.raises(InfeasibleProblemError):
+            SuccessiveShortestPathSolver().solve(network)
+
+    def test_multi_unit_supplies(self):
+        """Supplies larger than one (aggregated tasks) are routed correctly."""
+        network = FlowNetwork()
+        group = network.add_node(NodeType.TASK, supply=3)
+        machine = network.add_node(NodeType.MACHINE)
+        sink = network.add_node(NodeType.SINK, supply=-3)
+        network.add_arc(group.node_id, machine.node_id, 3, 2)
+        network.add_arc(machine.node_id, sink.node_id, 3, 0)
+        result = SuccessiveShortestPathSolver().solve(network)
+        assert result.total_cost == 6
+        assert network.arc(group.node_id, machine.node_id).flow == 3

@@ -1,0 +1,101 @@
+"""Unit tests for the speculative dual-algorithm executor."""
+
+import pytest
+
+from repro.flow.validation import check_feasibility
+from repro.solvers.base import COMPLEXITY_TABLE, PRECONDITION_TABLE, SolverStatistics
+from repro.solvers.dual_executor import DualAlgorithmExecutor
+from repro.solvers.incremental import IncrementalCostScalingSolver
+from repro.solvers.relaxation import RelaxationSolver
+from tests.conftest import build_scheduling_network, reference_min_cost
+
+
+class TestDualExecution:
+    def test_winner_is_optimal_and_applied_to_network(self):
+        executor = DualAlgorithmExecutor()
+        network = build_scheduling_network(seed=41, num_tasks=10)
+        expected = reference_min_cost(network)
+        detailed = executor.solve_detailed(network)
+        assert detailed.winner.total_cost == expected
+        assert detailed.relaxation.total_cost == expected
+        assert detailed.cost_scaling.total_cost == expected
+        assert check_feasibility(network) == []
+
+    def test_effective_runtime_is_min_and_work_is_sum(self):
+        executor = DualAlgorithmExecutor()
+        network = build_scheduling_network(seed=42, num_tasks=10)
+        detailed = executor.solve_detailed(network)
+        assert detailed.effective_runtime_seconds == pytest.approx(
+            min(
+                detailed.relaxation.runtime_seconds,
+                detailed.cost_scaling.runtime_seconds,
+            )
+        )
+        assert detailed.total_work_seconds == pytest.approx(
+            detailed.relaxation.runtime_seconds + detailed.cost_scaling.runtime_seconds
+        )
+        assert detailed.winning_algorithm in (
+            "relaxation",
+            "incremental_cost_scaling",
+        )
+
+    def test_solve_returns_winner(self):
+        executor = DualAlgorithmExecutor()
+        network = build_scheduling_network(seed=43)
+        result = executor.solve(network)
+        assert result is executor.last_result.winner
+
+    def test_relaxation_win_seeds_incremental_state(self):
+        executor = DualAlgorithmExecutor()
+        network = build_scheduling_network(seed=44, num_tasks=12)
+        detailed = executor.solve_detailed(network)
+        if detailed.winning_algorithm == "relaxation":
+            assert executor.incremental.has_state
+
+    def test_repeated_solving_stays_optimal(self):
+        executor = DualAlgorithmExecutor()
+        base = build_scheduling_network(seed=45, num_tasks=10)
+        for round_index in range(3):
+            network = base.copy()
+            # Perturb one cost each round, as monitoring updates would.
+            arc = next(a for a in network.arcs() if a.cost > 0)
+            network.set_arc_cost(arc.src, arc.dst, arc.cost + round_index)
+            expected = reference_min_cost(network)
+            result = executor.solve(network)
+            assert result.total_cost == expected
+
+    def test_custom_component_solvers_are_used(self):
+        relaxation = RelaxationSolver(arc_prioritization=False)
+        incremental = IncrementalCostScalingSolver(alpha=9)
+        executor = DualAlgorithmExecutor(relaxation=relaxation, incremental=incremental)
+        assert executor.relaxation is relaxation
+        assert executor.incremental is incremental
+        network = build_scheduling_network(seed=46)
+        assert executor.solve(network).total_cost == reference_min_cost(network)
+
+
+class TestStaticTables:
+    def test_complexity_table_covers_all_algorithms(self):
+        assert set(COMPLEXITY_TABLE) == {
+            "relaxation",
+            "cycle_canceling",
+            "cost_scaling",
+            "successive_shortest_path",
+        }
+
+    def test_precondition_table_matches_paper(self):
+        assert PRECONDITION_TABLE["cost_scaling"]["feasibility"]
+        assert PRECONDITION_TABLE["cost_scaling"]["epsilon_optimality"]
+        assert PRECONDITION_TABLE["relaxation"]["reduced_cost_optimality"]
+        assert not PRECONDITION_TABLE["relaxation"]["feasibility"]
+        assert PRECONDITION_TABLE["cycle_canceling"]["feasibility"]
+        assert PRECONDITION_TABLE["successive_shortest_path"]["reduced_cost_optimality"]
+
+    def test_statistics_merge(self):
+        first = SolverStatistics(iterations=2, pushes=3)
+        second = SolverStatistics(iterations=1, relabels=4, warm_start=True)
+        merged = first.merge(second)
+        assert merged.iterations == 3
+        assert merged.pushes == 3
+        assert merged.relabels == 4
+        assert merged.warm_start

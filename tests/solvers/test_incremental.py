@@ -1,0 +1,154 @@
+"""Unit tests for incremental cost scaling and the task-removal heuristic."""
+
+import pytest
+
+from repro.flow.graph import FlowNetwork, NodeType
+from repro.flow.validation import check_feasibility
+from repro.solvers.incremental import (
+    IncrementalCostScalingSolver,
+    drain_removed_task_flow,
+)
+from tests.conftest import build_scheduling_network, reference_min_cost
+
+
+def quincy_like_network(num_tasks=6, num_machines=3):
+    """Scheduling network with an explicit cluster aggregator layer."""
+    net = FlowNetwork()
+    sink = net.add_node(NodeType.SINK, supply=-num_tasks, name="S")
+    aggregator = net.add_node(NodeType.CLUSTER_AGGREGATOR, name="X")
+    machines = []
+    for index in range(num_machines):
+        machine = net.add_node(NodeType.MACHINE, name=f"M{index}", ref=index)
+        machines.append(machine)
+        net.add_arc(machine.node_id, sink.node_id, 2, 0)
+        net.add_arc(aggregator.node_id, machine.node_id, 2, index + 1)
+    unsched = net.add_node(NodeType.UNSCHEDULED_AGGREGATOR, name="U0")
+    net.add_arc(unsched.node_id, sink.node_id, num_tasks, 0)
+    tasks = []
+    for index in range(num_tasks):
+        task = net.add_node(NodeType.TASK, supply=1, name=f"T{index}", ref=index)
+        tasks.append(task)
+        net.add_arc(task.node_id, aggregator.node_id, 1, 0)
+        net.add_arc(task.node_id, unsched.node_id, 1, 40)
+    return net, tasks, machines, aggregator, unsched, sink
+
+
+class TestStatefulSolving:
+    def test_first_solve_runs_from_scratch(self):
+        solver = IncrementalCostScalingSolver()
+        network = build_scheduling_network(seed=31)
+        expected = reference_min_cost(network)
+        assert not solver.has_state
+        result = solver.solve(network)
+        assert result.total_cost == expected
+        assert solver.has_state
+        assert not result.statistics.warm_start
+
+    def test_second_solve_warm_starts(self):
+        solver = IncrementalCostScalingSolver()
+        network = build_scheduling_network(seed=32)
+        solver.solve(network.copy())
+        second = solver.solve(network.copy())
+        assert second.statistics.warm_start
+        assert second.total_cost == reference_min_cost(network)
+
+    def test_reset_discards_state(self):
+        solver = IncrementalCostScalingSolver()
+        solver.solve(build_scheduling_network(seed=33))
+        solver.reset()
+        assert not solver.has_state
+
+    def test_seed_installs_external_solution(self):
+        from repro.solvers.relaxation import RelaxationSolver
+
+        network = build_scheduling_network(seed=34)
+        relaxation = RelaxationSolver().solve(network.copy())
+        solver = IncrementalCostScalingSolver()
+        solver.seed(relaxation.flows, relaxation.potentials)
+        assert solver.has_state
+        result = solver.solve(network.copy())
+        assert result.statistics.warm_start
+        assert result.total_cost == relaxation.total_cost
+
+    def test_reoptimizes_after_cost_changes(self):
+        solver = IncrementalCostScalingSolver()
+        network, tasks, machines, aggregator, unsched, sink = quincy_like_network()
+        solver.solve(network)
+        # Make machine 0 very expensive; the optimum must shift away from it.
+        changed = network.copy()
+        changed.set_arc_cost(aggregator.node_id, machines[0].node_id, 99)
+        changed.clear_flow()
+        expected = reference_min_cost(changed)
+        result = solver.solve(changed)
+        assert result.total_cost == expected
+        assert check_feasibility(changed) == []
+
+    def test_handles_task_arrivals_and_departures(self):
+        solver = IncrementalCostScalingSolver()
+        network, tasks, machines, aggregator, unsched, sink = quincy_like_network(num_tasks=4)
+        solver.solve(network)
+
+        # One task finishes (node removed), one new task arrives.
+        evolved = network.copy()
+        evolved.remove_node(tasks[0].node_id)
+        new_task = evolved.add_node(NodeType.TASK, supply=1, name="Tnew")
+        evolved.add_arc(new_task.node_id, aggregator.node_id, 1, 0)
+        evolved.add_arc(new_task.node_id, unsched.node_id, 1, 40)
+        evolved.set_supply(sink.node_id, -4)
+        evolved.clear_flow()
+        expected = reference_min_cost(evolved)
+        result = solver.solve(evolved)
+        assert result.total_cost == expected
+        assert check_feasibility(evolved) == []
+
+
+class TestTaskRemovalHeuristic:
+    def test_drain_removes_stale_flow_path(self):
+        network, tasks, machines, aggregator, unsched, sink = quincy_like_network(num_tasks=3)
+        # Build a warm flow where task 0 ran via the aggregator on machine 0.
+        warm_flows = {
+            (tasks[0].node_id, aggregator.node_id): 1,
+            (aggregator.node_id, machines[0].node_id): 1,
+            (machines[0].node_id, sink.node_id): 1,
+        }
+        # The task node disappears (completion) before the next run.
+        network.remove_node(tasks[0].node_id)
+        network.set_supply(sink.node_id, -2)
+        drained = drain_removed_task_flow(network, warm_flows)
+        assert drained == 1
+        assert warm_flows == {}
+
+    def test_drain_keeps_flow_of_live_tasks(self):
+        network, tasks, machines, aggregator, unsched, sink = quincy_like_network(num_tasks=2)
+        warm_flows = {
+            (tasks[0].node_id, aggregator.node_id): 1,
+            (tasks[1].node_id, aggregator.node_id): 1,
+            (aggregator.node_id, machines[0].node_id): 2,
+            (machines[0].node_id, sink.node_id): 2,
+        }
+        drained = drain_removed_task_flow(network, dict_copy := dict(warm_flows))
+        assert drained == 0
+        assert dict_copy == warm_flows
+
+    def test_heuristic_toggle_produces_same_cost(self):
+        for enabled in (True, False):
+            solver = IncrementalCostScalingSolver(efficient_task_removal=enabled)
+            network, tasks, machines, aggregator, unsched, sink = quincy_like_network()
+            solver.solve(network)
+            evolved = network.copy()
+            evolved.remove_node(tasks[0].node_id)
+            evolved.set_supply(sink.node_id, sink.supply + 1)
+            evolved.clear_flow()
+            expected = reference_min_cost(evolved)
+            assert solver.solve(evolved).total_cost == expected
+
+    def test_price_refine_toggle_produces_same_cost(self):
+        for enabled in (True, False):
+            solver = IncrementalCostScalingSolver(apply_price_refine=enabled)
+            network = build_scheduling_network(seed=36, num_tasks=10)
+            solver.solve(network.copy())
+            changed = network.copy()
+            arc = next(a for a in changed.arcs() if a.cost > 0)
+            changed.set_arc_cost(arc.src, arc.dst, arc.cost + 7)
+            expected = reference_min_cost(changed)
+            assert solver.solve(changed).total_cost == expected

@@ -1,0 +1,168 @@
+"""Cross-solver equivalence and oracle tests.
+
+Every MCMF solver must produce a feasible flow whose total cost equals the
+optimum computed by networkx (an independent implementation).  These tests
+are the backbone of the solver suite: the individual algorithm tests check
+algorithm-specific behaviour, while this module checks the one property that
+matters for the scheduler -- optimality.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.flow.validation import assert_optimal, check_feasibility, flow_cost
+from repro.solvers import (
+    CostScalingSolver,
+    CycleCancelingSolver,
+    IncrementalCostScalingSolver,
+    RelaxationSolver,
+    SuccessiveShortestPathSolver,
+    make_solver,
+)
+from tests.conftest import (
+    build_contended_network,
+    build_scheduling_network,
+    reference_min_cost,
+)
+
+ALL_SOLVERS = [
+    CycleCancelingSolver,
+    SuccessiveShortestPathSolver,
+    CostScalingSolver,
+    RelaxationSolver,
+    IncrementalCostScalingSolver,
+]
+
+
+@pytest.mark.parametrize("solver_class", ALL_SOLVERS)
+@pytest.mark.parametrize("seed", range(8))
+def test_solver_matches_networkx_on_random_scheduling_graphs(solver_class, seed):
+    network = build_scheduling_network(seed=seed, num_tasks=8, num_machines=5)
+    expected = reference_min_cost(network)
+    result = solver_class().solve(network)
+    assert result.total_cost == expected
+    assert result.total_cost == flow_cost(network)
+    assert check_feasibility(network) == []
+    assert_optimal(network)
+
+
+@pytest.mark.parametrize("solver_class", ALL_SOLVERS)
+def test_solver_on_contended_graph(solver_class):
+    network = build_contended_network(num_tasks=30, num_machines=4, slots_per_machine=2)
+    expected = reference_min_cost(network)
+    result = solver_class().solve(network)
+    assert result.total_cost == expected
+    assert check_feasibility(network) == []
+
+
+@pytest.mark.parametrize("solver_class", ALL_SOLVERS)
+def test_solver_routes_all_supply(solver_class):
+    network = build_scheduling_network(seed=3, num_tasks=10, num_machines=4)
+    solver_class().solve(network)
+    sink = [n for n in network.nodes() if n.supply < 0][0]
+    inflow = sum(arc.flow for arc in network.incoming(sink.node_id))
+    assert inflow == 10
+
+
+@pytest.mark.parametrize("solver_class", ALL_SOLVERS)
+def test_solver_handles_empty_workload(solver_class):
+    """A network with no task nodes (zero supply) is trivially solved."""
+    from repro.flow.graph import FlowNetwork, NodeType
+
+    network = FlowNetwork()
+    machine = network.add_node(NodeType.MACHINE)
+    sink = network.add_node(NodeType.SINK, supply=0)
+    network.add_arc(machine.node_id, sink.node_id, 4, 0)
+    result = solver_class().solve(network)
+    assert result.total_cost == 0
+    assert result.flows == {}
+
+
+@pytest.mark.parametrize("solver_class", ALL_SOLVERS)
+def test_solver_prefers_cheap_machines(solver_class):
+    """All solvers must pick the zero-cost machine over the expensive path."""
+    from repro.flow.graph import FlowNetwork, NodeType
+
+    network = FlowNetwork()
+    task = network.add_node(NodeType.TASK, supply=1)
+    good = network.add_node(NodeType.MACHINE)
+    bad = network.add_node(NodeType.MACHINE)
+    sink = network.add_node(NodeType.SINK, supply=-1)
+    network.add_arc(task.node_id, good.node_id, 1, 1)
+    network.add_arc(task.node_id, bad.node_id, 1, 50)
+    network.add_arc(good.node_id, sink.node_id, 1, 0)
+    network.add_arc(bad.node_id, sink.node_id, 1, 0)
+    result = solver_class().solve(network)
+    assert result.total_cost == 1
+    assert network.arc(task.node_id, good.node_id).flow == 1
+    assert network.arc(task.node_id, bad.node_id).flow == 0
+
+
+@pytest.mark.parametrize("name", [
+    "cycle_canceling",
+    "successive_shortest_path",
+    "cost_scaling",
+    "relaxation",
+    "incremental_cost_scaling",
+])
+def test_make_solver_registry(name):
+    solver = make_solver(name)
+    assert solver.name in (name, "incremental_cost_scaling")
+
+
+def test_make_solver_rejects_unknown_name():
+    with pytest.raises(ValueError):
+        make_solver("simplex")
+
+
+# --------------------------------------------------------------------- #
+# Property-based tests
+# --------------------------------------------------------------------- #
+@st.composite
+def scheduling_graph_params(draw):
+    return dict(
+        seed=draw(st.integers(min_value=0, max_value=10_000)),
+        num_tasks=draw(st.integers(min_value=1, max_value=14)),
+        num_machines=draw(st.integers(min_value=1, max_value=6)),
+        slots_per_machine=draw(st.integers(min_value=1, max_value=3)),
+        max_cost=draw(st.integers(min_value=2, max_value=40)),
+        preference_arcs=draw(st.integers(min_value=1, max_value=4)),
+    )
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(params=scheduling_graph_params())
+def test_property_all_solvers_agree_with_oracle(params):
+    """All four algorithms and the oracle agree on the optimal cost."""
+    network = build_scheduling_network(**params)
+    expected = reference_min_cost(network)
+    for solver_class in (
+        SuccessiveShortestPathSolver,
+        CostScalingSolver,
+        RelaxationSolver,
+    ):
+        candidate = network.copy()
+        result = solver_class().solve(candidate)
+        assert result.total_cost == expected
+        assert check_feasibility(candidate) == []
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(params=scheduling_graph_params(), alpha=st.integers(min_value=2, max_value=16))
+def test_property_cost_scaling_alpha_does_not_change_optimum(params, alpha):
+    """The alpha scaling factor is a performance knob, never a quality knob."""
+    network = build_scheduling_network(**params)
+    expected = reference_min_cost(network)
+    result = CostScalingSolver(alpha=alpha).solve(network)
+    assert result.total_cost == expected
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(params=scheduling_graph_params())
+def test_property_relaxation_heuristic_does_not_change_optimum(params):
+    """Arc prioritization changes runtime, not the solution cost."""
+    network = build_scheduling_network(**params)
+    with_heuristic = RelaxationSolver(arc_prioritization=True).solve(network.copy())
+    without_heuristic = RelaxationSolver(arc_prioritization=False).solve(network.copy())
+    assert with_heuristic.total_cost == without_heuristic.total_cost

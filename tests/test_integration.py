@@ -1,0 +1,132 @@
+"""End-to-end integration tests exercising the full stack.
+
+These tests drive the public API exactly like the examples and benchmarks
+do: build a cluster, generate a workload, run a scheduler (Firmament with
+the dual solver, Quincy, and the queue-based baselines) through the
+simulator or testbed harness, and check the high-level invariants the paper
+relies on.
+"""
+
+import pytest
+
+from repro.baselines import SparrowScheduler, make_quincy_scheduler
+from repro.core import FirmamentScheduler, QuincyPolicy
+from repro.simulation import (
+    ClusterSimulator,
+    GoogleTraceGenerator,
+    SimulationConfig,
+    TraceConfig,
+    fill_cluster_to_utilization,
+)
+from repro.solvers import CostScalingSolver, DualAlgorithmExecutor
+from tests.conftest import make_cluster_state, make_job
+
+
+class TestFirmamentVersusQuincyQuality:
+    def test_same_policy_same_flow_cost(self):
+        """Firmament (dual solver) and Quincy (cost scaling only) find flows
+        of identical cost -- placement quality is preserved (Section 7.2)."""
+        def build_state():
+            state = make_cluster_state(num_machines=10, machines_per_rack=5,
+                                       slots_per_machine=2)
+            fill_cluster_to_utilization(state, utilization=0.5)
+            state.submit_job(
+                make_job(job_id=900, num_tasks=6, input_size_gb=6.0,
+                         input_locality={1: 0.4, 5: 0.3})
+            )
+            return state
+
+        firmament_cost = FirmamentScheduler(QuincyPolicy()).schedule(
+            build_state(), now=10.0
+        ).total_cost
+        quincy_cost = make_quincy_scheduler().schedule(build_state(), now=10.0).total_cost
+        assert firmament_cost == quincy_cost
+
+    def test_dual_solver_effective_latency_never_worse_than_components(self):
+        state = make_cluster_state(num_machines=12, machines_per_rack=6)
+        fill_cluster_to_utilization(state, utilization=0.4)
+        state.submit_job(make_job(job_id=900, num_tasks=10))
+        scheduler = FirmamentScheduler(QuincyPolicy())
+        scheduler.schedule(state, now=0.0)
+        detailed = scheduler.solver.last_result
+        assert detailed.effective_runtime_seconds <= detailed.relaxation.runtime_seconds
+        assert detailed.effective_runtime_seconds <= detailed.cost_scaling.runtime_seconds
+
+
+class TestTraceReplayEndToEnd:
+    @pytest.mark.parametrize("scheduler_factory", [
+        lambda: FirmamentScheduler(QuincyPolicy()),
+        lambda: make_quincy_scheduler(),
+        lambda: SparrowScheduler(),
+    ])
+    def test_trace_replay_conserves_tasks(self, scheduler_factory):
+        """No task is lost or duplicated by any scheduler: every submitted
+        batch task is eventually placed exactly once and completes."""
+        config = TraceConfig(num_machines=12, slots_per_machine=4,
+                             target_utilization=0.4, duration=60.0, seed=17,
+                             service_job_fraction=0.0)
+        jobs = GoogleTraceGenerator(config).generate()
+        total_tasks = sum(j.num_tasks for j in jobs)
+
+        state = make_cluster_state(num_machines=12, machines_per_rack=6,
+                                   slots_per_machine=4)
+        simulator = ClusterSimulator(
+            state, scheduler_factory(), SimulationConfig(max_time=60.0)
+        )
+        simulator.submit_jobs(jobs)
+        result = simulator.run()
+        assert result.metrics.tasks_placed == total_tasks
+        assert result.metrics.tasks_completed == total_tasks
+        assert result.metrics.tasks_unplaced == 0
+
+    def test_slot_capacity_never_violated_during_replay(self):
+        config = TraceConfig(num_machines=8, slots_per_machine=2,
+                             target_utilization=0.7, duration=40.0, seed=19)
+        state = make_cluster_state(num_machines=8, machines_per_rack=4,
+                                   slots_per_machine=2)
+        scheduler = FirmamentScheduler(QuincyPolicy())
+        simulator = ClusterSimulator(state, scheduler, SimulationConfig(max_time=40.0))
+        simulator.submit_jobs(GoogleTraceGenerator(config).generate())
+        simulator.run()
+        for machine_id in state.topology.machines:
+            assert state.task_count_on_machine(machine_id) <= 2
+
+
+class TestOversubscribedCluster:
+    def test_firmament_recovers_when_capacity_frees_up(self):
+        """Tasks submitted to a full cluster are placed once earlier tasks
+        complete (the demanding situation of Section 7.3, in miniature)."""
+        state = make_cluster_state(num_machines=4, slots_per_machine=2)
+        running = make_job(job_id=1, num_tasks=8, duration=10.0)
+        state.submit_job(running)
+        for index, task in enumerate(running.tasks):
+            state.place_task(task.task_id, index % 4, now=0.0)
+
+        simulator = ClusterSimulator(
+            state, FirmamentScheduler(QuincyPolicy()), SimulationConfig(max_time=100.0)
+        )
+        simulator.submit_job(make_job(job_id=2, num_tasks=6, duration=5.0, submit_time=1.0))
+        result = simulator.run()
+        late_job_tasks = [t for t in state.tasks.values() if t.job_id == 2]
+        assert all(t.state.value == "completed" for t in late_job_tasks)
+        # They could not start before the first wave finished at t=10.
+        assert min(t.start_time for t in late_job_tasks) >= 9.0
+
+
+class TestAlgorithmChoiceAblation:
+    def test_configurations_agree_on_cost(self):
+        """Relaxation-only, cost-scaling-only, and the dual executor all find
+        min-cost flows of the same cost on the same scheduling problem."""
+        from repro.solvers import RelaxationSolver
+
+        def build_state():
+            state = make_cluster_state(num_machines=10, machines_per_rack=5)
+            fill_cluster_to_utilization(state, utilization=0.6)
+            state.submit_job(make_job(job_id=500, num_tasks=8))
+            return state
+
+        costs = set()
+        for solver in (RelaxationSolver(), CostScalingSolver(), DualAlgorithmExecutor()):
+            scheduler = FirmamentScheduler(QuincyPolicy(), solver=solver)
+            costs.add(scheduler.schedule(build_state(), now=5.0).total_cost)
+        assert len(costs) == 1

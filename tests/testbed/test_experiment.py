@@ -1,0 +1,115 @@
+"""Integration tests for the Section 7.5 testbed experiment."""
+
+import pytest
+
+from repro.baselines import SparrowScheduler, SwarmKitScheduler
+from repro.core import FirmamentScheduler, NetworkAwarePolicy
+from repro.testbed.experiment import TestbedConfig, TestbedExperiment
+from repro.testbed.workload import (
+    make_batch_analytics_jobs,
+    make_iperf_background,
+    make_nginx_background,
+)
+from repro.testbed.storage import HdfsStorage
+
+
+SMALL_CONFIG = TestbedConfig(num_jobs=6, tasks_per_job=6, with_background=False)
+BG_CONFIG = TestbedConfig(num_jobs=6, tasks_per_job=6, with_background=True)
+
+
+def firmament():
+    return FirmamentScheduler(NetworkAwarePolicy(), allow_migrations=False)
+
+
+class TestWorkloadBuilders:
+    def test_batch_analytics_jobs_are_deterministic(self):
+        storage_a = HdfsStorage(list(range(40)), seed=5)
+        storage_b = HdfsStorage(list(range(40)), seed=5)
+        jobs_a, compute_a = make_batch_analytics_jobs(storage_a, num_jobs=3, seed=5)
+        jobs_b, compute_b = make_batch_analytics_jobs(storage_b, num_jobs=3, seed=5)
+        assert compute_a == compute_b
+        assert [t.input_size_gb for j in jobs_a for t in j.tasks] == [
+            t.input_size_gb for j in jobs_b for t in j.tasks
+        ]
+
+    def test_batch_analytics_inputs_in_range(self):
+        storage = HdfsStorage(list(range(40)), seed=6)
+        jobs, compute = make_batch_analytics_jobs(storage, num_jobs=4, seed=6)
+        for job in jobs:
+            for task in job.tasks:
+                assert 4.0 <= task.input_size_gb <= 8.0
+                assert task.input_locality
+                assert 0.4 <= compute[task.task_id] <= 1.0
+
+    def test_iperf_background_layout(self):
+        flows = make_iperf_background(list(range(40)), num_clients=14, num_servers=7)
+        assert len(flows) == 14
+        sources = {f.src for f in flows}
+        destinations = {f.dst for f in flows}
+        assert len(sources) == 14
+        assert len(destinations) == 7
+        assert sources.isdisjoint(destinations)
+        assert all(f.demand_mbps == 4_000 for f in flows)
+
+    def test_iperf_background_requires_enough_machines(self):
+        with pytest.raises(ValueError):
+            make_iperf_background(list(range(10)), num_clients=14, num_servers=7)
+
+    def test_nginx_background_layout(self):
+        flows = make_nginx_background(list(range(40)), num_servers=3, num_clients=7)
+        assert len(flows) == 7
+        assert len({f.src for f in flows}) == 3
+
+
+class TestExperimentRuns:
+    def test_idle_baseline_matches_line_rate(self):
+        experiment = TestbedExperiment(SMALL_CONFIG)
+        result = experiment.run_idle_baseline()
+        assert len(result.response_times) == 36
+        # 4-8 GB at 10 Gb/s plus up to 1 s compute: roughly 3.6-7.7 s.
+        assert 3.0 < result.percentile(50) < 8.0
+
+    def test_every_scheduler_places_all_tasks(self):
+        experiment = TestbedExperiment(SMALL_CONFIG)
+        for scheduler, name in [
+            (firmament(), "firmament"),
+            (SparrowScheduler(), "sparrow"),
+            (SwarmKitScheduler(), "swarmkit"),
+        ]:
+            result = experiment.run_with_scheduler(scheduler, name)
+            assert result.scheduler_name == name
+            assert result.unplaced_tasks == 0
+            assert len(result.response_times) == 36
+            assert all(r > 0 for r in result.response_times)
+
+    def test_response_times_never_beat_the_idle_baseline_median(self):
+        experiment = TestbedExperiment(SMALL_CONFIG)
+        idle = experiment.run_idle_baseline()
+        scheduled = experiment.run_with_scheduler(firmament(), "firmament")
+        # Individual tasks can do better than the *average* idle task (they
+        # may read mostly local data), but the medians should be comparable
+        # and scheduled runs can only add contention, not remove work.
+        assert scheduled.percentile(50) >= idle.percentile(50) * 0.7
+
+    def test_network_aware_policy_beats_random_placement_under_background_load(self):
+        experiment = TestbedExperiment(BG_CONFIG)
+        network_aware = experiment.run_with_scheduler(firmament(), "firmament")
+        random_placement = experiment.run_with_scheduler(
+            SparrowScheduler(sample_size=1), "sparrow"
+        )
+        # The tail is where network-aware placement pays off (Figure 19b).
+        assert network_aware.percentile(95) < random_placement.percentile(95)
+
+    def test_background_traffic_inflates_the_tail(self):
+        idle_exp = TestbedExperiment(SMALL_CONFIG)
+        bg_exp = TestbedExperiment(BG_CONFIG)
+        idle_run = idle_exp.run_with_scheduler(SparrowScheduler(seed=7), "sparrow")
+        bg_run = bg_exp.run_with_scheduler(SparrowScheduler(seed=7), "sparrow")
+        assert bg_run.percentile(99) > idle_run.percentile(99)
+
+    def test_runs_are_reproducible(self):
+        experiment = TestbedExperiment(SMALL_CONFIG)
+        first = experiment.run_with_scheduler(SwarmKitScheduler(), "swarmkit")
+        second = experiment.run_with_scheduler(SwarmKitScheduler(), "swarmkit")
+        assert first.response_times == second.response_times
+        assert first.placements == second.placements

@@ -1,0 +1,130 @@
+"""Unit tests for the flow-level network model and the HDFS storage model."""
+
+import pytest
+
+from repro.testbed.network import BackgroundFlow, FlowLevelNetwork, TransferRequest
+from repro.testbed.storage import HdfsStorage
+
+
+class TestFlowLevelNetwork:
+    def test_single_transfer_runs_at_line_rate(self):
+        network = FlowLevelNetwork([0, 1], nic_capacity_mbps=10_000)
+        transfers = [TransferRequest(transfer_id=1, dst=0, size_gb=5.0, start_time=0.0)]
+        completion = network.simulate_transfers(transfers)
+        expected = 5.0 * FlowLevelNetwork.MBITS_PER_GB / 10_000
+        assert completion[1] == pytest.approx(expected, rel=1e-3)
+
+    def test_two_transfers_share_the_destination_nic(self):
+        network = FlowLevelNetwork([0], nic_capacity_mbps=10_000)
+        transfers = [
+            TransferRequest(transfer_id=1, dst=0, size_gb=5.0, start_time=0.0),
+            TransferRequest(transfer_id=2, dst=0, size_gb=5.0, start_time=0.0),
+        ]
+        completion = network.simulate_transfers(transfers)
+        expected_alone = 5.0 * FlowLevelNetwork.MBITS_PER_GB / 10_000
+        # Both finish in roughly twice the isolated time.
+        assert completion[1] == pytest.approx(2 * expected_alone, rel=1e-2)
+        assert completion[2] == pytest.approx(2 * expected_alone, rel=1e-2)
+
+    def test_transfers_on_different_machines_do_not_interfere(self):
+        network = FlowLevelNetwork([0, 1], nic_capacity_mbps=10_000)
+        transfers = [
+            TransferRequest(transfer_id=1, dst=0, size_gb=5.0, start_time=0.0),
+            TransferRequest(transfer_id=2, dst=1, size_gb=5.0, start_time=0.0),
+        ]
+        completion = network.simulate_transfers(transfers)
+        expected = 5.0 * FlowLevelNetwork.MBITS_PER_GB / 10_000
+        assert completion[1] == pytest.approx(expected, rel=1e-3)
+        assert completion[2] == pytest.approx(expected, rel=1e-3)
+
+    def test_late_arrival_slows_down_the_first_transfer(self):
+        network = FlowLevelNetwork([0], nic_capacity_mbps=10_000)
+        alone = network.simulate_transfers(
+            [TransferRequest(transfer_id=1, dst=0, size_gb=8.0, start_time=0.0)]
+        )[1]
+        shared = network.simulate_transfers(
+            [
+                TransferRequest(transfer_id=1, dst=0, size_gb=8.0, start_time=0.0),
+                TransferRequest(transfer_id=2, dst=0, size_gb=8.0, start_time=1.0),
+            ]
+        )[1]
+        assert shared > alone
+
+    def test_background_flow_reduces_available_bandwidth(self):
+        network = FlowLevelNetwork([0, 1], nic_capacity_mbps=10_000)
+        network.add_background_flow(BackgroundFlow(src=1, dst=0, demand_mbps=8_000))
+        assert network.background_ingress_mbps(0) == pytest.approx(8_000)
+        assert network.background_egress_mbps(1) == pytest.approx(8_000)
+        completion = network.simulate_transfers(
+            [TransferRequest(transfer_id=1, dst=0, size_gb=2.0, start_time=0.0)]
+        )
+        expected = 2.0 * FlowLevelNetwork.MBITS_PER_GB / 2_000
+        assert completion[1] == pytest.approx(expected, rel=1e-2)
+
+    def test_background_flows_share_fairly_among_themselves(self):
+        network = FlowLevelNetwork([0, 1, 2], nic_capacity_mbps=10_000)
+        network.add_background_flow(BackgroundFlow(src=1, dst=0, demand_mbps=8_000))
+        network.add_background_flow(BackgroundFlow(src=2, dst=0, demand_mbps=8_000))
+        # Two 8 Gb/s demands into one 10 Gb/s NIC: they cannot both get 8.
+        ingress = network.background_ingress_mbps(0)
+        assert ingress <= 10_000 + 1e-6
+        assert ingress > 9_000
+
+    def test_zero_size_transfer_completes_instantly(self):
+        network = FlowLevelNetwork([0])
+        completion = network.simulate_transfers(
+            [TransferRequest(transfer_id=1, dst=0, size_gb=0.0, start_time=3.0)]
+        )
+        assert completion[1] == 3.0
+
+    def test_fully_saturated_machine_still_terminates(self):
+        network = FlowLevelNetwork([0, 1], nic_capacity_mbps=1_000)
+        network.add_background_flow(BackgroundFlow(src=1, dst=0, demand_mbps=1_000))
+        completion = network.simulate_transfers(
+            [TransferRequest(transfer_id=1, dst=0, size_gb=0.001, start_time=0.0)]
+        )
+        assert 1 in completion
+
+    def test_empty_transfer_list(self):
+        network = FlowLevelNetwork([0])
+        assert network.simulate_transfers([]) == {}
+
+
+class TestHdfsStorage:
+    def test_store_input_places_blocks_with_replication(self):
+        storage = HdfsStorage(list(range(10)), block_size_gb=1.0, replication=3, seed=1)
+        stored = storage.store_input(4.0)
+        assert stored.num_blocks == 4
+        for replicas in stored.block_replicas:
+            assert len(replicas) == 3
+            assert len(set(replicas)) == 3
+
+    def test_locality_fractions_sum_to_replication(self):
+        storage = HdfsStorage(list(range(20)), block_size_gb=0.5, replication=3, seed=2)
+        stored = storage.store_input(6.0)
+        fractions = stored.locality_fractions()
+        assert sum(fractions.values()) == pytest.approx(3.0, rel=1e-6)
+        assert all(0 < f <= 1.0 for f in fractions.values())
+
+    def test_remote_gb(self):
+        storage = HdfsStorage([0, 1, 2], block_size_gb=1.0, replication=3, seed=3)
+        stored = storage.store_input(3.0)
+        # With three machines and three replicas, every machine holds every
+        # block, so nothing is remote.
+        for machine in (0, 1, 2):
+            assert storage.remote_gb(stored.input_id, machine) == pytest.approx(0.0)
+        assert storage.remote_gb(stored.input_id, 99) == pytest.approx(3.0)
+
+    def test_replication_capped_by_cluster_size(self):
+        storage = HdfsStorage([0, 1], replication=3)
+        stored = storage.store_input(1.0)
+        assert all(len(r) == 2 for r in stored.block_replicas)
+
+    def test_input_lookup_and_validation(self):
+        storage = HdfsStorage([0, 1, 2, 3])
+        stored = storage.store_input(2.0, input_id=77)
+        assert storage.input(77) is stored
+        with pytest.raises(ValueError):
+            storage.store_input(0.0)
+        with pytest.raises(ValueError):
+            HdfsStorage([])
