@@ -61,10 +61,15 @@ def measure_policy(policy_factory, label):
     CostScalingSolver().solve(network.copy())
     scratch_time = time.perf_counter() - start
 
+    # The incremental solve consumes the manager-emitted change batch, so it
+    # patches its persistent residual network instead of rebuilding it.
     start = time.perf_counter()
-    incremental_result = incremental.solve(network.copy())
+    incremental_result = incremental.solve(
+        network.copy(), changes=manager.last_changes
+    )
     incremental_time = time.perf_counter() - start
     assert incremental_result.statistics.warm_start
+    assert incremental.delta_solves == 1 and incremental.delta_fallbacks == 0
     return label, scratch_time, incremental_time
 
 
@@ -86,17 +91,27 @@ def test_fig11_incremental_cost_scaling_beats_from_scratch(benchmark):
         ["policy", "from scratch [s]", "incremental [s]", "improvement"], rows
     ))
 
-    # Incremental re-optimization reuses the previous solution; at benchmark
-    # scale the kernels run for milliseconds, so assert the qualitative claim
-    # conservatively: the warm start must not lose badly to a from-scratch
-    # solve for either policy, and it should win for at least one of them.
+    # Incremental re-optimization patches the persistent residual from the
+    # change batch; at benchmark scale the kernels run for single-digit
+    # milliseconds per sample, so keep the per-policy floor noise-tolerant
+    # (a GC pause can halve one sample) and assert the qualitative claim on
+    # the best case: the delta path must win clearly for at least one
+    # policy.  The delta_solves assertion above pins the mechanism.
     assert speedups["quincy"] > 0.8
     assert speedups["load_spreading"] > 0.8
-    assert max(speedups.values()) > 1.1
+    assert max(speedups.values()) > 1.5
 
     state = build_cluster_state(MACHINES, utilization=0.6, seed=31)
     add_pending_batch_job(state, MACHINES // 2, seed=32)
     _, network = build_policy_network(state, QuincyPolicy())
     solver = IncrementalCostScalingSolver()
     solver.solve(network.copy())
-    benchmark(lambda: solver.solve(network.copy()))
+    # Steady-state kernel: an unchanged round expressed as an empty change
+    # batch, served entirely by the persistent-residual delta path.
+    from repro.flow.changes import ChangeBatch
+
+    noop = ChangeBatch(
+        base_revision=network.revision, target_revision=network.revision
+    )
+    benchmark(lambda: solver.solve(network.copy(), changes=noop))
+    assert solver.delta_fallbacks == 0

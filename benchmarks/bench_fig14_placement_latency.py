@@ -49,6 +49,22 @@ def replay(scheduler):
     return simulator.run()
 
 
+def arrival_latencies(run):
+    """Placement latencies of the *trace arrivals* only.
+
+    The cluster is pre-filled to 90 % utilization at t=0; those tasks are
+    placed instantly and would dilute the latency distribution with zeros
+    (the seed version of this benchmark measured exactly that, making every
+    median 0.0).  The figure is about the tasks that arrive while the
+    scheduler is running.
+    """
+    return [
+        task.placement_latency()
+        for task in run.state.tasks.values()
+        if task.submit_time > 0 and task.placement_latency() is not None
+    ]
+
+
 def test_fig14_firmament_places_tasks_much_faster_than_quincy(benchmark):
     """Regenerates Figure 14 (scaled down) plus the alpha ablation."""
     firmament_run = replay(FirmamentScheduler(QuincyPolicy()))
@@ -56,7 +72,7 @@ def test_fig14_firmament_places_tasks_much_faster_than_quincy(benchmark):
     quincy_tuned_run = replay(make_quincy_scheduler(alpha=9))
 
     def latency_row(name, run):
-        latencies = run.metrics.placement_latencies
+        latencies = arrival_latencies(run)
         return [
             name,
             f"{percentile(latencies, 50):.3f}",
@@ -75,8 +91,8 @@ def test_fig14_firmament_places_tasks_much_faster_than_quincy(benchmark):
           f"{UTILIZATION:.0%} utilization")
     print(format_table(["scheduler", "p50", "p90", "p99", "tasks"], rows))
 
-    firmament_p50 = percentile(firmament_run.metrics.placement_latencies, 50)
-    quincy_p50 = percentile(quincy_run.metrics.placement_latencies, 50)
+    firmament_p50 = percentile(arrival_latencies(firmament_run), 50)
+    quincy_p50 = percentile(arrival_latencies(quincy_run), 50)
     speedup = quincy_p50 / max(firmament_p50, 1e-9)
     print(f"median placement latency speedup: {speedup:.1f}x")
     # Firmament is substantially faster (the paper reports >20x at full

@@ -90,7 +90,9 @@ def add_pending_batch_job(
     rng = random.Random(seed)
     num_machines = state.topology.num_machines
     job = Job(job_id=job_id, submit_time=submit_time)
-    offset = 900_000_000 + job_id
+    # Space jobs far apart so task ids of consecutive job ids cannot collide
+    # (task_id = offset + index).
+    offset = 900_000_000 + job_id * 100_000
     for index in range(num_tasks):
         locality: Dict[int, float] = {}
         if with_locality:

@@ -3,5 +3,14 @@
 import sys
 from pathlib import Path
 
+import pytest
+
 # Make `benchmarks.common` importable regardless of pytest's rootdir setup.
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark item so `-m "not benchmark"` deselects them."""
+    for item in items:
+        if "benchmarks" in str(item.fspath):
+            item.add_marker(pytest.mark.benchmark)

@@ -1,0 +1,122 @@
+"""Perf smoke job: guard the incremental-solve hot path against regression.
+
+Runs the Figure-11 kernel (one realistic scheduling round solved from
+scratch and via the change-batch delta path) at ``REPRO_BENCH_SCALE=1`` and
+compares against the committed baseline in ``perf_baseline.json``.
+
+The gate is host-normalized: the from-scratch solve acts as the
+calibration workload, so requiring the scratch/incremental speedup to stay
+above half the baseline's is exactly a ">2x regression of the incremental
+solve, after correcting for host speed" check -- absolute wall times vary
+2-3x across CI hosts and are only printed for context.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py            # check
+    PYTHONPATH=src python benchmarks/perf_smoke.py --update   # re-baseline
+
+Exits non-zero on regression.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import add_pending_batch_job, build_cluster_state  # noqa: E402
+from repro.core import GraphManager, QuincyPolicy  # noqa: E402
+from repro.solvers import CostScalingSolver, IncrementalCostScalingSolver  # noqa: E402
+
+BASELINE_PATH = Path(__file__).resolve().parent / "perf_baseline.json"
+MACHINES = 64
+RUNS = 5
+#: Fail when the host-normalized incremental solve regresses by more than
+#: 2x, i.e. the measured speedup falls below half the baseline's.
+MAX_SPEEDUP_LOSS = 0.5
+
+
+def measure_round() -> tuple:
+    """One Figure-11 round: returns (scratch_seconds, incremental_seconds)."""
+    import random
+
+    state = build_cluster_state(MACHINES, utilization=0.6, seed=11)
+    add_pending_batch_job(state, MACHINES // 2, seed=12)
+    manager = GraphManager(QuincyPolicy())
+    incremental = IncrementalCostScalingSolver()
+
+    network = manager.update(state, now=10.0)
+    incremental.solve(network)
+    for task in state.pending_tasks():
+        for machine_id in state.topology.machines:
+            if state.free_slots(machine_id) > 0:
+                state.place_task(task.task_id, machine_id, now=10.0)
+                break
+    rng = random.Random(1)
+    running = state.running_tasks()
+    for task in rng.sample(running, min(len(running) // 10 + 1, len(running))):
+        state.complete_task(task.task_id, now=20.0)
+    add_pending_batch_job(state, MACHINES // 4, seed=8, job_id=800_001,
+                          submit_time=20.0)
+    network = manager.update(state, now=20.0)
+
+    start = time.perf_counter()
+    CostScalingSolver().solve(network.copy())
+    scratch = time.perf_counter() - start
+
+    start = time.perf_counter()
+    incremental.solve(network.copy(), changes=manager.last_changes)
+    incremental_time = time.perf_counter() - start
+    if incremental.delta_solves != 1:
+        raise AssertionError("perf smoke: the delta path was not taken")
+    return scratch, incremental_time
+
+
+def main() -> int:
+    update = "--update" in sys.argv[1:]
+    scratch_runs, incremental_runs = [], []
+    for _ in range(RUNS):
+        scratch, incremental = measure_round()
+        scratch_runs.append(scratch)
+        incremental_runs.append(incremental)
+    measured = {
+        "machines": MACHINES,
+        "scratch_s": round(statistics.median(scratch_runs), 6),
+        "incremental_s": round(statistics.median(incremental_runs), 6),
+    }
+    measured["speedup"] = round(
+        measured["scratch_s"] / max(measured["incremental_s"], 1e-9), 3
+    )
+    print(f"measured: {json.dumps(measured)}")
+
+    if update or not BASELINE_PATH.exists():
+        BASELINE_PATH.write_text(json.dumps(measured, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    print(f"baseline: {json.dumps(baseline)}")
+    if measured["incremental_s"] > 2.0 * baseline["incremental_s"]:
+        # Context only: absolute times are machine-dependent.
+        print(
+            "note: absolute incremental time "
+            f"{measured['incremental_s']:.4f}s exceeds 2x the baseline's "
+            f"{baseline['incremental_s']:.4f}s (slower host, or a real "
+            "regression if the speedup check below also trips)"
+        )
+    if measured["speedup"] < MAX_SPEEDUP_LOSS * baseline["speedup"]:
+        print(
+            f"FAIL: incremental solve regressed >2x host-normalized: speedup "
+            f"{measured['speedup']:.2f}x vs baseline {baseline['speedup']:.2f}x"
+        )
+        return 1
+    print("perf smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,7 +33,12 @@ def percentile(samples: Sequence[float], q: float) -> float:
     low = int(rank)
     high = min(low + 1, len(data) - 1)
     fraction = rank - low
-    return data[low] * (1.0 - fraction) + data[high] * fraction
+    value = data[low] * (1.0 - fraction) + data[high] * fraction
+    # Float rounding can land a hair outside the interpolated bracket
+    # (e.g. with subnormal inputs); clamp so the result is always within
+    # the neighbouring samples.
+    lo, hi = min(data[low], data[high]), max(data[low], data[high])
+    return min(max(value, lo), hi)
 
 
 @dataclass

@@ -7,6 +7,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.cli import simulate_command, solve_command, trace_command
+from repro.solvers.base import SolverError
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,7 +35,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     try:
         return args.handler(args)
-    except (ValueError, OSError) as error:
+    except (ValueError, OSError, SolverError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 

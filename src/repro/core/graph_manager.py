@@ -29,14 +29,25 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.cluster.state import ClusterState
 from repro.core.policies.base import PolicyNetworkBuilder, SchedulingPolicy
+from repro.flow.changes import ChangeBatch
 from repro.flow.graph import FlowNetwork, NodeType
 
 
 class GraphManager:
     """Builds and maintains the flow network for a scheduling policy."""
 
-    def __init__(self, policy: SchedulingPolicy) -> None:
+    def __init__(self, policy: SchedulingPolicy, track_changes: bool = True) -> None:
+        """Create the manager.
+
+        Args:
+            policy: Scheduling policy that shapes the flow network.
+            track_changes: Emit a typed :class:`ChangeBatch` per rebuild
+                (:attr:`last_changes`), diffed against the previous round's
+                network, so an incremental solver can patch its persistent
+                residual instead of rebuilding it.
+        """
         self.policy = policy
+        self.track_changes = track_changes
         self._next_node_id = 0
         self._sink_node: Optional[int] = None
         self._task_nodes: Dict[int, int] = {}
@@ -45,6 +56,10 @@ class GraphManager:
         self._unscheduled_nodes: Dict[int, int] = {}
         self._aggregator_nodes: Dict[str, Tuple[int, NodeType]] = {}
         self.network: Optional[FlowNetwork] = None
+        self._revision = 0
+        #: Change batch transforming the previous :meth:`update`'s network
+        #: into the latest one; ``None`` until the second update.
+        self.last_changes: Optional[ChangeBatch] = None
 
     # ------------------------------------------------------------------ #
     # Node identity management
@@ -116,7 +131,14 @@ class GraphManager:
         Entities that disappeared since the previous run lose their nodes
         (their identifiers are retired, never reused); new entities receive
         fresh nodes.  The scheduling policy then adds aggregators and arcs.
+
+        Alongside the rebuilt network, the manager emits the typed change
+        batch between the previous and the new network (:attr:`last_changes`,
+        when change tracking is enabled).  The batch carries the two
+        networks' revision numbers so a consumer can verify its derived
+        state matches the batch's base before patching.
         """
+        previous = self.network
         tasks = state.schedulable_tasks()
         task_ids = {t.task_id for t in tasks}
         machine_ids = {
@@ -187,6 +209,13 @@ class GraphManager:
         )
         self.policy.build(state, builder, now)
         self._prune_isolated_nodes(network)
+
+        self._revision += 1
+        network.revision = self._revision
+        if self.track_changes and previous is not None:
+            self.last_changes = ChangeBatch.diff(previous, network)
+        else:
+            self.last_changes = None
         return network
 
     def _prune_isolated_nodes(self, network: FlowNetwork) -> None:

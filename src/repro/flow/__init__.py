@@ -22,6 +22,7 @@ from repro.flow.changes import (
     ArcCapacityChange,
     ArcCostChange,
     ArcRemoval,
+    ChangeBatch,
     ChangeEffect,
     GraphChange,
     NodeAddition,
@@ -53,6 +54,7 @@ __all__ = [
     "ArcCapacityChange",
     "ArcCostChange",
     "ArcRemoval",
+    "ChangeBatch",
     "ChangeEffect",
     "GraphChange",
     "NodeAddition",

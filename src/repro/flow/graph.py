@@ -112,9 +112,16 @@ class FlowNetwork:
     def __init__(self) -> None:
         self._nodes: Dict[int, Node] = {}
         self._arcs: Dict[Tuple[int, int], Arc] = {}
-        self._out: Dict[int, List[Arc]] = {}
-        self._in: Dict[int, List[Arc]] = {}
+        # Adjacency as insertion-ordered dicts keyed by the opposite
+        # endpoint, so arc removal is O(1) instead of an O(degree) list scan
+        # (change batches drive frequent single-arc removals).
+        self._out: Dict[int, Dict[int, Arc]] = {}
+        self._in: Dict[int, Dict[int, Arc]] = {}
         self._next_node_id = 0
+        #: Monotonic snapshot identifier assigned by the graph manager; lets
+        #: consumers of change batches verify a patch applies to the network
+        #: revision their derived state mirrors.
+        self.revision: int = 0
 
     # ------------------------------------------------------------------ #
     # Node management
@@ -138,17 +145,17 @@ class FlowNetwork:
         self._next_node_id = max(self._next_node_id, node_id + 1)
         node = Node(node_id=node_id, node_type=node_type, supply=supply, name=name, ref=ref)
         self._nodes[node_id] = node
-        self._out[node_id] = []
-        self._in[node_id] = []
+        self._out[node_id] = {}
+        self._in[node_id] = {}
         return node
 
     def remove_node(self, node_id: int) -> None:
         """Remove a node and all arcs incident to it."""
         if node_id not in self._nodes:
             raise KeyError(f"node {node_id} does not exist")
-        for arc in list(self._out[node_id]):
+        for arc in list(self._out[node_id].values()):
             self.remove_arc(arc.src, arc.dst)
-        for arc in list(self._in[node_id]):
+        for arc in list(self._in[node_id].values()):
             self.remove_arc(arc.src, arc.dst)
         del self._nodes[node_id]
         del self._out[node_id]
@@ -192,16 +199,15 @@ class FlowNetwork:
             raise ValueError("arc capacity must be non-negative")
         arc = Arc(src=src, dst=dst, capacity=capacity, cost=cost)
         self._arcs[key] = arc
-        self._out[src].append(arc)
-        self._in[dst].append(arc)
+        self._out[src][dst] = arc
+        self._in[dst][src] = arc
         return arc
 
     def remove_arc(self, src: int, dst: int) -> None:
-        """Remove the arc between the two nodes."""
-        key = (src, dst)
-        arc = self._arcs.pop(key)
-        self._out[src].remove(arc)
-        self._in[dst].remove(arc)
+        """Remove the arc between the two nodes (O(1))."""
+        self._arcs.pop((src, dst))
+        del self._out[src][dst]
+        del self._in[dst][src]
 
     def arc(self, src: int, dst: int) -> Arc:
         """Return the arc between the two nodes."""
@@ -216,12 +222,12 @@ class FlowNetwork:
         return iter(self._arcs.values())
 
     def outgoing(self, node_id: int) -> List[Arc]:
-        """Return the outgoing arcs of a node."""
-        return self._out[node_id]
+        """Return the outgoing arcs of a node (in insertion order)."""
+        return list(self._out[node_id].values())
 
     def incoming(self, node_id: int) -> List[Arc]:
-        """Return the incoming arcs of a node."""
-        return self._in[node_id]
+        """Return the incoming arcs of a node (in insertion order)."""
+        return list(self._in[node_id].values())
 
     def set_arc_capacity(self, src: int, dst: int, capacity: int) -> None:
         """Update an arc's capacity."""
@@ -302,6 +308,7 @@ class FlowNetwork:
             new_arc = clone.add_arc(arc.src, arc.dst, arc.capacity, arc.cost)
             new_arc.flow = arc.flow
         clone._next_node_id = self._next_node_id
+        clone.revision = self.revision
         return clone
 
     # ------------------------------------------------------------------ #

@@ -16,9 +16,52 @@ This implementation includes the two features the paper relies on:
   that satisfy complementary slackness, so that a following incremental cost
   scaling run can start from a small epsilon.
 
-The solver also supports warm starts from an existing feasible flow and
-potentials, which is the basis of
-:class:`~repro.solvers.incremental.IncrementalCostScalingSolver`.
+Performance architecture
+========================
+
+The solver is the hottest code in the repository, so its inner loops avoid
+every avoidable indirection:
+
+* The push/relabel *discharge* loop (:meth:`CostScalingSolver._refine`)
+  keeps a **current-arc cursor** per node
+  (:attr:`~repro.solvers.residual.ResidualNetwork.current_arc`): a
+  discharge resumes scanning the adjacency list where the previous one
+  stopped instead of restarting at the front.  The cursor is only reset
+  when the node is relabeled, which is exactly when previously scanned
+  arcs can become admissible again (a relabel of ``u`` is the only event
+  that lowers the reduced cost of ``u``'s outgoing arcs; pushes and other
+  nodes' relabels only raise them).
+* Reduced costs are computed **inline** from local aliases of the arc
+  arrays (``arc_cost[a] - pot_u + potential[arc_to[a]]``); no method call
+  or attribute lookup happens per scanned arc.
+* :func:`price_refine` runs a **deque-based label-correcting sweep** (SPFA)
+  over the residual adjacency instead of a dense ``n``-pass Bellman-Ford
+  over all arcs; on scheduling graphs it converges after a handful of
+  sweeps touching only the arcs whose labels still improve.
+* ``max_cost`` / epsilon bounds read the residual network's **cached**
+  maximum cost rather than rescanning every arc each phase.
+
+Incremental (delta) solving
+===========================
+
+Beyond warm starts from a previous solution (:meth:`solve_warm`), the
+solver supports the fully incremental path of the paper's Section 5.2:
+:meth:`solve_delta` takes a *persistent* residual network left behind by
+the previous run (still in scaled cost units, with exact potentials that
+prove the previous optimum) and a typed
+:class:`~repro.flow.changes.ChangeBatch`.  The batch is patched into the
+residual in place -- O(|changes|) -- and only the patched ("dirty") arcs
+can violate reduced-cost optimality, so the repair saturates those and
+re-routes the resulting excesses along shortest reduced-cost paths.
+Per-round work is therefore proportional to the size of the change and the
+repair paths, never to the graph.
+
+The persistence contract: a residual handed to :meth:`solve_delta` must be
+**0-optimal** (no residual arc with negative reduced cost).  Solves that
+finish through the epsilon ladder only guarantee 1-optimality in scaled
+units, so a solver created with ``polish_potentials=True`` runs price
+refine once at the end of such runs to restore exact potentials before the
+residual is retained.
 """
 
 from __future__ import annotations
@@ -28,6 +71,7 @@ from collections import deque
 from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
+from repro.flow.changes import ChangeBatch
 from repro.flow.graph import FlowNetwork
 from repro.solvers.base import (
     InfeasibleProblemError,
@@ -47,12 +91,18 @@ TUNED_ALPHA = 9
 def price_refine(residual: ResidualNetwork) -> bool:
     """Recompute node potentials that prove optimality of the current flow.
 
-    Runs a Bellman-Ford sweep over the residual network (all nodes start at
-    distance zero, modelling a virtual source connected to every node with
-    zero-cost arcs).  If the residual network has no negative-cost cycle --
-    which holds whenever the current flow is optimal, e.g. when it was
-    produced by a relaxation run -- the negated distances are valid
-    potentials under which no residual arc has negative reduced cost.
+    Runs a deque-based label-correcting sweep (SPFA) over the residual
+    network: all nodes start at distance zero, modelling a virtual source
+    connected to every node with zero-cost arcs, and labels are corrected
+    along residual arcs until a fixpoint.  If the residual network has no
+    negative-cost cycle -- which holds whenever the current flow is
+    optimal, e.g. when it was produced by a relaxation run -- the negated
+    distances are valid potentials under which no residual arc has negative
+    reduced cost.
+
+    Compared to the textbook dense Bellman-Ford (n passes over every arc),
+    the sweep only revisits nodes whose label actually improved, which on
+    scheduling graphs converges after a few sparse passes.
 
     Returns:
         True when new potentials were installed (flow was optimal), False
@@ -62,25 +112,42 @@ def price_refine(residual: ResidualNetwork) -> bool:
     n = residual.num_nodes
     if n == 0:
         return True
+    adjacency = residual.adjacency
+    arc_residual = residual.arc_residual
+    arc_cost = residual.arc_cost
+    arc_to = residual.arc_to
+
     dist = [0] * n
-    for iteration in range(n):
-        changed = False
-        for arc_index in range(residual.num_arcs):
-            if residual.arc_residual[arc_index] <= 0:
+    queue = deque(range(n))
+    in_queue = bytearray(b"\x01" * n)
+    # Edge count of the walk realizing each label: without a negative cycle
+    # every improving walk is simple (at most n edges counting the virtual
+    # source hop), so a longer walk proves a negative cycle.  This triggers
+    # after O(cycle) relaxations instead of the O(n * m) an enqueue-count
+    # bound needs.
+    hops = [0] * n
+
+    while queue:
+        u = queue.popleft()
+        in_queue[u] = 0
+        du = dist[u]
+        hu = hops[u]
+        for a in adjacency[u]:
+            if arc_residual[a] <= 0:
                 continue
-            u = residual.arc_from[arc_index]
-            v = residual.arc_to[arc_index]
-            cost = residual.arc_cost[arc_index]
-            if dist[u] + cost < dist[v]:
-                dist[v] = dist[u] + cost
-                changed = True
-        if not changed:
-            break
-    else:
-        # n full passes all improved something: negative cycle present.
-        return False
+            v = arc_to[a]
+            nd = du + arc_cost[a]
+            if nd < dist[v]:
+                dist[v] = nd
+                hops[v] = hu + 1
+                if hops[v] > n:
+                    return False
+                if not in_queue[v]:
+                    queue.append(v)
+                    in_queue[v] = 1
+    potential = residual.potential
     for i in range(n):
-        residual.potential[i] = -dist[i]
+        potential[i] = -dist[i]
     return True
 
 
@@ -93,6 +160,7 @@ class CostScalingSolver(Solver):
         self,
         alpha: int = DEFAULT_ALPHA,
         max_phases: Optional[int] = None,
+        polish_potentials: bool = False,
     ) -> None:
         """Create the solver.
 
@@ -101,14 +169,22 @@ class CostScalingSolver(Solver):
             max_phases: Optional limit on the number of scaling phases; used
                 by the approximate-solution experiment (Figure 10).  ``None``
                 runs to optimality.
+            polish_potentials: Run price refine after solves that finish
+                through the epsilon ladder, so the residual network is left
+                0-optimal and can be retained for delta solving.  Off by
+                default (a plain Quincy-style solver does not pay for it).
         """
         if alpha < 2:
             raise ValueError("alpha must be at least 2")
         self.alpha = alpha
         self.max_phases = max_phases
+        self.polish_potentials = polish_potentials
         #: Exact scaled potentials of the most recent run, for warm starts.
         self.last_scaled_potentials: Optional[Dict[int, int]] = None
         self.last_scale: Optional[int] = None
+        #: The residual network of the most recent run, retained in scaled
+        #: cost units for :meth:`solve_delta` (None until the first solve).
+        self.last_residual: Optional[ResidualNetwork] = None
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -119,27 +195,16 @@ class CostScalingSolver(Solver):
         residual = ResidualNetwork(network)
         stats = SolverStatistics()
         scale = self._cost_scale(residual)
-        self._scale_costs(residual, scale)
+        residual.scale_costs(scale)
 
         # Establish a feasible flow first (costs ignored): route all supply.
         self._establish_feasible_flow(residual, stats)
 
         epsilon = max(1, residual.max_cost())
         self._run_phases(residual, epsilon, stats)
+        self._polish(residual, stats)
 
-        self._record_scaled_state(residual, scale)
-        self._unscale_costs(residual, scale)
-        residual.write_flow_back(network)
-        runtime = time.perf_counter() - start
-        return SolverResult(
-            algorithm=self.name,
-            total_cost=residual.total_cost(),
-            flows=residual.flows(),
-            potentials=self._unscaled_potentials(residual, scale),
-            runtime_seconds=runtime,
-            statistics=stats,
-            optimal=self.max_phases is None,
-        )
+        return self._finish(network, residual, stats, start, optimal=self.max_phases is None)
 
     def solve_warm(
         self,
@@ -191,7 +256,7 @@ class CostScalingSolver(Solver):
             # no spurious epsilon-optimality violations).
             multiplier = max(1, -(-scale // warm_scale))  # ceil division
             scale = warm_scale * multiplier
-        self._scale_costs(residual, scale)
+        residual.scale_costs(scale)
 
         have_good_potentials = True
         if warm_scaled_potentials is not None and warm_scale:
@@ -223,12 +288,16 @@ class CostScalingSolver(Solver):
             # problem needs no repair at all.
             violation = self._max_violation(residual)
             excess = residual.total_excess()
-            if violation > 0 and excess == 0 and price_refine(residual):
-                # The warm flow is still feasible; the previous run's
+            if 0 < violation <= scale and excess == 0 and price_refine(residual):
+                # The warm flow is still feasible and the violation is small
+                # enough to be a rounding artifact: the previous run's
                 # potentials were merely 1-optimal (in scaled units) rather
                 # than exact.  Price refine re-derives potentials that prove
                 # the flow optimal, so no repair work is needed (Section 6.2
                 # applies the same heuristic to relaxation hand-offs).
+                # Larger violations mean the graph genuinely changed (the
+                # flow is likely non-optimal, price refine would grind to a
+                # negative cycle), so those go straight to the repair path.
                 stats.potential_updates += 1
                 violation = 0
             if violation > 0 or excess > 0:
@@ -243,20 +312,74 @@ class CostScalingSolver(Solver):
             violation = self._max_violation(residual)
             if violation > 0:
                 self._run_phases(residual, max(1, violation), stats)
+            self._polish(residual, stats)
 
-        self._record_scaled_state(residual, scale)
-        self._unscale_costs(residual, scale)
-        residual.write_flow_back(network)
-        runtime = time.perf_counter() - start
-        return SolverResult(
-            algorithm="incremental_cost_scaling",
-            total_cost=residual.total_cost(),
-            flows=residual.flows(),
-            potentials=self._unscaled_potentials(residual, scale),
-            runtime_seconds=runtime,
-            statistics=stats,
+        return self._finish(
+            network, residual, stats, start, algorithm="incremental_cost_scaling"
         )
 
+    def solve_delta(
+        self,
+        residual: ResidualNetwork,
+        network: FlowNetwork,
+        changes: ChangeBatch,
+    ) -> SolverResult:
+        """Re-optimize a persistent residual network after a change batch.
+
+        This is the paper's incremental path proper: no residual network is
+        constructed.  ``residual`` is the structure retained by the previous
+        run (scaled costs, exact potentials proving the previous optimum,
+        the previous flow loaded); ``changes`` transforms the previous flow
+        network into ``network``.  The batch is patched in place and only
+        the patched arcs are checked for optimality violations.
+
+        Raises:
+            ValueError / KeyError: when the batch does not apply to the
+                residual (caller should fall back to a rebuild).
+            InfeasibleProblemError: when the updated network admits no
+                feasible routing (the residual is garbage afterwards and
+                must be discarded).
+        """
+        start = time.perf_counter()
+        stats = SolverStatistics(warm_start=True)
+        dirty = residual.apply_changes(changes)
+        residual.revision = (
+            changes.target_revision
+            if changes.target_revision is not None
+            else getattr(network, "revision", None)
+        )
+
+        # Only dirty arcs can have acquired a negative reduced cost: every
+        # untouched arc kept its cost, capacity, and endpoint potentials,
+        # and the retained residual was 0-optimal.  Saturate the violating
+        # dirty arcs, then route every excess along shortest reduced-cost
+        # paths (which keeps reduced costs non-negative everywhere).
+        repaired = False
+        for position in dirty:
+            for arc_index in (2 * position, 2 * position + 1):
+                if residual.arc_residual[arc_index] <= 0:
+                    continue
+                if residual.reduced_cost(arc_index) < 0:
+                    residual.push(arc_index, residual.arc_residual[arc_index])
+                    stats.pushes += 1
+                    repaired = True
+        if any(e > 0 for e in residual.excess):
+            self._route_excesses(residual, stats)
+            repaired = True
+        if repaired:
+            stats.epsilon_phases += 1
+
+        return self._finish(
+            network,
+            residual,
+            stats,
+            start,
+            algorithm="incremental_cost_scaling",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Warm-start repair
+    # ------------------------------------------------------------------ #
     def _repair_warm_solution(
         self, residual: ResidualNetwork, stats: SolverStatistics
     ) -> None:
@@ -273,13 +396,28 @@ class CostScalingSolver(Solver):
         successive shortest path) then restores feasibility while keeping
         reduced cost optimality, so the result is an optimal flow.
         """
-        for arc_index in range(residual.num_arcs):
-            if residual.arc_residual[arc_index] <= 0:
+        arc_residual = residual.arc_residual
+        arc_cost = residual.arc_cost
+        arc_from = residual.arc_from
+        arc_to = residual.arc_to
+        potential = residual.potential
+        excess = residual.excess
+        for arc_index in range(len(arc_residual)):
+            r = arc_residual[arc_index]
+            if r <= 0:
                 continue
-            if residual.reduced_cost(arc_index) < 0:
-                residual.push(arc_index, residual.arc_residual[arc_index])
+            u = arc_from[arc_index]
+            v = arc_to[arc_index]
+            if arc_cost[arc_index] - potential[u] + potential[v] < 0:
+                arc_residual[arc_index] = 0
+                arc_residual[arc_index ^ 1] += r
+                excess[u] -= r
+                excess[v] += r
                 stats.pushes += 1
+        self._route_excesses(residual, stats)
 
+    def _route_excesses(self, residual: ResidualNetwork, stats: SolverStatistics) -> None:
+        """Route every positive excess to a deficit along cheapest paths."""
         sources = residual.source_indices()
         while sources:
             source = sources[-1]
@@ -303,66 +441,137 @@ class CostScalingSolver(Solver):
         stay non-negative for subsequent augmentations.
         """
         n = residual.num_nodes
+        adjacency = residual.adjacency
+        arc_residual = residual.arc_residual
+        arc_cost = residual.arc_cost
+        arc_from = residual.arc_from
+        arc_to = residual.arc_to
+        potential = residual.potential
+        excess = residual.excess
+
         infinity = float("inf")
         dist: List[float] = [infinity] * n
         pred_arc: List[Optional[int]] = [None] * n
-        visited = [False] * n
+        visited = bytearray(n)
         dist[source] = 0
         heap: List[Tuple[float, int]] = [(0, source)]
         target = -1
+        iterations = 0
+        arcs_scanned = 0
 
         while heap:
             d, u = heappop(heap)
             if visited[u]:
                 continue
-            visited[u] = True
-            stats.iterations += 1
-            if residual.excess[u] < 0:
+            visited[u] = 1
+            iterations += 1
+            if excess[u] < 0:
                 target = u
                 break
-            for arc_index in residual.adjacency[u]:
-                if residual.arc_residual[arc_index] <= 0:
+            pot_u = potential[u]
+            for arc_index in adjacency[u]:
+                if arc_residual[arc_index] <= 0:
                     continue
-                v = residual.arc_to[arc_index]
+                v = arc_to[arc_index]
                 if visited[v]:
                     continue
-                stats.arcs_scanned += 1
-                new_dist = d + residual.reduced_cost(arc_index)
+                arcs_scanned += 1
+                new_dist = d + arc_cost[arc_index] - pot_u + potential[v]
                 if new_dist < dist[v]:
                     dist[v] = new_dist
                     pred_arc[v] = arc_index
                     heappush(heap, (new_dist, v))
+        stats.iterations += iterations
+        stats.arcs_scanned += arcs_scanned
 
         if target < 0:
             return 0
 
         target_dist = dist[target]
         for i in range(n):
-            residual.potential[i] -= int(min(dist[i], target_dist))
+            di = dist[i]
+            potential[i] -= int(di if di < target_dist else target_dist)
         stats.potential_updates += 1
 
-        amount = min(residual.excess[source], -residual.excess[target])
+        amount = min(excess[source], -excess[target])
         node = target
         while node != source:
             arc_index = pred_arc[node]
-            amount = min(amount, residual.arc_residual[arc_index])
-            node = residual.arc_from[arc_index]
+            r = arc_residual[arc_index]
+            if r < amount:
+                amount = r
+            node = arc_from[arc_index]
 
-        path_arcs: List[int] = []
         node = target
         while node != source:
             arc_index = pred_arc[node]
-            path_arcs.append(arc_index)
-            node = residual.arc_from[arc_index]
-        for arc_index in reversed(path_arcs):
             residual.push(arc_index, amount)
+            node = arc_from[arc_index]
         stats.augmentations += 1
         return amount
+
+    # ------------------------------------------------------------------ #
+    # Result assembly and state retention
+    # ------------------------------------------------------------------ #
+    def _finish(
+        self,
+        network: FlowNetwork,
+        residual: ResidualNetwork,
+        stats: SolverStatistics,
+        start: float,
+        algorithm: Optional[str] = None,
+        optimal: bool = True,
+    ) -> SolverResult:
+        """Record warm-start state, write flow back, and build the result.
+
+        When the solver polishes potentials, the residual is retained in
+        scaled units (for a later :meth:`solve_delta`) and exposed as
+        :attr:`last_residual`.  Without polishing, solves that went through
+        the epsilon ladder leave the residual only 1-optimal in scaled
+        units, which would violate :meth:`solve_delta`'s 0-optimality
+        precondition -- so nothing is retained.  Result costs and
+        potentials are converted to original units on the way out.
+        """
+        scale = residual.cost_scale
+        self._record_scaled_state(residual, scale)
+        if self.polish_potentials and self.max_phases is None:
+            self.last_residual = residual
+        else:
+            self.last_residual = None
+        residual.write_flow_back(network)
+        runtime = time.perf_counter() - start
+        return SolverResult(
+            algorithm=algorithm or self.name,
+            total_cost=residual.total_cost(),
+            flows=residual.flows(),
+            potentials=self._unscaled_potentials(residual, scale),
+            runtime_seconds=runtime,
+            statistics=stats,
+            optimal=optimal,
+        )
+
+    def _polish(self, residual: ResidualNetwork, stats: SolverStatistics) -> None:
+        """Restore exact (0-optimal) potentials after the epsilon ladder.
+
+        The ladder stops at epsilon = 1 in scaled units, which proves
+        optimality of the *flow* but leaves residual arcs with reduced cost
+        -1.  Delta solving requires strict 0-optimality (its Dijkstra-based
+        repair assumes non-negative reduced costs on untouched arcs), so a
+        persistent solver runs one price refine to re-derive exact
+        potentials.  Skipped for truncated (``max_phases``) runs, whose
+        flow is not optimal.
+        """
+        if not self.polish_potentials or self.max_phases is not None:
+            return
+        if price_refine(residual):
+            stats.potential_updates += 1
 
     def _record_scaled_state(self, residual: ResidualNetwork, scale: int) -> None:
         """Remember the exact scaled potentials for the next warm start."""
         self.last_scaled_potentials = {
-            nid: residual.potential[i] for nid, i in residual.index.items()
+            nid: residual.potential[i]
+            for nid, i in residual.index.items()
+            if residual.node_alive[i]
         }
         self.last_scale = scale
 
@@ -378,28 +587,33 @@ class CostScalingSolver(Solver):
         """
         return residual.num_nodes + 1
 
-    def _scale_costs(self, residual: ResidualNetwork, scale: int) -> None:
-        for arc_index in range(residual.num_arcs):
-            residual.arc_cost[arc_index] *= scale
-
-    def _unscale_costs(self, residual: ResidualNetwork, scale: int) -> None:
-        for arc_index in range(residual.num_arcs):
-            residual.arc_cost[arc_index] //= scale
-
     def _unscaled_potentials(
         self, residual: ResidualNetwork, scale: int
     ) -> Dict[int, int]:
-        return {nid: residual.potential[i] // scale for nid, i in residual.index.items()}
+        return {
+            nid: residual.potential[i] // scale
+            for nid, i in residual.index.items()
+            if residual.node_alive[i]
+        }
 
     def _max_violation(self, residual: ResidualNetwork) -> int:
         """Return the magnitude of the worst negative reduced cost on a
         residual arc with remaining capacity (zero when epsilon-optimal for
         epsilon = 0)."""
+        arc_residual = residual.arc_residual
+        arc_cost = residual.arc_cost
+        arc_from = residual.arc_from
+        arc_to = residual.arc_to
+        potential = residual.potential
         worst = 0
-        for arc_index in range(residual.num_arcs):
-            if residual.arc_residual[arc_index] <= 0:
+        for arc_index in range(len(arc_residual)):
+            if arc_residual[arc_index] <= 0:
                 continue
-            rc = residual.reduced_cost(arc_index)
+            rc = (
+                arc_cost[arc_index]
+                - potential[arc_from[arc_index]]
+                + potential[arc_to[arc_index]]
+            )
             if rc < -worst:
                 worst = -rc
         return worst
@@ -449,25 +663,32 @@ class CostScalingSolver(Solver):
     def _bfs_path_to_deficit(
         self, residual: ResidualNetwork, source: int, stats: SolverStatistics
     ) -> Optional[List[int]]:
+        arc_residual = residual.arc_residual
+        arc_to = residual.arc_to
+        adjacency = residual.adjacency
+        excess = residual.excess
+
         pred_arc: List[Optional[int]] = [None] * residual.num_nodes
-        visited = [False] * residual.num_nodes
-        visited[source] = True
+        visited = bytearray(residual.num_nodes)
+        visited[source] = 1
         queue = deque([source])
         target = -1
+        arcs_scanned = 0
         while queue:
             u = queue.popleft()
-            if residual.excess[u] < 0:
+            if excess[u] < 0:
                 target = u
                 break
-            for arc_index in residual.adjacency[u]:
-                if residual.arc_residual[arc_index] <= 0:
+            for arc_index in adjacency[u]:
+                if arc_residual[arc_index] <= 0:
                     continue
-                v = residual.arc_to[arc_index]
-                stats.arcs_scanned += 1
+                v = arc_to[arc_index]
+                arcs_scanned += 1
                 if not visited[v]:
-                    visited[v] = True
+                    visited[v] = 1
                     pred_arc[v] = arc_index
                     queue.append(v)
+        stats.arcs_scanned += arcs_scanned
         if target < 0:
             return None
         path: List[int] = []
@@ -482,99 +703,117 @@ class CostScalingSolver(Solver):
     def _refine(
         self, residual: ResidualNetwork, epsilon: int, stats: SolverStatistics
     ) -> None:
-        """Re-establish epsilon-optimality of the current feasible flow."""
+        """Re-establish epsilon-optimality of the current feasible flow.
+
+        This is the hot loop of the solver: saturate every residual arc
+        with negative reduced cost, then discharge active (positive-excess)
+        nodes with push/relabel.  The discharge resumes each node's
+        adjacency scan at its current-arc cursor and computes reduced costs
+        inline from local aliases; see the module docstring for why the
+        cursor is only reset on relabel.
+        """
+        arc_residual = residual.arc_residual
+        arc_cost = residual.arc_cost
+        arc_from = residual.arc_from
+        arc_to = residual.arc_to
+        potential = residual.potential
+        excess = residual.excess
+        adjacency = residual.adjacency
+        num_nodes = residual.num_nodes
+
         # Saturate every residual arc with negative reduced cost.  This makes
         # the pseudo-flow 0-optimal for the current potentials but creates
         # excesses and deficits that the push/relabel loop drains.
-        for arc_index in range(residual.num_arcs):
-            if residual.arc_residual[arc_index] <= 0:
+        pushes = 0
+        for arc_index in range(len(arc_residual)):
+            r = arc_residual[arc_index]
+            if r <= 0:
                 continue
-            if residual.reduced_cost(arc_index) < 0:
-                residual.push(arc_index, residual.arc_residual[arc_index])
-                stats.pushes += 1
+            u = arc_from[arc_index]
+            v = arc_to[arc_index]
+            if arc_cost[arc_index] - potential[u] + potential[v] < 0:
+                arc_residual[arc_index] = 0
+                arc_residual[arc_index ^ 1] += r
+                excess[u] -= r
+                excess[v] += r
+                pushes += 1
 
-        active = deque(
-            i for i in range(residual.num_nodes) if residual.excess[i] > 0
-        )
-        in_queue = [False] * residual.num_nodes
+        residual.reset_current_arcs()
+        current_arc = residual.current_arc
+
+        active = deque(i for i in range(num_nodes) if excess[i] > 0)
+        in_queue = bytearray(num_nodes)
         for i in active:
-            in_queue[i] = True
+            in_queue[i] = 1
 
         # Generous potential-increase bound used purely as an infeasibility
         # safety net; feasible scheduling graphs never get close to it.
-        max_increase = 4 * (residual.num_nodes + 2) * (epsilon + residual.max_cost() + 1)
-        start_potential = list(residual.potential)
+        max_increase = 4 * (num_nodes + 2) * (epsilon + residual.max_cost() + 1)
+        bound = [p + max_increase for p in potential]
 
+        relabels = 0
+        arcs_scanned = 0
         while active:
             u = active.popleft()
-            in_queue[u] = False
-            self._discharge(
-                residual,
-                u,
-                epsilon,
-                active,
-                in_queue,
-                stats,
-                start_potential[u] + max_increase,
-            )
-
-    def _discharge(
-        self,
-        residual: ResidualNetwork,
-        u: int,
-        epsilon: int,
-        active: deque,
-        in_queue: List[bool],
-        stats: SolverStatistics,
-        potential_bound: int,
-    ) -> None:
-        """Push the excess of node ``u`` along admissible arcs, relabeling as needed."""
-        while residual.excess[u] > 0:
-            pushed_any = False
-            for arc_index in residual.adjacency[u]:
-                if residual.excess[u] <= 0:
-                    break
-                if residual.arc_residual[arc_index] <= 0:
-                    continue
-                stats.arcs_scanned += 1
-                if residual.reduced_cost(arc_index) < 0:
-                    v = residual.arc_to[arc_index]
-                    amount = min(residual.excess[u], residual.arc_residual[arc_index])
-                    residual.push(arc_index, amount)
-                    stats.pushes += 1
-                    pushed_any = True
-                    if residual.excess[v] > 0 and not in_queue[v]:
-                        active.append(v)
-                        in_queue[v] = True
-            if residual.excess[u] <= 0:
-                return
-            if not pushed_any:
-                self._relabel(residual, u, epsilon, stats)
-                if residual.potential[u] > potential_bound:
-                    raise InfeasibleProblemError(
-                        "potential of a node grew without bound during refine; "
-                        "the flow network admits no feasible routing"
-                    )
-
-    def _relabel(
-        self,
-        residual: ResidualNetwork,
-        u: int,
-        epsilon: int,
-        stats: SolverStatistics,
-    ) -> None:
-        """Raise the potential of ``u`` just enough to create an admissible arc."""
-        best = None
-        for arc_index in residual.adjacency[u]:
-            if residual.arc_residual[arc_index] <= 0:
+            in_queue[u] = 0
+            e = excess[u]
+            if e <= 0:
                 continue
-            v = residual.arc_to[arc_index]
-            candidate = residual.arc_cost[arc_index] + residual.potential[v]
-            if best is None or candidate < best:
-                best = candidate
-        if best is None:
-            raise InfeasibleProblemError(
-                f"node {u} has excess but no outgoing residual arcs"
-            )
-        residual.potential[u] = best + epsilon
-        stats.relabels += 1
+            adj = adjacency[u]
+            degree = len(adj)
+            i = current_arc[u]
+            pot_u = potential[u]
+            while True:
+                if i >= degree:
+                    # Relabel: raise u's potential just enough to create an
+                    # admissible arc, then rescan from the front (the only
+                    # event that can make previously scanned arcs
+                    # admissible again).
+                    best = None
+                    for a in adj:
+                        if arc_residual[a] > 0:
+                            candidate = arc_cost[a] + potential[arc_to[a]]
+                            if best is None or candidate < best:
+                                best = candidate
+                    arcs_scanned += degree
+                    if best is None:
+                        raise InfeasibleProblemError(
+                            f"node {u} has excess but no outgoing residual arcs"
+                        )
+                    pot_u = best + epsilon
+                    potential[u] = pot_u
+                    relabels += 1
+                    if pot_u > bound[u]:
+                        raise InfeasibleProblemError(
+                            "potential of a node grew without bound during "
+                            "refine; the flow network admits no feasible routing"
+                        )
+                    i = 0
+                    continue
+                a = adj[i]
+                arcs_scanned += 1
+                r = arc_residual[a]
+                if r > 0:
+                    v = arc_to[a]
+                    if arc_cost[a] - pot_u + potential[v] < 0:
+                        amount = e if e < r else r
+                        arc_residual[a] = r - amount
+                        arc_residual[a ^ 1] += amount
+                        e -= amount
+                        ev = excess[v] + amount
+                        excess[v] = ev
+                        pushes += 1
+                        if ev > 0 and not in_queue[v]:
+                            active.append(v)
+                            in_queue[v] = 1
+                        if e == 0:
+                            break
+                        i += 1
+                        continue
+                i += 1
+            excess[u] = 0
+            current_arc[u] = i
+
+        stats.pushes += pushes
+        stats.relabels += relabels
+        stats.arcs_scanned += arcs_scanned

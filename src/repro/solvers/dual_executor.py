@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.flow.changes import ChangeBatch
 from repro.flow.graph import FlowNetwork
 from repro.solvers.base import Solver, SolverResult
 from repro.solvers.incremental import IncrementalCostScalingSolver
@@ -64,6 +65,11 @@ class DualAlgorithmExecutor(Solver):
 
     name = "firmament_dual"
 
+    #: The scheduler may pass ``changes=ChangeBatch`` to :meth:`solve`; the
+    #: batch is forwarded to the incremental cost scaling instance so it can
+    #: patch its persistent residual network instead of rebuilding it.
+    accepts_change_batches = True
+
     def __init__(
         self,
         relaxation: Optional[RelaxationSolver] = None,
@@ -82,11 +88,15 @@ class DualAlgorithmExecutor(Solver):
         self.incremental = incremental or IncrementalCostScalingSolver()
         self.last_result: Optional[DualExecutionResult] = None
 
-    def solve(self, network: FlowNetwork) -> SolverResult:
+    def solve(
+        self, network: FlowNetwork, changes: Optional[ChangeBatch] = None
+    ) -> SolverResult:
         """Solve the network and return the winning algorithm's result."""
-        return self.solve_detailed(network).winner
+        return self.solve_detailed(network, changes).winner
 
-    def solve_detailed(self, network: FlowNetwork) -> DualExecutionResult:
+    def solve_detailed(
+        self, network: FlowNetwork, changes: Optional[ChangeBatch] = None
+    ) -> DualExecutionResult:
         """Solve the network and return both algorithms' results.
 
         The winning flow is the one left assigned on the network's arcs.
@@ -96,7 +106,7 @@ class DualAlgorithmExecutor(Solver):
         relaxation_network = network.copy()
         relaxation_result = self.relaxation.solve(relaxation_network)
 
-        cost_scaling_result = self.incremental.solve(network)
+        cost_scaling_result = self.incremental.solve(network, changes=changes)
 
         if relaxation_result.runtime_seconds <= cost_scaling_result.runtime_seconds:
             winner = relaxation_result

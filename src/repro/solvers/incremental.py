@@ -1,32 +1,59 @@
-"""Incremental cost scaling with the efficient task-removal heuristic.
+"""Incremental cost scaling: delta solving plus the task-removal heuristic.
 
 Section 5.2 of the paper observes that cluster state changes little between
 consecutive scheduling runs, so the MCMF solver should reuse its previous
 solution.  Cost scaling is the best candidate for incremental operation even
 though graph changes break its feasibility/epsilon-optimality preconditions:
-it recovers by raising epsilon only as far as the worst violation the
-changes introduced, rather than restarting from the maximum arc cost.
+it recovers by repairing only what the changes broke, rather than
+restarting from the maximum arc cost.
+
+:class:`IncrementalCostScalingSolver` is stateful and supports two levels
+of reuse:
+
+* **Delta solving** (the fast path): when the caller supplies the typed
+  :class:`~repro.flow.changes.ChangeBatch` that transforms the previously
+  solved network into the current one (the graph manager emits one per
+  rebuild), the solver patches its *persistent residual network* in place
+  and repairs optimality around the patched arcs only
+  (:meth:`~repro.solvers.cost_scaling.CostScalingSolver.solve_delta`).  No
+  ``ResidualNetwork`` is constructed and no O(graph) object traversal
+  happens; per-round work is O(|changes| + repair).  The batch's revision
+  identifiers guard the patch: if the residual does not mirror the batch's
+  base revision (a round was skipped, or external state was seeded), the
+  solver falls back to the rebuild path below.
+* **Warm rebuild** (the fallback): the remembered flow and potentials of
+  the previous run, keyed by arc endpoints / node ids, are loaded into a
+  freshly built residual network
+  (:meth:`~repro.solvers.cost_scaling.CostScalingSolver.solve_warm`).  This
+  tolerates arbitrary divergence between rounds -- the way Firmament's
+  graph manager rebuilds networks from scratch -- at O(nodes + arcs)
+  reconstruction cost.
+
+Warm state is invalidated by :meth:`IncrementalCostScalingSolver.reset`;
+the persistent residual alone is dropped (falling back to warm rebuild)
+whenever :meth:`IncrementalCostScalingSolver.seed` installs an external
+solution, a change batch fails to apply, or a delta solve raises
+infeasibility mid-repair.
 
 Section 5.3.2 adds the **efficient task removal** heuristic: removing a
 running task deletes a source node whose flow is still draped over the graph
 downstream, which would create a deficit at the machine node where the task
-ran (expensive for cost scaling to fix).  The heuristic instead walks the
-removed task's flow forward to the sink, draining it so the only imbalance
-appears at the sink, co-located with the supply decrease.
-
-:class:`IncrementalCostScalingSolver` is stateful: it remembers the flow and
-potentials of its previous run keyed by arc endpoints / node ids, so it can
-be handed a freshly rebuilt flow network each scheduling iteration (the way
-Firmament's graph manager produces them) and still warm-start.
+ran (expensive for cost scaling to fix).  On the warm-rebuild path the
+heuristic walks the removed task's flow forward to the sink, draining it so
+the only imbalance appears at the sink, co-located with the supply
+decrease.  On the delta path the same effect falls out of the residual
+patching: removing the task's arcs returns their flow to the adjacent
+nodes, and the repair routes the sink's surplus back along the short
+reverse-arc path.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Optional, Tuple
 
+from repro.flow.changes import ChangeBatch
 from repro.flow.graph import FlowNetwork, NodeType
-from repro.solvers.base import Solver, SolverResult, SolverStatistics
+from repro.solvers.base import Solver, SolverResult
 from repro.solvers.cost_scaling import CostScalingSolver, DEFAULT_ALPHA
 
 
@@ -112,6 +139,9 @@ class IncrementalCostScalingSolver(Solver):
 
     name = "incremental_cost_scaling"
 
+    #: The scheduler may pass ``changes=ChangeBatch`` to :meth:`solve`.
+    accepts_change_batches = True
+
     def __init__(
         self,
         alpha: int = DEFAULT_ALPHA,
@@ -126,13 +156,19 @@ class IncrementalCostScalingSolver(Solver):
             apply_price_refine: Apply the price-refine heuristic before each
                 warm-started run (Section 6.2).
         """
-        self._cost_scaling = CostScalingSolver(alpha=alpha)
+        # polish_potentials keeps the retained residual 0-optimal, which is
+        # what makes it legal to hand back to solve_delta next round.
+        self._cost_scaling = CostScalingSolver(alpha=alpha, polish_potentials=True)
         self.efficient_task_removal = efficient_task_removal
         self.apply_price_refine = apply_price_refine
         self._last_flows: Optional[Dict[Tuple[int, int], int]] = None
         self._last_potentials: Optional[Dict[int, int]] = None
         self._last_scaled_potentials: Optional[Dict[int, int]] = None
         self._last_scale: Optional[int] = None
+        #: Count of solves served by the pure delta path (observability).
+        self.delta_solves: int = 0
+        #: Count of delta attempts that had to fall back to a rebuild.
+        self.delta_fallbacks: int = 0
 
     def reset(self) -> None:
         """Discard the remembered solution; the next solve runs from scratch."""
@@ -140,6 +176,7 @@ class IncrementalCostScalingSolver(Solver):
         self._last_potentials = None
         self._last_scaled_potentials = None
         self._last_scale = None
+        self._cost_scaling.last_residual = None
 
     def seed(self, flows: Dict[Tuple[int, int], int], potentials: Dict[int, int]) -> None:
         """Install an externally produced solution as the warm-start state.
@@ -147,20 +184,71 @@ class IncrementalCostScalingSolver(Solver):
         Firmament uses this to hand the winning relaxation solution to the
         incremental cost scaling instance so the next run starts from it.
         Relaxation potentials are exact in unscaled units, so the scaled
-        state of any previous cost-scaling run is discarded.
+        state of any previous cost-scaling run -- including the persistent
+        residual -- is discarded and the next solve rebuilds.
         """
         self._last_flows = dict(flows)
         self._last_potentials = dict(potentials)
         self._last_scaled_potentials = None
         self._last_scale = None
+        self._cost_scaling.last_residual = None
 
     @property
     def has_state(self) -> bool:
         """Return whether a previous solution is available for warm starting."""
         return self._last_flows is not None
 
-    def solve(self, network: FlowNetwork) -> SolverResult:
-        """Solve the network, reusing the previous solution when available."""
+    def _deltable_residual(self, changes: Optional[ChangeBatch]):
+        """Return the persistent residual if the change batch applies to it."""
+        if changes is None or not self.has_state:
+            return None
+        residual = self._cost_scaling.last_residual
+        if residual is None:
+            return None
+        # Revision guard: the batch must connect the snapshot the residual
+        # mirrors to the network being solved.  (Both None -- hand-built
+        # networks -- is accepted; the caller vouches for consistency.)
+        if residual.revision != changes.base_revision:
+            return None
+        return residual
+
+    def solve(
+        self, network: FlowNetwork, changes: Optional[ChangeBatch] = None
+    ) -> SolverResult:
+        """Solve the network, reusing the previous solution when available.
+
+        Args:
+            network: The flow network to solve.
+            changes: Optional typed batch transforming the previously solved
+                network into ``network`` (as emitted by
+                :meth:`repro.core.graph_manager.GraphManager.update`).  When
+                supplied and applicable, the solve runs on the persistent
+                residual without reconstructing it.
+        """
+        residual = self._deltable_residual(changes)
+        if residual is not None:
+            try:
+                result = self._cost_scaling.solve_delta(residual, network, changes)
+                self.delta_solves += 1
+            except (KeyError, ValueError):
+                # The batch does not match the residual's structure; the
+                # half-patched residual is unusable, so drop it and rebuild.
+                self._cost_scaling.last_residual = None
+                self.delta_fallbacks += 1
+                result = self._solve_rebuild(network)
+            except Exception:
+                self._cost_scaling.last_residual = None
+                raise
+        else:
+            result = self._solve_rebuild(network)
+        self._last_flows = dict(result.flows)
+        self._last_potentials = dict(result.potentials)
+        self._last_scaled_potentials = dict(self._cost_scaling.last_scaled_potentials or {})
+        self._last_scale = self._cost_scaling.last_scale
+        return result
+
+    def _solve_rebuild(self, network: FlowNetwork) -> SolverResult:
+        """Solve by (re)building a residual network (cold or warm)."""
         if not self.has_state:
             result = self._cost_scaling.solve(network)
             result = SolverResult(
@@ -185,8 +273,4 @@ class IncrementalCostScalingSolver(Solver):
                 warm_scale=self._last_scale,
             )
             result.algorithm = self.name
-        self._last_flows = dict(result.flows)
-        self._last_potentials = dict(result.potentials)
-        self._last_scaled_potentials = dict(self._cost_scaling.last_scaled_potentials or {})
-        self._last_scale = self._cost_scaling.last_scale
         return result

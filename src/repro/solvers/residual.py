@@ -1,4 +1,4 @@
-"""Compact residual-network representation shared by the MCMF solvers.
+"""Compact, persistent residual-network representation for the MCMF solvers.
 
 The scheduler-facing :class:`~repro.flow.graph.FlowNetwork` is an object
 graph optimized for incremental mutation by scheduling policies.  The
@@ -7,20 +7,55 @@ renumbered ``0..n-1`` and every original arc is stored as a pair of directed
 residual arcs (forward at an even index, its reverse at the following odd
 index), so that the reverse of arc ``k`` is always ``k ^ 1``.
 
-The representation supports warm starts: an existing flow and set of node
-potentials can be loaded so the incremental solvers resume from the previous
-scheduling run's solution rather than from scratch.
+Arc attributes live in parallel ``array('q')`` columns (64-bit signed
+integers) rather than Python lists of boxed ints, and per-node adjacency is
+a flat list of arc indices with a *current-arc* cursor
+(:attr:`ResidualNetwork.current_arc`) that cost scaling's discharge loop
+uses to resume scanning where it left off.
+
+Two features make the structure *persistent* across scheduling rounds
+(paper, Section 5.2 -- solver work proportional to the change, not the
+graph):
+
+* :meth:`ResidualNetwork.apply_changes` patches the structure in place from
+  a typed :class:`~repro.flow.changes.ChangeBatch` (supply, capacity, and
+  cost changes, node/arc additions and removals) instead of requiring a
+  rebuild from the :class:`FlowNetwork` object graph.  Removed arcs become
+  *dead slots* (zero residual in both directions, never traversed); the
+  arrays are compacted automatically once dead slots dominate.
+* Costs may be held in scaled units between runs
+  (:attr:`ResidualNetwork.cost_scale`), so an incremental cost-scaling
+  solver can keep its exact scaled potentials without an O(arcs) rescale
+  per round.
+
+The representation also supports warm starts: an existing flow and set of
+node potentials can be loaded so the incremental solvers resume from the
+previous scheduling run's solution rather than from scratch.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from array import array
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.flow.graph import FlowNetwork
 
 
 class ResidualNetwork:
-    """Array-based residual graph with node excesses and potentials."""
+    """Array-based residual graph with node excesses and potentials.
+
+    Attributes (hot-loop storage, intentionally public):
+        arc_from / arc_to / arc_residual / arc_cost: parallel ``array('q')``
+            columns indexed by residual arc.
+        adjacency: per-node lists of outgoing residual arc indices.
+        current_arc: per-node scan cursor into ``adjacency`` (the classic
+            push/relabel current-arc heuristic; reset on relabel).
+        excess / potential / supply: per-node integer columns.
+        cost_scale: integer factor the stored ``arc_cost`` values (and
+            potentials) are multiplied by; 1 for a freshly built network.
+        revision: identity of the :class:`FlowNetwork` snapshot this
+            residual mirrors (used to validate delta patches).
+    """
 
     def __init__(self, network: FlowNetwork, use_existing_flow: bool = False) -> None:
         """Build the residual network from a flow network.
@@ -36,20 +71,34 @@ class ResidualNetwork:
         self.index: Dict[int, int] = {nid: i for i, nid in enumerate(self.node_ids)}
         self.num_nodes: int = len(self.node_ids)
 
+        self.supply: List[int] = [0] * self.num_nodes
         self.excess: List[int] = [0] * self.num_nodes
         for node in network.nodes():
-            self.excess[self.index[node.node_id]] = node.supply
+            i = self.index[node.node_id]
+            self.supply[i] = node.supply
+            self.excess[i] = node.supply
 
         self.potential: List[int] = [0] * self.num_nodes
+        self.node_alive: bytearray = bytearray(b"\x01" * self.num_nodes)
+        self.current_arc: List[int] = [0] * self.num_nodes
 
         # Residual arcs: forward arc 2k pairs with backward arc 2k+1.
-        self.arc_from: List[int] = []
-        self.arc_to: List[int] = []
-        self.arc_residual: List[int] = []
-        self.arc_cost: List[int] = []
+        self.arc_from: array = array("q")
+        self.arc_to: array = array("q")
+        self.arc_residual: array = array("q")
+        self.arc_cost: array = array("q")
         self.adjacency: List[List[int]] = [[] for _ in range(self.num_nodes)]
         # Original arc endpoints for forward arcs, used to write flow back.
-        self.forward_arc_keys: List[Tuple[int, int]] = []
+        # ``None`` marks a dead (removed) arc pair slot.
+        self.forward_arc_keys: List[Optional[Tuple[int, int]]] = []
+        # (src, dst) -> forward pair position, for O(1) delta patching.
+        self.arc_position: Dict[Tuple[int, int], int] = {}
+
+        self.cost_scale: int = 1
+        self.revision: Optional[int] = getattr(network, "revision", None)
+        self.dead_arc_pairs: int = 0
+        self.dead_nodes: int = 0
+        self._max_cost_cache: Optional[int] = None
 
         for arc in network.arcs():
             u = self.index[arc.src]
@@ -59,8 +108,9 @@ class ResidualNetwork:
                 raise ValueError(
                     f"arc {arc.src}->{arc.dst} has invalid warm-start flow {flow}"
                 )
-            self._add_arc_pair(u, v, arc.capacity, arc.cost, flow)
+            position = self._add_arc_pair(u, v, arc.capacity, arc.cost, flow)
             self.forward_arc_keys.append((arc.src, arc.dst))
+            self.arc_position[(arc.src, arc.dst)] = position
             if use_existing_flow and flow:
                 self.excess[u] -= flow
                 self.excess[v] += flow
@@ -68,7 +118,8 @@ class ResidualNetwork:
     # ------------------------------------------------------------------ #
     # Construction helpers
     # ------------------------------------------------------------------ #
-    def _add_arc_pair(self, u: int, v: int, capacity: int, cost: int, flow: int) -> None:
+    def _add_arc_pair(self, u: int, v: int, capacity: int, cost: int, flow: int) -> int:
+        """Append a forward/reverse arc pair; return the pair position."""
         forward_index = len(self.arc_to)
         self.arc_from.append(u)
         self.arc_to.append(v)
@@ -81,14 +132,45 @@ class ResidualNetwork:
         self.arc_residual.append(flow)
         self.arc_cost.append(-cost)
         self.adjacency[v].append(forward_index + 1)
+        return forward_index // 2
+
+    def _add_node_slot(self, node_id: int, supply: int) -> int:
+        """Append (or revive) a node slot for ``node_id``; return its index."""
+        if node_id in self.index:
+            i = self.index[node_id]
+            if self.node_alive[i]:
+                raise ValueError(f"node {node_id} already exists in the residual")
+            self.node_alive[i] = 1
+            self.dead_nodes -= 1
+            self.supply[i] = supply
+            self.excess[i] = supply
+            self.potential[i] = 0
+            self.current_arc[i] = 0
+            return i
+        i = self.num_nodes
+        self.node_ids.append(node_id)
+        self.index[node_id] = i
+        self.supply.append(supply)
+        self.excess.append(supply)
+        self.potential.append(0)
+        self.node_alive.append(1)
+        self.current_arc.append(0)
+        self.adjacency.append([])
+        self.num_nodes += 1
+        return i
 
     # ------------------------------------------------------------------ #
     # Basic queries
     # ------------------------------------------------------------------ #
     @property
     def num_arcs(self) -> int:
-        """Number of residual arcs (twice the number of original arcs)."""
+        """Number of residual arc slots (twice the original arc pair slots)."""
         return len(self.arc_to)
+
+    @property
+    def num_live_arc_pairs(self) -> int:
+        """Number of live (non-removed) original arcs."""
+        return len(self.forward_arc_keys) - self.dead_arc_pairs
 
     def reverse(self, arc_index: int) -> int:
         """Return the index of the reverse residual arc."""
@@ -120,7 +202,7 @@ class ResidualNetwork:
         u = self.arc_from[arc_index]
         v = self.arc_to[arc_index]
         self.arc_residual[arc_index] -= amount
-        self.arc_residual[self.reverse(arc_index)] += amount
+        self.arc_residual[arc_index ^ 1] += amount
         self.excess[u] -= amount
         self.excess[v] += amount
 
@@ -141,10 +223,262 @@ class ResidualNetwork:
         return [i for i, e in enumerate(self.excess) if e < 0]
 
     def max_cost(self) -> int:
-        """Return the largest absolute arc cost."""
-        if not self.arc_cost:
-            return 0
-        return max(abs(c) for c in self.arc_cost)
+        """Return the largest absolute arc cost (in the stored cost units).
+
+        The value is cached; every mutation that can change it (cost
+        patches, arc additions/removals, cost rescaling) invalidates the
+        cache, so repeated calls inside the scaling phases are O(1) instead
+        of a full O(arcs) scan each time.
+        """
+        if self._max_cost_cache is None:
+            self._max_cost_cache = (
+                max(abs(c) for c in self.arc_cost) if len(self.arc_cost) else 0
+            )
+        return self._max_cost_cache
+
+    # ------------------------------------------------------------------ #
+    # Cost scaling support
+    # ------------------------------------------------------------------ #
+    def scale_costs(self, multiplier: int) -> None:
+        """Multiply every arc cost (and the stored scale) by ``multiplier``."""
+        if multiplier == 1:
+            return
+        arc_cost = self.arc_cost
+        for arc_index in range(len(arc_cost)):
+            arc_cost[arc_index] *= multiplier
+        self.cost_scale *= multiplier
+        if self._max_cost_cache is not None:
+            self._max_cost_cache *= multiplier
+
+    def unscale_costs(self) -> None:
+        """Divide arc costs back to original units (``cost_scale`` 1)."""
+        divisor = self.cost_scale
+        if divisor == 1:
+            return
+        arc_cost = self.arc_cost
+        for arc_index in range(len(arc_cost)):
+            arc_cost[arc_index] //= divisor
+        self.cost_scale = 1
+        if self._max_cost_cache is not None:
+            self._max_cost_cache //= divisor
+
+    def reset_current_arcs(self) -> None:
+        """Reset every node's current-arc cursor to the start of its list."""
+        self.current_arc = [0] * self.num_nodes
+
+    # ------------------------------------------------------------------ #
+    # Delta patching
+    # ------------------------------------------------------------------ #
+    def apply_changes(self, batch) -> List[int]:
+        """Patch the residual in place from a change batch.
+
+        Accepts a :class:`~repro.flow.changes.ChangeBatch` (or any iterable
+        of :class:`~repro.flow.changes.GraphChange` objects) whose costs are
+        expressed in *original* (unscaled) units; they are multiplied by
+        :attr:`cost_scale` on the way in, so a persistent scaled residual
+        stays consistent.
+
+        The previous flow is preserved where it remains valid: capacity
+        reductions clamp the carried flow and return the difference to the
+        endpoints' excesses, and removing an arc (or a node with its
+        incident arcs) returns the arc's flow the same way.  The caller is
+        responsible for re-routing the resulting excesses (that is the
+        repair step of incremental cost scaling).
+
+        Returns:
+            Sorted list of *dirty* forward pair positions: arcs whose
+            capacity, cost, or existence changed (including every arc
+            incident to an added node).  Only these can have acquired a
+            negative reduced cost, so optimality repair may restrict its
+            violation scan to them.
+
+        Raises:
+            ValueError / KeyError: when the batch does not match the
+                residual's current structure (e.g. patching an unknown arc).
+        """
+        from repro.flow import changes as ch
+
+        self._maybe_compact()
+        dirty: set = set()
+        scale = self.cost_scale
+
+        for change in batch:
+            if isinstance(change, ch.SupplyChange):
+                i = self.index[change.node_id]
+                if not self.node_alive[i]:
+                    raise ValueError(f"supply change on removed node {change.node_id}")
+                self.supply[i] += change.delta
+                self.excess[i] += change.delta
+            elif isinstance(change, ch.ArcCostChange):
+                position = self.arc_position[(change.src, change.dst)]
+                cost = change.new_cost * scale
+                self.arc_cost[2 * position] = cost
+                self.arc_cost[2 * position + 1] = -cost
+                dirty.add(position)
+                self._max_cost_cache = None
+            elif isinstance(change, ch.ArcCapacityChange):
+                position = self.arc_position[(change.src, change.dst)]
+                self._patch_capacity(position, change.new_capacity)
+                dirty.add(position)
+            elif isinstance(change, ch.ArcAddition):
+                dirty.add(
+                    self._patch_add_arc(
+                        change.src, change.dst, change.capacity, change.cost
+                    )
+                )
+            elif isinstance(change, ch.ArcRemoval):
+                position = self.arc_position[(change.src, change.dst)]
+                self._remove_arc_pair(position)
+            elif isinstance(change, ch.NodeAddition):
+                if change.node_id is None:
+                    raise ValueError(
+                        "NodeAddition must carry an explicit node_id to be "
+                        "applied to a residual network"
+                    )
+                self._add_node_slot(change.node_id, change.supply)
+                for dst, capacity, cost in change.arcs_out:
+                    dirty.add(self._patch_add_arc(change.node_id, dst, capacity, cost))
+                for src, capacity, cost in change.arcs_in:
+                    dirty.add(self._patch_add_arc(src, change.node_id, capacity, cost))
+            elif isinstance(change, ch.NodeRemoval):
+                self._patch_remove_node(change.node_id)
+            else:
+                raise ValueError(f"unsupported change type {type(change).__name__}")
+
+        return sorted(dirty)
+
+    def _patch_capacity(self, position: int, new_capacity: int) -> None:
+        forward = 2 * position
+        flow = self.arc_residual[forward + 1]
+        if new_capacity < flow:
+            # Clamp the carried flow; the clamped-off units return to the
+            # endpoints as excess/deficit for the repair step to re-route.
+            returned = flow - new_capacity
+            self.excess[self.arc_from[forward]] += returned
+            self.excess[self.arc_to[forward]] -= returned
+            flow = new_capacity
+            self.arc_residual[forward + 1] = flow
+        self.arc_residual[forward] = new_capacity - flow
+
+    def _patch_add_arc(self, src: int, dst: int, capacity: int, cost: int) -> int:
+        key = (src, dst)
+        if key in self.arc_position:
+            raise ValueError(f"arc {src}->{dst} already exists in the residual")
+        u = self.index[src]
+        v = self.index[dst]
+        if not (self.node_alive[u] and self.node_alive[v]):
+            raise ValueError(f"arc {src}->{dst} references a removed node")
+        position = self._add_arc_pair(u, v, capacity, cost * self.cost_scale, 0)
+        self.forward_arc_keys.append(key)
+        self.arc_position[key] = position
+        if self._max_cost_cache is not None:
+            scaled = abs(cost * self.cost_scale)
+            if scaled > self._max_cost_cache:
+                self._max_cost_cache = scaled
+        return position
+
+    def _remove_arc_pair(self, position: int) -> None:
+        key = self.forward_arc_keys[position]
+        if key is None:
+            raise ValueError(f"arc pair {position} is already removed")
+        forward = 2 * position
+        flow = self.arc_residual[forward + 1]
+        if flow:
+            # Return the carried flow to the endpoints.
+            self.excess[self.arc_from[forward]] += flow
+            self.excess[self.arc_to[forward]] -= flow
+        # Dead slot: zero residual in both directions means no traversal ever
+        # touches it again; zero cost keeps the max-cost cache an upper bound.
+        self.arc_residual[forward] = 0
+        self.arc_residual[forward + 1] = 0
+        self.arc_cost[forward] = 0
+        self.arc_cost[forward + 1] = 0
+        self.forward_arc_keys[position] = None
+        del self.arc_position[key]
+        self.dead_arc_pairs += 1
+
+    def _patch_remove_node(self, node_id: int) -> None:
+        i = self.index[node_id]
+        if not self.node_alive[i]:
+            raise ValueError(f"node {node_id} is already removed")
+        # Remove every live incident arc first (both the arcs out of the node
+        # and, via their reverse halves in our adjacency, the arcs into it).
+        for arc_index in self.adjacency[i]:
+            position = arc_index >> 1
+            if self.forward_arc_keys[position] is not None:
+                self._remove_arc_pair(position)
+        # Retiring the node retires its supply; a consistent batch leaves the
+        # node balanced once its arcs' flow has been returned.
+        self.excess[i] -= self.supply[i]
+        self.supply[i] = 0
+        if self.excess[i] != 0:
+            raise ValueError(
+                f"node {node_id} still has excess {self.excess[i]} after removal; "
+                "the change batch is inconsistent with the stored flow"
+            )
+        self.node_alive[i] = 0
+        self.potential[i] = 0
+        self.dead_nodes += 1
+
+    def _maybe_compact(self) -> None:
+        """Compact away dead slots once they dominate the arrays.
+
+        Amortized O(1) per change: a compaction costs O(nodes + arcs) but
+        only triggers after a proportional number of removals.
+        """
+        pairs = len(self.forward_arc_keys)
+        if (self.dead_arc_pairs * 2 <= pairs or pairs < 64) and (
+            self.dead_nodes * 2 <= self.num_nodes or self.num_nodes < 64
+        ):
+            return
+        self.compact()
+
+    def compact(self) -> None:
+        """Rebuild the arrays without dead node/arc slots (same node ids)."""
+        keep = [i for i in range(self.num_nodes) if self.node_alive[i]]
+        remap = {old: new for new, old in enumerate(keep)}
+        self.node_ids = [self.node_ids[i] for i in keep]
+        self.index = {nid: i for i, nid in enumerate(self.node_ids)}
+        self.supply = [self.supply[i] for i in keep]
+        self.excess = [self.excess[i] for i in keep]
+        self.potential = [self.potential[i] for i in keep]
+        self.num_nodes = len(keep)
+        self.node_alive = bytearray(b"\x01" * self.num_nodes)
+        self.current_arc = [0] * self.num_nodes
+        self.adjacency = [[] for _ in range(self.num_nodes)]
+        self.dead_nodes = 0
+
+        old_residual = self.arc_residual
+        old_cost = self.arc_cost
+        old_from = self.arc_from
+        old_to = self.arc_to
+        old_keys = self.forward_arc_keys
+        self.arc_from = array("q")
+        self.arc_to = array("q")
+        self.arc_residual = array("q")
+        self.arc_cost = array("q")
+        self.forward_arc_keys = []
+        self.arc_position = {}
+        self.dead_arc_pairs = 0
+        for position, key in enumerate(old_keys):
+            if key is None:
+                continue
+            forward = 2 * position
+            u = remap[old_from[forward]]
+            v = remap[old_to[forward]]
+            new_position = len(self.forward_arc_keys)
+            self.arc_from.append(u)
+            self.arc_to.append(v)
+            self.arc_residual.append(old_residual[forward])
+            self.arc_cost.append(old_cost[forward])
+            self.adjacency[u].append(2 * new_position)
+            self.arc_from.append(v)
+            self.arc_to.append(u)
+            self.arc_residual.append(old_residual[forward + 1])
+            self.arc_cost.append(old_cost[forward + 1])
+            self.adjacency[v].append(2 * new_position + 1)
+            self.forward_arc_keys.append(key)
+            self.arc_position[key] = new_position
 
     # ------------------------------------------------------------------ #
     # Potentials / warm start
@@ -157,31 +491,113 @@ class ResidualNetwork:
 
     def export_potentials(self) -> Dict[int, int]:
         """Export node potentials keyed by original node identifiers."""
-        return {nid: self.potential[i] for nid, i in self.index.items()}
+        return {
+            nid: self.potential[i]
+            for nid, i in self.index.items()
+            if self.node_alive[i]
+        }
 
     # ------------------------------------------------------------------ #
     # Result extraction
     # ------------------------------------------------------------------ #
     def write_flow_back(self, network: FlowNetwork) -> None:
         """Write the computed flow back onto the original network's arcs."""
-        for position, (src, dst) in enumerate(self.forward_arc_keys):
-            if network.has_arc(src, dst):
-                network.arc(src, dst).flow = self.flow_on_forward_arc(position)
+        arc_residual = self.arc_residual
+        for position, key in enumerate(self.forward_arc_keys):
+            if key is None:
+                continue
+            if network.has_arc(*key):
+                network.arc(*key).flow = arc_residual[2 * position + 1]
 
     def flows(self) -> Dict[Tuple[int, int], int]:
         """Return the computed flow as a ``{(src, dst): flow}`` mapping."""
         result: Dict[Tuple[int, int], int] = {}
+        arc_residual = self.arc_residual
         for position, key in enumerate(self.forward_arc_keys):
-            flow = self.flow_on_forward_arc(position)
+            if key is None:
+                continue
+            flow = arc_residual[2 * position + 1]
             if flow:
                 result[key] = flow
         return result
 
     def total_cost(self) -> int:
-        """Return the total cost of the current flow."""
+        """Return the total cost of the current flow (in original units)."""
         total = 0
-        for position in range(len(self.forward_arc_keys)):
-            flow = self.flow_on_forward_arc(position)
+        arc_residual = self.arc_residual
+        arc_cost = self.arc_cost
+        for position, key in enumerate(self.forward_arc_keys):
+            if key is None:
+                continue
+            flow = arc_residual[2 * position + 1]
             if flow:
-                total += flow * self.arc_cost[2 * position]
-        return total
+                total += flow * arc_cost[2 * position]
+        return total // self.cost_scale
+
+    # ------------------------------------------------------------------ #
+    # Consistency checking (used by the delta-equivalence tests)
+    # ------------------------------------------------------------------ #
+    def consistency_errors(self, network: FlowNetwork) -> List[str]:
+        """Return discrepancies between this residual and ``network``.
+
+        A delta-patched residual must be arc-for-arc equivalent to one
+        freshly built from the updated flow network: same live node set and
+        supplies, same arcs with the same capacities and (unscaled) costs,
+        and internally consistent flow/excess bookkeeping.
+        """
+        problems: List[str] = []
+        live_ids = {nid for nid, i in self.index.items() if self.node_alive[i]}
+        network_ids = set(network.node_ids())
+        if live_ids != network_ids:
+            problems.append(
+                f"node sets differ: residual-only {sorted(live_ids - network_ids)}, "
+                f"network-only {sorted(network_ids - live_ids)}"
+            )
+        for nid in live_ids & network_ids:
+            if self.supply[self.index[nid]] != network.node(nid).supply:
+                problems.append(
+                    f"node {nid} supply {self.supply[self.index[nid]]} != "
+                    f"network supply {network.node(nid).supply}"
+                )
+        network_keys = {arc.key() for arc in network.arcs()}
+        if set(self.arc_position) != network_keys:
+            problems.append(
+                f"arc sets differ: residual-only "
+                f"{sorted(set(self.arc_position) - network_keys)}, network-only "
+                f"{sorted(network_keys - set(self.arc_position))}"
+            )
+        for key, position in self.arc_position.items():
+            if key not in network_keys:
+                continue
+            arc = network.arc(*key)
+            forward = 2 * position
+            capacity = self.arc_residual[forward] + self.arc_residual[forward + 1]
+            if capacity != arc.capacity:
+                problems.append(
+                    f"arc {key} capacity {capacity} != network {arc.capacity}"
+                )
+            if self.arc_cost[forward] != arc.cost * self.cost_scale:
+                problems.append(
+                    f"arc {key} cost {self.arc_cost[forward]} != scaled network "
+                    f"cost {arc.cost * self.cost_scale}"
+                )
+            if self.arc_cost[forward + 1] != -self.arc_cost[forward]:
+                problems.append(f"arc {key} reverse cost is not the negation")
+            if self.arc_residual[forward] < 0 or self.arc_residual[forward + 1] < 0:
+                problems.append(f"arc {key} has negative residual capacity")
+        # Excess bookkeeping: excess = supply - outflow + inflow.
+        balance = list(self.supply)
+        for position, key in enumerate(self.forward_arc_keys):
+            if key is None:
+                continue
+            flow = self.arc_residual[2 * position + 1]
+            if flow:
+                balance[self.arc_from[2 * position]] -= flow
+                balance[self.arc_to[2 * position]] += flow
+        for i in range(self.num_nodes):
+            if self.node_alive[i] and balance[i] != self.excess[i]:
+                problems.append(
+                    f"node {self.node_ids[i]} excess {self.excess[i]} != "
+                    f"supply-flow balance {balance[i]}"
+                )
+        return problems

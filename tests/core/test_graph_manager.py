@@ -114,3 +114,52 @@ class TestWarmStartCompatibility:
         second = solver.solve(second_network)
         assert second.statistics.warm_start
         assert second.total_cost <= first.total_cost + 100  # wait costs grew
+
+
+class TestChangeBatchEmission:
+    def test_first_update_emits_no_batch(self, small_state):
+        small_state.submit_job(make_job(job_id=1, num_tasks=2))
+        manager = GraphManager(QuincyPolicy())
+        manager.update(small_state, now=0.0)
+        assert manager.last_changes is None
+
+    def test_update_emits_batch_linking_revisions(self, small_state):
+        small_state.submit_job(make_job(job_id=1, num_tasks=2))
+        manager = GraphManager(QuincyPolicy())
+        first = manager.update(small_state, now=0.0)
+        second = manager.update(small_state, now=10.0)
+        batch = manager.last_changes
+        assert batch is not None
+        assert batch.base_revision == first.revision
+        assert batch.target_revision == second.revision
+
+    def test_emitted_batch_replays_previous_network_into_new(self, small_state):
+        job = make_job(job_id=1, num_tasks=3)
+        small_state.submit_job(job)
+        manager = GraphManager(QuincyPolicy())
+        first = manager.update(small_state, now=0.0)
+
+        # Apply real churn: place and finish a task, submit another job.
+        small_state.place_task(job.tasks[0].task_id, 0, now=0.0)
+        small_state.complete_task(job.tasks[0].task_id, now=1.0)
+        small_state.submit_job(make_job(job_id=2, num_tasks=2))
+        second = manager.update(small_state, now=10.0)
+
+        replayed = first.copy()
+        manager.last_changes.apply_to(replayed)
+        assert {n.node_id for n in replayed.nodes()} == {
+            n.node_id for n in second.nodes()
+        }
+        assert {a.key(): (a.capacity, a.cost) for a in replayed.arcs()} == {
+            a.key(): (a.capacity, a.cost) for a in second.arcs()
+        }
+        assert {n.node_id: n.supply for n in replayed.nodes()} == {
+            n.node_id: n.supply for n in second.nodes()
+        }
+
+    def test_change_tracking_can_be_disabled(self, small_state):
+        small_state.submit_job(make_job(job_id=1, num_tasks=2))
+        manager = GraphManager(QuincyPolicy(), track_changes=False)
+        manager.update(small_state, now=0.0)
+        manager.update(small_state, now=10.0)
+        assert manager.last_changes is None

@@ -180,3 +180,58 @@ class TestFeasibilityScreening:
     def test_node_removal_breaks_feasibility(self):
         net, task, *_ = simple_network()
         assert changes_break_feasibility(net, [NodeRemoval(task.node_id)])
+
+
+class TestChangeBatchDiff:
+    """ChangeBatch.diff must produce a batch that replays old -> new."""
+
+    def network_signature(self, net):
+        return (
+            {n.node_id: (n.node_type, n.supply) for n in net.nodes()},
+            {a.key(): (a.capacity, a.cost) for a in net.arcs()},
+        )
+
+    def test_diff_replays_structural_changes(self):
+        from repro.flow.changes import ChangeBatch
+
+        old, task, machine, sink = simple_network()
+        new = old.copy()
+        new.remove_node(task.node_id)
+        new.set_supply(sink.node_id, 0)
+        added = new.add_node(NodeType.TASK, supply=1, name="T2")
+        new.add_arc(added.node_id, machine.node_id, 2, 7)
+        new.set_supply(sink.node_id, -1)
+        new.set_arc_cost(machine.node_id, sink.node_id, 4)
+        new.set_arc_capacity(machine.node_id, sink.node_id, 3)
+
+        batch = ChangeBatch.diff(old, new)
+        replayed = old.copy()
+        batch.apply_to(replayed)
+        assert self.network_signature(replayed) == self.network_signature(new)
+
+    def test_diff_of_identical_networks_is_empty(self):
+        from repro.flow.changes import ChangeBatch
+
+        old, *_ = simple_network()
+        batch = ChangeBatch.diff(old, old.copy())
+        assert len(batch) == 0
+        assert batch  # an empty batch is still a meaningful "nothing changed"
+
+    def test_diff_records_revisions(self):
+        from repro.flow.changes import ChangeBatch
+
+        old, *_ = simple_network()
+        new = old.copy()
+        old.revision = 4
+        new.revision = 5
+        batch = ChangeBatch.diff(old, new)
+        assert batch.base_revision == 4
+        assert batch.target_revision == 5
+
+    def test_diff_ignores_flow_values(self):
+        from repro.flow.changes import ChangeBatch
+
+        old, task, machine, _ = simple_network()
+        new = old.copy()
+        new.arc(task.node_id, machine.node_id).flow = 1
+        assert len(ChangeBatch.diff(old, new)) == 0
