@@ -15,7 +15,12 @@ import time
 
 import pytest
 
-from benchmarks.common import bench_scale, build_cluster_state
+from benchmarks.common import (
+    EXECUTOR_RACE_HEADER,
+    bench_scale,
+    build_cluster_state,
+    executor_race_row,
+)
 from repro.analysis.reporting import format_table
 from repro.analysis.stats import percentile
 from repro.baselines import make_quincy_scheduler
@@ -26,18 +31,26 @@ from repro.simulation import (
     SimulationConfig,
     TraceConfig,
 )
-from repro.solvers import CostScalingSolver
+from repro.solvers import CostScalingSolver, DualAlgorithmExecutor, ParallelDualExecutor
 
 MACHINES = 48 * bench_scale()
 UTILIZATION = 0.9
 TRACE_SECONDS = 60.0
 
+#: Cluster size for the executor-race comparison.  Larger than the latency
+#: CDF runs so each solver round is tens of milliseconds: the race's fixed
+#: costs (IPC, pipe polling granularity, OS scheduling quanta on shared
+#: cores) must be small relative to the winner's runtime for the
+#: within-25 % acceptance bound to measure the executor, not the machine.
+RACE_MACHINES = 96 * bench_scale()
 
-def replay(scheduler):
+
+def replay(scheduler, machines: int = None):
     """Replay the same synthetic trace snippet against a scheduler."""
-    state = build_cluster_state(MACHINES, utilization=UTILIZATION, seed=41)
+    machines = machines or MACHINES
+    state = build_cluster_state(machines, utilization=UTILIZATION, seed=41)
     config = TraceConfig(
-        num_machines=MACHINES,
+        num_machines=machines,
         slots_per_machine=4,
         target_utilization=0.3,  # arrivals on top of the 90% pre-fill
         duration=TRACE_SECONDS,
@@ -109,3 +122,63 @@ def test_fig14_firmament_places_tasks_much_faster_than_quincy(benchmark):
     assert alpha9_runtime <= alpha2_runtime * 1.3
 
     benchmark(lambda: replay(FirmamentScheduler(QuincyPolicy())))
+
+
+def test_fig14_parallel_executor_wall_clock_tracks_winner(benchmark):
+    """The real race costs ~the winner's runtime per round, not the sum.
+
+    The sequential executor *models* the paper's concurrent deployment (it
+    reports min() but pays the sum in wall clock); the parallel executor
+    races the algorithms across processes for real.  On the fig14 workload
+    its measured steady-state wall clock per round must stay within 25 % of
+    the winning algorithm's solo runtime -- the speculation is (measurably)
+    cheap, even when parent and worker share cores.
+    """
+    sequential = DualAlgorithmExecutor()
+    replay(FirmamentScheduler(QuincyPolicy(), solver=sequential), machines=RACE_MACHINES)
+
+    parallel = ParallelDualExecutor()
+    scheduler = FirmamentScheduler(QuincyPolicy(), solver=parallel)
+    try:
+        # One warm-up race pays the one-time costs (worker spawn, module
+        # imports in the subprocess, cold allocator) before measurement.
+        warmup = build_cluster_state(RACE_MACHINES, utilization=UTILIZATION, seed=40)
+        scheduler.schedule(warmup, now=0.0)
+        parallel.reset_counters()
+        parallel_run = replay(scheduler, machines=RACE_MACHINES)
+    finally:
+        parallel.close()
+
+    print()
+    print(f"Figure 14 executor race: real wall clock per round, {RACE_MACHINES} "
+          f"machines at {UTILIZATION:.0%} utilization")
+    print(format_table(
+        EXECUTOR_RACE_HEADER,
+        [
+            executor_race_row("sequential (modeled race)", sequential),
+            executor_race_row("parallel (subprocess race)", parallel),
+        ],
+    ))
+
+    assert parallel.rounds > 0
+    assert parallel.fallback_rounds == 0, "the race must not have fallen back"
+    overhead = parallel.total_wall_clock_seconds / max(
+        parallel.total_winner_runtime_seconds, 1e-9
+    )
+    print(f"parallel wall clock / winner solo runtime: {overhead:.3f}x")
+    # Acceptance criterion: measured wall clock within 25 % of the winning
+    # algorithm's solo runtime (not the sum of both algorithms).
+    assert overhead <= 1.25
+    # The sequential executor, by construction, pays (at least) the sum.
+    assert sequential.total_wall_clock_seconds >= sequential.total_work_seconds * 0.95
+    # Placement behaviour is unchanged by the executor strategy.
+    assert parallel_run.metrics.tasks_placed > 0
+
+    # Benchmark kernel: one parallel race round on the final network.
+    network = scheduler.last_network
+    racer = ParallelDualExecutor()
+    try:
+        racer.solve(network.copy())
+        benchmark(lambda: racer.solve(network.copy()))
+    finally:
+        racer.close()

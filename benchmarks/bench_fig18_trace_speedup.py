@@ -7,13 +7,35 @@ latencies above ten seconds beyond a 150x speedup, while Firmament (running
 both algorithms) keeps up to 250-300x.  The benchmark accelerates the
 synthetic trace on a scaled-down cluster and compares Firmament against the
 relaxation-only configuration.
+
+The replays use the trace generator's **constant-service-load** mode: the
+long-running service jobs are pinned to a fixed t=0 allotment instead of
+scaling their arrivals with the speedup.  Without it, accelerated replays
+multiply service-job arrivals whose never-completing tasks hold their slots
+forever, so beyond roughly 8x service work swallowed every slot and the
+experiment stopped exercising batch placement at all (see EXPERIMENTS.md,
+PR 1).  With it the sweep pushes to 16x and beyond.
+
+The Firmament replays race with the subprocess-backed
+:class:`~repro.solvers.parallel_executor.ParallelDualExecutor`: at 16x the
+incremental cost-scaling side degrades badly under the per-round churn
+(hundreds of task arrivals and completions per batch), and the sequential
+executor would grind every losing run to completion -- 165 s of real CPU
+for the replay, versus ~25 s when the race cancels the loser.  A second
+test pins that wall-clock advantage against the sequential executor at a
+moderate speedup where running both to completion is still affordable.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import bench_scale, build_cluster_state
+from benchmarks.common import (
+    EXECUTOR_RACE_HEADER,
+    bench_scale,
+    build_cluster_state,
+    executor_race_row,
+)
 from repro.analysis.reporting import format_table
 from repro.analysis.stats import percentile
 from repro.core import FirmamentScheduler, QuincyPolicy
@@ -23,10 +45,10 @@ from repro.simulation import (
     SimulationConfig,
     TraceConfig,
 )
-from repro.solvers import RelaxationSolver
+from repro.solvers import ParallelDualExecutor, RelaxationSolver
 
 MACHINES = 32 * bench_scale()
-SPEEDUPS = [1.0, 4.0, 8.0]
+SPEEDUPS = [1.0, 4.0, 16.0]
 TRACE_SECONDS = 25.0
 
 
@@ -41,16 +63,17 @@ def replay(speedup: float, solver):
         seed=72,
         service_job_fraction=0.1,
         mean_batch_task_duration=30.0,
+        constant_service_load=True,
     )
     scheduler = FirmamentScheduler(QuincyPolicy(), solver=solver) if solver else \
         FirmamentScheduler(QuincyPolicy())
     # Batch scheduling rounds at 2 Hz and skip the drain phase: the
-    # scheduler now gets charged the *effective* (winner's) runtime, so
+    # scheduler gets charged the *effective* (winner's) runtime, so
     # without an interval the simulator would re-run both solvers after
     # every single completion event -- hundreds of rounds per simulated
     # minute measuring the same latencies at many times the benchmark's
     # wall cost (each simulated round costs real CPU for two full solver
-    # runs).  Both configurations share the settings, so the comparison is
+    # runs).  All configurations share the settings, so the comparison is
     # unchanged.
     simulator = ClusterSimulator(
         state,
@@ -60,16 +83,24 @@ def replay(speedup: float, solver):
         ),
     )
     simulator.submit_jobs(GoogleTraceGenerator(config).generate())
-    return simulator.run()
+    try:
+        result = simulator.run()
+    finally:
+        simulator.close()
+    return result, scheduler
 
 
 def test_fig18_firmament_keeps_up_with_accelerated_traces(benchmark):
-    """Regenerates Figure 18 (scaled down)."""
+    """Regenerates Figure 18 (scaled down, constant service load, to 16x)."""
     rows = []
     stats = {}
     for speedup in SPEEDUPS:
-        firmament_run = replay(speedup, solver=None)
-        relaxation_run = replay(speedup, solver=RelaxationSolver())
+        executor = ParallelDualExecutor()
+        try:
+            firmament_run, _ = replay(speedup, solver=executor)
+        finally:
+            executor.close()
+        relaxation_run, _ = replay(speedup, solver=RelaxationSolver())
         firmament_p99 = percentile(firmament_run.metrics.placement_latencies, 99)
         relaxation_p99 = percentile(relaxation_run.metrics.placement_latencies, 99)
         stats[speedup] = (firmament_p99, relaxation_p99,
@@ -83,7 +114,8 @@ def test_fig18_firmament_keeps_up_with_accelerated_traces(benchmark):
             f"{relaxation_p99:.3f}",
         ])
     print()
-    print(f"Figure 18: placement latency vs trace speedup ({MACHINES} machines)")
+    print(f"Figure 18: placement latency vs trace speedup ({MACHINES} machines, "
+          "constant service load)")
     print(format_table(
         ["speedup", "tasks placed (firmament)", "firmament p50 [s]",
          "firmament p99 [s]", "relaxation-only p99 [s]"],
@@ -94,9 +126,84 @@ def test_fig18_firmament_keeps_up_with_accelerated_traces(benchmark):
     # higher speedups, and they all get placed) ...
     assert stats[SPEEDUPS[-1]][2] > stats[SPEEDUPS[0]][2]
     # ... and its tail latency never exceeds the relaxation-only
-    # configuration's by more than measurement noise at any speedup.
+    # configuration's by more than measurement noise.  The additive guard
+    # covers the near-zero-latency regime (low speedups place in
+    # milliseconds, where the real race's IPC and scheduling overhead on
+    # shared cores is the whole number); the figure's signal is the
+    # multi-second divergence at high speedups, which the multiplicative
+    # bound pins.
     for speedup in SPEEDUPS:
         firmament_p99, relaxation_p99, *_ = stats[speedup]
-        assert firmament_p99 <= relaxation_p99 * 1.25 + 0.05
+        assert firmament_p99 <= relaxation_p99 * 1.25 + 0.1
 
-    benchmark(lambda: replay(SPEEDUPS[1], solver=None))
+    # One timed replay: constant-service-load rounds do real scheduling
+    # work at every speedup, so calibrated multi-round timing would cost
+    # minutes for no extra signal.
+    def timed_replay():
+        executor = ParallelDualExecutor()
+        try:
+            replay(SPEEDUPS[1], solver=executor)
+        finally:
+            executor.close()
+
+    benchmark.pedantic(timed_replay, rounds=1, iterations=1)
+
+
+def test_fig18_parallel_executor_real_wall_clock(benchmark):
+    """The real race beats the sequential executor's wall clock per round.
+
+    The sequential executor charges the simulator the modeled winner's
+    runtime but pays the sum of both algorithms in real CPU; the parallel
+    executor's measured wall clock approximates the winner alone because
+    the losing run is cancelled or abandoned.  This turns the paper's
+    "running both is cheap" claim into a measured property.  The
+    comparison runs at a moderate speedup: at 16x the sequential
+    executor's losing cost-scaling runs alone cost minutes of CPU, which
+    is precisely why the sweep above races with the parallel executor.
+    """
+    speedup = 8.0
+    _, sequential_scheduler = replay(speedup, solver=None)
+    sequential = sequential_scheduler.solver
+
+    parallel = ParallelDualExecutor()
+    try:
+        parallel_run, _ = replay(speedup, solver=parallel)
+        print()
+        print(f"Figure 18 executor wall clock at {speedup:.0f}x "
+              f"({MACHINES} machines)")
+        print(format_table(
+            EXECUTOR_RACE_HEADER,
+            [
+                executor_race_row("sequential (modeled race)", sequential),
+                executor_race_row("parallel (subprocess race)", parallel),
+            ],
+        ))
+
+        assert parallel.rounds > 0
+        assert parallel.fallback_rounds == 0
+        assert parallel_run.metrics.tasks_placed > 0
+        # The real race's mean wall clock per round must undercut the
+        # sequential executor's (which pays the sum of both algorithms).
+        # The 5 % allowance absorbs single-core scheduling noise: when
+        # parent and worker time-slice one CPU the loser steals roughly
+        # half the cycles until cancelled, so the structural gap observed
+        # here (parallel at 0.7-0.9x of sequential) is itself a worst
+        # case relative to any multi-core host.
+        parallel_per_round = parallel.total_wall_clock_seconds / parallel.rounds
+        sequential_per_round = (
+            sequential.total_wall_clock_seconds / max(sequential.rounds, 1)
+        )
+        print(f"wall clock per round: parallel {1e3 * parallel_per_round:.2f} ms "
+              f"vs sequential {1e3 * sequential_per_round:.2f} ms")
+        assert parallel_per_round < sequential_per_round * 1.05
+    finally:
+        parallel.close()
+
+    def timed_replay():
+        executor = ParallelDualExecutor()
+        try:
+            replay(speedup, solver=executor)
+        finally:
+            executor.close()
+
+    benchmark.pedantic(timed_replay, rounds=1, iterations=1)

@@ -137,3 +137,27 @@ def scheduling_network(
     add_pending_batch_job(state, pending_tasks, seed=seed + 1)
     _, network = build_policy_network(state, policy)
     return network
+
+
+#: Header matching :func:`executor_race_row` (for ``format_table``).
+EXECUTOR_RACE_HEADER = [
+    "executor", "rounds", "wall/round [ms]", "winner-solo/round [ms]",
+    "work/round [ms]", "wins (relax/cs)",
+]
+
+
+def executor_race_row(name: str, executor) -> List:
+    """One ``format_table`` row of a dual executor's race counters.
+
+    Shared by the fig14 and fig18 executor-comparison benchmarks so the
+    two figures' tables cannot drift apart.
+    """
+    rounds = max(executor.rounds, 1)
+    return [
+        name,
+        executor.rounds,
+        f"{1e3 * executor.total_wall_clock_seconds / rounds:.2f}",
+        f"{1e3 * executor.total_winner_runtime_seconds / rounds:.2f}",
+        f"{1e3 * executor.total_work_seconds / rounds:.2f}",
+        f"{executor.relaxation_wins}/{executor.cost_scaling_wins}",
+    ]

@@ -27,6 +27,7 @@ from repro.core.policies import (
 from repro.simulation.failures import FailureInjector
 from repro.simulation.simulator import ClusterSimulator, SimulationConfig
 from repro.simulation.trace import GoogleTraceGenerator, TraceConfig
+from repro.solvers import EXECUTORS
 
 #: Scheduler names accepted by ``--scheduler``.
 SCHEDULERS = ("firmament", "quincy", "sparrow", "swarmkit", "kubernetes", "mesos")
@@ -78,6 +79,27 @@ def register(subparsers) -> None:
         default="quincy",
         help="scheduling policy for the flow-based schedulers (default: quincy)",
     )
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default="sequential",
+        help=(
+            "firmament's dual-algorithm execution strategy: 'sequential' runs "
+            "relaxation and incremental cost scaling back to back and models "
+            "the race, 'parallel' races them for real (relaxation in a worker "
+            "subprocess) so each round costs one solver's wall clock "
+            "(default: sequential)"
+        ),
+    )
+    parser.add_argument(
+        "--constant-service-load",
+        action="store_true",
+        help=(
+            "pin long-running service jobs to a fixed t=0 allotment instead "
+            "of scaling their arrivals with --speedup (keeps slots available "
+            "for batch work in accelerated replays, Figure 18)"
+        ),
+    )
     parser.add_argument("--seed", type=int, default=42, help="workload seed")
     parser.add_argument(
         "--failure-mtbf",
@@ -103,7 +125,7 @@ def run(args: argparse.Namespace) -> int:
 
     topology = build_topology(args.machines, slots_per_machine=args.slots_per_machine)
     state = ClusterState(topology)
-    scheduler = _make_scheduler(args.scheduler, args.policy)
+    scheduler = _make_scheduler(args.scheduler, args.policy, args.executor)
 
     trace_config = TraceConfig(
         num_machines=args.machines,
@@ -112,6 +134,7 @@ def run(args: argparse.Namespace) -> int:
         duration=args.duration,
         speedup=args.speedup,
         seed=args.seed,
+        constant_service_load=args.constant_service_load,
     )
     generator = GoogleTraceGenerator(trace_config, topology)
     jobs = generator.generate()
@@ -130,10 +153,14 @@ def run(args: argparse.Namespace) -> int:
         )
         schedule = injector.inject(simulator, horizon=args.duration)
 
-    result = simulator.run()
+    try:
+        result = simulator.run()
+    finally:
+        simulator.close()
     metrics = result.metrics
 
-    print(f"scheduler: {args.scheduler} (policy: {args.policy})")
+    executor_note = f", executor: {args.executor}" if args.scheduler == "firmament" else ""
+    print(f"scheduler: {args.scheduler} (policy: {args.policy}{executor_note})")
     print(f"jobs submitted: {len(jobs)}, tasks placed: {metrics.tasks_placed}, "
           f"tasks completed: {metrics.tasks_completed}")
     if schedule is not None:
@@ -173,9 +200,9 @@ def _make_policy(name: str):
     raise ValueError(f"unknown policy {name!r}")
 
 
-def _make_scheduler(scheduler_name: str, policy_name: str):
+def _make_scheduler(scheduler_name: str, policy_name: str, executor: str = "sequential"):
     if scheduler_name == "firmament":
-        return FirmamentScheduler(_make_policy(policy_name))
+        return FirmamentScheduler(_make_policy(policy_name), executor=executor)
     if scheduler_name == "quincy":
         return make_quincy_scheduler()
     if scheduler_name == "sparrow":

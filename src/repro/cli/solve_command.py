@@ -10,13 +10,17 @@ from repro.flow.dimacs import read_dimacs, write_dimacs
 from repro.flow.validation import check_feasibility
 from repro.solvers import make_solver
 
-#: Algorithm names accepted by ``--algorithm``.
+#: Algorithm names accepted by ``--algorithm``.  The two ``firmament_dual``
+#: entries are the speculative executors: sequential (modeled race) and
+#: parallel (a real race against a relaxation worker subprocess).
 ALGORITHMS = (
     "relaxation",
     "cost_scaling",
     "incremental_cost_scaling",
     "successive_shortest_path",
     "cycle_canceling",
+    "firmament_dual",
+    "firmament_dual_parallel",
 )
 
 
@@ -60,7 +64,12 @@ def run(args: argparse.Namespace) -> int:
     text = _read_input(args.input)
     network = read_dimacs(text)
     solver = make_solver(args.algorithm)
-    result = solver.solve(network)
+    try:
+        result = solver.solve(network)
+    finally:
+        close = getattr(solver, "close", None)
+        if callable(close):
+            close()
 
     violations = check_feasibility(network)
     print(f"algorithm:  {result.algorithm}")

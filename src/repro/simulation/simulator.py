@@ -204,6 +204,17 @@ class ClusterSimulator:
             virtual_time=self.now,
         )
 
+    def close(self) -> None:
+        """Release scheduler resources (worker subprocesses and the like).
+
+        Call after the last :meth:`run` when the scheduler uses the parallel
+        dual executor; a simulator driving a plain solver has nothing to
+        release and the call is a no-op.
+        """
+        close = getattr(self.scheduler, "close", None)
+        if callable(close):
+            close()
+
     # ------------------------------------------------------------------ #
     # Event handlers
     # ------------------------------------------------------------------ #

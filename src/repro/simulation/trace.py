@@ -51,6 +51,17 @@ class TraceConfig:
             ``mean_tasks_per_job``.
         mean_batch_task_duration: Mean duration of batch tasks in seconds.
         seed: RNG seed; the trace is fully deterministic given the config.
+        constant_service_load: When True, long-running service jobs are not
+            drawn from the (speedup-scaled) arrival process at all.  Instead
+            a fixed allotment of service tasks -- the service share of the
+            target utilization -- is submitted at t=0, and every subsequent
+            arrival is a batch job.  Without this, accelerating the trace
+            multiplies service-job *arrivals* while their never-completing
+            tasks still hold their slots forever, so at high speedups
+            service tasks swallow every slot and the accelerated-trace
+            experiment (Figure 18) cannot exercise batch placement at all.
+            The service slot footprint becomes an invariant of the config,
+            independent of ``speedup``.
     """
 
     num_machines: int = 100
@@ -64,6 +75,17 @@ class TraceConfig:
     large_job_scale: float = 25.0
     mean_batch_task_duration: float = 60.0
     seed: int = 42
+    constant_service_load: bool = False
+
+    def service_task_allotment(self) -> int:
+        """Fixed number of service tasks submitted at t=0 in constant mode.
+
+        The allotment is the service share of the target steady-state load
+        (service fraction of jobs times the utilization target), rounded to
+        whole tasks -- by construction independent of ``speedup``.
+        """
+        total_slots = self.num_machines * self.slots_per_machine
+        return int(round(total_slots * self.target_utilization * self.service_job_fraction))
 
 
 class GoogleTraceGenerator:
@@ -83,9 +105,18 @@ class GoogleTraceGenerator:
     # Public API
     # ------------------------------------------------------------------ #
     def generate(self) -> List[Job]:
-        """Generate the full trace: a list of jobs with submit times set."""
+        """Generate the full trace: a list of jobs with submit times set.
+
+        In constant-service-load mode the fixed service allotment is
+        submitted at t=0 and the arrival process generates batch jobs only;
+        otherwise every arrival draws its type independently.
+        """
         jobs: List[Job] = []
         config = self.config
+        arrival_type: Optional[JobType] = None
+        if config.constant_service_load:
+            jobs.extend(self._constant_service_jobs())
+            arrival_type = JobType.BATCH
         arrival_rate = self._job_arrival_rate()
         now = 0.0
         while now < config.duration:
@@ -93,17 +124,41 @@ class GoogleTraceGenerator:
             now += gap
             if now >= config.duration:
                 break
-            jobs.append(self.generate_job(submit_time=now))
+            jobs.append(self.generate_job(submit_time=now, job_type=arrival_type))
         return jobs
 
-    def generate_job(self, submit_time: float = 0.0, num_tasks: Optional[int] = None) -> Job:
-        """Generate a single job submitted at ``submit_time``."""
+    def _constant_service_jobs(self) -> List[Job]:
+        """Submit the fixed service-task allotment as t=0 service jobs."""
         config = self.config
-        job_type = (
-            JobType.SERVICE
-            if self._rng.random() < config.service_job_fraction
-            else JobType.BATCH
-        )
+        jobs: List[Job] = []
+        remaining = config.service_task_allotment()
+        while remaining > 0:
+            size = min(self._sample_job_size(), remaining)
+            job = self.generate_job(
+                submit_time=0.0, num_tasks=size, job_type=JobType.SERVICE
+            )
+            jobs.append(job)
+            remaining -= job.num_tasks
+        return jobs
+
+    def generate_job(
+        self,
+        submit_time: float = 0.0,
+        num_tasks: Optional[int] = None,
+        job_type: Optional[JobType] = None,
+    ) -> Job:
+        """Generate a single job submitted at ``submit_time``.
+
+        ``job_type`` pins the job's type; when omitted it is drawn from the
+        configured service fraction.
+        """
+        config = self.config
+        if job_type is None:
+            job_type = (
+                JobType.SERVICE
+                if self._rng.random() < config.service_job_fraction
+                else JobType.BATCH
+            )
         job_id = self._next_job_id
         self._next_job_id += 1
         priority = 10 if job_type is JobType.SERVICE else 1
@@ -140,6 +195,12 @@ class GoogleTraceGenerator:
         config = self.config
         total_slots = config.num_machines * config.slots_per_machine
         target_running_tasks = total_slots * config.target_utilization
+        if config.constant_service_load:
+            # The service share of the load is covered by the fixed t=0
+            # allotment; the arrival process only needs to sustain the
+            # batch share.
+            target_running_tasks -= config.service_task_allotment()
+            target_running_tasks = max(0.0, target_running_tasks)
         mean_job_size = config.mean_tasks_per_job * (
             1.0
             + config.large_job_fraction * (config.large_job_scale - 1.0)
@@ -154,6 +215,9 @@ class GoogleTraceGenerator:
     def _mean_task_duration(self) -> float:
         config = self.config
         batch = config.mean_batch_task_duration
+        if config.constant_service_load:
+            # Arrivals are batch-only; service load is fixed at t=0.
+            return batch / config.speedup
         # Service tasks effectively occupy their slot for the whole trace.
         service = config.duration
         mix = (

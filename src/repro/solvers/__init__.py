@@ -14,7 +14,11 @@ dual-algorithm executor of Section 6.1:
 * :class:`~repro.solvers.incremental.IncrementalCostScalingSolver`
 * :class:`~repro.solvers.incremental_relaxation.IncrementalRelaxationSolver`
   (the warm-start variant Section 5.2 argues against; kept for the ablation)
-* :class:`~repro.solvers.dual_executor.DualAlgorithmExecutor`
+* :class:`~repro.solvers.dual_executor.DualAlgorithmExecutor` (sequential,
+  models the race) and
+  :class:`~repro.solvers.parallel_executor.ParallelDualExecutor` (races a
+  relaxation worker subprocess against parent-side incremental cost
+  scaling for real)
 
 All solvers share the :class:`~repro.solvers.base.Solver` interface: they
 take a :class:`~repro.flow.graph.FlowNetwork`, assign an optimal flow to its
@@ -24,6 +28,7 @@ arcs, and return a :class:`~repro.solvers.base.SolverResult` with statistics.
 from repro.solvers.base import (
     COMPLEXITY_TABLE,
     PRECONDITION_TABLE,
+    SolveAborted,
     Solver,
     SolverResult,
     SolverStatistics,
@@ -34,11 +39,17 @@ from repro.solvers.cost_scaling import CostScalingSolver
 from repro.solvers.relaxation import RelaxationSolver
 from repro.solvers.incremental import IncrementalCostScalingSolver
 from repro.solvers.incremental_relaxation import IncrementalRelaxationSolver
-from repro.solvers.dual_executor import DualAlgorithmExecutor, DualExecutionResult
+from repro.solvers.dual_executor import (
+    DualAlgorithmExecutor,
+    DualExecutionResult,
+    SpeculativeDualExecutor,
+)
+from repro.solvers.parallel_executor import ParallelDualExecutor
 
 __all__ = [
     "COMPLEXITY_TABLE",
     "PRECONDITION_TABLE",
+    "SolveAborted",
     "Solver",
     "SolverResult",
     "SolverStatistics",
@@ -50,7 +61,14 @@ __all__ = [
     "IncrementalRelaxationSolver",
     "DualAlgorithmExecutor",
     "DualExecutionResult",
+    "SpeculativeDualExecutor",
+    "ParallelDualExecutor",
+    "make_executor",
 ]
+
+#: Executor names accepted by :func:`make_executor` (and the CLI/scheduler
+#: ``--executor`` option).
+EXECUTORS = ("sequential", "parallel")
 
 
 def make_solver(name: str, **kwargs) -> Solver:
@@ -58,7 +76,8 @@ def make_solver(name: str, **kwargs) -> Solver:
 
     Recognized names: ``cycle_canceling``, ``successive_shortest_path``,
     ``cost_scaling``, ``relaxation``, ``incremental_cost_scaling``,
-    ``incremental_relaxation``.
+    ``incremental_relaxation``, ``firmament_dual`` (sequential dual
+    executor), ``firmament_dual_parallel`` (subprocess-racing executor).
     """
     registry = {
         "cycle_canceling": CycleCancelingSolver,
@@ -67,7 +86,23 @@ def make_solver(name: str, **kwargs) -> Solver:
         "relaxation": RelaxationSolver,
         "incremental_cost_scaling": IncrementalCostScalingSolver,
         "incremental_relaxation": IncrementalRelaxationSolver,
+        "firmament_dual": DualAlgorithmExecutor,
+        "firmament_dual_parallel": ParallelDualExecutor,
     }
     if name not in registry:
         raise ValueError(f"unknown solver {name!r}; choose from {sorted(registry)}")
     return registry[name](**kwargs)
+
+
+def make_executor(name: str = "sequential", **kwargs) -> SpeculativeDualExecutor:
+    """Construct a speculative dual-algorithm executor by strategy name.
+
+    ``"sequential"`` runs both algorithms back to back and models the race
+    (:class:`DualAlgorithmExecutor`); ``"parallel"`` races them for real
+    across processes (:class:`ParallelDualExecutor`).
+    """
+    if name == "sequential":
+        return DualAlgorithmExecutor(**kwargs)
+    if name == "parallel":
+        return ParallelDualExecutor(**kwargs)
+    raise ValueError(f"unknown executor {name!r}; choose from {EXECUTORS}")

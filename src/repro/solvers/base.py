@@ -106,6 +106,19 @@ class InfeasibleProblemError(SolverError):
     """Raised when the network admits no feasible flow routing all supply."""
 
 
+class SolveAborted(Exception):
+    """Raised when a cooperative abort check cancelled a solver run.
+
+    The speculative parallel executor (Section 6.1 deployed for real,
+    :mod:`repro.solvers.parallel_executor`) installs an abort check on the
+    parent-side cost scaling run; when the relaxation worker subprocess
+    delivers its solution first, the check fires and the losing run is
+    cancelled mid-flight instead of finishing pointless work.  A solver
+    whose run was aborted makes no guarantee about its internal state;
+    stateful wrappers must discard or re-seed their warm state.
+    """
+
+
 #: Table 1 of the paper: worst-case time complexities.  ``N`` is the number of
 #: nodes, ``M`` the number of arcs, ``C`` the largest arc cost and ``U`` the
 #: largest arc capacity.  In scheduling graphs ``M > N > C > U``.

@@ -75,6 +75,7 @@ from repro.flow.changes import ChangeBatch
 from repro.flow.graph import FlowNetwork
 from repro.solvers.base import (
     InfeasibleProblemError,
+    SolveAborted,
     Solver,
     SolverResult,
     SolverStatistics,
@@ -87,8 +88,19 @@ DEFAULT_ALPHA = 2
 #: Alpha factor the paper found best for scheduling graphs (Section 7.2).
 TUNED_ALPHA = 9
 
+#: How many discharge/augment operations run between two calls of the
+#: cooperative abort check.  Each check is one pipe poll (a syscall); at this
+#: granularity the overhead is far below 1 % of the hot-loop work while the
+#: cancellation latency stays in the sub-millisecond range.
+ABORT_CHECK_INTERVAL = 2048
 
-def price_refine(residual: ResidualNetwork) -> bool:
+#: Finer check interval for price refine's label-correcting sweep, whose
+#: per-operation cost is a couple of microseconds: ~0.5 ms of cancellation
+#: latency at ~1 % polling overhead.
+PRICE_REFINE_CHECK_INTERVAL = 256
+
+
+def price_refine(residual: ResidualNetwork, abort_check=None) -> bool:
     """Recompute node potentials that prove optimality of the current flow.
 
     Runs a deque-based label-correcting sweep (SPFA) over the residual
@@ -103,6 +115,15 @@ def price_refine(residual: ResidualNetwork) -> bool:
     Compared to the textbook dense Bellman-Ford (n passes over every arc),
     the sweep only revisits nodes whose label actually improved, which on
     scheduling graphs converges after a few sparse passes.
+
+    Args:
+        residual: The residual network whose potentials to recompute.
+        abort_check: Optional cooperative cancellation hook, polled every
+            :data:`PRICE_REFINE_CHECK_INTERVAL` dequeued labels; returning
+            True raises :class:`~repro.solvers.base.SolveAborted`.  Price
+            refine dominates the warm-start path's runtime, so a
+            parallel-executor race that cannot cancel it would notice the
+            other algorithm's finish tens of milliseconds late.
 
     Returns:
         True when new potentials were installed (flow was optimal), False
@@ -127,7 +148,14 @@ def price_refine(residual: ResidualNetwork) -> bool:
     # bound needs.
     hops = [0] * n
 
+    ops_until_check = PRICE_REFINE_CHECK_INTERVAL
     while queue:
+        if abort_check is not None:
+            ops_until_check -= 1
+            if ops_until_check <= 0:
+                ops_until_check = PRICE_REFINE_CHECK_INTERVAL
+                if abort_check():
+                    raise SolveAborted("price refine cancelled by abort check")
         u = queue.popleft()
         in_queue[u] = 0
         du = dist[u]
@@ -143,7 +171,15 @@ def price_refine(residual: ResidualNetwork) -> bool:
                 if hops[v] > n:
                     return False
                 if not in_queue[v]:
-                    queue.append(v)
+                    # Smallest-label-first: process promising labels before
+                    # stale large ones.  Plain FIFO SPFA degenerates to
+                    # near O(n * m) label churn on the post-seed residuals
+                    # of large accelerated-trace rounds (tens of millions
+                    # of corrections); SLF keeps the sweep near-linear.
+                    if queue and nd <= dist[queue[0]]:
+                        queue.appendleft(v)
+                    else:
+                        queue.append(v)
                     in_queue[v] = 1
     potential = residual.potential
     for i in range(n):
@@ -179,6 +215,13 @@ class CostScalingSolver(Solver):
         self.alpha = alpha
         self.max_phases = max_phases
         self.polish_potentials = polish_potentials
+        #: Optional cooperative cancellation hook: a zero-argument callable
+        #: polled every :data:`ABORT_CHECK_INTERVAL` operations inside the
+        #: long-running loops.  Returning True raises
+        #: :class:`~repro.solvers.base.SolveAborted`, cancelling the run
+        #: (the speculative parallel executor uses this to stop the losing
+        #: algorithm).  ``None`` (the default) adds no per-operation work.
+        self.abort_check: Optional[callable] = None
         #: Exact scaled potentials of the most recent run, for warm starts.
         self.last_scaled_potentials: Optional[Dict[int, int]] = None
         self.last_scale: Optional[int] = None
@@ -192,7 +235,7 @@ class CostScalingSolver(Solver):
     def solve(self, network: FlowNetwork) -> SolverResult:
         """Compute a min-cost max-flow from scratch."""
         start = time.perf_counter()
-        residual = ResidualNetwork(network)
+        residual = ResidualNetwork(network, abort_check=self.abort_check)
         stats = SolverStatistics()
         scale = self._cost_scale(residual)
         residual.scale_costs(scale)
@@ -246,7 +289,10 @@ class CostScalingSolver(Solver):
         start = time.perf_counter()
         for arc in network.arcs():
             arc.flow = min(warm_flows.get(arc.key(), 0), arc.capacity)
-        residual = ResidualNetwork(network, use_existing_flow=True)
+        self._check_abort()
+        residual = ResidualNetwork(
+            network, use_existing_flow=True, abort_check=self.abort_check
+        )
         stats = SolverStatistics(warm_start=True)
 
         scale = self._cost_scale(residual)
@@ -264,7 +310,7 @@ class CostScalingSolver(Solver):
             for node_id, value in warm_scaled_potentials.items():
                 if node_id in residual.index:
                     residual.potential[residual.index[node_id]] = value * multiplier
-        elif apply_price_refine and price_refine(residual):
+        elif apply_price_refine and price_refine(residual, self.abort_check):
             stats.potential_updates += 1
         elif warm_potentials is not None:
             residual.load_potentials(warm_potentials)
@@ -288,7 +334,9 @@ class CostScalingSolver(Solver):
             # problem needs no repair at all.
             violation = self._max_violation(residual)
             excess = residual.total_excess()
-            if 0 < violation <= scale and excess == 0 and price_refine(residual):
+            if 0 < violation <= scale and excess == 0 and price_refine(
+                residual, self.abort_check
+            ):
                 # The warm flow is still feasible and the violation is small
                 # enough to be a rounding artifact: the previous run's
                 # potentials were merely 1-optimal (in scaled units) rather
@@ -396,6 +444,8 @@ class CostScalingSolver(Solver):
         successive shortest path) then restores feasibility while keeping
         reduced cost optimality, so the result is an optimal flow.
         """
+        # The saturation below writes arc_residual directly.
+        residual.invalidate_flow_journal()
         arc_residual = residual.arc_residual
         arc_cost = residual.arc_cost
         arc_from = residual.arc_from
@@ -424,6 +474,7 @@ class CostScalingSolver(Solver):
             if residual.excess[source] <= 0:
                 sources.pop()
                 continue
+            self._check_abort()
             routed = self._augment_along_reduced_costs(residual, source, stats)
             if routed == 0:
                 raise InfeasibleProblemError(
@@ -563,7 +614,7 @@ class CostScalingSolver(Solver):
         """
         if not self.polish_potentials or self.max_phases is not None:
             return
-        if price_refine(residual):
+        if price_refine(residual, self.abort_check):
             stats.potential_updates += 1
 
     def _record_scaled_state(self, residual: ResidualNetwork, scale: int) -> None:
@@ -618,6 +669,12 @@ class CostScalingSolver(Solver):
                 worst = -rc
         return worst
 
+    def _check_abort(self) -> None:
+        """Raise :class:`SolveAborted` when the cancellation hook fires."""
+        check = self.abort_check
+        if check is not None and check():
+            raise SolveAborted("cost scaling run cancelled by abort check")
+
     def _run_phases(
         self, residual: ResidualNetwork, initial_epsilon: int, stats: SolverStatistics
     ) -> None:
@@ -625,6 +682,7 @@ class CostScalingSolver(Solver):
         epsilon = initial_epsilon
         phases = 0
         while True:
+            self._check_abort()
             self._refine(residual, epsilon, stats)
             phases += 1
             stats.epsilon_phases += 1
@@ -645,6 +703,7 @@ class CostScalingSolver(Solver):
         """
         for source in range(residual.num_nodes):
             while residual.excess[source] > 0:
+                self._check_abort()
                 path = self._bfs_path_to_deficit(residual, source, stats)
                 if path is None:
                     raise InfeasibleProblemError(
@@ -712,6 +771,9 @@ class CostScalingSolver(Solver):
         inline from local aliases; see the module docstring for why the
         cursor is only reset on relabel.
         """
+        # The loops below write arc_residual directly (inlined pushes), so
+        # any dirty-flow tracking on the residual is no longer sound.
+        residual.invalidate_flow_journal()
         arc_residual = residual.arc_residual
         arc_cost = residual.arc_cost
         arc_from = residual.arc_from
@@ -753,7 +815,17 @@ class CostScalingSolver(Solver):
 
         relabels = 0
         arcs_scanned = 0
+        abort_check = self.abort_check
+        ops_until_check = ABORT_CHECK_INTERVAL
         while active:
+            if abort_check is not None:
+                ops_until_check -= 1
+                if ops_until_check <= 0:
+                    ops_until_check = ABORT_CHECK_INTERVAL
+                    if abort_check():
+                        raise SolveAborted(
+                            "cost scaling refine cancelled by abort check"
+                        )
             u = active.popleft()
             in_queue[u] = 0
             e = excess[u]

@@ -7,13 +7,21 @@ relaxation wins by a wide margin; under oversubscription or heavy contention
 relaxation degrades badly and incremental cost scaling bounds the placement
 latency.  Running both is cheap because each algorithm is single-threaded.
 
-The Python reproduction executes the algorithms sequentially (the GIL makes
-thread-level parallelism pointless for pure-Python CPU-bound work) and
-models the concurrent deployment the paper describes: the *effective*
-algorithm runtime reported for a scheduling iteration is the minimum of the
-two runtimes, exactly as if they had run on two cores, while the reported
-total work is the sum.  Both numbers are exposed so experiments can reason
-about either.
+The reproduction provides two executors sharing the race/seed/result logic
+in :class:`SpeculativeDualExecutor`:
+
+* :class:`DualAlgorithmExecutor` (this module) runs the algorithms
+  *sequentially* and models the concurrent deployment: the *effective*
+  runtime reported for an iteration is the minimum of the two runtimes,
+  exactly as if they had run on two cores, while the real wall-clock cost
+  paid is the sum.  Both numbers are exposed so experiments can reason
+  about either.
+* :class:`~repro.solvers.parallel_executor.ParallelDualExecutor` races the
+  algorithms *for real*: relaxation runs in a persistent worker subprocess
+  while incremental cost scaling runs in the parent, the first finisher
+  wins, and the loser is cancelled (parent side) or abandoned (worker
+  side).  Its measured wall clock per round approximates the winner's solo
+  runtime instead of the sum.
 
 After each iteration the winning solution is installed as the warm-start
 state of the incremental cost scaling instance (via price refine, Section
@@ -24,7 +32,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 from repro.flow.changes import ChangeBatch
 from repro.flow.graph import FlowNetwork
@@ -40,19 +48,32 @@ class DualExecutionResult:
     Attributes:
         winner: The result whose algorithm finished first; its flow is the
             one written to the network.
-        relaxation: The relaxation run's result.
-        cost_scaling: The (incremental) cost scaling run's result.
-        effective_runtime_seconds: min of the two runtimes -- the placement
-            latency a concurrent deployment would observe.
-        total_work_seconds: Sum of the two runtimes -- the CPU cost paid for
-            the speculation.
+        relaxation: The relaxation run's result; ``None`` when the parallel
+            executor abandoned the worker's round before it finished.
+        cost_scaling: The (incremental) cost scaling run's result; ``None``
+            when the parallel executor cancelled the run mid-flight.
+        effective_runtime_seconds: The placement latency of the round: the
+            modeled min of the two runtimes for the sequential executor,
+            the *measured* wall clock for the parallel one.
+        total_work_seconds: CPU seconds paid for the speculation (sum of
+            the known runtimes; a cancelled run is accounted at the wall
+            clock it consumed before cancellation).
+        wall_clock_seconds: Real elapsed time of the round in the calling
+            process.  For the sequential executor this is the sum of the
+            runtimes; for the parallel executor it approximates the
+            winner's solo runtime plus IPC overhead.
+        executor: Which execution strategy produced this round
+            (``"sequential"``, ``"parallel"``, or ``"sequential_fallback"``
+            when the parallel executor could not use multiprocessing).
     """
 
     winner: SolverResult
-    relaxation: SolverResult
-    cost_scaling: SolverResult
+    relaxation: Optional[SolverResult]
+    cost_scaling: Optional[SolverResult]
     effective_runtime_seconds: float
     total_work_seconds: float
+    wall_clock_seconds: float = 0.0
+    executor: str = "sequential"
 
     @property
     def winning_algorithm(self) -> str:
@@ -60,10 +81,13 @@ class DualExecutionResult:
         return self.winner.algorithm
 
 
-class DualAlgorithmExecutor(Solver):
-    """Run relaxation and incremental cost scaling, keep the faster answer."""
+class SpeculativeDualExecutor(Solver):
+    """Shared race/seed/result logic of the two dual-algorithm executors.
 
-    name = "firmament_dual"
+    Subclasses implement :meth:`solve_detailed`; the base class owns the
+    component solvers, the winner-seeds-warm-start rule, and the race
+    counters used by benchmarks and tests for observability.
+    """
 
     #: The scheduler may pass ``changes=ChangeBatch`` to :meth:`solve`; the
     #: batch is forwarded to the incremental cost scaling instance so it can
@@ -87,6 +111,13 @@ class DualAlgorithmExecutor(Solver):
         self.relaxation = relaxation or RelaxationSolver(arc_prioritization=True)
         self.incremental = incremental or IncrementalCostScalingSolver()
         self.last_result: Optional[DualExecutionResult] = None
+        #: Race observability counters, accumulated across rounds.
+        self.rounds: int = 0
+        self.relaxation_wins: int = 0
+        self.cost_scaling_wins: int = 0
+        self.total_wall_clock_seconds: float = 0.0
+        self.total_winner_runtime_seconds: float = 0.0
+        self.total_work_seconds: float = 0.0
 
     def solve(
         self, network: FlowNetwork, changes: Optional[ChangeBatch] = None
@@ -97,10 +128,70 @@ class DualAlgorithmExecutor(Solver):
     def solve_detailed(
         self, network: FlowNetwork, changes: Optional[ChangeBatch] = None
     ) -> DualExecutionResult:
+        """Solve the network and return both algorithms' results."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release executor resources (worker processes); idempotent."""
+
+    def reset_counters(self) -> None:
+        """Zero the race counters (e.g. after a warm-up round).
+
+        Benchmarks measuring steady-state racing call this after priming
+        the executor, so one-time costs (worker spawn, interpreter warm-up,
+        the first full-snapshot serialization) do not pollute the per-round
+        accounting.  Solver warm state is left untouched.
+        """
+        self.rounds = 0
+        self.relaxation_wins = 0
+        self.cost_scaling_wins = 0
+        self.total_wall_clock_seconds = 0.0
+        self.total_winner_runtime_seconds = 0.0
+        self.total_work_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Shared race plumbing
+    # ------------------------------------------------------------------ #
+    def _install_relaxation_win(
+        self, network: FlowNetwork, relaxation_result: SolverResult
+    ) -> None:
+        """Make a winning relaxation solution the network's and the warm state.
+
+        The relaxation flow is written onto the network's arcs and handed to
+        the incremental cost scaling instance so its next warm start benefits
+        from it (price refine makes the potentials usable, Section 6.2).
+        """
+        network.set_flows(relaxation_result.flows)
+        self.incremental.seed(relaxation_result.flows, relaxation_result.potentials)
+
+    def _record_round(self, result: DualExecutionResult) -> DualExecutionResult:
+        """Account a finished round in the executor's counters."""
+        self.rounds += 1
+        if result.winner.algorithm == self.relaxation.name:
+            self.relaxation_wins += 1
+        else:
+            self.cost_scaling_wins += 1
+        self.total_wall_clock_seconds += result.wall_clock_seconds
+        self.total_winner_runtime_seconds += result.winner.runtime_seconds
+        self.total_work_seconds += result.total_work_seconds
+        self.last_result = result
+        return result
+
+
+class DualAlgorithmExecutor(SpeculativeDualExecutor):
+    """Run relaxation and incremental cost scaling sequentially, keep the
+    faster answer (the modeled concurrent deployment)."""
+
+    name = "firmament_dual"
+
+    def solve_detailed(
+        self, network: FlowNetwork, changes: Optional[ChangeBatch] = None
+    ) -> DualExecutionResult:
         """Solve the network and return both algorithms' results.
 
         The winning flow is the one left assigned on the network's arcs.
         """
+        started = time.perf_counter()
         # Run relaxation on a copy so the network's arcs end up carrying the
         # winner's flow regardless of execution order.
         relaxation_network = network.copy()
@@ -110,11 +201,7 @@ class DualAlgorithmExecutor(Solver):
 
         if relaxation_result.runtime_seconds <= cost_scaling_result.runtime_seconds:
             winner = relaxation_result
-            network.set_flows(relaxation_result.flows)
-            # Hand the relaxation solution to incremental cost scaling so its
-            # next warm start benefits from it (price refine makes the
-            # potentials usable, Section 6.2).
-            self.incremental.seed(relaxation_result.flows, relaxation_result.potentials)
+            self._install_relaxation_win(network, relaxation_result)
         else:
             winner = cost_scaling_result
 
@@ -128,6 +215,7 @@ class DualAlgorithmExecutor(Solver):
             total_work_seconds=(
                 relaxation_result.runtime_seconds + cost_scaling_result.runtime_seconds
             ),
+            wall_clock_seconds=time.perf_counter() - started,
+            executor="sequential",
         )
-        self.last_result = result
-        return result
+        return self._record_round(result)

@@ -53,7 +53,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.flow.changes import ChangeBatch
 from repro.flow.graph import FlowNetwork, NodeType
-from repro.solvers.base import Solver, SolverResult
+from repro.solvers.base import SolveAborted, Solver, SolverResult
 from repro.solvers.cost_scaling import CostScalingSolver, DEFAULT_ALPHA
 
 
@@ -198,6 +198,31 @@ class IncrementalCostScalingSolver(Solver):
         """Return whether a previous solution is available for warm starting."""
         return self._last_flows is not None
 
+    @property
+    def abort_check(self):
+        """Cooperative cancellation hook, forwarded to the inner solver.
+
+        Set by the speculative parallel executor for the duration of a race
+        so the losing cost-scaling run can be cancelled mid-flight; see
+        :attr:`repro.solvers.cost_scaling.CostScalingSolver.abort_check`.
+        """
+        return self._cost_scaling.abort_check
+
+    @abort_check.setter
+    def abort_check(self, check) -> None:
+        self._cost_scaling.abort_check = check
+
+    def can_solve_delta(self, changes: Optional[ChangeBatch]) -> bool:
+        """Whether the next solve with this batch takes the pure delta path.
+
+        True when a persistent residual exists and the batch's revision
+        chain connects to it, so the round's cost is O(|changes| + repair)
+        rather than O(graph).  The parallel executor consults this to skip
+        pointless speculation: from-scratch relaxation cannot beat a small
+        bounded delta repair.
+        """
+        return self._deltable_residual(changes) is not None
+
     def _deltable_residual(self, changes: Optional[ChangeBatch]):
         """Return the persistent residual if the change batch applies to it."""
         if changes is None or not self.has_state:
@@ -240,7 +265,13 @@ class IncrementalCostScalingSolver(Solver):
                 self._cost_scaling.last_residual = None
                 raise
         else:
-            result = self._solve_rebuild(network)
+            try:
+                result = self._solve_rebuild(network)
+            except SolveAborted:
+                # The run was cancelled mid-rebuild; the retained residual
+                # (if any) mirrors an older revision and must not be reused.
+                self._cost_scaling.last_residual = None
+                raise
         self._last_flows = dict(result.flows)
         self._last_potentials = dict(result.potentials)
         self._last_scaled_potentials = dict(self._cost_scaling.last_scaled_potentials or {})
@@ -264,6 +295,9 @@ class IncrementalCostScalingSolver(Solver):
             warm_flows = dict(self._last_flows)
             if self.efficient_task_removal:
                 drain_removed_task_flow(network, warm_flows)
+                # The drain walk is O(graph) without polling; surface a lost
+                # race at its boundary before the warm rebuild starts.
+                self._cost_scaling._check_abort()
             result = self._cost_scaling.solve_warm(
                 network,
                 warm_flows,

@@ -1,0 +1,594 @@
+"""True parallel speculative dual-algorithm execution (Section 6.1).
+
+:class:`ParallelDualExecutor` is a drop-in
+:class:`~repro.solvers.base.Solver` that races the paper's two algorithms
+for real instead of modeling the race:
+
+* **Relaxation** runs in a *persistent worker subprocess*, spawned once and
+  fed one request per scheduling round over a pipe.  The network crosses
+  the process boundary in the compact DIMACS text forms
+  (:mod:`repro.flow.dimacs`), never as a pickled object graph -- and, like
+  the real Firmament's out-of-process solver, usually only as a *delta*:
+  the worker keeps a shadow copy of the last network it saw, and when the
+  round's :class:`~repro.flow.changes.ChangeBatch` chains onto the shadow's
+  revision the parent ships :func:`~repro.flow.dimacs.write_incremental`
+  text (O(|changes|)) instead of the full ``write_dimacs`` document
+  (O(graph)).  Full snapshots are sent on the first round, after skipped or
+  failed rounds, and whenever no revision-chained batch is available.
+* **Incremental cost scaling** runs in the parent process, patching its
+  persistent residual network from the round's
+  :class:`~repro.flow.changes.ChangeBatch` exactly as in the sequential
+  executor.
+
+First finisher wins:
+
+* If the parent's cost scaling run completes while the worker is still
+  solving, cost scaling wins and the worker's round is **abandoned** -- the
+  parent returns immediately and discards the worker's stale response
+  whenever it eventually drains from the pipe.
+* While cost scaling runs, it polls the pipe through the cooperative
+  :attr:`~repro.solvers.cost_scaling.CostScalingSolver.abort_check` hook;
+  when the worker's solution arrives first, the parent-side run is
+  **cancelled** mid-flight (:class:`~repro.solvers.base.SolveAborted`) and
+  relaxation wins.  The winning relaxation solution then seeds the
+  incremental solver's warm state, as in the sequential executor.
+
+Speculation is adaptive: when the incremental solver holds a
+revision-chained persistent residual and the round's change batch is small
+(:data:`DELTA_SOLO_THRESHOLD`), the parent solves solo -- a bounded
+O(|changes|) repair cannot lose to a from-scratch relaxation run, so racing
+would only waste a core (and on oversubscribed hosts would actively slow
+the guaranteed winner).  The race runs on exactly the rounds where Section
+6.1's insurance matters: cold starts, post-seed rebuilds, broken revision
+chains, and oversized batches.
+
+When multiprocessing is unavailable (spawn failure, broken pipe, platforms
+without it) the executor transparently falls back to the sequential
+:class:`~repro.solvers.dual_executor.DualAlgorithmExecutor`, sharing the
+same component solver instances so warm state carries over.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Optional
+
+from repro.flow.changes import ChangeBatch, apply_changes
+from repro.flow.dimacs import (
+    read_dimacs,
+    read_incremental,
+    write_dimacs,
+    write_incremental,
+)
+from repro.flow.graph import FlowNetwork
+from repro.solvers.base import SolveAborted, SolverResult, SolverStatistics
+from repro.solvers.dual_executor import (
+    DualAlgorithmExecutor,
+    DualExecutionResult,
+    SpeculativeDualExecutor,
+)
+from repro.solvers.incremental import IncrementalCostScalingSolver
+from repro.solvers.relaxation import RelaxationSolver
+
+#: The parent only ships a round when the worker has answered every
+#: previous request.  Besides keeping a slow worker from falling ever
+#: further behind on long-abandoned rounds, this is a deadlock guard: an
+#: answered-up worker is provably parked in ``recv``, so the parent's
+#: blocking ``send`` always finds a reader.  Shipping while an abandoned
+#: round is still in flight could wedge both processes on large graphs --
+#: parent blocked writing a request bigger than the pipe buffer, worker
+#: blocked writing the abandoned round's result, neither reading.
+
+#: Change-batch size up to which a *delta-armed* round skips speculation.
+#: When the incremental solver holds a revision-chained persistent residual,
+#: its round costs O(|changes| + repair) -- for batches this small that is
+#: far below any from-scratch relaxation run, so racing the worker cannot
+#: change the winner; it only burns a second core (or, on shared cores,
+#: steals scheduling quanta from the guaranteed winner).  Rebuild rounds --
+#: first round, post-seed rounds, broken revision chains, oversized batches
+#: -- always race, which is where Section 6.1's tail-latency insurance
+#: actually pays.
+DELTA_SOLO_THRESHOLD = 1024
+
+#: How long the parent waits for the worker after the parent-side solver
+#: *failed* (e.g. infeasibility) before re-raising the parent's error.
+LOSER_GRACE_SECONDS = 30.0
+
+
+def _relaxation_worker(conn, relaxation_kwargs: Dict[str, Any]) -> None:
+    """Entry point of the persistent relaxation worker subprocess.
+
+    Serves ``("full", round_id, dimacs_text)`` and ``("delta", round_id,
+    incremental_text)`` requests until a ``("shutdown",)`` message or pipe
+    closure.  A full request replaces the worker's shadow network; a delta
+    request patches the shadow in place (O(|changes|)) before solving, so
+    steady-state rounds never pay a full-document parse.  Responses carry
+    the round id so the parent can discard answers to rounds it has already
+    abandoned, and a monotonic finish stamp so the parent can settle photo
+    finishes (CLOCK_MONOTONIC is system-wide, hence comparable across
+    processes).
+    """
+    solver = RelaxationSolver(**relaxation_kwargs)
+    shadow = None
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message[0] == "shutdown":
+            break
+        kind, round_id, text = message
+        try:
+            if kind == "full":
+                shadow = read_dimacs(text)
+            elif shadow is None:
+                raise RuntimeError("delta request but no shadow network")
+            else:
+                apply_changes(shadow, read_incremental(text))
+            result = solver.solve(shadow)
+            response = (
+                "result",
+                round_id,
+                {
+                    "total_cost": result.total_cost,
+                    "flows": result.flows,
+                    "potentials": result.potentials,
+                    "runtime_seconds": result.runtime_seconds,
+                    "iterations": result.statistics.iterations,
+                    "augmentations": result.statistics.augmentations,
+                    "finished_at": time.monotonic(),
+                },
+            )
+        except Exception as error:
+            # The shadow may be half-patched; drop it so the next full
+            # snapshot (which the parent sends after seeing any error)
+            # starts clean.
+            shadow = None
+            response = ("error", round_id, f"{type(error).__name__}: {error}")
+        try:
+            conn.send(response)
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent died
+            break
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover
+        pass
+
+
+class _RoundRace:
+    """Per-round view of the worker pipe for the parent-side race.
+
+    The instance doubles as the cost-scaling abort check: calling it drains
+    the pipe without blocking, discards responses to abandoned rounds, and
+    returns True exactly when the *current* round's relaxation result has
+    arrived (at which point the parent-side run should stop).
+    """
+
+    def __init__(self, conn, round_id: int, unanswered: set, on_error=None) -> None:
+        self._conn = conn
+        self._round_id = round_id
+        self._unanswered = unanswered
+        self._on_error = on_error
+        self.payload: Optional[Dict[str, Any]] = None
+        self.worker_error: Optional[str] = None
+        self.pipe_broken = False
+
+    def __call__(self) -> bool:
+        if self.payload is not None:
+            return True
+        if self.pipe_broken:
+            return False
+        try:
+            while self._conn.poll(0):
+                kind, round_id, body = self._conn.recv()
+                self._unanswered.discard(round_id)
+                if kind == "error" and self._on_error is not None:
+                    # Any error (current or abandoned round) means the
+                    # worker dropped its shadow network; the parent must
+                    # send a full snapshot next.
+                    self._on_error()
+                if round_id != self._round_id:
+                    continue  # response to an abandoned round
+                if kind == "result":
+                    self.payload = body
+                    return True
+                self.worker_error = body
+        except (EOFError, OSError):
+            self.pipe_broken = True
+        return False
+
+    def wait(self, timeout: float) -> bool:
+        """Block up to ``timeout`` seconds for the current round's result."""
+        deadline = time.monotonic() + timeout
+        while not self():
+            if self.pipe_broken or self.worker_error is not None:
+                return False
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            try:
+                self._conn.poll(min(remaining, 0.05))
+            except (EOFError, OSError):
+                self.pipe_broken = True
+                return False
+        return True
+
+
+class ParallelDualExecutor(SpeculativeDualExecutor):
+    """Race relaxation (worker subprocess) against incremental cost scaling
+    (parent process); the first finisher's solution is installed."""
+
+    name = "firmament_dual_parallel"
+
+    @property
+    def charges_wall_clock(self) -> bool:
+        """Tell the scheduler to charge real measured wall clock per round.
+
+        True while racing for real: the race is physical, so the modeled
+        ``min()`` of the sequential executor would under-report.  Once the
+        executor has fallen back to sequential execution the rounds run
+        back to back again, and charging wall clock would double-charge
+        the loser -- the fallback reverts to the winner's modeled runtime.
+        """
+        return self._fallback is None
+
+    def __init__(
+        self,
+        relaxation: Optional[RelaxationSolver] = None,
+        incremental: Optional[IncrementalCostScalingSolver] = None,
+        spawn_retries: int = 1,
+        loser_grace_seconds: float = LOSER_GRACE_SECONDS,
+        delta_solo_threshold: int = DELTA_SOLO_THRESHOLD,
+    ) -> None:
+        """Create the executor.
+
+        Args:
+            relaxation: Relaxation configuration template; its settings (not
+                the instance) are shipped to the worker subprocess.  The
+                instance itself only solves when the executor has fallen
+                back to sequential mode.
+            incremental: Incremental cost scaling instance run in the parent.
+            spawn_retries: How many times a dead worker is respawned before
+                the executor permanently falls back to sequential execution.
+            loser_grace_seconds: How long to wait for the worker when the
+                parent-side solver failed (infeasible problems race an
+                error against an error).
+            delta_solo_threshold: Skip speculation on delta-armed rounds
+                whose change batch is at most this large (0 races every
+                round); see :data:`DELTA_SOLO_THRESHOLD`.
+        """
+        super().__init__(relaxation=relaxation, incremental=incremental)
+        self._relaxation_kwargs = {
+            "arc_prioritization": self.relaxation.arc_prioritization,
+            "priority_probe_limit": self.relaxation.priority_probe_limit,
+        }
+        self.loser_grace_seconds = loser_grace_seconds
+        self.delta_solo_threshold = delta_solo_threshold
+        self._conn = None
+        self._process = None
+        self._round_id = 0
+        self._unanswered: set = set()
+        self._spawn_attempts_left = 1 + max(0, spawn_retries)
+        self._fallback: Optional[DualAlgorithmExecutor] = None
+        #: Revision of the network content the worker's shadow copy mirrors
+        #: (None forces the next request to be a full snapshot).
+        self._worker_revision: Optional[int] = None
+        #: Rounds served by the sequential fallback (observability).
+        self.fallback_rounds: int = 0
+        #: Rounds where the worker was skipped because it lagged too far.
+        self.skipped_worker_rounds: int = 0
+        #: Delta-armed rounds solved solo (speculation skipped as futile).
+        self.solo_delta_rounds: int = 0
+        #: Requests shipped as full DIMACS snapshots vs incremental deltas.
+        self.full_payloads: int = 0
+        self.delta_payloads: int = 0
+
+    def reset_counters(self) -> None:
+        """Zero race and transport counters; worker and warm state persist."""
+        super().reset_counters()
+        self.fallback_rounds = 0
+        self.skipped_worker_rounds = 0
+        self.solo_delta_rounds = 0
+        self.full_payloads = 0
+        self.delta_payloads = 0
+
+    # ------------------------------------------------------------------ #
+    # Worker lifecycle
+    # ------------------------------------------------------------------ #
+    def _ensure_worker(self) -> bool:
+        """Return True when a live worker exists (spawning one if needed)."""
+        if self._conn is not None:
+            if self._process is None or self._process.is_alive():
+                return True
+            self._teardown_worker()
+        if self._fallback is not None:
+            return False
+        while self._spawn_attempts_left > 0:
+            self._spawn_attempts_left -= 1
+            try:
+                import multiprocessing
+
+                context = multiprocessing.get_context()
+                parent_conn, child_conn = context.Pipe(duplex=True)
+                process = context.Process(
+                    target=_relaxation_worker,
+                    args=(child_conn, self._relaxation_kwargs),
+                    daemon=True,
+                    name="repro-relaxation-worker",
+                )
+                process.start()
+                child_conn.close()
+                self._conn = parent_conn
+                self._process = process
+                self._unanswered.clear()
+                self._worker_revision = None
+                return True
+            except Exception:
+                continue
+        self._activate_fallback()
+        return False
+
+    def _activate_fallback(self) -> None:
+        """Switch permanently to sequential execution (shared solvers)."""
+        self._teardown_worker()
+        self._spawn_attempts_left = 0
+        if self._fallback is None:
+            self._fallback = DualAlgorithmExecutor(
+                relaxation=self.relaxation, incremental=self.incremental
+            )
+
+    def _note_worker_error(self) -> None:
+        """The worker dropped its shadow; ship a full snapshot next round."""
+        self._worker_revision = None
+
+    def _drain_pending(self) -> None:
+        """Consume any queued responses to already-abandoned rounds."""
+        conn = self._conn
+        if conn is None:
+            return
+        try:
+            while conn.poll(0):
+                kind, round_id, _ = conn.recv()
+                self._unanswered.discard(round_id)
+                if kind == "error":
+                    self._note_worker_error()
+        except (EOFError, OSError):
+            self._teardown_worker()
+
+    def _teardown_worker(self) -> None:
+        conn, process = self._conn, self._process
+        self._conn = None
+        self._process = None
+        self._unanswered.clear()
+        self._worker_revision = None
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if process is not None and process.is_alive():
+            process.terminate()
+            process.join(timeout=2.0)
+
+    def close(self) -> None:
+        """Shut the worker down gracefully; idempotent."""
+        conn, process = self._conn, self._process
+        if conn is not None:
+            try:
+                conn.send(("shutdown",))
+            except (BrokenPipeError, OSError):
+                pass
+        if process is not None:
+            process.join(timeout=2.0)
+        self._teardown_worker()
+
+    # ------------------------------------------------------------------ #
+    # The race
+    # ------------------------------------------------------------------ #
+    def solve_detailed(
+        self, network: FlowNetwork, changes: Optional[ChangeBatch] = None
+    ) -> DualExecutionResult:
+        """Race the two algorithms; return the first finisher's result.
+
+        The winning flow is the one left assigned on the network's arcs.
+        """
+        if not self._ensure_worker():
+            return self._solve_fallback(network, changes)
+        self._drain_pending()
+        if self._conn is None:
+            # The drain found the pipe broken; try one respawn cycle.
+            if not self._ensure_worker():
+                return self._solve_fallback(network, changes)
+
+        started = time.perf_counter()
+        race: Optional[_RoundRace] = None
+        if (
+            changes is not None
+            and len(changes) <= self.delta_solo_threshold
+            and self.incremental.can_solve_delta(changes)
+        ):
+            # Delta-armed round with a bounded batch: cost scaling's repair
+            # is O(|changes|) and cannot lose to a from-scratch relaxation
+            # run, so speculation would only burn CPU.  Solve solo.
+            self.solo_delta_rounds += 1
+        elif not self._unanswered:
+            self._round_id += 1
+            round_id = self._round_id
+            try:
+                kind, text, shipped_revision = self._encode_request(network, changes)
+                self._conn.send((kind, round_id, text))
+                # Yield the timeslice so the worker starts on the request
+                # immediately.  On a multi-core box this costs nothing; on a
+                # shared core it stops the parent from sitting on the CPU
+                # for a full scheduling quantum before the race even starts.
+                if hasattr(os, "sched_yield"):
+                    os.sched_yield()
+                self._unanswered.add(round_id)
+                self._worker_revision = shipped_revision
+                if kind == "delta":
+                    self.delta_payloads += 1
+                else:
+                    self.full_payloads += 1
+                race = _RoundRace(
+                    self._conn, round_id, self._unanswered,
+                    on_error=self._note_worker_error,
+                )
+            except (BrokenPipeError, OSError):
+                self._teardown_worker()
+                if not self._ensure_worker():
+                    return self._solve_fallback(network, changes)
+                return self.solve_detailed(network, changes)
+        else:
+            # The worker is still chewing on an older (abandoned) round; do
+            # not pile on -- see the deadlock note on the answered-up send
+            # precondition above.  Cost scaling runs this round unopposed,
+            # and the unshipped network breaks the delta chain, so the next
+            # request will be a full snapshot (its batch bases on this
+            # revision).
+            self.skipped_worker_rounds += 1
+
+        cost_scaling_result: Optional[SolverResult] = None
+        parent_error: Optional[BaseException] = None
+        if race is not None:
+            self.incremental.abort_check = race
+        try:
+            cost_scaling_result = self.incremental.solve(network, changes=changes)
+        except SolveAborted:
+            pass
+        except Exception as error:
+            parent_error = error
+        finally:
+            self.incremental.abort_check = None
+        parent_finished_at = time.monotonic()
+
+        if race is None:
+            if parent_error is not None:
+                raise parent_error
+            return self._finish_round(
+                network, started, cost_scaling_result, None, winner_is_relaxation=False
+            )
+
+        if cost_scaling_result is not None:
+            # Parent finished un-aborted; one last drain settles the photo
+            # finish (the worker may have crossed the line between the last
+            # abort check and now).
+            race()
+            relaxation_result = self._payload_to_result(race.payload)
+            worker_first = (
+                race.payload is not None
+                and race.payload["finished_at"] <= parent_finished_at
+            )
+            return self._finish_round(
+                network,
+                started,
+                cost_scaling_result,
+                relaxation_result,
+                winner_is_relaxation=worker_first,
+            )
+
+        if parent_error is None:
+            # Cost scaling was cancelled: the abort check only fires once the
+            # current round's relaxation result is in hand.
+            relaxation_result = self._payload_to_result(race.payload)
+            return self._finish_round(
+                network, started, None, relaxation_result, winner_is_relaxation=True
+            )
+
+        # The parent-side solver failed (e.g. infeasibility).  Give the
+        # worker a bounded grace period to disagree; if it cannot produce a
+        # solution either, surface the parent's error.
+        if race.wait(self.loser_grace_seconds):
+            relaxation_result = self._payload_to_result(race.payload)
+            return self._finish_round(
+                network, started, None, relaxation_result, winner_is_relaxation=True
+            )
+        if race.pipe_broken:
+            self._teardown_worker()
+        raise parent_error
+
+    def _encode_request(self, network: FlowNetwork, changes: Optional[ChangeBatch]):
+        """Serialize the round for the worker: delta when the chain holds.
+
+        A delta is only legal when the round's change batch provably
+        transforms the exact revision the worker's shadow network mirrors;
+        anything else (first round, skipped rounds, unrevisioned hand-built
+        networks, unserializable batches) ships a full snapshot.
+        """
+        if (
+            changes is not None
+            and changes.base_revision is not None
+            and changes.base_revision == self._worker_revision
+            and changes.target_revision is not None
+        ):
+            try:
+                return "delta", write_incremental(list(changes)), changes.target_revision
+            except (ValueError, TypeError):
+                pass  # e.g. a NodeAddition without an explicit node id
+        text = write_dimacs(network, include_node_types=False)
+        return "full", text, getattr(network, "revision", None)
+
+    # ------------------------------------------------------------------ #
+    # Round assembly
+    # ------------------------------------------------------------------ #
+    def _solve_fallback(
+        self, network: FlowNetwork, changes: Optional[ChangeBatch]
+    ) -> DualExecutionResult:
+        result = self._fallback.solve_detailed(network, changes)
+        result.executor = "sequential_fallback"
+        self.fallback_rounds += 1
+        return self._record_round(result)
+
+    def _payload_to_result(
+        self, payload: Optional[Dict[str, Any]]
+    ) -> Optional[SolverResult]:
+        """Rebuild a relaxation :class:`SolverResult` from the IPC payload."""
+        if payload is None:
+            return None
+        return SolverResult(
+            algorithm=self.relaxation.name,
+            total_cost=payload["total_cost"],
+            flows=payload["flows"],
+            potentials=payload["potentials"],
+            runtime_seconds=payload["runtime_seconds"],
+            statistics=SolverStatistics(
+                iterations=payload["iterations"],
+                augmentations=payload["augmentations"],
+            ),
+        )
+
+    def _finish_round(
+        self,
+        network: FlowNetwork,
+        started: float,
+        cost_scaling_result: Optional[SolverResult],
+        relaxation_result: Optional[SolverResult],
+        winner_is_relaxation: bool,
+    ) -> DualExecutionResult:
+        wall_clock = time.perf_counter() - started
+        if winner_is_relaxation:
+            winner = relaxation_result
+            self._install_relaxation_win(network, relaxation_result)
+        else:
+            winner = cost_scaling_result
+        # A cancelled parent run consumed roughly the whole round's wall
+        # clock before it stopped; an abandoned worker round is accounted
+        # only when its runtime is known (the stale result may never drain).
+        work = 0.0
+        work += (
+            cost_scaling_result.runtime_seconds
+            if cost_scaling_result is not None
+            else wall_clock
+        )
+        if relaxation_result is not None:
+            work += relaxation_result.runtime_seconds
+        result = DualExecutionResult(
+            winner=winner,
+            relaxation=relaxation_result,
+            cost_scaling=cost_scaling_result,
+            effective_runtime_seconds=wall_clock,
+            total_work_seconds=work,
+            wall_clock_seconds=wall_clock,
+            executor="parallel",
+        )
+        return self._record_round(result)

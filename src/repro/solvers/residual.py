@@ -39,6 +39,12 @@ from array import array
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.flow.graph import FlowNetwork
+from repro.solvers.base import SolveAborted
+
+#: Arcs loaded between two polls of the construction abort hook (the build
+#: loop's per-arc cost is a few microseconds, so this keeps cancellation
+#: latency around a millisecond at negligible polling overhead).
+CONSTRUCTION_CHECK_INTERVAL = 256
 
 
 class ResidualNetwork:
@@ -57,7 +63,12 @@ class ResidualNetwork:
             residual mirrors (used to validate delta patches).
     """
 
-    def __init__(self, network: FlowNetwork, use_existing_flow: bool = False) -> None:
+    def __init__(
+        self,
+        network: FlowNetwork,
+        use_existing_flow: bool = False,
+        abort_check=None,
+    ) -> None:
         """Build the residual network from a flow network.
 
         Args:
@@ -66,6 +77,10 @@ class ResidualNetwork:
                 loaded into the residual capacities and the node excesses are
                 reduced accordingly (warm start); otherwise flow starts at
                 zero and every source node carries its full supply as excess.
+            abort_check: Optional cooperative cancellation hook polled every
+                few hundred arcs during construction (the build is O(graph)
+                with no other polling opportunity); returning True raises
+                :class:`~repro.solvers.base.SolveAborted`.
         """
         self.node_ids: List[int] = list(network.node_ids())
         self.index: Dict[int, int] = {nid: i for i, nid in enumerate(self.node_ids)}
@@ -99,8 +114,25 @@ class ResidualNetwork:
         self.dead_arc_pairs: int = 0
         self.dead_nodes: int = 0
         self._max_cost_cache: Optional[int] = None
+        # Dirty-flow journal: forward pair positions whose flow changed since
+        # the last extraction, plus a cache of the last extracted non-zero
+        # flows.  ``None`` means "not tracking" -- extraction then scans all
+        # live arcs and (re)primes the journal.  Mutation paths that bypass
+        # :meth:`push` (the inlined hot loops of the scaling ladder) must call
+        # :meth:`invalidate_flow_journal`.
+        self._flow_journal: Optional[set] = None
+        self._flows_cache: Optional[Dict[Tuple[int, int], int]] = None
 
+        ops_until_check = CONSTRUCTION_CHECK_INTERVAL
         for arc in network.arcs():
+            if abort_check is not None:
+                ops_until_check -= 1
+                if ops_until_check <= 0:
+                    ops_until_check = CONSTRUCTION_CHECK_INTERVAL
+                    if abort_check():
+                        raise SolveAborted(
+                            "residual construction cancelled by abort check"
+                        )
             u = self.index[arc.src]
             v = self.index[arc.dst]
             flow = arc.flow if use_existing_flow else 0
@@ -205,6 +237,8 @@ class ResidualNetwork:
         self.arc_residual[arc_index ^ 1] += amount
         self.excess[u] -= amount
         self.excess[v] += amount
+        if self._flow_journal is not None and amount:
+            self._flow_journal.add(arc_index >> 1)
 
     def flow_on_forward_arc(self, forward_position: int) -> int:
         """Return the flow on the ``forward_position``-th original arc."""
@@ -358,6 +392,8 @@ class ResidualNetwork:
             self.excess[self.arc_to[forward]] -= returned
             flow = new_capacity
             self.arc_residual[forward + 1] = flow
+            if self._flow_journal is not None:
+                self._flow_journal.add(position)
         self.arc_residual[forward] = new_capacity - flow
 
     def _patch_add_arc(self, src: int, dst: int, capacity: int, cost: int) -> int:
@@ -396,6 +432,12 @@ class ResidualNetwork:
         self.forward_arc_keys[position] = None
         del self.arc_position[key]
         self.dead_arc_pairs += 1
+        # The slot is dead: purge its cached flow and drop any pending
+        # journal entry (the position no longer maps to a live key).
+        if self._flows_cache is not None:
+            self._flows_cache.pop(key, None)
+        if self._flow_journal is not None:
+            self._flow_journal.discard(position)
 
     def _patch_remove_node(self, node_id: int) -> None:
         i = self.index[node_id]
@@ -435,6 +477,10 @@ class ResidualNetwork:
 
     def compact(self) -> None:
         """Rebuild the arrays without dead node/arc slots (same node ids)."""
+        # Compaction renumbers pair positions, so pending journal entries
+        # would dangle; compaction is amortized-rare, so simply fall back to
+        # one full extraction afterwards.
+        self.invalidate_flow_journal()
         keep = [i for i in range(self.num_nodes) if self.node_alive[i]]
         remap = {old: new for new, old in enumerate(keep)}
         self.node_ids = [self.node_ids[i] for i in keep]
@@ -498,19 +544,54 @@ class ResidualNetwork:
         }
 
     # ------------------------------------------------------------------ #
-    # Result extraction
+    # Result extraction (dirty-flow journal)
     # ------------------------------------------------------------------ #
-    def write_flow_back(self, network: FlowNetwork) -> None:
-        """Write the computed flow back onto the original network's arcs."""
-        arc_residual = self.arc_residual
-        for position, key in enumerate(self.forward_arc_keys):
-            if key is None:
-                continue
-            if network.has_arc(*key):
-                network.arc(*key).flow = arc_residual[2 * position + 1]
+    def invalidate_flow_journal(self) -> None:
+        """Stop O(changed) flow tracking; the next extraction scans all arcs.
 
-    def flows(self) -> Dict[Tuple[int, int], int]:
-        """Return the computed flow as a ``{(src, dst): flow}`` mapping."""
+        Must be called by any code path that mutates ``arc_residual``
+        without going through :meth:`push` or the delta-patching helpers
+        (the inlined discharge loops of the scaling ladder do this).
+        """
+        self._flow_journal = None
+        self._flows_cache = None
+
+    @property
+    def flow_journal_active(self) -> bool:
+        """Whether extractions are currently served from the journal."""
+        return self._flow_journal is not None and self._flows_cache is not None
+
+    def _sync_flow_journal(self) -> Optional[Dict[Tuple[int, int], int]]:
+        """Fold pending journal entries into the flows cache.
+
+        Returns the up-to-date cache, or ``None`` when tracking is off.
+        """
+        journal = self._flow_journal
+        cache = self._flows_cache
+        if journal is None or cache is None:
+            return None
+        if journal:
+            arc_residual = self.arc_residual
+            keys = self.forward_arc_keys
+            for position in journal:
+                key = keys[position]
+                if key is None:
+                    continue
+                flow = arc_residual[2 * position + 1]
+                if flow:
+                    cache[key] = flow
+                else:
+                    cache.pop(key, None)
+            journal.clear()
+        return cache
+
+    def full_flows(self) -> Dict[Tuple[int, int], int]:
+        """Extract the flow by scanning every live arc (journal bypass).
+
+        The journal-equivalence tests compare this against :meth:`flows`;
+        production code calls :meth:`flows`, which re-primes the journal
+        from this scan whenever tracking was invalidated.
+        """
         result: Dict[Tuple[int, int], int] = {}
         arc_residual = self.arc_residual
         for position, key in enumerate(self.forward_arc_keys):
@@ -520,6 +601,45 @@ class ResidualNetwork:
             if flow:
                 result[key] = flow
         return result
+
+    def write_flow_back(self, network: FlowNetwork) -> None:
+        """Write the computed flow back onto the original network's arcs.
+
+        On the delta path (journal active) only the cached non-zero flows
+        are written -- O(changed + non-zero flows).  This assumes the target
+        network's arcs carry no stale flow, which holds for the graph
+        manager's freshly rebuilt per-round networks; callers reusing a
+        network with old flows on its arcs get the full O(live arcs) path
+        because mutating solvers invalidate the journal first.
+        """
+        cache = self._sync_flow_journal()
+        if cache is not None:
+            for key, flow in cache.items():
+                if network.has_arc(*key):
+                    network.arc(*key).flow = flow
+            return
+        arc_residual = self.arc_residual
+        for position, key in enumerate(self.forward_arc_keys):
+            if key is None:
+                continue
+            if network.has_arc(*key):
+                network.arc(*key).flow = arc_residual[2 * position + 1]
+
+    def flows(self) -> Dict[Tuple[int, int], int]:
+        """Return the computed flow as a ``{(src, dst): flow}`` mapping.
+
+        With an active journal the scan is restricted to the positions whose
+        flow changed since the previous extraction (plus an O(non-zero
+        flows) copy of the cache).  Without one, a full scan of the live
+        arcs runs and primes the journal, so a persistent residual's
+        subsequent delta rounds are served incrementally.
+        """
+        cache = self._sync_flow_journal()
+        if cache is not None:
+            return dict(cache)
+        self._flows_cache = self.full_flows()
+        self._flow_journal = set()
+        return dict(self._flows_cache)
 
     def total_cost(self) -> int:
         """Return the total cost of the current flow (in original units)."""

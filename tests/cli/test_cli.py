@@ -65,6 +65,15 @@ class TestSolveCommand:
             costs.add(int(cost_line.split(":")[1]))
         assert len(costs) == 1
 
+    def test_dual_executor_algorithms_match_relaxation_cost(self, dimacs_file, capsys):
+        costs = set()
+        for algorithm in ("relaxation", "firmament_dual", "firmament_dual_parallel"):
+            assert main(["solve", str(dimacs_file), "--algorithm", algorithm]) == 0
+            output = capsys.readouterr().out
+            cost_line = [l for l in output.splitlines() if l.startswith("total cost")][0]
+            costs.add(int(cost_line.split(":")[1]))
+        assert len(costs) == 1
+
     def test_missing_file_reports_error(self, capsys):
         assert main(["solve", "/nonexistent/problem.dimacs"]) == 1
         assert "error" in capsys.readouterr().err.lower()
@@ -80,6 +89,17 @@ class TestSimulateCommand:
         output = capsys.readouterr().out
         assert "placement latency" in output
         assert "firmament" in output
+
+    def test_parallel_executor_simulation(self, capsys):
+        code = main([
+            "simulate", "--machines", "8", "--duration", "40",
+            "--utilization", "0.5", "--seed", "1",
+            "--executor", "parallel", "--constant-service-load",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "executor: parallel" in output
+        assert "placement latency" in output
 
     def test_baseline_scheduler_simulation(self, capsys):
         code = main([

@@ -53,6 +53,64 @@ class TestTraceGenerator:
             assert all(0 < f <= 1.0 for f in task.input_locality.values())
             assert all(0 <= m < 30 for m in task.input_locality)
 
+    def test_constant_service_load_is_invariant_under_speedup(self):
+        """The service slot footprint must not scale with the trace speedup.
+
+        Without constant mode, accelerating the trace multiplies service-job
+        arrivals while their never-completing tasks hold slots forever, so
+        service work eventually swallows the cluster (the fig18 failure mode
+        recorded in EXPERIMENTS.md).  Constant mode pins the allotment.
+        """
+        def service_tasks(speedup: float):
+            config = TraceConfig(
+                num_machines=40,
+                slots_per_machine=4,
+                target_utilization=0.5,
+                duration=200.0,
+                speedup=speedup,
+                service_job_fraction=0.2,
+                seed=9,
+                constant_service_load=True,
+            )
+            jobs = GoogleTraceGenerator(config).generate()
+            service = [j for j in jobs if j.job_type is JobType.SERVICE]
+            batch = [j for j in jobs if j.job_type is JobType.BATCH]
+            return config, service, batch
+
+        config, service_1x, batch_1x = service_tasks(1.0)
+        _, service_16x, batch_16x = service_tasks(16.0)
+
+        allotment = config.service_task_allotment()
+        assert allotment == int(round(40 * 4 * 0.5 * 0.2))
+        for service_jobs in (service_1x, service_16x):
+            assert sum(j.num_tasks for j in service_jobs) == allotment
+            assert all(j.submit_time == 0.0 for j in service_jobs)
+        # Batch arrivals still accelerate with the speedup...
+        assert len(batch_16x) > len(batch_1x) * 4
+        # ... and arrivals never introduce more service work.
+        assert all(j.submit_time > 0.0 or j.job_type is JobType.SERVICE
+                   for j in service_1x + batch_1x)
+
+    def test_constant_service_load_leaves_slots_for_batch_work(self):
+        """Service tasks must occupy only their share even at high speedup."""
+        config = TraceConfig(
+            num_machines=20,
+            slots_per_machine=4,
+            target_utilization=0.6,
+            duration=100.0,
+            speedup=32.0,
+            service_job_fraction=0.25,
+            seed=11,
+            constant_service_load=True,
+        )
+        jobs = GoogleTraceGenerator(config).generate()
+        total_slots = 20 * 4
+        service_tasks = sum(
+            j.num_tasks for j in jobs if j.job_type is JobType.SERVICE
+        )
+        assert service_tasks == config.service_task_allotment()
+        assert service_tasks <= total_slots * 0.6 * 0.25 + 1
+
     def test_speedup_shortens_durations_and_gaps(self):
         slow_config = TraceConfig(num_machines=30, duration=300.0, seed=4, speedup=1.0,
                                   service_job_fraction=0.0)

@@ -1,0 +1,169 @@
+"""Seeded random network generator and perturber for cross-solver fuzzing.
+
+Multi-process solver state is exactly where silent divergence creeps in, so
+the equivalence suite makes "every solver agrees on the optimal cost" a
+continuously enforced invariant: the harness below generates feasible
+scheduling-shaped networks of fuzzed size/capacity/cost structure
+(including negative costs) and random multi-round change batches, and
+:func:`solve_all_ways` runs every from-scratch algorithm, the incremental
+solver, and both speculative executors over them.
+
+The generated graphs are layered (task -> aggregator -> machine -> sink),
+hence acyclic, so negative arc costs never create negative-cost cycles and
+every algorithm's preconditions hold.  Feasibility is guaranteed by an
+unscheduled-aggregator escape path whose capacity always covers the total
+supply, mirroring real scheduling networks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.flow.changes import ChangeBatch
+from repro.flow.graph import FlowNetwork, NodeType
+
+
+def generate_network(rng: random.Random) -> FlowNetwork:
+    """Generate a random feasible scheduling-shaped flow network."""
+    num_tasks = rng.randint(2, 12)
+    num_machines = rng.randint(2, 6)
+    num_aggregators = rng.randint(0, 2)
+    slots = rng.randint(1, 3)
+
+    network = FlowNetwork()
+    sink = network.add_node(NodeType.SINK, name="S")
+    machines = [
+        network.add_node(NodeType.MACHINE, name=f"M{i}", ref=i)
+        for i in range(num_machines)
+    ]
+    for machine in machines:
+        network.add_arc(
+            machine.node_id, sink.node_id, slots + rng.randint(0, 2), rng.randint(-5, 5)
+        )
+    aggregators = [
+        network.add_node(NodeType.CLUSTER_AGGREGATOR, name=f"X{i}")
+        for i in range(num_aggregators)
+    ]
+    for aggregator in aggregators:
+        for machine in rng.sample(machines, k=rng.randint(1, num_machines)):
+            network.add_arc(
+                aggregator.node_id,
+                machine.node_id,
+                rng.randint(1, 4),
+                rng.randint(-8, 10),
+            )
+
+    unscheduled = network.add_node(NodeType.UNSCHEDULED_AGGREGATOR, name="U")
+    total_supply = 0
+    for index in range(num_tasks):
+        supply = rng.randint(1, 2)
+        total_supply += supply
+        task = network.add_node(
+            NodeType.TASK, supply=supply, name=f"T{index}", ref=index
+        )
+        # Escape path: always enough capacity to leave the task unscheduled.
+        network.add_arc(
+            task.node_id, unscheduled.node_id, supply, rng.randint(20, 60)
+        )
+        targets: List[int] = [
+            m.node_id for m in rng.sample(machines, k=rng.randint(0, num_machines))
+        ]
+        if aggregators and rng.random() < 0.6:
+            targets.append(rng.choice(aggregators).node_id)
+        for target in targets:
+            network.add_arc(
+                task.node_id, target, rng.randint(1, 3), rng.randint(-10, 15)
+            )
+    network.add_arc(unscheduled.node_id, sink.node_id, total_supply, 0)
+    network.set_supply(sink.node_id, -total_supply)
+    network.revision = 1
+    return network
+
+
+def _eligible_arcs(network: FlowNetwork):
+    """Arcs safe to remove or shrink without endangering feasibility.
+
+    The escape path (task -> unscheduled -> sink) must keep enough capacity
+    for the full supply, so only preference/aggregation arcs are touched.
+    """
+    unscheduled_ids = {
+        n.node_id for n in network.nodes_of_type(NodeType.UNSCHEDULED_AGGREGATOR)
+    }
+    return [
+        arc
+        for arc in network.arcs()
+        if arc.src not in unscheduled_ids and arc.dst not in unscheduled_ids
+    ]
+
+
+def perturb_network(
+    rng: random.Random, previous: FlowNetwork
+) -> Tuple[FlowNetwork, ChangeBatch]:
+    """Mutate a copy of ``previous`` and return it with its change batch.
+
+    Applies a random mix of cost/capacity changes, arc additions/removals,
+    and task-node additions/removals, always preserving feasibility and
+    supply balance.  The batch is produced by :meth:`ChangeBatch.diff`, the
+    same path the graph manager uses per scheduling round.
+    """
+    network = previous.copy()
+    sink = network.nodes_of_type(NodeType.SINK)[0]
+    unscheduled = network.nodes_of_type(NodeType.UNSCHEDULED_AGGREGATOR)[0]
+    machines = network.nodes_of_type(NodeType.MACHINE)
+
+    for _ in range(rng.randint(1, 6)):
+        operation = rng.random()
+        eligible = _eligible_arcs(network)
+        if operation < 0.30 and eligible:
+            arc = rng.choice(eligible)
+            network.set_arc_cost(arc.src, arc.dst, rng.randint(-10, 15))
+        elif operation < 0.45 and eligible:
+            arc = rng.choice(eligible)
+            network.set_arc_capacity(arc.src, arc.dst, rng.randint(0, 4))
+        elif operation < 0.60 and eligible:
+            arc = rng.choice(eligible)
+            network.remove_arc(arc.src, arc.dst)
+        elif operation < 0.75:
+            # New preference arc between a random task and machine.
+            tasks = network.nodes_of_type(NodeType.TASK)
+            if tasks and machines:
+                task = rng.choice(tasks)
+                machine = rng.choice(machines)
+                if not network.has_arc(task.node_id, machine.node_id):
+                    network.add_arc(
+                        task.node_id,
+                        machine.node_id,
+                        rng.randint(1, 3),
+                        rng.randint(-10, 15),
+                    )
+        elif operation < 0.90:
+            # Submit a task: new source node plus its escape and preference
+            # arcs; the sink absorbs the extra supply.
+            supply = rng.randint(1, 2)
+            task = network.add_node(NodeType.TASK, supply=supply)
+            network.add_arc(
+                task.node_id, unscheduled.node_id, supply, rng.randint(20, 60)
+            )
+            for machine in rng.sample(machines, k=rng.randint(0, len(machines))):
+                network.add_arc(
+                    task.node_id, machine.node_id, rng.randint(1, 3), rng.randint(-10, 15)
+                )
+            network.set_arc_capacity(
+                unscheduled.node_id,
+                sink.node_id,
+                network.arc(unscheduled.node_id, sink.node_id).capacity + supply,
+            )
+            network.set_supply(sink.node_id, sink.supply - supply)
+        else:
+            # Complete a task: drop the source node (and its arcs) and give
+            # the supply back to the sink.
+            tasks = network.nodes_of_type(NodeType.TASK)
+            if len(tasks) > 1:
+                task = rng.choice(tasks)
+                network.set_supply(sink.node_id, sink.supply + task.supply)
+                network.remove_node(task.node_id)
+
+    network.revision = previous.revision + 1
+    changes = ChangeBatch.diff(previous, network)
+    return network, changes

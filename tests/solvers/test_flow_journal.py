@@ -1,0 +1,141 @@
+"""Dirty-flow journal: O(changed) extraction must equal full extraction."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.flow.changes import ArcCapacityChange, ArcRemoval, ChangeBatch
+from repro.flow.graph import FlowNetwork, NodeType
+from repro.solvers.incremental import IncrementalCostScalingSolver
+from repro.solvers.residual import ResidualNetwork
+from tests.conftest import build_scheduling_network, reference_min_cost
+from tests.solvers.equivalence_harness import generate_network, perturb_network
+
+
+def build_small_network() -> FlowNetwork:
+    network = FlowNetwork()
+    source = network.add_node(NodeType.TASK, supply=3)
+    middle = network.add_node(NodeType.OTHER)
+    sink = network.add_node(NodeType.SINK, supply=-3)
+    network.add_arc(source.node_id, middle.node_id, 3, 1)
+    network.add_arc(middle.node_id, sink.node_id, 3, 1)
+    network.add_arc(source.node_id, sink.node_id, 2, 5)
+    return network
+
+
+class TestJournalBookkeeping:
+    def test_extraction_primes_journal_and_pushes_maintain_it(self):
+        residual = ResidualNetwork(build_small_network())
+        assert not residual.flow_journal_active
+        assert residual.flows() == {}
+        assert residual.flow_journal_active
+
+        # Route two units source -> middle -> sink through journaled pushes.
+        position = residual.arc_position[(0, 1)]
+        residual.push(2 * position, 2)
+        position = residual.arc_position[(1, 2)]
+        residual.push(2 * position, 2)
+        assert residual.flows() == {(0, 1): 2, (1, 2): 2}
+        assert residual.flows() == residual.full_flows()
+
+    def test_zero_flow_entries_are_dropped(self):
+        residual = ResidualNetwork(build_small_network())
+        residual.flows()
+        position = residual.arc_position[(0, 2)]
+        residual.push(2 * position, 2)
+        assert residual.flows() == {(0, 2): 2}
+        # Push back along the reverse residual arc: flow returns to zero and
+        # the journaled extraction must drop the entry.
+        residual.push(2 * position + 1, 2)
+        assert residual.flows() == {}
+        assert residual.full_flows() == {}
+
+    def test_invalidation_falls_back_to_full_extraction(self):
+        residual = ResidualNetwork(build_small_network())
+        residual.flows()
+        position = residual.arc_position[(0, 1)]
+        residual.push(2 * position, 1)
+        residual.invalidate_flow_journal()
+        assert not residual.flow_journal_active
+        assert residual.flows() == {(0, 1): 1}
+        assert residual.flow_journal_active  # re-primed by the full scan
+
+    def test_capacity_clamp_and_arc_removal_update_journal(self):
+        network = build_small_network()
+        residual = ResidualNetwork(network)
+        residual.flows()
+        direct = residual.arc_position[(0, 2)]
+        residual.push(2 * direct, 2)
+        assert residual.flows() == {(0, 2): 2}
+
+        # Clamping capacity below the carried flow must journal the arc.
+        residual.apply_changes([ArcCapacityChange(src=0, dst=2, new_capacity=1)])
+        assert residual.flows() == {(0, 2): 1}
+        assert residual.flows() == residual.full_flows()
+
+        # Removing the arc purges the cached entry.
+        residual.apply_changes([ArcRemoval(src=0, dst=2)])
+        assert residual.flows() == {}
+        assert residual.flows() == residual.full_flows()
+
+    def test_write_flow_back_journal_path_matches_full_path(self):
+        network = build_small_network()
+        residual = ResidualNetwork(network)
+        residual.flows()
+        residual.push(2 * residual.arc_position[(0, 1)], 2)
+        residual.push(2 * residual.arc_position[(1, 2)], 2)
+        residual.push(2 * residual.arc_position[(0, 2)], 1)
+
+        journaled = network.copy()
+        assert residual.flow_journal_active
+        residual.write_flow_back(journaled)
+
+        full = network.copy()
+        residual.invalidate_flow_journal()
+        residual.write_flow_back(full)
+
+        for arc in full.arcs():
+            assert journaled.arc(arc.src, arc.dst).flow == arc.flow
+
+
+class TestJournalOnDeltaRounds:
+    """The journal-vs-full equivalence guard on the real delta path."""
+
+    def test_incremental_rounds_extract_equivalently(self):
+        rng = random.Random(7)
+        network = generate_network(rng)
+        solver = IncrementalCostScalingSolver()
+        changes = None
+        for round_index in range(6):
+            result = solver.solve(network, changes=changes)
+            assert result.total_cost == reference_min_cost(network)
+            residual = solver._cost_scaling.last_residual
+            assert residual is not None
+            # The journal-served extraction must match a journal-bypassing
+            # full scan of the same residual, arc for arc.
+            assert residual.flows() == residual.full_flows()
+            network, changes = perturb_network(rng, network)
+
+    def test_delta_round_is_served_from_journal(self):
+        previous = build_scheduling_network(seed=13, num_tasks=8)
+        solver = IncrementalCostScalingSolver()
+        solver.solve(previous)
+        residual = solver._cost_scaling.last_residual
+        assert residual is not None and residual.flow_journal_active
+
+        network = previous.copy()
+        arc = next(a for a in network.arcs() if a.cost > 0)
+        network.set_arc_cost(arc.src, arc.dst, arc.cost + 3)
+        network.revision = previous.revision + 1
+        changes = ChangeBatch.diff(previous, network)
+
+        result = solver.solve(network, changes=changes)
+        assert solver.delta_solves == 1
+        # The delta round kept the journal alive (no full-scan fallback) and
+        # its extraction equals both the full scan and the oracle.
+        residual = solver._cost_scaling.last_residual
+        assert residual.flow_journal_active
+        assert residual.flows() == residual.full_flows()
+        assert result.total_cost == reference_min_cost(network)

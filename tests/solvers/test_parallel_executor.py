@@ -1,0 +1,294 @@
+"""Unit tests for the subprocess-racing speculative dual executor."""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+import pytest
+
+from repro.flow.changes import ChangeBatch
+from repro.flow.dimacs import read_dimacs
+from repro.flow.validation import check_feasibility
+from repro.solvers.base import SolveAborted
+from repro.solvers.cost_scaling import CostScalingSolver
+from repro.solvers.parallel_executor import (
+    ParallelDualExecutor,
+    _RoundRace,
+)
+from repro.solvers.relaxation import RelaxationSolver
+from tests.conftest import build_scheduling_network, reference_min_cost
+
+
+@pytest.fixture
+def executor():
+    """A real ParallelDualExecutor, shut down after the test."""
+    instance = ParallelDualExecutor()
+    yield instance
+    instance.close()
+
+
+def perturbed_rounds(seed: int, rounds: int):
+    """Yield ``(network, changes, expected_cost)`` rounds of small edits."""
+    previous = build_scheduling_network(seed=seed, num_tasks=10)
+    yield previous, None, reference_min_cost(previous)
+    for index in range(rounds):
+        network = previous.copy()
+        arc = next(a for a in network.arcs() if a.cost > 0)
+        network.set_arc_cost(arc.src, arc.dst, arc.cost + index + 1)
+        network.revision = previous.revision + 1
+        changes = ChangeBatch.diff(previous, network)
+        changes.base_revision = previous.revision
+        changes.target_revision = network.revision
+        yield network, changes, reference_min_cost(network)
+        previous = network
+
+
+class TestParallelRace:
+    def test_winner_is_optimal_and_applied_to_network(self, executor):
+        network = build_scheduling_network(seed=41, num_tasks=10)
+        expected = reference_min_cost(network)
+        detailed = executor.solve_detailed(network)
+        assert detailed.executor == "parallel"
+        assert detailed.winner.total_cost == expected
+        assert check_feasibility(network) == []
+        assert executor.rounds == 1
+        assert executor.relaxation_wins + executor.cost_scaling_wins == 1
+
+    def test_multi_round_with_change_batches_stays_optimal(self, executor):
+        solo_armed_rounds = 0
+        for network, changes, expected in perturbed_rounds(seed=45, rounds=4):
+            if changes is not None and executor.incremental.can_solve_delta(changes):
+                solo_armed_rounds += 1
+            result = executor.solve(network, changes=changes)
+            assert result.total_cost == expected
+            assert check_feasibility(network) == []
+        assert executor.rounds == 5
+        assert executor.fallback_rounds == 0
+        assert executor.full_payloads >= 1
+        # Delta-armed rounds with small batches skip speculation entirely.
+        assert executor.solo_delta_rounds == solo_armed_rounds
+
+    def test_delta_wire_protocol_used_when_every_round_races(self):
+        # Forcing every round to race (threshold 0) exercises the
+        # incremental wire protocol: revision-chained rounds must cross the
+        # process boundary as deltas, not full snapshots.
+        instance = ParallelDualExecutor(delta_solo_threshold=0)
+        try:
+            for network, changes, expected in perturbed_rounds(seed=44, rounds=4):
+                result = instance.solve(network, changes=changes)
+                assert result.total_cost == expected
+            assert instance.full_payloads >= 1
+            assert (
+                instance.delta_payloads >= 1
+                or instance.skipped_worker_rounds > 0
+            )
+        finally:
+            instance.close()
+
+    def test_wall_clock_is_measured_not_summed(self, executor):
+        network = build_scheduling_network(seed=46, num_tasks=10)
+        detailed = executor.solve_detailed(network)
+        assert detailed.wall_clock_seconds > 0
+        assert detailed.effective_runtime_seconds == detailed.wall_clock_seconds
+        # The race returns when the first finisher is done, so the round can
+        # never have cost the sum of two full solo runs plus slack.
+        if detailed.relaxation is not None and detailed.cost_scaling is not None:
+            total = (
+                detailed.relaxation.runtime_seconds
+                + detailed.cost_scaling.runtime_seconds
+            )
+            assert detailed.wall_clock_seconds < total + 1.0
+
+    def test_close_terminates_worker_and_is_idempotent(self):
+        instance = ParallelDualExecutor()
+        network = build_scheduling_network(seed=47)
+        instance.solve(network)
+        process = instance._process
+        assert process is not None and process.is_alive()
+        instance.close()
+        assert not process.is_alive()
+        instance.close()  # idempotent
+
+    def test_worker_death_triggers_respawn_then_fallback(self):
+        instance = ParallelDualExecutor(spawn_retries=1)
+        try:
+            network = build_scheduling_network(seed=48, num_tasks=8)
+            expected = reference_min_cost(network)
+            assert instance.solve(network.copy()).total_cost == expected
+
+            # Kill the worker; the next round must respawn transparently.
+            instance._process.terminate()
+            instance._process.join(timeout=5.0)
+            assert instance.solve(network.copy()).total_cost == expected
+            assert instance.fallback_rounds == 0
+
+            # Kill it again; the spawn budget is exhausted, so the executor
+            # must fall back to sequential execution -- still optimal.
+            instance._process.terminate()
+            instance._process.join(timeout=5.0)
+            result = instance.solve_detailed(network.copy())
+            assert result.executor == "sequential_fallback"
+            assert result.winner.total_cost == expected
+            assert instance.fallback_rounds == 1
+        finally:
+            instance.close()
+
+
+class TestSequentialFallback:
+    def test_fallback_when_multiprocessing_unavailable(self, monkeypatch):
+        import multiprocessing
+
+        def broken_get_context(*args, **kwargs):
+            raise OSError("no process support in this environment")
+
+        monkeypatch.setattr(multiprocessing, "get_context", broken_get_context)
+        instance = ParallelDualExecutor()
+        try:
+            network = build_scheduling_network(seed=49, num_tasks=8)
+            expected = reference_min_cost(network)
+            detailed = instance.solve_detailed(network)
+            assert detailed.executor == "sequential_fallback"
+            assert detailed.winner.total_cost == expected
+            # Both component results exist on the sequential path.
+            assert detailed.relaxation is not None
+            assert detailed.cost_scaling is not None
+        finally:
+            instance.close()
+
+    def test_fallback_reverts_to_modeled_runtime_charging(self, monkeypatch):
+        import multiprocessing
+
+        monkeypatch.setattr(
+            multiprocessing,
+            "get_context",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("unavailable")),
+        )
+        instance = ParallelDualExecutor()
+        try:
+            # While racing for real the scheduler must charge measured wall
+            # clock; once sequential fallback kicks in the rounds run back
+            # to back again and wall clock would double-charge the loser.
+            assert instance.charges_wall_clock is True
+            instance.solve(build_scheduling_network(seed=53))
+            assert instance.charges_wall_clock is False
+        finally:
+            instance.close()
+
+    def test_fallback_shares_component_solvers(self, monkeypatch):
+        import multiprocessing
+
+        monkeypatch.setattr(
+            multiprocessing,
+            "get_context",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("unavailable")),
+        )
+        instance = ParallelDualExecutor()
+        try:
+            instance.solve(build_scheduling_network(seed=50))
+            assert instance._fallback is not None
+            assert instance._fallback.incremental is instance.incremental
+            assert instance._fallback.relaxation is instance.relaxation
+        finally:
+            instance.close()
+
+
+class _InstantWorkerConn:
+    """Pipe stand-in whose 'worker' answers each request synchronously.
+
+    The response's ``finished_at`` stamp predates any parent-side work, so
+    the relaxation side deterministically wins the race -- exercising the
+    parent-side cancellation path without real subprocess timing.
+    """
+
+    def __init__(self):
+        self.responses = deque()
+        self.requests = 0
+
+    def send(self, message):
+        kind, round_id, text = message
+        assert kind == "full"  # no revision chain exists in these tests
+        self.requests += 1
+        result = RelaxationSolver().solve(read_dimacs(text))
+        self.responses.append(
+            (
+                "result",
+                round_id,
+                {
+                    "total_cost": result.total_cost,
+                    "flows": result.flows,
+                    "potentials": result.potentials,
+                    "runtime_seconds": result.runtime_seconds,
+                    "iterations": result.statistics.iterations,
+                    "augmentations": result.statistics.augmentations,
+                    "finished_at": float("-inf"),
+                },
+            )
+        )
+
+    def poll(self, timeout=0):
+        return bool(self.responses)
+
+    def recv(self):
+        return self.responses.popleft()
+
+    def close(self):
+        pass
+
+
+class TestLoserCancellation:
+    def test_relaxation_win_cancels_parent_and_seeds_warm_start(self):
+        instance = ParallelDualExecutor()
+        instance._conn = _InstantWorkerConn()
+        instance._process = None  # treated as alive by _ensure_worker
+        try:
+            network = build_scheduling_network(seed=51, num_tasks=10)
+            expected = reference_min_cost(network)
+            detailed = instance.solve_detailed(network)
+            assert detailed.winning_algorithm == "relaxation"
+            assert detailed.winner.total_cost == expected
+            assert check_feasibility(network) == []
+            # The winning relaxation solution seeded the warm-start state.
+            assert instance.incremental.has_state
+            assert instance.relaxation_wins == 1
+        finally:
+            instance._conn = None
+            instance.close()
+
+    def test_abort_check_cancels_cost_scaling_run(self):
+        solver = CostScalingSolver()
+        solver.abort_check = lambda: True
+        network = build_scheduling_network(seed=52, num_tasks=10)
+        with pytest.raises(SolveAborted):
+            solver.solve(network)
+        # Clearing the hook restores normal operation.
+        solver.abort_check = None
+        result = solver.solve(network)
+        assert result.total_cost == reference_min_cost(network)
+
+
+class TestRoundRace:
+    def test_stale_responses_are_discarded(self):
+        conn = _InstantWorkerConn()
+        # Queue a stale round-1 response and a current round-2 response.
+        conn.responses.append(("result", 1, {"finished_at": 0.0}))
+        payload = {"finished_at": 1.0}
+        conn.responses.append(("result", 2, payload))
+        unanswered = {1, 2}
+        race = _RoundRace(conn, round_id=2, unanswered=unanswered)
+        assert race() is True
+        assert race.payload is payload
+        assert unanswered == set()
+
+    def test_worker_error_does_not_abort_parent(self):
+        conn = _InstantWorkerConn()
+        conn.responses.append(("error", 7, "InfeasibleProblemError: nope"))
+        race = _RoundRace(conn, round_id=7, unanswered={7})
+        assert race() is False
+        assert race.worker_error is not None
+
+    def test_wait_times_out(self):
+        race = _RoundRace(_InstantWorkerConn(), round_id=1, unanswered=set())
+        start = time.perf_counter()
+        assert race.wait(0.05) is False
+        assert time.perf_counter() - start < 2.0
