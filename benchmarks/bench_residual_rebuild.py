@@ -36,7 +36,9 @@ def round_pair(machines: int):
     state = build_cluster_state(machines, utilization=0.6, seed=51)
     add_pending_batch_job(state, machines // 2, seed=52)
     manager = GraphManager(QuincyPolicy())
-    before = manager.update(state, now=10.0)
+    # Snapshot: the manager mutates one persistent network in place, so the
+    # "before" side of the pair must be copied out of it.
+    before = manager.update(state, now=10.0).copy()
 
     rng = random.Random(53)
     for task in state.pending_tasks():

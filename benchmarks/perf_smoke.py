@@ -1,14 +1,20 @@
-"""Perf smoke job: guard the incremental-solve hot path against regression.
+"""Perf smoke job: guard the incremental hot paths against regression.
 
-Runs the Figure-11 kernel (one realistic scheduling round solved from
-scratch and via the change-batch delta path) at ``REPRO_BENCH_SCALE=1`` and
-compares against the committed baseline in ``perf_baseline.json``.
+Runs two kernels at ``REPRO_BENCH_SCALE=1`` and compares against the
+committed baseline in ``perf_baseline.json``:
 
-The gate is host-normalized: the from-scratch solve acts as the
-calibration workload, so requiring the scratch/incremental speedup to stay
-above half the baseline's is exactly a ">2x regression of the incremental
-solve, after correcting for host speed" check -- absolute wall times vary
-2-3x across CI hosts and are only printed for context.
+* the Figure-11 kernel -- one realistic scheduling round solved from
+  scratch and via the change-batch delta path -- guarding the incremental
+  *solver*, and
+* the graph-update kernel -- one low-churn round applied through the
+  dirty-set-driven incremental graph manager and through the old
+  rebuild+diff path -- guarding incremental *graph construction*.
+
+The gates are host-normalized: the from-scratch solve (resp. the full
+rebuild) acts as the calibration workload, so requiring each measured
+speedup to stay above half the baseline's is exactly a ">2x regression,
+after correcting for host speed" check -- absolute wall times vary 2-3x
+across CI hosts and are only printed for context.
 
 Usage::
 
@@ -76,20 +82,60 @@ def measure_round() -> tuple:
     return scratch, incremental_time
 
 
+def measure_graph_round() -> tuple:
+    """One low-churn graph round: returns (rebuild_seconds, incremental_s)."""
+    import random
+
+    state = build_cluster_state(MACHINES, utilization=0.6, seed=41)
+    add_pending_batch_job(state, MACHINES // 2, seed=42)
+    incremental_manager = GraphManager(QuincyPolicy())
+    rebuild_manager = GraphManager(QuincyPolicy(), incremental=False)
+    incremental_manager.update(state, now=10.0)
+    rebuild_manager.update(state, now=10.0)
+
+    # Low churn: a handful of completions and a small arriving job (~5%).
+    rng = random.Random(43)
+    running = state.running_tasks()
+    for task in rng.sample(running, min(len(running) // 20 + 1, len(running))):
+        state.complete_task(task.task_id, now=20.0)
+    add_pending_batch_job(state, max(2, MACHINES // 16), seed=44,
+                          job_id=820_001, submit_time=20.0)
+
+    start = time.perf_counter()
+    incremental_manager.update(state, now=20.0)
+    incremental_time = time.perf_counter() - start
+    if incremental_manager.last_update_stats.mode != "incremental":
+        raise AssertionError("perf smoke: the incremental graph path was not taken")
+
+    start = time.perf_counter()
+    rebuild_manager.update(state, now=20.0)
+    rebuild_time = time.perf_counter() - start
+    return rebuild_time, incremental_time
+
+
 def main() -> int:
     update = "--update" in sys.argv[1:]
     scratch_runs, incremental_runs = [], []
+    rebuild_runs, graph_runs = [], []
     for _ in range(RUNS):
         scratch, incremental = measure_round()
         scratch_runs.append(scratch)
         incremental_runs.append(incremental)
+        rebuild, graph = measure_graph_round()
+        rebuild_runs.append(rebuild)
+        graph_runs.append(graph)
     measured = {
         "machines": MACHINES,
         "scratch_s": round(statistics.median(scratch_runs), 6),
         "incremental_s": round(statistics.median(incremental_runs), 6),
+        "graph_rebuild_s": round(statistics.median(rebuild_runs), 6),
+        "graph_incremental_s": round(statistics.median(graph_runs), 6),
     }
     measured["speedup"] = round(
         measured["scratch_s"] / max(measured["incremental_s"], 1e-9), 3
+    )
+    measured["graph_speedup"] = round(
+        measured["graph_rebuild_s"] / max(measured["graph_incremental_s"], 1e-9), 3
     )
     print(f"measured: {json.dumps(measured)}")
 
@@ -100,6 +146,7 @@ def main() -> int:
 
     baseline = json.loads(BASELINE_PATH.read_text())
     print(f"baseline: {json.dumps(baseline)}")
+    failed = False
     if measured["incremental_s"] > 2.0 * baseline["incremental_s"]:
         # Context only: absolute times are machine-dependent.
         print(
@@ -113,6 +160,19 @@ def main() -> int:
             f"FAIL: incremental solve regressed >2x host-normalized: speedup "
             f"{measured['speedup']:.2f}x vs baseline {baseline['speedup']:.2f}x"
         )
+        failed = True
+    baseline_graph_speedup = baseline.get("graph_speedup")
+    if (
+        baseline_graph_speedup
+        and measured["graph_speedup"] < MAX_SPEEDUP_LOSS * baseline_graph_speedup
+    ):
+        print(
+            "FAIL: incremental graph update regressed >2x host-normalized: "
+            f"speedup {measured['graph_speedup']:.2f}x vs baseline "
+            f"{baseline_graph_speedup:.2f}x"
+        )
+        failed = True
+    if failed:
         return 1
     print("perf smoke OK")
     return 0

@@ -24,6 +24,8 @@ from repro.cluster.knowledge_base import (
 )
 from repro.cluster.events import (
     ClusterEvent,
+    DirtySnapshot,
+    DirtyTracker,
     MachineAdded,
     MachineFailed,
     TaskCompleted,
@@ -44,6 +46,8 @@ __all__ = [
     "ClusterState",
     "Placement",
     "ClusterEvent",
+    "DirtySnapshot",
+    "DirtyTracker",
     "MachineAdded",
     "MachineFailed",
     "TaskCompleted",

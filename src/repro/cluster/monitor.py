@@ -45,6 +45,15 @@ class ResourceMonitor:
             machine_id: MachineStatistics(machine_id=machine_id)
             for machine_id in topology.machines
         }
+        #: Optional callback invoked with the machine id whenever an
+        #: observation is recorded; the cluster state hooks this into its
+        #: dirty tracker so load refreshes can drive incremental graph
+        #: updates.
+        self.on_update = None
+
+    def _notify(self, machine_id: int) -> None:
+        if self.on_update is not None:
+            self.on_update(machine_id)
 
     def statistics(self, machine_id: int) -> MachineStatistics:
         """Return (creating if necessary) the statistics of a machine."""
@@ -57,18 +66,21 @@ class ResourceMonitor:
         stats = self.statistics(machine_id)
         stats.network_used_mbps = max(0, used_mbps)
         stats.last_update = now
+        self._notify(machine_id)
 
     def record_cpu_use(self, machine_id: int, cpu_used: float, now: float = 0.0) -> None:
         """Record observed CPU use on a machine."""
         stats = self.statistics(machine_id)
         stats.cpu_used = max(0.0, cpu_used)
         stats.last_update = now
+        self._notify(machine_id)
 
     def record_ram_use(self, machine_id: int, ram_used_gb: float, now: float = 0.0) -> None:
         """Record observed RAM use on a machine."""
         stats = self.statistics(machine_id)
         stats.ram_used_gb = max(0.0, ram_used_gb)
         stats.last_update = now
+        self._notify(machine_id)
 
     def all_statistics(self) -> Iterable[MachineStatistics]:
         """Iterate over the statistics of every known machine."""
@@ -81,3 +93,4 @@ class ResourceMonitor:
             stats.ram_used_gb = 0.0
             stats.network_used_mbps = 0
             stats.last_update = 0.0
+            self._notify(stats.machine_id)

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.cluster.events import DirtyTracker
 from repro.cluster.machine import Machine
 from repro.cluster.monitor import ResourceMonitor
 from repro.cluster.resources import ResourceVector
@@ -32,7 +33,14 @@ class ClusterState:
         self.topology = topology
         self.jobs: Dict[int, Job] = {}
         self.tasks: Dict[int, Task] = {}
+        #: Typed dirty sets accumulated between scheduling rounds; every
+        #: mutator below marks the entities it touches so the graph manager
+        #: can update the flow network incrementally.
+        self.dirty = DirtyTracker()
         self.monitor = ResourceMonitor(topology)
+        # Load-statistics refreshes are graph-relevant for load-sensitive
+        # policies, so they feed the dirty tracker too.
+        self.monitor.on_update = self.dirty.mark_machine_load
         self._machine_tasks: Dict[int, set] = {
             machine_id: set() for machine_id in topology.machines
         }
@@ -49,6 +57,8 @@ class ClusterState:
             if task.task_id in self.tasks:
                 raise ValueError(f"task {task.task_id} already submitted")
             self.tasks[task.task_id] = task
+            self.dirty.mark_task(task.task_id)
+        self.dirty.mark_job(job.job_id)
 
     def submit_task(self, task: Task) -> None:
         """Register a single task into an existing job."""
@@ -59,6 +69,8 @@ class ClusterState:
             raise ValueError(f"task {task.task_id} already submitted")
         job.add_task(task)
         self.tasks[task.task_id] = task
+        self.dirty.mark_task(task.task_id)
+        self.dirty.mark_job(task.job_id)
 
     def remove_job(self, job_id: int) -> None:
         """Remove a job and its tasks (all tasks must have terminated)."""
@@ -67,6 +79,7 @@ class ClusterState:
             if task.is_running:
                 raise ValueError(f"cannot remove job {job_id}: task {task.task_id} running")
             self.tasks.pop(task.task_id, None)
+        self.dirty.mark_job(job_id)
 
     # ------------------------------------------------------------------ #
     # Placement management
@@ -87,6 +100,8 @@ class ClusterState:
             task.placement_time = now
         task.start_time = now
         self._machine_tasks[machine_id].add(task_id)
+        self.dirty.mark_task(task_id)
+        self.dirty.mark_machine_load(machine_id)
 
     def migrate_task(self, task_id: int, machine_id: int, now: float) -> None:
         """Move a running task to another machine (preempt + restart)."""
@@ -94,6 +109,7 @@ class ClusterState:
         if not task.is_running:
             raise ValueError(f"task {task_id} is not running")
         self._machine_tasks[task.machine_id].discard(task_id)
+        self.dirty.mark_machine_load(task.machine_id)
         task.state = TaskState.SUBMITTED
         task.machine_id = None
         self.place_task(task_id, machine_id, now)
@@ -104,6 +120,8 @@ class ClusterState:
         if not task.is_running:
             raise ValueError(f"task {task_id} is not running")
         self._machine_tasks[task.machine_id].discard(task_id)
+        self.dirty.mark_task(task_id)
+        self.dirty.mark_machine_load(task.machine_id)
         task.state = TaskState.PREEMPTED
         task.machine_id = None
         task.start_time = None
@@ -118,6 +136,8 @@ class ClusterState:
         if not task.is_running:
             raise ValueError(f"task {task_id} is not running")
         self._machine_tasks[task.machine_id].discard(task_id)
+        self.dirty.mark_task(task_id)
+        self.dirty.mark_machine_load(task.machine_id)
         task.state = TaskState.COMPLETED
         task.finish_time = now
 
@@ -128,14 +148,28 @@ class ClusterState:
         """
         machine = self.topology.machine(machine_id)
         machine.fail()
+        self.dirty.mark_machine_availability(machine_id)
         evicted = list(self._machine_tasks[machine_id])
         for task_id in evicted:
             task = self.tasks[task_id]
             task.state = TaskState.PREEMPTED
             task.machine_id = None
             task.start_time = None
+            self.dirty.mark_task(task_id)
         self._machine_tasks[machine_id].clear()
         return evicted
+
+    def recover_machine(self, machine_id: int, now: float = 0.0) -> None:
+        """Bring a failed machine back into the schedulable set."""
+        machine = self.topology.machine(machine_id)
+        machine.recover()
+        self.dirty.mark_machine_availability(machine_id)
+
+    def add_machine(self, machine: Machine) -> None:
+        """Add a machine to the topology (a machine joined the cluster)."""
+        self.topology.add_machine(machine)
+        self._machine_tasks.setdefault(machine.machine_id, set())
+        self.dirty.mark_machine_availability(machine.machine_id)
 
     # ------------------------------------------------------------------ #
     # Queries used by scheduling policies

@@ -7,7 +7,11 @@ solver computes the optimal flow, and the placements implied by that flow
 are extracted with the Listing-1 traversal and applied to the cluster.
 """
 
-from repro.core.graph_manager import GraphManager
+from repro.core.graph_manager import (
+    GraphConsistencyError,
+    GraphManager,
+    GraphUpdateStats,
+)
 from repro.core.placement import extract_placements
 from repro.core.scheduler import FirmamentScheduler, SchedulingDecision, SchedulerStatistics
 from repro.core.policies import (
@@ -21,7 +25,9 @@ from repro.core.policies import (
 )
 
 __all__ = [
+    "GraphConsistencyError",
     "GraphManager",
+    "GraphUpdateStats",
     "extract_placements",
     "FirmamentScheduler",
     "SchedulingDecision",

@@ -4,50 +4,197 @@ The graph manager owns the mapping between cluster entities (tasks,
 machines, racks, jobs) and flow-network nodes.  Node identifiers are stable
 for as long as the entity exists, which is what allows the incremental cost
 scaling solver to reuse the previous run's flow (keyed by node-id pairs) as
-a warm start even though the arcs are re-derived every run.
+a warm start.
 
 Updating the network for a new solver run follows the paper's two-pass
-scheme (Section 6.3):
+scheme (Section 6.3), *driven by cluster change events*:
 
-1. a *statistics pass* starting from the nodes adjacent to the sink
-   (machines) gathers per-entity statistics -- here, machine load, spare
-   bandwidth, and slot occupancy, collected from the cluster state and the
-   monitor -- and
-2. a *policy pass* starting from the task nodes lets the scheduling policy
-   add aggregators and arcs using those statistics.
+1. a *statistics pass* gathers the per-entity statistics the policy needs
+   (machine load, spare capacity, slot occupancy -- materialized as the
+   cheap bookkeeping :class:`~repro.cluster.state.ClusterState` performs),
+   and
+2. a *policy pass* re-derives arcs -- but only for the entities the cluster
+   dirty sets (:class:`~repro.cluster.events.DirtyTracker`) name as
+   changed.
 
-Because the Python policies read statistics directly from
-:class:`~repro.cluster.state.ClusterState`, the first pass materializes as
-the cheap bookkeeping the state object performs; the structure (and cost) of
-the update is nevertheless the same: two linear passes over the graph,
-negligible next to the solver runtime.
+For policies implementing the per-entity hooks
+(:meth:`~repro.core.policies.base.SchedulingPolicy.arcs_for_task`,
+:meth:`~repro.core.policies.base.SchedulingPolicy.arcs_for_machine`,
+:meth:`~repro.core.policies.base.SchedulingPolicy.refresh_aggregator`), the
+manager keeps **one persistent :class:`FlowNetwork` mutated in place**: the
+dirty entities' scopes are re-derived, the resulting mutations are applied
+through a :class:`~repro.flow.changes.ChangeBatchBuilder` that emits the
+round's :class:`~repro.flow.changes.ChangeBatch` directly -- no second
+network is built and no diff pass runs -- and isolated-node pruning is
+restricted to the endpoints of removed arcs.  Per-round update cost is
+O(|changes| + |affected arcs| + |tasks|) (the last term is the pure
+arithmetic of refreshing time-varying waiting costs), independent of
+cluster size on low-churn rounds.
+
+Policies without the hooks, the first round, rounds where the dirty-event
+chain broke (another consumer drained the tracker, or the workload emptied),
+and explicit ``incremental=False`` all use the original full-rebuild path,
+diffing consecutive networks with :meth:`ChangeBatch.diff`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.cluster.state import ClusterState
 from repro.core.policies.base import PolicyNetworkBuilder, SchedulingPolicy
-from repro.flow.changes import ChangeBatch
+from repro.flow.changes import ChangeBatch, ChangeBatchBuilder
 from repro.flow.graph import FlowNetwork, NodeType
+
+
+class GraphConsistencyError(AssertionError):
+    """The incremental network diverged from the full rebuild (cross-check)."""
+
+
+@dataclass
+class GraphUpdateStats:
+    """Observability record for one :meth:`GraphManager.update` round."""
+
+    mode: str = "full"  #: ``"full"`` or ``"incremental"``.
+    seconds: float = 0.0  #: Wall-clock time of the update.
+    nodes_touched: int = 0  #: Nodes added, removed, or supply-changed.
+    arcs_patched: int = 0  #: Arcs added, removed, or capacity/cost-patched.
+    dirty_tasks: int = 0  #: Task scopes re-derived this round.
+    dirty_machines: int = 0  #: Machine scopes re-derived this round.
+
+
+@dataclass
+class _DirtyView:
+    """Dirty sets expanded/restricted to the current round's entities.
+
+    Handed to :meth:`SchedulingPolicy.dirty_aggregators`; all sets refer to
+    entities that exist this round (plus availability-dirty machines that
+    just left).
+    """
+
+    tasks: Set[int]
+    jobs: Set[int]
+    machines_availability: Set[int]
+    machines_load: Set[int]
+
+
+class _IncrementalFallback(Exception):
+    """Internal: this round cannot be applied incrementally."""
+
+
+class _IncrementalBuilder(PolicyNetworkBuilder):
+    """Policy builder for incremental re-derivation.
+
+    Arc emission inside a scope is *collected* (with the same merge
+    semantics as :meth:`PolicyNetworkBuilder.add_arc`) instead of applied,
+    so the manager can diff the scope's desired arcs against its current
+    arcs; node accessors re-materialize pruned nodes through the change
+    recorder; cost patches route through the recorder.
+    """
+
+    def __init__(self, manager: "GraphManager", recorder: ChangeBatchBuilder) -> None:
+        super().__init__(
+            network=manager.network,
+            task_nodes=manager._task_nodes,
+            machine_nodes=manager._machine_nodes,
+            rack_nodes=manager._rack_nodes,
+            unscheduled_nodes=manager._unscheduled_nodes,
+            sink_node=manager._node_for_sink(),
+            aggregator_factory=manager._recording_aggregator_factory,
+            aggregator_lookup=manager._aggregator_node_id,
+        )
+        self._manager = manager
+        self.recorder = recorder
+        self._desired: Optional[Dict[Tuple[int, int], Tuple[int, int]]] = None
+
+    # ------------------------------------------------------------------ #
+    # Ensure-on-access node accessors (pruned nodes come back recorded)
+    # ------------------------------------------------------------------ #
+    def machine_node(self, machine_id: int) -> int:
+        node_id = self._machine_nodes[machine_id]
+        self._manager._ensure_node(
+            self.recorder, node_id, NodeType.MACHINE, f"M{machine_id}", machine_id
+        )
+        return node_id
+
+    def rack_node(self, rack_id: int) -> int:
+        node_id = self._manager._node_for_rack(rack_id)
+        self._manager._ensure_node(
+            self.recorder, node_id, NodeType.RACK_AGGREGATOR, f"R{rack_id}", rack_id
+        )
+        return node_id
+
+    def unscheduled_node(self, job_id: int) -> int:
+        node_id = self._unscheduled_nodes[job_id]
+        self._manager._ensure_node(
+            self.recorder,
+            node_id,
+            NodeType.UNSCHEDULED_AGGREGATOR,
+            f"U{job_id}",
+            job_id,
+        )
+        return node_id
+
+    # ------------------------------------------------------------------ #
+    # Scope collection
+    # ------------------------------------------------------------------ #
+    def add_arc(self, src: int, dst: int, capacity: int, cost: int) -> None:
+        if capacity <= 0:
+            return
+        if self._desired is None:
+            raise RuntimeError("incremental add_arc outside a derivation scope")
+        existing = self._desired.get((src, dst))
+        if existing is not None:
+            # Same merge rule as the full-build path: widest capacity,
+            # cheapest cost.
+            capacity = max(existing[0], capacity)
+            cost = min(existing[1], int(cost))
+        self._desired[(src, dst)] = (capacity, int(cost))
+
+    def collect(self, derive) -> Dict[Tuple[int, int], Tuple[int, int]]:
+        """Run a scope's derivation hook and return its desired arc set."""
+        self._desired = {}
+        try:
+            derive(self)
+            return self._desired
+        finally:
+            self._desired = None
 
 
 class GraphManager:
     """Builds and maintains the flow network for a scheduling policy."""
 
-    def __init__(self, policy: SchedulingPolicy, track_changes: bool = True) -> None:
+    def __init__(
+        self,
+        policy: SchedulingPolicy,
+        track_changes: bool = True,
+        incremental: bool = True,
+        verify_changes: bool = False,
+    ) -> None:
         """Create the manager.
 
         Args:
             policy: Scheduling policy that shapes the flow network.
-            track_changes: Emit a typed :class:`ChangeBatch` per rebuild
-                (:attr:`last_changes`), diffed against the previous round's
-                network, so an incremental solver can patch its persistent
-                residual instead of rebuilding it.
+            track_changes: Emit a typed :class:`ChangeBatch` per update
+                (:attr:`last_changes`) so an incremental solver can patch
+                its persistent residual instead of rebuilding it.
+            incremental: Update the persistent network in place from the
+                cluster dirty sets when the policy implements the
+                per-entity hooks; ``False`` forces the full-rebuild path
+                every round (used by benchmarks as the comparison baseline).
+            verify_changes: Cross-check mode: after every incremental
+                update, run the old full-rebuild path in parallel and
+                assert the persistent network matches the rebuild and the
+                directly-emitted batch replays the previous network into
+                it.  Used by the equivalence tests; adds two O(graph)
+                passes per round, so it is off by default.
         """
         self.policy = policy
         self.track_changes = track_changes
+        self.incremental = incremental
+        self.verify_changes = verify_changes
         self._next_node_id = 0
         self._sink_node: Optional[int] = None
         self._task_nodes: Dict[int, int] = {}
@@ -60,6 +207,28 @@ class GraphManager:
         #: Change batch transforming the previous :meth:`update`'s network
         #: into the latest one; ``None`` until the second update.
         self.last_changes: Optional[ChangeBatch] = None
+        #: Observability record of the most recent update.
+        self.last_update_stats = GraphUpdateStats()
+        #: Rounds served by the incremental path / the full-rebuild path.
+        self.incremental_updates = 0
+        self.full_updates = 0
+
+        # Incremental bookkeeping: previous round's entity sets, the dirty
+        # epoch chain, and the machine -> dependent-tasks reverse index.
+        self._prev_task_ids: Set[int] = set()
+        self._prev_machine_ids: Set[int] = set()
+        self._prev_rack_ids: Set[int] = set()
+        self._prev_job_ids: Set[int] = set()
+        self._dirty_epoch: Optional[int] = None
+        self._state_id: Optional[int] = None
+        self._task_dependencies: Dict[int, Set[int]] = {}
+        self._machine_dependents: Dict[int, Set[int]] = {}
+        # task_id -> (static_cost, rate, submit_time, unscheduled_arc_key):
+        # the decomposed unscheduled cost cached at derivation time, so the
+        # per-round waiting-cost refresh of clean tasks is pure arithmetic.
+        self._task_cost_terms: Dict[int, Tuple[int, float, float, Tuple[int, int]]] = {}
+        self._verify_snapshot: Optional[FlowNetwork] = None
+        self._recorder: Optional[ChangeBatchBuilder] = None
 
     # ------------------------------------------------------------------ #
     # Node identity management
@@ -104,6 +273,37 @@ class GraphManager:
             )
         return node_id
 
+    def _recording_aggregator_factory(self, key: str, node_type: NodeType) -> int:
+        """Aggregator factory for the incremental path: re-adds through the
+        change recorder so the materialization lands in the batch."""
+        if key not in self._aggregator_nodes:
+            self._aggregator_nodes[key] = (self._allocate(), node_type)
+        node_id, stored_type = self._aggregator_nodes[key]
+        if not self.network.has_node(node_id):
+            self._recorder.add_node(
+                node_type=stored_type, supply=0, name=key, node_id=node_id
+            )
+        return node_id
+
+    def _aggregator_node_id(self, key: str) -> Optional[int]:
+        """Non-creating aggregator lookup for scope-ownership queries."""
+        entry = self._aggregator_nodes.get(key)
+        return entry[0] if entry is not None else None
+
+    def _ensure_node(
+        self,
+        recorder: ChangeBatchBuilder,
+        node_id: int,
+        node_type: NodeType,
+        name: str,
+        ref,
+        supply: int = 0,
+    ) -> None:
+        if not self.network.has_node(node_id):
+            recorder.add_node(
+                node_type=node_type, supply=supply, name=name, ref=ref, node_id=node_id
+            )
+
     # ------------------------------------------------------------------ #
     # Mappings needed by placement extraction and the scheduler
     # ------------------------------------------------------------------ #
@@ -126,24 +326,138 @@ class GraphManager:
     # Network construction
     # ------------------------------------------------------------------ #
     def update(self, state: ClusterState, now: float = 0.0) -> FlowNetwork:
-        """Build the flow network reflecting the current cluster state.
+        """Update the flow network to reflect the current cluster state.
 
         Entities that disappeared since the previous run lose their nodes
         (their identifiers are retired, never reused); new entities receive
-        fresh nodes.  The scheduling policy then adds aggregators and arcs.
-
-        Alongside the rebuilt network, the manager emits the typed change
-        batch between the previous and the new network (:attr:`last_changes`,
-        when change tracking is enabled).  The batch carries the two
-        networks' revision numbers so a consumer can verify its derived
-        state matches the batch's base before patching.
+        fresh nodes.  When the policy supports per-entity derivation, the
+        persistent network is patched in place from the cluster dirty sets
+        and :attr:`last_changes` is emitted directly from the mutations;
+        otherwise the network is rebuilt and diffed as before.  Either way
+        the batch carries the two revisions it connects so a consumer can
+        verify its derived state matches the batch's base before patching.
         """
-        previous = self.network
+        start = time.perf_counter()
+        snapshot = self._drain_dirty(state)
         tasks = state.schedulable_tasks()
+
+        if self._can_update_incrementally(state, snapshot, tasks):
+            try:
+                network = self._update_incremental(state, now, snapshot, tasks)
+                self.incremental_updates += 1
+                self.last_update_stats.mode = "incremental"
+                self.last_update_stats.seconds = time.perf_counter() - start
+                if self.verify_changes:
+                    self._cross_check(state, now)
+                self._finish_round(state, network)
+                return network
+            except _IncrementalFallback:
+                # Raised strictly before any mutation: rebuilding in the
+                # same round is safe.
+                pass
+            except Exception:
+                # The round died mid-mutation: the persistent network is
+                # half-patched and this round's dirty events are consumed.
+                # Poison both the network (next round builds from scratch,
+                # with no change batch for the half-mutated state) and the
+                # epoch chain, so nothing derived from the wreckage
+                # survives.
+                self.network = None
+                self._dirty_epoch = None
+                self.last_changes = None
+                raise
+
+        network = self._update_full(state, now, tasks)
+        self.full_updates += 1
+        self.last_update_stats.seconds = time.perf_counter() - start
+        self._finish_round(state, network)
+        return network
+
+    def _finish_round(self, state: ClusterState, network: FlowNetwork) -> None:
+        self._state_id = id(state)
+        if self.verify_changes:
+            self._verify_snapshot = network.copy()
+
+    def _drain_dirty(self, state: ClusterState):
+        """Consume the state's dirty tracker when incremental updates can
+        use it; non-incremental managers leave the events for others."""
+        if not self.incremental or not self.policy.supports_incremental_build:
+            return None
+        tracker = getattr(state, "dirty", None)
+        if tracker is None:
+            return None
+        snapshot = tracker.drain()
+        chain_intact = (
+            self._dirty_epoch is not None
+            and snapshot.epoch == self._dirty_epoch + 1
+            and self._state_id == id(state)
+        )
+        self._dirty_epoch = snapshot.epoch
+        return snapshot if chain_intact else None
+
+    def _can_update_incrementally(self, state, snapshot, tasks) -> bool:
+        if snapshot is None or snapshot.full or self.network is None:
+            return False
+        # Emptiness transitions change the whole network shape (an empty
+        # workload prunes everything, including the sink); rebuild instead.
+        if not tasks or not self._prev_task_ids:
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Full rebuild path (first round, unsupported policies, fallbacks)
+    # ------------------------------------------------------------------ #
+    def _update_full(self, state: ClusterState, now: float, tasks) -> FlowNetwork:
+        previous = self.network
+        network = self._build_full_network(state, now, tasks)
+        self.network = network
+
+        self._revision += 1
+        network.revision = self._revision
+        if self.track_changes and previous is not None:
+            self.last_changes = ChangeBatch.diff(previous, network)
+        else:
+            self.last_changes = None
+
+        self._record_round_entities(state, tasks)
+        self._rebuild_dependency_index(state, tasks)
+        if self.last_changes is not None:
+            summary = self.last_changes.summary()
+            nodes_touched = sum(
+                count
+                for kind, count in summary.items()
+                if kind in ("NodeAddition", "NodeRemoval", "SupplyChange")
+            )
+            arcs_patched = sum(
+                count
+                for kind, count in summary.items()
+                if kind
+                in ("ArcAddition", "ArcRemoval", "ArcCapacityChange", "ArcCostChange")
+            )
+        else:
+            # No batch to attribute against (first round, or change
+            # tracking off): the rebuild touched the whole graph.
+            nodes_touched = network.num_nodes
+            arcs_patched = network.num_arcs
+        self.last_update_stats = GraphUpdateStats(
+            mode="full",
+            nodes_touched=nodes_touched,
+            arcs_patched=arcs_patched,
+            dirty_tasks=len(self._prev_task_ids),
+            dirty_machines=len(self._prev_machine_ids),
+        )
+        return network
+
+    def _build_full_network(self, state: ClusterState, now: float, tasks) -> FlowNetwork:
+        """Build a fresh network from scratch (shared with the cross-check).
+
+        Retires node-id mappings of disappeared entities and allocates
+        mappings for new ones; both operations are idempotent, so running
+        this after an incremental update (which already synchronized the
+        mappings) reuses the exact same identifiers.
+        """
         task_ids = {t.task_id for t in tasks}
-        machine_ids = {
-            m.machine_id for m in state.topology.healthy_machines()
-        }
+        machine_ids = {m.machine_id for m in state.topology.healthy_machines()}
         rack_ids = set(state.topology.racks)
         job_ids = {t.job_id for t in tasks}
 
@@ -157,72 +471,365 @@ class GraphManager:
             j: n for j, n in self._unscheduled_nodes.items() if j in job_ids
         }
 
+        saved_network = self.network
         network = FlowNetwork()
+        # _node_for_aggregator consults self.network to re-materialize
+        # pruned aggregators, so point it at the network under construction.
         self.network = network
-
-        sink = self._node_for_sink()
-        network.add_node(
-            node_type=NodeType.SINK, supply=-len(tasks), name="S", node_id=sink
-        )
-
-        for machine_id in sorted(machine_ids):
+        try:
+            sink = self._node_for_sink()
             network.add_node(
-                node_type=NodeType.MACHINE,
-                supply=0,
-                name=f"M{machine_id}",
-                ref=machine_id,
-                node_id=self._node_for_machine(machine_id),
-            )
-        for rack_id in sorted(rack_ids):
-            network.add_node(
-                node_type=NodeType.RACK_AGGREGATOR,
-                supply=0,
-                name=f"R{rack_id}",
-                ref=rack_id,
-                node_id=self._node_for_rack(rack_id),
-            )
-        for job_id in sorted(job_ids):
-            network.add_node(
-                node_type=NodeType.UNSCHEDULED_AGGREGATOR,
-                supply=0,
-                name=f"U{job_id}",
-                ref=job_id,
-                node_id=self._node_for_job(job_id),
-            )
-        for task in tasks:
-            network.add_node(
-                node_type=NodeType.TASK,
-                supply=1,
-                name=f"T{task.job_id},{task.task_id}",
-                ref=task.task_id,
-                node_id=self._node_for_task(task.task_id),
+                node_type=NodeType.SINK, supply=-len(tasks), name="S", node_id=sink
             )
 
-        builder = PolicyNetworkBuilder(
-            network=network,
-            task_nodes=self._task_nodes,
-            machine_nodes=self._machine_nodes,
-            rack_nodes=self._rack_nodes,
-            unscheduled_nodes=self._unscheduled_nodes,
-            sink_node=sink,
-            aggregator_factory=self._node_for_aggregator,
-        )
-        self.policy.build(state, builder, now)
-        self._prune_isolated_nodes(network)
+            for machine_id in sorted(machine_ids):
+                network.add_node(
+                    node_type=NodeType.MACHINE,
+                    supply=0,
+                    name=f"M{machine_id}",
+                    ref=machine_id,
+                    node_id=self._node_for_machine(machine_id),
+                )
+            for rack_id in sorted(rack_ids):
+                network.add_node(
+                    node_type=NodeType.RACK_AGGREGATOR,
+                    supply=0,
+                    name=f"R{rack_id}",
+                    ref=rack_id,
+                    node_id=self._node_for_rack(rack_id),
+                )
+            for job_id in sorted(job_ids):
+                network.add_node(
+                    node_type=NodeType.UNSCHEDULED_AGGREGATOR,
+                    supply=0,
+                    name=f"U{job_id}",
+                    ref=job_id,
+                    node_id=self._node_for_job(job_id),
+                )
+            for task in tasks:
+                network.add_node(
+                    node_type=NodeType.TASK,
+                    supply=1,
+                    name=f"T{task.job_id},{task.task_id}",
+                    ref=task.task_id,
+                    node_id=self._node_for_task(task.task_id),
+                )
 
-        self._revision += 1
-        network.revision = self._revision
-        if self.track_changes and previous is not None:
-            self.last_changes = ChangeBatch.diff(previous, network)
-        else:
-            self.last_changes = None
+            builder = PolicyNetworkBuilder(
+                network=network,
+                task_nodes=self._task_nodes,
+                machine_nodes=self._machine_nodes,
+                rack_nodes=self._rack_nodes,
+                unscheduled_nodes=self._unscheduled_nodes,
+                sink_node=sink,
+                aggregator_factory=self._node_for_aggregator,
+                aggregator_lookup=self._aggregator_node_id,
+            )
+            self.policy.build(state, builder, now)
+            self._prune_isolated_nodes(network)
+        finally:
+            self.network = saved_network
         return network
+
+    # ------------------------------------------------------------------ #
+    # Incremental path (the paper's event-driven two-pass update)
+    # ------------------------------------------------------------------ #
+    def _update_incremental(
+        self, state: ClusterState, now: float, snapshot, tasks
+    ) -> FlowNetwork:
+        network = self.network
+        task_by_id = {t.task_id: t for t in tasks}
+        task_ids = set(task_by_id)
+        machine_ids = {m.machine_id for m in state.topology.healthy_machines()}
+        rack_ids = set(state.topology.racks)
+        job_ids = {t.job_id for t in tasks}
+
+        removed_tasks = self._prev_task_ids - task_ids
+        added_tasks = task_ids - self._prev_task_ids
+        removed_machines = self._prev_machine_ids - machine_ids
+        added_machines = machine_ids - self._prev_machine_ids
+        removed_jobs = self._prev_job_ids - job_ids
+        added_jobs = job_ids - self._prev_job_ids
+        removed_racks = self._prev_rack_ids - rack_ids
+
+        # Policies resolve dirty tasks through ``state.tasks`` (e.g. to find
+        # a departed task's equivalence class); when a dirty task vanished
+        # from the state entirely (job removal), that attribution is
+        # impossible and the round rebuilds.
+        departed_tasks = (snapshot.tasks | removed_tasks) - task_ids
+        for task_id in departed_tasks:
+            if task_id not in state.tasks:
+                raise _IncrementalFallback(f"dirty task {task_id} unresolvable")
+
+        dirty_machines_avail = (
+            (snapshot.machines_availability | added_machines | removed_machines)
+        )
+        dirty_machines_load = snapshot.machines_load | dirty_machines_avail
+        dirty_tasks = (snapshot.tasks & task_ids) | added_tasks
+        for machine_id in dirty_machines_avail:
+            dependents = self._machine_dependents.get(machine_id)
+            if dependents:
+                dirty_tasks |= dependents & task_ids
+        dirty_jobs = (snapshot.jobs & job_ids) | added_jobs
+
+        recorder = ChangeBatchBuilder(network, base_revision=self._revision)
+        self._recorder = recorder
+        try:
+            # 1. Retire nodes of entities that no longer exist.
+            for task_id in sorted(removed_tasks):
+                recorder.remove_node(self._task_nodes.pop(task_id))
+                self._drop_task_dependencies(task_id)
+                self._task_cost_terms.pop(task_id, None)
+            for machine_id in sorted(removed_machines):
+                node_id = self._machine_nodes.pop(machine_id)
+                if network.has_node(node_id):
+                    recorder.remove_node(node_id)
+            for job_id in sorted(removed_jobs):
+                node_id = self._unscheduled_nodes.pop(job_id)
+                if network.has_node(node_id):
+                    recorder.remove_node(node_id)
+            for rack_id in sorted(removed_racks):
+                node_id = self._rack_nodes.pop(rack_id)
+                if network.has_node(node_id):
+                    recorder.remove_node(node_id)
+
+            # 2. Sink supply tracks the number of schedulable tasks.
+            sink = self._node_for_sink()
+            self._ensure_node(
+                recorder, sink, NodeType.SINK, "S", None, supply=-len(tasks)
+            )
+            recorder.set_supply(sink, -len(tasks))
+
+            # 3. Nodes for new entities (racks materialize on access).
+            for machine_id in sorted(added_machines):
+                self._ensure_node(
+                    recorder,
+                    self._node_for_machine(machine_id),
+                    NodeType.MACHINE,
+                    f"M{machine_id}",
+                    machine_id,
+                )
+            for job_id in sorted(added_jobs):
+                self._ensure_node(
+                    recorder,
+                    self._node_for_job(job_id),
+                    NodeType.UNSCHEDULED_AGGREGATOR,
+                    f"U{job_id}",
+                    job_id,
+                )
+            for task_id in sorted(added_tasks):
+                task = task_by_id[task_id]
+                self._ensure_node(
+                    recorder,
+                    self._node_for_task(task_id),
+                    NodeType.TASK,
+                    f"T{task.job_id},{task.task_id}",
+                    task_id,
+                    supply=1,
+                )
+
+            # 4. Re-derive the dirty scopes: machines (backbone), policy
+            # aggregators, then tasks.
+            builder = _IncrementalBuilder(self, recorder)
+            policy = self.policy
+            for machine_id in sorted(dirty_machines_avail & machine_ids):
+                machine = state.topology.machine(machine_id)
+                self._apply_scope(
+                    builder,
+                    ("machine", machine_id),
+                    lambda b, m=machine: policy.arcs_for_machine(state, b, m, now),
+                )
+            dirty_view = _DirtyView(
+                # Departed tasks are included so a policy can attribute
+                # their aggregator scopes (still resolvable via state.tasks).
+                tasks=dirty_tasks | departed_tasks,
+                jobs=dirty_jobs,
+                machines_availability=dirty_machines_avail,
+                machines_load=dirty_machines_load,
+            )
+            for key in policy.dirty_aggregators(state, dirty_view, now, builder):
+                self._apply_scope(
+                    builder,
+                    key,
+                    lambda b, k=key: policy.refresh_aggregator(state, b, k, now),
+                )
+            for task_id in sorted(dirty_tasks):
+                task = task_by_id[task_id]
+                self._apply_scope(
+                    builder,
+                    ("task", task_id),
+                    lambda b, t=task: policy.arcs_for_task(state, b, t, now),
+                )
+                self._record_task_dependencies(
+                    task_id, policy.task_machine_dependencies(state, task)
+                )
+                self._cache_task_cost_terms(task)
+
+            # 5. Time-varying costs (waiting time) for the clean tasks: the
+            # unscheduled cost grows with ``now`` for every task, so this is
+            # an O(tasks) pass -- but of pure arithmetic on cached terms,
+            # not derivation.
+            cost_terms = self._task_cost_terms
+            find_arc = network.find_arc
+            patch_cost = recorder.patch_known_arc_cost
+            for task in tasks:
+                task_id = task.task_id
+                if task_id in dirty_tasks:
+                    continue
+                entry = cost_terms.get(task_id)
+                if entry is None:
+                    continue
+                static, rate, submit_time, arc_key = entry
+                wait = now - submit_time
+                cost = static + int(rate * wait) if wait > 0.0 else static
+                arc = find_arc(*arc_key)
+                if arc is not None and arc.cost != cost:
+                    patch_cost(arc_key, arc, cost)
+
+            # 6. Incremental prune: only endpoints of removed arcs (and
+            # fresh nodes) can have become isolated.
+            for node_id in sorted(recorder.prune_candidates):
+                if not network.has_node(node_id):
+                    continue
+                node = network.node(node_id)
+                if (
+                    node.supply == 0
+                    and not network.outgoing(node_id)
+                    and not network.incoming(node_id)
+                ):
+                    recorder.remove_node(node_id)
+
+            self._revision += 1
+            network.revision = self._revision
+            batch = recorder.finish(self._revision)
+            self.last_changes = batch if self.track_changes else None
+
+            self._prev_task_ids = task_ids
+            self._prev_machine_ids = machine_ids
+            self._prev_rack_ids = rack_ids
+            self._prev_job_ids = job_ids
+            self.last_update_stats = GraphUpdateStats(
+                mode="incremental",
+                nodes_touched=recorder.nodes_touched,
+                arcs_patched=recorder.arcs_patched,
+                dirty_tasks=len(dirty_tasks),
+                dirty_machines=len(dirty_machines_avail),
+            )
+        finally:
+            self._recorder = None
+        return network
+
+    def _apply_scope(self, builder: _IncrementalBuilder, key, derive) -> None:
+        """Re-derive one scope: emit its desired arcs and patch the network.
+
+        The scope's current arcs come from the policy's structural
+        ownership (:meth:`SchedulingPolicy.owned_arcs`); arcs no longer
+        desired are removed, new ones added, surviving ones patched in
+        place -- all through the change recorder.
+        """
+        desired = builder.collect(derive)
+        recorder = builder.recorder
+        network = self.network
+        for arc in list(self.policy.owned_arcs(builder, key)):
+            if arc.key() not in desired:
+                recorder.remove_arc(arc.src, arc.dst)
+        for (src, dst), (capacity, cost) in desired.items():
+            if network.has_arc(src, dst):
+                recorder.set_arc_capacity(src, dst, capacity)
+                recorder.set_arc_cost(src, dst, cost)
+            else:
+                recorder.add_arc(src, dst, capacity, cost)
+
+    # ------------------------------------------------------------------ #
+    # Dependency bookkeeping (machine availability -> dependent tasks)
+    # ------------------------------------------------------------------ #
+    def _cache_task_cost_terms(self, task) -> None:
+        """Cache the decomposed unscheduled cost for the waiting-cost
+        refresh (see :meth:`SchedulingPolicy.unscheduled_cost_terms`)."""
+        static, rate = self.policy.unscheduled_cost_terms(task)
+        self._task_cost_terms[task.task_id] = (
+            static,
+            rate,
+            task.submit_time,
+            (
+                self._task_nodes[task.task_id],
+                self._unscheduled_nodes[task.job_id],
+            ),
+        )
+
+    def _record_task_dependencies(self, task_id: int, machines: Iterable[int]) -> None:
+        previous = self._task_dependencies.get(task_id)
+        if previous:
+            for machine_id in previous:
+                dependents = self._machine_dependents.get(machine_id)
+                if dependents is not None:
+                    dependents.discard(task_id)
+        current = set(machines)
+        self._task_dependencies[task_id] = current
+        for machine_id in current:
+            self._machine_dependents.setdefault(machine_id, set()).add(task_id)
+
+    def _drop_task_dependencies(self, task_id: int) -> None:
+        previous = self._task_dependencies.pop(task_id, None)
+        if previous:
+            for machine_id in previous:
+                dependents = self._machine_dependents.get(machine_id)
+                if dependents is not None:
+                    dependents.discard(task_id)
+
+    def _record_round_entities(self, state: ClusterState, tasks) -> None:
+        self._prev_task_ids = {t.task_id for t in tasks}
+        self._prev_machine_ids = {
+            m.machine_id for m in state.topology.healthy_machines()
+        }
+        self._prev_rack_ids = set(state.topology.racks)
+        self._prev_job_ids = {t.job_id for t in tasks}
+
+    def _rebuild_dependency_index(self, state: ClusterState, tasks) -> None:
+        # The index only feeds incremental rounds; a manager that will never
+        # run one (incremental=False baselines) must not pay for it.
+        if not self.incremental or not self.policy.supports_incremental_build:
+            return
+        self._task_dependencies = {}
+        self._machine_dependents = {}
+        self._task_cost_terms = {}
+        for task in tasks:
+            self._record_task_dependencies(
+                task.task_id, self.policy.task_machine_dependencies(state, task)
+            )
+            self._cache_task_cost_terms(task)
+
+    # ------------------------------------------------------------------ #
+    # Cross-check mode
+    # ------------------------------------------------------------------ #
+    def _cross_check(self, state: ClusterState, now: float) -> None:
+        """Assert the incremental update matches the full-rebuild path."""
+        tasks = state.schedulable_tasks()
+        rebuilt = self._build_full_network(state, now, tasks)
+        problems = self.network.structurally_equal(rebuilt)
+        if problems:
+            raise GraphConsistencyError(
+                "incremental network diverged from full rebuild: "
+                + "; ".join(problems[:20])
+            )
+        if self._verify_snapshot is not None and self.last_changes is not None:
+            replayed = self._verify_snapshot.copy()
+            self.last_changes.apply_to(replayed)
+            problems = replayed.structurally_equal(rebuilt)
+            if problems:
+                raise GraphConsistencyError(
+                    "directly-emitted change batch does not replay the "
+                    "previous network into the rebuild: "
+                    + "; ".join(problems[:20])
+                )
 
     def _prune_isolated_nodes(self, network: FlowNetwork) -> None:
         """Drop zero-supply nodes with no arcs (unused racks or aggregators).
 
         Keeping them would be harmless for correctness but would make the
-        solvers iterate over dead nodes.
+        solvers iterate over dead nodes.  The incremental path prunes from
+        the candidate set recorded by its change builder instead of scanning
+        every node.
         """
         isolated = [
             node.node_id

@@ -17,11 +17,11 @@ data transfer, and preemption is consistent across policies.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from repro.cluster.state import ClusterState
 from repro.cluster.task import Task
-from repro.flow.graph import FlowNetwork, NodeType
+from repro.flow.graph import Arc, FlowNetwork, NodeType
 
 
 class PolicyNetworkBuilder:
@@ -42,6 +42,7 @@ class PolicyNetworkBuilder:
         unscheduled_nodes: Dict[int, int],
         sink_node: int,
         aggregator_factory,
+        aggregator_lookup=None,
     ) -> None:
         self.network = network
         self._task_nodes = task_nodes
@@ -50,6 +51,12 @@ class PolicyNetworkBuilder:
         self._unscheduled_nodes = unscheduled_nodes
         self._sink_node = sink_node
         self._aggregator_factory = aggregator_factory
+        self._aggregator_lookup = aggregator_lookup
+        #: Per-round scratch space shared by a policy's per-entity hooks, so
+        #: a grouping or statistics pass computed for one dirty entity can be
+        #: reused for the others within the same update.  Cleared by the
+        #: graph manager before every update.
+        self.round_cache: Dict[object, object] = {}
 
     @property
     def sink(self) -> int:
@@ -72,6 +79,20 @@ class PolicyNetworkBuilder:
         """Node id of a job's unscheduled aggregator."""
         return self._unscheduled_nodes[job_id]
 
+    def peek_rack_node(self, rack_id: int) -> Optional[int]:
+        """Rack node id without materializing it, or ``None`` if unmapped.
+
+        On the incremental builder the plain accessors re-add pruned nodes
+        to the network; scope-ownership queries use the peek variants so
+        asking "which arcs does this scope own" stays side-effect-free.
+        """
+        return self._rack_nodes.get(rack_id)
+
+    def peek_unscheduled_node(self, job_id: int) -> Optional[int]:
+        """Unscheduled node id without materializing it (see
+        :meth:`peek_rack_node`)."""
+        return self._unscheduled_nodes.get(job_id)
+
     def aggregator(self, key: str, node_type: NodeType = NodeType.OTHER) -> int:
         """Return (creating on first use) a policy-specific aggregator node.
 
@@ -79,6 +100,18 @@ class PolicyNetworkBuilder:
         requesting the same key, which preserves warm-start validity.
         """
         return self._aggregator_factory(key, node_type)
+
+    def find_aggregator(self, key: str) -> Optional[int]:
+        """Return an aggregator's node id without creating it.
+
+        ``None`` when the key was never requested.  Unlike
+        :meth:`aggregator`, the node is *not* (re)materialized in the
+        network; incremental scope enumeration uses this to ask "does this
+        aggregator currently exist" without side effects.
+        """
+        if self._aggregator_lookup is None:
+            return None
+        return self._aggregator_lookup(key)
 
     def add_arc(self, src: int, dst: int, capacity: int, cost: int) -> None:
         """Add an arc; silently merges with an identical existing arc."""
@@ -128,6 +161,12 @@ class SchedulingPolicy(abc.ABC):
     #: migrate tasks without a real benefit.
     placement_base_cost: int = 2
 
+    #: Policies that implement the per-entity hooks below set this True so
+    #: the graph manager can update its persistent network incrementally
+    #: from cluster dirty sets.  Policies that only implement :meth:`build`
+    #: keep the full-rebuild path.
+    supports_incremental_build: bool = False
+
     @abc.abstractmethod
     def build(self, state: ClusterState, builder: PolicyNetworkBuilder, now: float) -> None:
         """Add the policy's aggregators and arcs for the current state.
@@ -139,17 +178,111 @@ class SchedulingPolicy(abc.ABC):
         """
 
     # ------------------------------------------------------------------ #
+    # Per-entity derivation hooks (incremental graph construction)
+    # ------------------------------------------------------------------ #
+    # A policy opting into incremental construction partitions its arcs into
+    # *derivation scopes*, each owned by exactly one entity: a task, a
+    # machine, or a policy aggregator key.  The graph manager re-runs a
+    # scope's hook only when its entity is dirty, diffs the emitted arcs
+    # against the scope's current arcs (per :meth:`owned_arcs`), and patches
+    # the persistent network -- so a hook must emit an arc set that matches
+    # exactly what :meth:`build` would produce for that entity.  Keeping
+    # :meth:`build` itself composed from these hooks makes divergence
+    # structurally impossible.
+
+    def arcs_for_task(
+        self, state: ClusterState, builder: PolicyNetworkBuilder, task: Task, now: float
+    ) -> None:
+        """Emit every arc out of one task's node (the task's scope)."""
+        raise NotImplementedError
+
+    def arcs_for_machine(
+        self, state: ClusterState, builder: PolicyNetworkBuilder, machine, now: float
+    ) -> None:
+        """Emit the arcs owned by one machine (aggregation backbone/sink)."""
+        raise NotImplementedError
+
+    def refresh_aggregator(
+        self, state: ClusterState, builder: PolicyNetworkBuilder, key, now: float
+    ) -> None:
+        """Emit the arcs owned by one aggregator scope key.
+
+        Keys are whatever :meth:`dirty_aggregators` yields; the policy
+        defines their meaning (e.g. ``("rack", rack_id)`` or
+        ``("class", class_key)``).
+        """
+        raise NotImplementedError
+
+    def dirty_aggregators(
+        self, state: ClusterState, dirty, now: float, builder: PolicyNetworkBuilder
+    ) -> Iterable:
+        """Return the aggregator scope keys invalidated by the dirty sets.
+
+        ``dirty`` is the graph manager's expanded dirty view (attributes
+        ``tasks``, ``jobs``, ``machines_availability``, ``machines_load``,
+        all restricted/expanded to the current round's entities).
+        ``builder`` is the round's builder -- its ``round_cache`` lets the
+        enumeration share grouping passes with the refresh hooks.
+        """
+        raise NotImplementedError
+
+    def owned_arcs(
+        self, builder: PolicyNetworkBuilder, key: Tuple
+    ) -> Iterable[Arc]:
+        """Return the arcs currently in the network that belong to a scope.
+
+        The default implementation handles task scopes (every arc out of the
+        task's node); policies must extend it for their machine and
+        aggregator scopes.  Ownership is structural -- derived from the
+        network itself -- so it stays correct across full rebuilds, pruning,
+        and fallback rounds without bookkeeping.
+        """
+        kind, ident = key
+        if kind == "task":
+            return builder.network.outgoing(builder.task_node(ident))
+        raise NotImplementedError(f"unknown scope {key!r}")
+
+    def task_machine_dependencies(self, state: ClusterState, task: Task) -> Iterable[int]:
+        """Machine ids whose *availability* affects this task's arc set.
+
+        When one of these machines joins or leaves the schedulable set, the
+        task's scope must be re-derived even though the task itself did not
+        change.  The default is conservative: every machine.
+        """
+        return state.topology.machines.keys()
+
+    def unscheduled_cost_terms(self, task: Task) -> Tuple[int, float]:
+        """Decompose :meth:`unscheduled_cost` into ``(static, rate)``.
+
+        The unscheduled cost at time ``now`` is
+        ``static + int(rate * max(0, now - task.submit_time))``.  Waiting
+        cost grows with ``now`` even for untouched tasks, so the graph
+        manager refreshes every clean task's unscheduled arc each round;
+        with the cost decomposed it caches the terms at derivation time and
+        the refresh is pure arithmetic (no attribute chasing, no policy
+        call).  A policy that overrides :meth:`unscheduled_cost` must
+        override this decomposition to match, or opt out of incremental
+        construction.
+        """
+        static = self.base_unscheduled_cost
+        static += self.priority_unscheduled_weight * max(0, task.priority)
+        if task.is_running:
+            static += self.preemption_penalty
+        return static, self.wait_time_cost_per_second
+
+    # ------------------------------------------------------------------ #
     # Cost helpers shared by the concrete policies
     # ------------------------------------------------------------------ #
     def unscheduled_cost(self, task: Task, now: float) -> int:
         """Cost of leaving a pending task unscheduled (or preempting a
-        running one), growing with the task's waiting time and priority."""
+        running one), growing with the task's waiting time and priority.
+
+        Defined through :meth:`unscheduled_cost_terms` so the incremental
+        refresh of waiting costs and the full build agree by construction.
+        """
+        static, rate = self.unscheduled_cost_terms(task)
         wait = max(0.0, now - task.submit_time)
-        cost = self.base_unscheduled_cost + int(self.wait_time_cost_per_second * wait)
-        cost += self.priority_unscheduled_weight * max(0, task.priority)
-        if task.is_running:
-            cost += self.preemption_penalty
-        return cost
+        return static + int(rate * wait)
 
     def transfer_cost(self, task: Task, locality_fraction: float) -> int:
         """Cost of transferring the non-local part of a task's input data."""

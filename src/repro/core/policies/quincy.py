@@ -25,6 +25,7 @@ class QuincyPolicy(SchedulingPolicy):
     """Data-locality policy with cluster and rack aggregators."""
 
     name = "quincy"
+    supports_incremental_build = True
 
     def __init__(
         self,
@@ -50,68 +51,156 @@ class QuincyPolicy(SchedulingPolicy):
         self.max_preference_arcs = max_preference_arcs
 
     def build(self, state: ClusterState, builder: PolicyNetworkBuilder, now: float) -> None:
-        """Add cluster/rack aggregators, preference arcs, and fallback arcs."""
+        """Add cluster/rack aggregators, preference arcs, and fallback arcs.
+
+        Composed from the per-entity hooks below so the full build and the
+        incremental per-entity re-derivation can never diverge.
+        """
         tasks = state.schedulable_tasks()
         if not tasks:
             return
         topology = state.topology
-        cluster_agg = builder.aggregator("X", NodeType.CLUSTER_AGGREGATOR)
 
         # Aggregation backbone: X -> racks -> machines -> sink.
-        for rack_id, rack in topology.racks.items():
-            rack_node = builder.rack_node(rack_id)
+        for rack_id in topology.racks:
+            self.refresh_aggregator(state, builder, ("rack", rack_id), now)
+        for machine in topology.healthy_machines():
+            self.arcs_for_machine(state, builder, machine, now)
+
+        jobs_seen = set()
+        for task in tasks:
+            jobs_seen.add(task.job_id)
+            self.arcs_for_task(state, builder, task, now)
+
+        for job_id in jobs_seen:
+            self.refresh_aggregator(state, builder, ("job", job_id), now)
+
+    # ------------------------------------------------------------------ #
+    # Per-entity derivation hooks (incremental graph construction)
+    # ------------------------------------------------------------------ #
+    def arcs_for_task(
+        self, state: ClusterState, builder: PolicyNetworkBuilder, task, now: float
+    ) -> None:
+        """Emit one task's fallback, unscheduled, continuation, and
+        preference arcs."""
+        task_node = builder.task_node(task.task_id)
+        cluster_agg = builder.aggregator("X", NodeType.CLUSTER_AGGREGATOR)
+
+        # Fallback: schedule anywhere via the cluster aggregator, paying
+        # for transferring the entire input across the core.
+        builder.add_arc(
+            task_node,
+            cluster_agg,
+            1,
+            self.transfer_cost(task, 0.0) + self.placement_base_cost,
+        )
+
+        # Unscheduled / preemption arc.
+        builder.add_arc(
+            task_node,
+            builder.unscheduled_node(task.job_id),
+            1,
+            self.unscheduled_cost(task, now),
+        )
+
+        # Continuation arc for running tasks: data is already local.
+        if task.is_running and task.machine_id is not None:
+            builder.add_arc(
+                task_node,
+                builder.machine_node(task.machine_id),
+                1,
+                self.continuation_cost(task),
+            )
+
+        self._add_preference_arcs(state, builder, task, task_node)
+
+    def arcs_for_machine(
+        self, state: ClusterState, builder: PolicyNetworkBuilder, machine, now: float
+    ) -> None:
+        """Emit one healthy machine's backbone arcs (rack in, sink out)."""
+        machine_node = builder.machine_node(machine.machine_id)
+        rack_node = builder.rack_node(machine.rack_id)
+        builder.add_arc(rack_node, machine_node, machine.num_slots, 0)
+        builder.add_arc(machine_node, builder.sink, machine.num_slots, 0)
+
+    def refresh_aggregator(
+        self, state: ClusterState, builder: PolicyNetworkBuilder, key, now: float
+    ) -> None:
+        """Emit the arcs of a ``("rack", id)`` or ``("job", id)`` scope."""
+        kind, ident = key
+        topology = state.topology
+        if kind == "rack":
+            rack = topology.racks.get(ident)
+            if rack is None:
+                return
             rack_slots = sum(
                 topology.machine(m).num_slots
                 for m in rack.machine_ids
                 if topology.machine(m).is_available
             )
             if rack_slots <= 0:
-                continue
-            builder.add_arc(cluster_agg, rack_node, rack_slots, 0)
-            for machine_id in rack.machine_ids:
-                machine = topology.machine(machine_id)
-                if not machine.is_available:
-                    continue
-                machine_node = builder.machine_node(machine_id)
-                builder.add_arc(rack_node, machine_node, machine.num_slots, 0)
-                builder.add_arc(machine_node, builder.sink, machine.num_slots, 0)
-
-        jobs_seen = set()
-        for task in tasks:
-            task_node = builder.task_node(task.task_id)
-            jobs_seen.add(task.job_id)
-
-            # Fallback: schedule anywhere via the cluster aggregator, paying
-            # for transferring the entire input across the core.
+                return
+            cluster_agg = builder.aggregator("X", NodeType.CLUSTER_AGGREGATOR)
+            builder.add_arc(cluster_agg, builder.rack_node(ident), rack_slots, 0)
+        elif kind == "job":
+            job = state.jobs.get(ident)
+            if job is None:
+                return
             builder.add_arc(
-                task_node,
-                cluster_agg,
-                1,
-                self.transfer_cost(task, 0.0) + self.placement_base_cost,
+                builder.unscheduled_node(ident), builder.sink, job.num_tasks, 0
             )
 
-            # Unscheduled / preemption arc.
-            builder.add_arc(
-                task_node,
-                builder.unscheduled_node(task.job_id),
-                1,
-                self.unscheduled_cost(task, now),
+    def dirty_aggregators(self, state: ClusterState, dirty, now: float, builder):
+        """Racks of availability-dirty machines, plus dirty jobs."""
+        topology = state.topology
+        racks = set()
+        for machine_id in dirty.machines_availability:
+            machine = topology.machines.get(machine_id)
+            if machine is not None:
+                racks.add(machine.rack_id)
+            else:
+                # The machine left the topology entirely; its old rack is
+                # unknown, so refresh every rack (rare).
+                racks.update(topology.racks)
+        keys = [("rack", rack_id) for rack_id in sorted(racks)]
+        keys.extend(("job", job_id) for job_id in sorted(dirty.jobs))
+        return keys
+
+    def owned_arcs(self, builder: PolicyNetworkBuilder, key):
+        """Structural scope ownership for Quincy's arc partition."""
+        network = builder.network
+        kind, ident = key
+        if kind == "machine":
+            machine_node = builder.machine_node(ident)
+            owned = list(network.outgoing(machine_node))  # machine -> sink
+            owned.extend(
+                arc
+                for arc in network.incoming(machine_node)
+                if network.node(arc.src).node_type is NodeType.RACK_AGGREGATOR
             )
+            return owned
+        if kind == "rack":
+            rack_node = builder.peek_rack_node(ident)
+            if rack_node is None or not network.has_node(rack_node):
+                return []
+            return [
+                arc
+                for arc in network.incoming(rack_node)
+                if network.node(arc.src).node_type is NodeType.CLUSTER_AGGREGATOR
+            ]
+        if kind == "job":
+            unscheduled_node = builder.peek_unscheduled_node(ident)
+            if unscheduled_node is None or not network.has_node(unscheduled_node):
+                return []
+            return network.outgoing(unscheduled_node)  # U -> sink
+        return super().owned_arcs(builder, key)
 
-            # Continuation arc for running tasks: data is already local.
-            if task.is_running and task.machine_id is not None:
-                builder.add_arc(
-                    task_node,
-                    builder.machine_node(task.machine_id),
-                    1,
-                    self.continuation_cost(task),
-                )
-
-            self._add_preference_arcs(state, builder, task, task_node)
-
-        for job_id in jobs_seen:
-            job = state.jobs[job_id]
-            builder.add_arc(builder.unscheduled_node(job_id), builder.sink, job.num_tasks, 0)
+    def task_machine_dependencies(self, state: ClusterState, task):
+        """Preference-arc machines plus the task's current machine."""
+        dependencies = set(task.input_locality)
+        if task.machine_id is not None:
+            dependencies.add(task.machine_id)
+        return dependencies
 
     # ------------------------------------------------------------------ #
     # Preference arcs

@@ -47,6 +47,10 @@ class SchedulingDecision:
     preemptions: List[int] = field(default_factory=list)
     unscheduled: List[int] = field(default_factory=list)
     algorithm_runtime: float = 0.0
+    #: Wall-clock seconds the graph manager needed to bring the flow
+    #: network up to date for this round (graph maintenance, attributed
+    #: separately from the solver runtime above).
+    graph_update_seconds: float = 0.0
     solver_result: Optional[SolverResult] = None
     total_cost: int = 0
     per_task_latency: Dict[int, float] = field(default_factory=dict)
@@ -63,19 +67,23 @@ class SchedulerStatistics:
 
     runs: int = 0
     total_algorithm_runtime: float = 0.0
+    total_graph_update_time: float = 0.0
     total_placements: int = 0
     total_migrations: int = 0
     total_preemptions: int = 0
     algorithm_runtimes: List[float] = field(default_factory=list)
+    graph_update_times: List[float] = field(default_factory=list)
 
     def record(self, decision: SchedulingDecision) -> None:
         """Account one scheduling decision."""
         self.runs += 1
         self.total_algorithm_runtime += decision.algorithm_runtime
+        self.total_graph_update_time += decision.graph_update_seconds
         self.total_placements += len(decision.placements)
         self.total_migrations += len(decision.migrations)
         self.total_preemptions += len(decision.preemptions)
         self.algorithm_runtimes.append(decision.algorithm_runtime)
+        self.graph_update_times.append(decision.graph_update_seconds)
 
 
 class FirmamentScheduler:
@@ -126,8 +134,9 @@ class FirmamentScheduler:
         """Run one scheduling iteration against the given cluster state."""
         network = self.graph_manager.update(state, now)
         self.last_network = network
+        graph_seconds = self.graph_manager.last_update_stats.seconds
         if not self.graph_manager.task_nodes:
-            decision = SchedulingDecision()
+            decision = SchedulingDecision(graph_update_seconds=graph_seconds)
             self.statistics.record(decision)
             return decision
 
@@ -164,6 +173,10 @@ class FirmamentScheduler:
         )
         decision = self._diff_against_state(state, assignments)
         decision.algorithm_runtime = algorithm_runtime
+        decision.graph_update_seconds = graph_seconds
+        # Attribute graph maintenance alongside the solver's own counters so
+        # per-round time can be split into graph vs solver work.
+        result.statistics.graph_update_seconds = graph_seconds
         decision.solver_result = result
         decision.total_cost = result.total_cost
         self.statistics.record(decision)

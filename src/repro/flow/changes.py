@@ -273,6 +273,213 @@ class ChangeBatch:
         return batch
 
 
+class ChangeBatchBuilder:
+    """Builds a :class:`ChangeBatch` by applying mutations to a network.
+
+    The graph manager's incremental update path mutates its persistent
+    :class:`FlowNetwork` in place; routing every mutation through this
+    builder both applies it and records the corresponding typed change, so
+    the round's :class:`ChangeBatch` is emitted *directly from the
+    mutations* -- no second network is built and no diff pass runs.
+
+    The builder coalesces redundant records so the finished batch matches
+    what :meth:`ChangeBatch.diff` would have produced against a snapshot:
+
+    * capacity/cost patches keep only the final value, and are dropped when
+      the final value equals the round's starting value;
+    * supply changes record the net delta against the starting supply;
+    * an arc (or node) added and removed within the same round cancels out,
+      and patches to same-round-added arcs fold into the addition record.
+
+    :meth:`finish` orders the surviving changes the way :meth:`ChangeBatch.diff`
+    does -- arc removals, node removals, node additions, supply changes,
+    arc additions, capacity/cost patches -- so applying the batch
+    sequentially is always valid.
+    """
+
+    def __init__(self, network: FlowNetwork, base_revision: Optional[int]) -> None:
+        self.network = network
+        self.base_revision = base_revision
+        # Ordered dicts keyed by arc endpoints / node id; values described
+        # per mutator below.
+        self._removed_arcs: Dict[Tuple[int, int], ArcRemoval] = {}
+        self._removed_nodes: Dict[int, NodeRemoval] = {}
+        self._added_nodes: Dict[int, NodeAddition] = {}
+        self._added_arcs: Dict[Tuple[int, int], ArcAddition] = {}
+        # (src, dst) -> (arc, original_capacity, original_cost) at first
+        # touch; holding the Arc object saves a lookup per patch at finish.
+        self._patched_arcs: Dict[Tuple[int, int], Tuple[object, int, int]] = {}
+        # node_id -> original supply at first touch.
+        self._supply_origin: Dict[int, int] = {}
+        #: Node ids whose incident arcs were removed this round plus nodes
+        #: added this round -- the only candidates that can have become
+        #: isolated, consumed by the graph manager's incremental prune.
+        self.prune_candidates: set = set()
+
+    # ------------------------------------------------------------------ #
+    # Node mutations
+    # ------------------------------------------------------------------ #
+    def add_node(
+        self,
+        node_type: NodeType,
+        supply: int = 0,
+        name: str = "",
+        ref: Optional[object] = None,
+        node_id: Optional[int] = None,
+    ):
+        """Add a node to the network and record the addition."""
+        node = self.network.add_node(
+            node_type=node_type, supply=supply, name=name, ref=ref, node_id=node_id
+        )
+        self._added_nodes[node.node_id] = NodeAddition(
+            node_type=node_type,
+            supply=supply,
+            name=name,
+            ref=ref,
+            node_id=node.node_id,
+        )
+        self.prune_candidates.add(node.node_id)
+        return node
+
+    def remove_node(self, node_id: int) -> None:
+        """Remove a node (recording removals for its live incident arcs)."""
+        for arc in self.network.outgoing(node_id):
+            self._record_arc_removal(arc.key())
+        for arc in self.network.incoming(node_id):
+            self._record_arc_removal(arc.key())
+        self.network.remove_node(node_id)
+        self._supply_origin.pop(node_id, None)
+        if node_id in self._added_nodes:
+            # Added and removed within the same round: net no-op.
+            del self._added_nodes[node_id]
+        else:
+            self._removed_nodes[node_id] = NodeRemoval(node_id=node_id)
+        self.prune_candidates.discard(node_id)
+
+    def set_supply(self, node_id: int, supply: int) -> None:
+        """Set a node's supply, recording the net change for the round."""
+        node = self.network.node(node_id)
+        if node.supply == supply:
+            return
+        if node_id in self._added_nodes:
+            # Fold into the pending addition record.
+            self._added_nodes[node_id].supply = supply
+        else:
+            self._supply_origin.setdefault(node_id, node.supply)
+        self.network.set_supply(node_id, supply)
+
+    # ------------------------------------------------------------------ #
+    # Arc mutations
+    # ------------------------------------------------------------------ #
+    def add_arc(self, src: int, dst: int, capacity: int, cost: int) -> None:
+        """Add an arc and record the addition.
+
+        An arc removed earlier in the same round and re-added stays recorded
+        as removal plus addition; removals precede additions in the finished
+        batch, so the sequence applies cleanly.
+        """
+        self.network.add_arc(src, dst, capacity, cost)
+        self._added_arcs[(src, dst)] = ArcAddition(
+            src=src, dst=dst, capacity=capacity, cost=cost
+        )
+
+    def remove_arc(self, src: int, dst: int) -> None:
+        """Remove an arc and record the removal."""
+        self._record_arc_removal((src, dst))
+        self.network.remove_arc(src, dst)
+
+    def set_arc_capacity(self, src: int, dst: int, capacity: int) -> None:
+        """Patch an arc's capacity, recording the net change."""
+        arc = self.network.arc(src, dst)
+        if arc.capacity == capacity:
+            return
+        key = (src, dst)
+        if key in self._added_arcs:
+            self._added_arcs[key].capacity = capacity
+        else:
+            self._patched_arcs.setdefault(key, (arc, arc.capacity, arc.cost))
+        self.network.set_arc_capacity(src, dst, capacity)
+
+    def set_arc_cost(self, src: int, dst: int, cost: int) -> None:
+        """Patch an arc's cost, recording the net change."""
+        arc = self.network.arc(src, dst)
+        if arc.cost == cost:
+            return
+        key = (src, dst)
+        if key in self._added_arcs:
+            self._added_arcs[key].cost = cost
+        else:
+            self._patched_arcs.setdefault(key, (arc, arc.capacity, arc.cost))
+        self.network.set_arc_cost(src, dst, cost)
+
+    def patch_known_arc_cost(self, key: Tuple[int, int], arc, cost: int) -> None:
+        """Hot-loop variant of :meth:`set_arc_cost`: the caller already
+        resolved the arc object for ``key`` and vouches it is live.
+
+        The graph manager's per-round waiting-cost refresh touches every
+        clean task; this skips the redundant arc lookup and the
+        ``network.set_arc_cost`` indirection.
+        """
+        if arc.cost == cost:
+            return
+        if key in self._added_arcs:
+            self._added_arcs[key].cost = cost
+        else:
+            self._patched_arcs.setdefault(key, (arc, arc.capacity, arc.cost))
+        arc.cost = cost
+
+    def _record_arc_removal(self, key: Tuple[int, int]) -> None:
+        self._patched_arcs.pop(key, None)
+        self.prune_candidates.update(key)
+        if key in self._added_arcs:
+            # Added and removed within the same round: net no-op.
+            del self._added_arcs[key]
+            return
+        self._removed_arcs[key] = ArcRemoval(src=key[0], dst=key[1])
+
+    # ------------------------------------------------------------------ #
+    # Counters and batch assembly
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes_touched(self) -> int:
+        """Nodes added, removed, or whose supply changed this round."""
+        return (
+            len(self._added_nodes)
+            + len(self._removed_nodes)
+            + len(self._supply_origin)
+        )
+
+    @property
+    def arcs_patched(self) -> int:
+        """Arcs added, removed, or patched (capacity/cost) this round."""
+        return (
+            len(self._added_arcs) + len(self._removed_arcs) + len(self._patched_arcs)
+        )
+
+    def finish(self, target_revision: Optional[int]) -> ChangeBatch:
+        """Assemble the recorded mutations into a canonical change batch."""
+        batch = ChangeBatch(
+            base_revision=self.base_revision, target_revision=target_revision
+        )
+        changes = batch.changes
+        changes.extend(self._removed_arcs.values())
+        changes.extend(self._removed_nodes.values())
+        changes.extend(self._added_nodes.values())
+        for node_id, original in self._supply_origin.items():
+            current = self.network.node(node_id).supply
+            if current != original:
+                changes.append(SupplyChange(node_id=node_id, delta=current - original))
+        changes.extend(self._added_arcs.values())
+        for (src, dst), (arc, capacity, cost) in self._patched_arcs.items():
+            if arc.capacity != capacity:
+                changes.append(
+                    ArcCapacityChange(src=src, dst=dst, new_capacity=arc.capacity)
+                )
+            if arc.cost != cost:
+                changes.append(ArcCostChange(src=src, dst=dst, new_cost=arc.cost))
+        return batch
+
+
 def classify_arc_change(
     reduced_cost: int,
     flow: int,

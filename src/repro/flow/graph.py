@@ -213,6 +213,10 @@ class FlowNetwork:
         """Return the arc between the two nodes."""
         return self._arcs[(src, dst)]
 
+    def find_arc(self, src: int, dst: int) -> Optional[Arc]:
+        """Return the arc between the two nodes, or ``None`` (one lookup)."""
+        return self._arcs.get((src, dst))
+
     def has_arc(self, src: int, dst: int) -> bool:
         """Return whether an arc exists between the two nodes."""
         return (src, dst) in self._arcs
@@ -310,6 +314,43 @@ class FlowNetwork:
         clone._next_node_id = self._next_node_id
         clone.revision = self.revision
         return clone
+
+    def structurally_equal(self, other: "FlowNetwork") -> List[str]:
+        """Compare two networks structurally, returning the differences.
+
+        Flow values are ignored -- node identity/type/supply and arc
+        capacity/cost are what solvers consume.  Returns an empty list when
+        the networks are equivalent; otherwise human-readable difference
+        descriptions (used by the graph manager's cross-check mode and the
+        incremental-construction equivalence tests).
+        """
+        differences: List[str] = []
+        mine = {n.node_id: n for n in self.nodes()}
+        theirs = {n.node_id: n for n in other.nodes()}
+        for node_id in sorted(mine.keys() - theirs.keys()):
+            differences.append(f"node {node_id} only in left network")
+        for node_id in sorted(theirs.keys() - mine.keys()):
+            differences.append(f"node {node_id} only in right network")
+        for node_id in sorted(mine.keys() & theirs.keys()):
+            a, b = mine[node_id], theirs[node_id]
+            if a.node_type is not b.node_type or a.supply != b.supply:
+                differences.append(
+                    f"node {node_id}: ({a.node_type.value}, supply={a.supply}) "
+                    f"vs ({b.node_type.value}, supply={b.supply})"
+                )
+        my_arcs = {a.key(): (a.capacity, a.cost) for a in self.arcs()}
+        their_arcs = {a.key(): (a.capacity, a.cost) for a in other.arcs()}
+        for key in sorted(my_arcs.keys() - their_arcs.keys()):
+            differences.append(f"arc {key[0]}->{key[1]} only in left network")
+        for key in sorted(their_arcs.keys() - my_arcs.keys()):
+            differences.append(f"arc {key[0]}->{key[1]} only in right network")
+        for key in sorted(my_arcs.keys() & their_arcs.keys()):
+            if my_arcs[key] != their_arcs[key]:
+                differences.append(
+                    f"arc {key[0]}->{key[1]}: (cap, cost) {my_arcs[key]} "
+                    f"vs {their_arcs[key]}"
+                )
+        return differences
 
     # ------------------------------------------------------------------ #
     # Interoperability

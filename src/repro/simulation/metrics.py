@@ -26,6 +26,9 @@ class MetricsSummary:
     response_times: List[float] = field(default_factory=list)
     job_response_times: List[float] = field(default_factory=list)
     algorithm_runtimes: List[float] = field(default_factory=list)
+    #: Per-run graph-maintenance wall times (flow-based schedulers only),
+    #: so runs can attribute time to graph updates vs the solver.
+    graph_update_times: List[float] = field(default_factory=list)
     tasks_completed: int = 0
     tasks_placed: int = 0
     tasks_unplaced: int = 0
@@ -49,11 +52,18 @@ class MetricsSummary:
             return 0.0
         return sum(self.algorithm_runtimes) / len(self.algorithm_runtimes)
 
+    def mean_graph_update_time(self) -> float:
+        """Return the mean per-run graph-maintenance time."""
+        if not self.graph_update_times:
+            return 0.0
+        return sum(self.graph_update_times) / len(self.graph_update_times)
+
 
 def collect_metrics(
     state: ClusterState,
     algorithm_runtimes: Optional[Sequence[float]] = None,
     batch_only: bool = True,
+    graph_update_times: Optional[Sequence[float]] = None,
 ) -> MetricsSummary:
     """Build a :class:`MetricsSummary` from the final cluster state.
 
@@ -62,10 +72,13 @@ def collect_metrics(
         algorithm_runtimes: Per-run solver runtimes recorded by the driver.
         batch_only: Restrict response-time metrics to batch tasks (service
             tasks never complete, so their response time is undefined).
+        graph_update_times: Per-run graph-maintenance wall times.
     """
     summary = MetricsSummary()
     if algorithm_runtimes:
         summary.algorithm_runtimes = list(algorithm_runtimes)
+    if graph_update_times:
+        summary.graph_update_times = list(graph_update_times)
 
     for task in state.tasks.values():
         job = state.jobs.get(task.job_id)

@@ -65,6 +65,9 @@ class ScheduleRecord:
     num_placements: int
     num_pending_before: int
     winning_algorithm: str = ""
+    #: Graph-maintenance wall time of the round, attributed separately from
+    #: the solver runtime (flow-based schedulers only; zero for baselines).
+    graph_update_seconds: float = 0.0
 
 
 @dataclass
@@ -196,6 +199,9 @@ class ClusterSimulator:
         metrics = collect_metrics(
             self.state,
             algorithm_runtimes=[r.algorithm_runtime for r in self.schedule_records],
+            graph_update_times=[
+                r.graph_update_seconds for r in self.schedule_records
+            ],
         )
         return SimulationResult(
             state=self.state,
@@ -257,7 +263,7 @@ class ClusterSimulator:
         machine = self.state.topology.machines.get(machine_id)
         if machine is None or machine.is_available:
             return
-        machine.recover()
+        self.state.recover_machine(machine_id, self.now)
         self._state_version += 1
 
     # ------------------------------------------------------------------ #
@@ -295,6 +301,7 @@ class ClusterSimulator:
                 num_placements=decision.num_assignments,
                 num_pending_before=pending_before,
                 winning_algorithm=winning,
+                graph_update_seconds=getattr(decision, "graph_update_seconds", 0.0),
             )
         )
         self._last_schedule_start = self.now

@@ -36,6 +36,15 @@ class SolverStatistics:
     arcs_scanned: int = 0
     epsilon_phases: int = 0
     warm_start: bool = False
+    #: Change-application counters of the delta path: arcs and nodes the
+    #: solver patched in its persistent residual from the round's change
+    #: batch (zero on rebuild rounds).
+    arcs_patched: int = 0
+    nodes_touched: int = 0
+    #: Wall-clock seconds the graph manager spent producing this round's
+    #: network (filled in by the scheduler, not the solver), so fig14-style
+    #: runs can attribute per-round time to graph maintenance vs solving.
+    graph_update_seconds: float = 0.0
 
     def merge(self, other: "SolverStatistics") -> "SolverStatistics":
         """Return statistics summing this run with another."""
@@ -51,6 +60,10 @@ class SolverStatistics:
             arcs_scanned=self.arcs_scanned + other.arcs_scanned,
             epsilon_phases=self.epsilon_phases + other.epsilon_phases,
             warm_start=self.warm_start or other.warm_start,
+            arcs_patched=self.arcs_patched + other.arcs_patched,
+            nodes_touched=self.nodes_touched + other.nodes_touched,
+            graph_update_seconds=self.graph_update_seconds
+            + other.graph_update_seconds,
         )
 
 

@@ -391,6 +391,8 @@ class CostScalingSolver(Solver):
         start = time.perf_counter()
         stats = SolverStatistics(warm_start=True)
         dirty = residual.apply_changes(changes)
+        stats.arcs_patched = residual.last_arcs_patched
+        stats.nodes_touched = residual.last_nodes_touched
         residual.revision = (
             changes.target_revision
             if changes.target_revision is not None

@@ -113,6 +113,10 @@ class ResidualNetwork:
         self.revision: Optional[int] = getattr(network, "revision", None)
         self.dead_arc_pairs: int = 0
         self.dead_nodes: int = 0
+        #: Change-application counters of the most recent
+        #: :meth:`apply_changes` call (surfaced via ``SolverStatistics``).
+        self.last_arcs_patched: int = 0
+        self.last_nodes_touched: int = 0
         self._max_cost_cache: Optional[int] = None
         # Dirty-flow journal: forward pair positions whose flow changed since
         # the last extraction, plus a cache of the last extracted non-zero
@@ -335,8 +339,14 @@ class ResidualNetwork:
         self._maybe_compact()
         dirty: set = set()
         scale = self.cost_scale
+        arcs_patched = 0
+        nodes_touched = 0
 
         for change in batch:
+            if isinstance(change, (ch.SupplyChange, ch.NodeAddition, ch.NodeRemoval)):
+                nodes_touched += 1
+            else:
+                arcs_patched += 1
             if isinstance(change, ch.SupplyChange):
                 i = self.index[change.node_id]
                 if not self.node_alive[i]:
@@ -379,6 +389,8 @@ class ResidualNetwork:
             else:
                 raise ValueError(f"unsupported change type {type(change).__name__}")
 
+        self.last_arcs_patched = arcs_patched
+        self.last_nodes_touched = nodes_touched
         return sorted(dirty)
 
     def _patch_capacity(self, position: int, new_capacity: int) -> None:
@@ -605,15 +617,29 @@ class ResidualNetwork:
     def write_flow_back(self, network: FlowNetwork) -> None:
         """Write the computed flow back onto the original network's arcs.
 
-        On the delta path (journal active) only the cached non-zero flows
-        are written -- O(changed + non-zero flows).  This assumes the target
-        network's arcs carry no stale flow, which holds for the graph
-        manager's freshly rebuilt per-round networks; callers reusing a
-        network with old flows on its arcs get the full O(live arcs) path
-        because mutating solvers invalidate the journal first.
+        On the delta path (journal active) only the changed and non-zero
+        flows are written -- O(changed + non-zero flows).  The target
+        network may carry the *previous* round's flows on its arcs (the
+        graph manager mutates one persistent network in place), so arcs
+        whose journaled flow dropped to zero are explicitly zeroed before
+        the cache of non-zero flows is applied.
         """
+        journaled: Optional[List[Tuple[int, int]]] = None
+        if self._flow_journal is not None and self._flows_cache is not None:
+            journaled = [
+                key
+                for key in (
+                    self.forward_arc_keys[position]
+                    for position in self._flow_journal
+                )
+                if key is not None
+            ]
         cache = self._sync_flow_journal()
         if cache is not None:
+            if journaled:
+                for key in journaled:
+                    if key not in cache and network.has_arc(*key):
+                        network.arc(*key).flow = 0
             for key, flow in cache.items():
                 if network.has_arc(*key):
                     network.arc(*key).flow = flow

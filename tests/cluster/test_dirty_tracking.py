@@ -1,0 +1,96 @@
+"""Unit tests for the dirty-set tracker feeding incremental graph updates."""
+
+from repro.cluster import DirtyTracker
+from repro.cluster.machine import Machine
+from tests.conftest import make_cluster_state, make_job
+
+
+class TestDirtyTracker:
+    def test_drain_returns_and_clears_marks(self):
+        tracker = DirtyTracker()
+        tracker.mark_task(7)
+        tracker.mark_job(1)
+        tracker.mark_machine_load(3)
+        snapshot = tracker.drain()
+        assert snapshot.tasks == {7}
+        assert snapshot.jobs == {1}
+        assert snapshot.machines_load == {3}
+        assert not snapshot.machines_availability
+        assert not tracker.drain()  # empty after the first drain
+
+    def test_epoch_chain_detects_missed_drains(self):
+        tracker = DirtyTracker()
+        first = tracker.drain()
+        second = tracker.drain()
+        assert second.epoch == first.epoch + 1
+
+    def test_availability_marks_imply_load(self):
+        tracker = DirtyTracker()
+        tracker.mark_machine_availability(2)
+        snapshot = tracker.drain()
+        assert snapshot.machines_availability == {2}
+        assert 2 in snapshot.machines_load
+
+    def test_mark_all_sets_full(self):
+        tracker = DirtyTracker()
+        tracker.mark_all()
+        assert tracker.drain().full
+
+
+class TestClusterStateMarksDirty:
+    def test_submission_marks_tasks_and_job(self):
+        state = make_cluster_state()
+        state.dirty.drain()
+        job = make_job(job_id=1, num_tasks=2)
+        state.submit_job(job)
+        snapshot = state.dirty.drain()
+        assert snapshot.jobs == {1}
+        assert snapshot.tasks == {t.task_id for t in job.tasks}
+
+    def test_placement_and_completion_mark_task_and_machine_load(self):
+        state = make_cluster_state()
+        job = make_job(job_id=1, num_tasks=1)
+        state.submit_job(job)
+        state.dirty.drain()
+        task_id = job.tasks[0].task_id
+        state.place_task(task_id, 0, now=0.0)
+        snapshot = state.dirty.drain()
+        assert task_id in snapshot.tasks
+        assert 0 in snapshot.machines_load
+        assert not snapshot.machines_availability
+
+        state.complete_task(task_id, now=1.0)
+        snapshot = state.dirty.drain()
+        assert task_id in snapshot.tasks
+        assert 0 in snapshot.machines_load
+
+    def test_machine_failure_marks_availability_and_evicted_tasks(self):
+        state = make_cluster_state()
+        job = make_job(job_id=1, num_tasks=1)
+        state.submit_job(job)
+        state.place_task(job.tasks[0].task_id, 2, now=0.0)
+        state.dirty.drain()
+        evicted = state.fail_machine(2, now=1.0)
+        snapshot = state.dirty.drain()
+        assert 2 in snapshot.machines_availability
+        assert set(evicted) <= snapshot.tasks
+
+        state.recover_machine(2, now=2.0)
+        assert 2 in state.dirty.drain().machines_availability
+
+    def test_added_machine_marks_availability_and_accepts_tasks(self):
+        state = make_cluster_state(num_machines=2)
+        state.add_machine(
+            Machine(machine_id=99, rack_id=0, num_slots=2, cpu_cores=4, ram_gb=8)
+        )
+        assert 99 in state.dirty.drain().machines_availability
+        job = make_job(job_id=1, num_tasks=1)
+        state.submit_job(job)
+        state.place_task(job.tasks[0].task_id, 99, now=0.0)
+        assert state.task_count_on_machine(99) == 1
+
+    def test_monitor_refresh_marks_machine_load(self):
+        state = make_cluster_state()
+        state.dirty.drain()
+        state.monitor.record_network_use(1, 500, now=3.0)
+        assert 1 in state.dirty.drain().machines_load

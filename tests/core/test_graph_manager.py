@@ -126,24 +126,33 @@ class TestChangeBatchEmission:
     def test_update_emits_batch_linking_revisions(self, small_state):
         small_state.submit_job(make_job(job_id=1, num_tasks=2))
         manager = GraphManager(QuincyPolicy())
-        first = manager.update(small_state, now=0.0)
+        # The manager mutates one persistent network in place, so the
+        # previous round's revision must be snapshotted before updating.
+        first_revision = manager.update(small_state, now=0.0).revision
         second = manager.update(small_state, now=10.0)
         batch = manager.last_changes
         assert batch is not None
-        assert batch.base_revision == first.revision
+        assert batch.base_revision == first_revision
         assert batch.target_revision == second.revision
 
-    def test_emitted_batch_replays_previous_network_into_new(self, small_state):
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_emitted_batch_replays_previous_network_into_new(
+        self, small_state, incremental
+    ):
         job = make_job(job_id=1, num_tasks=3)
         small_state.submit_job(job)
-        manager = GraphManager(QuincyPolicy())
-        first = manager.update(small_state, now=0.0)
+        manager = GraphManager(QuincyPolicy(), incremental=incremental)
+        # Snapshot: the persistent network is mutated in place by the
+        # incremental path, so a plain reference would alias the new round.
+        first = manager.update(small_state, now=0.0).copy()
 
         # Apply real churn: place and finish a task, submit another job.
         small_state.place_task(job.tasks[0].task_id, 0, now=0.0)
         small_state.complete_task(job.tasks[0].task_id, now=1.0)
         small_state.submit_job(make_job(job_id=2, num_tasks=2))
         second = manager.update(small_state, now=10.0)
+        expected_mode = "incremental" if incremental else "full"
+        assert manager.last_update_stats.mode == expected_mode
 
         replayed = first.copy()
         manager.last_changes.apply_to(replayed)
@@ -163,3 +172,135 @@ class TestChangeBatchEmission:
         manager.update(small_state, now=0.0)
         manager.update(small_state, now=10.0)
         assert manager.last_changes is None
+
+
+class TestIncrementalUpdatePath:
+    """Contract tests for the dirty-set-driven incremental update."""
+
+    def _churned(self, small_state):
+        job = make_job(job_id=1, num_tasks=4)
+        small_state.submit_job(job)
+        return job
+
+    def test_first_round_is_full_then_incremental(self, small_state):
+        self._churned(small_state)
+        manager = GraphManager(QuincyPolicy())
+        manager.update(small_state, now=0.0)
+        assert manager.last_update_stats.mode == "full"
+        manager.update(small_state, now=1.0)
+        assert manager.last_update_stats.mode == "incremental"
+
+    def test_incremental_can_be_disabled(self, small_state):
+        self._churned(small_state)
+        manager = GraphManager(QuincyPolicy(), incremental=False)
+        manager.update(small_state, now=0.0)
+        manager.update(small_state, now=1.0)
+        assert manager.full_updates == 2 and manager.incremental_updates == 0
+
+    def test_unsupported_policy_uses_full_path(self, small_state):
+        self._churned(small_state)
+        manager = GraphManager(LoadSpreadingPolicy())
+        manager.update(small_state, now=0.0)
+        manager.update(small_state, now=1.0)
+        assert manager.last_update_stats.mode == "full"
+
+    def test_second_consumer_draining_forces_full_rebuild(self, small_state):
+        self._churned(small_state)
+        manager = GraphManager(QuincyPolicy())
+        manager.update(small_state, now=0.0)
+        # Another consumer drains the tracker: the epoch chain breaks and
+        # the manager must not trust its stale dirty view.
+        small_state.dirty.drain()
+        manager.update(small_state, now=1.0)
+        assert manager.last_update_stats.mode == "full"
+        # The chain re-forms afterwards.
+        manager.update(small_state, now=2.0)
+        assert manager.last_update_stats.mode == "incremental"
+
+    def test_emptied_workload_falls_back_and_prunes_everything(self, small_state):
+        job = self._churned(small_state)
+        manager = GraphManager(QuincyPolicy(), verify_changes=True)
+        manager.update(small_state, now=0.0)
+        for index, task in enumerate(job.tasks):
+            small_state.place_task(task.task_id, index % 4, now=0.0)
+            small_state.complete_task(task.task_id, now=1.0)
+        network = manager.update(small_state, now=2.0)
+        assert manager.last_update_stats.mode == "full"
+        assert network.num_nodes == 0
+        # And the workload coming back re-enters the incremental path after
+        # one more full round.
+        small_state.submit_job(make_job(job_id=2, num_tasks=2))
+        manager.update(small_state, now=3.0)
+        assert manager.last_update_stats.mode == "full"
+        manager.update(small_state, now=4.0)
+        assert manager.last_update_stats.mode == "incremental"
+
+    def test_job_removal_of_pending_tasks_falls_back(self, small_state):
+        job = self._churned(small_state)
+        small_state.submit_job(make_job(job_id=2, num_tasks=2))
+        manager = GraphManager(QuincyPolicy(), verify_changes=True)
+        manager.update(small_state, now=0.0)
+        # Remove a job whose (pending) tasks vanish from state.tasks: the
+        # dirty tasks become unresolvable and the round must rebuild.
+        small_state.remove_job(1)
+        manager.update(small_state, now=1.0)
+        assert manager.last_update_stats.mode == "full"
+
+    def test_update_stats_report_touched_counts(self, small_state):
+        job = self._churned(small_state)
+        manager = GraphManager(QuincyPolicy())
+        manager.update(small_state, now=0.0)
+        small_state.place_task(job.tasks[0].task_id, 0, now=0.0)
+        manager.update(small_state, now=0.0)
+        stats = manager.last_update_stats
+        assert stats.mode == "incremental"
+        assert stats.dirty_tasks == 1
+        assert stats.arcs_patched >= 1
+        assert stats.seconds >= 0.0
+
+    def test_verify_mode_catches_an_inconsistent_network(self, small_state):
+        from repro.core import GraphConsistencyError
+
+        self._churned(small_state)
+        manager = GraphManager(QuincyPolicy(), verify_changes=True)
+        network = manager.update(small_state, now=0.0)
+        # Corrupt the persistent network behind the manager's back; the
+        # cross-check must refuse the next incremental round.
+        arc = next(iter(network.arcs()))
+        arc.cost += 1000
+        with pytest.raises(GraphConsistencyError):
+            manager.update(small_state, now=1.0)
+
+    def test_exception_mid_incremental_poisons_the_round_state(self, small_state):
+        """A hook blowing up mid-mutation must not leave a half-patched
+        network behind: the next round rebuilds from scratch."""
+        self._churned(small_state)
+        policy = QuincyPolicy()
+        manager = GraphManager(policy)
+        manager.update(small_state, now=0.0)
+
+        original = policy.arcs_for_task
+        calls = {"n": 0}
+
+        def exploding(state, builder, task, now):
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise RuntimeError("boom")
+            original(state, builder, task, now)
+
+        policy.arcs_for_task = exploding
+        small_state.place_task(
+            small_state.pending_tasks()[0].task_id, 0, now=0.0
+        )
+        for task in small_state.pending_tasks():
+            small_state.dirty.mark_task(task.task_id)
+        with pytest.raises(RuntimeError):
+            manager.update(small_state, now=1.0)
+
+        # The wreckage is discarded: the next update is a from-scratch full
+        # build with no change batch derived from the half-mutated state.
+        policy.arcs_for_task = original
+        network = manager.update(small_state, now=2.0)
+        assert manager.last_update_stats.mode == "full"
+        assert manager.last_changes is None
+        assert network.validate_structure() == []

@@ -1,0 +1,196 @@
+"""Randomized equivalence suite for incremental graph construction.
+
+The graph manager's incremental path must be indistinguishable from the
+full rebuild it replaces, for *any* sequence of cluster mutations.  A
+seeded fuzzer drives multi-round cluster churn -- task submissions,
+placements, migrations, preemptions, completions, machine failures and
+recoveries, monitoring refreshes, job removals -- against a manager in
+cross-check mode (``verify_changes=True``), which asserts after every round
+that
+
+* the persistent, mutated-in-place network is structurally identical to a
+  from-scratch rebuild (nodes, supplies, arcs, capacities, costs), and
+* the directly-emitted :class:`ChangeBatch` replays the previous round's
+  network into the rebuild (batch ≡ diff).
+
+On top of the structural check, each round is wired into the cross-solver
+equivalence harness: the incremental cost-scaling solver consumes the
+directly-emitted batches (delta path) and its optimal cost must match the
+networkx oracle, so solver results agree end to end.
+
+Tier-1 runs 24+ seeds across the Quincy and cpu_memory policies; the CI
+job runs this file in a dedicated fail-fast step.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import GraphManager
+from repro.core.policies import CpuMemoryPolicy, QuincyPolicy
+from repro.solvers import IncrementalCostScalingSolver
+from tests.conftest import make_cluster_state, make_job, reference_min_cost
+
+#: Tier-1 seed set (>= 24 seeds, split across both policies).
+TIER1_SEEDS = range(12)
+ROUNDS = 6
+
+
+def _random_job(rng: random.Random, job_id: int, num_machines: int, now: float):
+    """A job with fuzzed size, locality, priority, and input volume."""
+    num_tasks = rng.randint(1, 5)
+    locality = {}
+    for machine_id in rng.sample(range(num_machines), rng.randint(0, min(4, num_machines))):
+        locality[machine_id] = round(rng.uniform(0.05, 0.7), 2)
+    job = make_job(
+        job_id=job_id,
+        num_tasks=num_tasks,
+        submit_time=now,
+        input_size_gb=round(rng.uniform(0.0, 8.0), 2),
+        input_locality=locality,
+    )
+    for task in job.tasks:
+        task.priority = rng.choice((0, 0, 1, 10))
+        task.cpu_request = rng.choice((0.5, 1.0, 2.0))
+        task.ram_request_gb = rng.choice((1.0, 2.0, 4.0))
+    return job
+
+
+def _mutate_cluster(rng: random.Random, state, now: float, next_job_id: int) -> int:
+    """Apply a random batch of cluster mutations; returns the next job id."""
+    for _ in range(rng.randint(1, 5)):
+        operation = rng.random()
+        if operation < 0.30:
+            state.submit_job(
+                _random_job(rng, next_job_id, state.topology.num_machines, now)
+            )
+            next_job_id += 1
+        elif operation < 0.55:
+            pending = state.pending_tasks()
+            if pending:
+                task = rng.choice(pending)
+                candidates = [
+                    m
+                    for m in state.topology.machines
+                    if state.free_slots(m) > 0
+                ]
+                if candidates:
+                    state.place_task(task.task_id, rng.choice(candidates), now)
+        elif operation < 0.70:
+            running = state.running_tasks()
+            if running:
+                task = rng.choice(running)
+                if rng.random() < 0.5:
+                    state.complete_task(task.task_id, now)
+                else:
+                    state.preempt_task(task.task_id, now)
+        elif operation < 0.80:
+            running = state.running_tasks()
+            if running:
+                task = rng.choice(running)
+                candidates = [
+                    m
+                    for m in state.topology.machines
+                    if state.free_slots(m) > 0 and m != task.machine_id
+                ]
+                if candidates:
+                    state.migrate_task(task.task_id, rng.choice(candidates), now)
+        elif operation < 0.90:
+            machine_ids = list(state.topology.machines)
+            machine = state.topology.machine(rng.choice(machine_ids))
+            available = [
+                m
+                for m in state.topology.machines.values()
+                if m.is_available
+            ]
+            if machine.is_available and len(available) > 1:
+                state.fail_machine(machine.machine_id, now)
+            elif not machine.is_available:
+                state.recover_machine(machine.machine_id, now)
+        elif operation < 0.97:
+            machine_id = rng.choice(list(state.topology.machines))
+            state.monitor.record_network_use(
+                machine_id, rng.randint(0, 2000), now
+            )
+        else:
+            # Remove a fully terminated job, if any exists.
+            for job_id, job in list(state.jobs.items()):
+                if all(
+                    not (t.is_pending or t.is_running) for t in job.tasks
+                ) and job.tasks:
+                    state.remove_job(job_id)
+                    break
+    return next_job_id
+
+
+def run_fuzzed_rounds(seed: int, policy_factory) -> None:
+    """Drive fuzzed churn through a cross-checking incremental manager."""
+    rng = random.Random(seed)
+    state = make_cluster_state(
+        num_machines=rng.choice((4, 6, 8)), machines_per_rack=rng.choice((2, 3, 4))
+    )
+    state.submit_job(_random_job(rng, 1, state.topology.num_machines, 0.0))
+    next_job_id = 2
+
+    manager = GraphManager(policy_factory(), verify_changes=True)
+    solver = IncrementalCostScalingSolver()
+    incremental_rounds = 0
+
+    for round_index in range(ROUNDS):
+        now = round_index * 10.0
+        if round_index:
+            next_job_id = _mutate_cluster(rng, state, now, next_job_id)
+        network = manager.update(state, now)
+        if manager.last_update_stats.mode == "incremental":
+            incremental_rounds += 1
+        assert network.validate_structure() == [], (
+            f"seed {seed} round {round_index}: invalid network"
+        )
+        if not manager.task_nodes:
+            solver.reset()
+            continue
+        # Wire into the solver equivalence harness: the incremental solver
+        # consumes the directly-emitted batch; its cost must match the
+        # oracle.
+        result = solver.solve(network, changes=manager.last_changes)
+        expected = reference_min_cost(network.copy())
+        assert result.total_cost == expected, (
+            f"seed {seed} round {round_index}: incremental solver found "
+            f"{result.total_cost}, oracle says {expected}"
+        )
+
+    # The fuzz must actually exercise the incremental path (the first round
+    # is always a full build; emptiness transitions may add a few more).
+    assert incremental_rounds >= 1, f"seed {seed}: incremental path never taken"
+
+
+@pytest.mark.parametrize("seed", TIER1_SEEDS)
+def test_quincy_incremental_equivalence(seed):
+    run_fuzzed_rounds(seed, QuincyPolicy)
+
+
+@pytest.mark.parametrize("seed", TIER1_SEEDS)
+def test_cpu_memory_incremental_equivalence(seed):
+    run_fuzzed_rounds(seed, CpuMemoryPolicy)
+
+
+def test_aggressive_quincy_threshold_incremental_equivalence():
+    """The Figure-15 aggressive threshold (2%) builds many more preference
+    arcs; the incremental path must keep up with the denser graphs."""
+    run_fuzzed_rounds(
+        101,
+        lambda: QuincyPolicy(machine_preference_threshold=0.02),
+    )
+
+
+def test_incremental_rounds_dominate_on_low_churn():
+    """Steady-state rounds must take the incremental path, not fall back."""
+    state = make_cluster_state(num_machines=8)
+    state.submit_job(make_job(job_id=1, num_tasks=8))
+    manager = GraphManager(QuincyPolicy(), verify_changes=True)
+    for round_index in range(5):
+        manager.update(state, now=round_index * 5.0)
+    assert manager.full_updates == 1  # only the initial build
+    assert manager.incremental_updates == 4

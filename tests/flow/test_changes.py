@@ -235,3 +235,88 @@ class TestChangeBatchDiff:
         new = old.copy()
         new.arc(task.node_id, machine.node_id).flow = 1
         assert len(ChangeBatch.diff(old, new)) == 0
+
+
+class TestChangeBatchBuilder:
+    """The builder applies mutations and emits the equivalent batch directly."""
+
+    def _replay_matches(self, before, builder_network, batch):
+        replayed = before.copy()
+        batch.apply_to(replayed)
+        assert replayed.structurally_equal(builder_network) == []
+
+    def test_mutations_round_trip_through_the_emitted_batch(self):
+        from repro.flow.changes import ChangeBatchBuilder
+
+        net, task, machine, sink = simple_network()
+        before = net.copy()
+        builder = ChangeBatchBuilder(net, base_revision=1)
+
+        other = builder.add_node(NodeType.TASK, supply=1, name="T2")
+        builder.add_arc(other.node_id, machine.node_id, 1, 7)
+        builder.set_supply(sink.node_id, -2)
+        builder.set_arc_cost(task.node_id, machine.node_id, 9)
+        builder.set_arc_capacity(machine.node_id, sink.node_id, 2)
+
+        batch = builder.finish(target_revision=2)
+        assert batch.base_revision == 1 and batch.target_revision == 2
+        self._replay_matches(before, net, batch)
+
+    def test_node_removal_records_incident_arc_removals_first(self):
+        from repro.flow.changes import ChangeBatchBuilder
+
+        net, task, machine, sink = simple_network()
+        before = net.copy()
+        builder = ChangeBatchBuilder(net, base_revision=1)
+        builder.set_supply(sink.node_id, 0)
+        builder.remove_node(task.node_id)
+        batch = builder.finish(target_revision=2)
+
+        kinds = [type(c).__name__ for c in batch]
+        assert kinds.index("ArcRemoval") < kinds.index("NodeRemoval")
+        self._replay_matches(before, net, batch)
+
+    def test_same_round_add_and_remove_cancels(self):
+        from repro.flow.changes import ChangeBatchBuilder
+
+        net, task, machine, sink = simple_network()
+        before = net.copy()
+        builder = ChangeBatchBuilder(net, base_revision=1)
+        ephemeral = builder.add_node(NodeType.OTHER, name="tmp")
+        builder.add_arc(machine.node_id, ephemeral.node_id, 1, 0)
+        builder.remove_arc(machine.node_id, ephemeral.node_id)
+        builder.remove_node(ephemeral.node_id)
+        batch = builder.finish(target_revision=2)
+        assert len(batch) == 0
+        self._replay_matches(before, net, batch)
+
+    def test_patch_back_to_original_value_is_dropped(self):
+        from repro.flow.changes import ChangeBatchBuilder
+
+        net, task, machine, _ = simple_network()
+        builder = ChangeBatchBuilder(net, base_revision=1)
+        builder.set_arc_cost(task.node_id, machine.node_id, 11)
+        builder.set_arc_cost(task.node_id, machine.node_id, 3)  # original
+        batch = builder.finish(target_revision=2)
+        assert len(batch) == 0
+
+    def test_supply_patch_folds_into_same_round_node_addition(self):
+        from repro.flow.changes import ChangeBatchBuilder
+
+        net, _, _, _ = simple_network()
+        builder = ChangeBatchBuilder(net, base_revision=1)
+        node = builder.add_node(NodeType.TASK, supply=1, name="T9")
+        builder.set_supply(node.node_id, 3)
+        batch = builder.finish(target_revision=2)
+        additions = [c for c in batch if isinstance(c, NodeAddition)]
+        assert len(additions) == 1 and additions[0].supply == 3
+        assert not [c for c in batch if isinstance(c, SupplyChange)]
+
+    def test_prune_candidates_track_removed_arc_endpoints(self):
+        from repro.flow.changes import ChangeBatchBuilder
+
+        net, task, machine, sink = simple_network()
+        builder = ChangeBatchBuilder(net, base_revision=1)
+        builder.remove_arc(machine.node_id, sink.node_id)
+        assert machine.node_id in builder.prune_candidates
+        assert sink.node_id in builder.prune_candidates
