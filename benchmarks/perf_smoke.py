@@ -5,10 +5,14 @@ committed baseline in ``perf_baseline.json``:
 
 * the Figure-11 kernel -- one realistic scheduling round solved from
   scratch and via the change-batch delta path -- guarding the incremental
-  *solver*, and
+  *solver*,
 * the graph-update kernel -- one low-churn round applied through the
   dirty-set-driven incremental graph manager and through the old
-  rebuild+diff path -- guarding incremental *graph construction*.
+  rebuild+diff path -- guarding incremental *graph construction*, and
+* the price-refine kernel -- the potential-derivation step of one
+  post-seed warm-rebuild round, run with the SPFA sweep and with the
+  seeded Dijkstra (incremental) refine -- guarding the *price refine*
+  variant selection (the hottest step of warm rebuilds).
 
 The gates are host-normalized: the from-scratch solve (resp. the full
 rebuild) acts as the calibration workload, so requiring each measured
@@ -36,7 +40,11 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 from benchmarks.common import add_pending_batch_job, build_cluster_state  # noqa: E402
 from repro.core import GraphManager, QuincyPolicy  # noqa: E402
-from repro.solvers import CostScalingSolver, IncrementalCostScalingSolver  # noqa: E402
+from repro.solvers import (  # noqa: E402
+    CostScalingSolver,
+    IncrementalCostScalingSolver,
+    RelaxationSolver,
+)
 
 BASELINE_PATH = Path(__file__).resolve().parent / "perf_baseline.json"
 MACHINES = 64
@@ -113,10 +121,49 @@ def measure_graph_round() -> tuple:
     return rebuild_time, incremental_time
 
 
+def measure_price_refine_round() -> tuple:
+    """Price-refine kernel: (spfa_seconds, dijkstra_seconds).
+
+    One post-seed warm-rebuild round (relaxation won the previous round,
+    waiting costs drifted since): the only step that differs between the
+    two runs is how complementary-slackness potentials are derived -- the
+    full SPFA sweep vs the Dijkstra refine seeded from the handed-off
+    potentials.  Each measurement sums a few repetitions of the refine
+    attribution so the kernel is not dominated by timer noise.
+    """
+    # A deep pending backlog (the oversubscribed regime where warm rebuilds
+    # dominate and SPFA's sweep needs several correction passes).
+    state = build_cluster_state(MACHINES, utilization=0.6, seed=71)
+    add_pending_batch_job(state, 2 * MACHINES, seed=72)
+    manager = GraphManager(QuincyPolicy())
+    network = manager.update(state, now=10.0)
+    relax = RelaxationSolver().solve(network.copy())
+    changed = manager.update(state, now=30.0)
+
+    def refine_seconds(mode: str) -> float:
+        solver = CostScalingSolver(price_refine=mode)
+        result = solver.solve_warm(
+            changed.copy(),
+            relax.flows,
+            warm_potentials=relax.potentials,
+            apply_price_refine=True,
+        )
+        if result.statistics.price_refine_seconds <= 0.0:
+            raise AssertionError(
+                f"perf smoke: price refine did not run under mode {mode!r}"
+            )
+        return result.statistics.price_refine_seconds
+
+    spfa = sum(refine_seconds("spfa") for _ in range(3))
+    dijkstra = sum(refine_seconds("auto") for _ in range(3))
+    return spfa, dijkstra
+
+
 def main() -> int:
     update = "--update" in sys.argv[1:]
     scratch_runs, incremental_runs = [], []
     rebuild_runs, graph_runs = [], []
+    refine_spfa_runs, refine_dijkstra_runs = [], []
     for _ in range(RUNS):
         scratch, incremental = measure_round()
         scratch_runs.append(scratch)
@@ -124,18 +171,30 @@ def main() -> int:
         rebuild, graph = measure_graph_round()
         rebuild_runs.append(rebuild)
         graph_runs.append(graph)
+        refine_spfa, refine_dijkstra = measure_price_refine_round()
+        refine_spfa_runs.append(refine_spfa)
+        refine_dijkstra_runs.append(refine_dijkstra)
     measured = {
         "machines": MACHINES,
         "scratch_s": round(statistics.median(scratch_runs), 6),
         "incremental_s": round(statistics.median(incremental_runs), 6),
         "graph_rebuild_s": round(statistics.median(rebuild_runs), 6),
         "graph_incremental_s": round(statistics.median(graph_runs), 6),
+        "price_refine_spfa_s": round(statistics.median(refine_spfa_runs), 6),
+        "price_refine_dijkstra_s": round(
+            statistics.median(refine_dijkstra_runs), 6
+        ),
     }
     measured["speedup"] = round(
         measured["scratch_s"] / max(measured["incremental_s"], 1e-9), 3
     )
     measured["graph_speedup"] = round(
         measured["graph_rebuild_s"] / max(measured["graph_incremental_s"], 1e-9), 3
+    )
+    measured["price_refine_speedup"] = round(
+        measured["price_refine_spfa_s"]
+        / max(measured["price_refine_dijkstra_s"], 1e-9),
+        3,
     )
     print(f"measured: {json.dumps(measured)}")
 
@@ -170,6 +229,18 @@ def main() -> int:
             "FAIL: incremental graph update regressed >2x host-normalized: "
             f"speedup {measured['graph_speedup']:.2f}x vs baseline "
             f"{baseline_graph_speedup:.2f}x"
+        )
+        failed = True
+    baseline_refine_speedup = baseline.get("price_refine_speedup")
+    if (
+        baseline_refine_speedup
+        and measured["price_refine_speedup"]
+        < MAX_SPEEDUP_LOSS * baseline_refine_speedup
+    ):
+        print(
+            "FAIL: seeded price refine regressed >2x host-normalized: "
+            f"speedup {measured['price_refine_speedup']:.2f}x vs baseline "
+            f"{baseline_refine_speedup:.2f}x"
         )
         failed = True
     if failed:

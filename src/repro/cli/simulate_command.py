@@ -27,7 +27,7 @@ from repro.core.policies import (
 from repro.simulation.failures import FailureInjector
 from repro.simulation.simulator import ClusterSimulator, SimulationConfig
 from repro.simulation.trace import GoogleTraceGenerator, TraceConfig
-from repro.solvers import EXECUTORS
+from repro.solvers import EXECUTORS, PRICE_REFINE_MODES
 
 #: Scheduler names accepted by ``--scheduler``.
 SCHEDULERS = ("firmament", "quincy", "sparrow", "swarmkit", "kubernetes", "mesos")
@@ -92,6 +92,19 @@ def register(subparsers) -> None:
         ),
     )
     parser.add_argument(
+        "--price-refine",
+        choices=PRICE_REFINE_MODES,
+        default="auto",
+        help=(
+            "price-refine variant for firmament's incremental cost scaling: "
+            "'spfa' is the deque-based label-correcting sweep, 'dijkstra' "
+            "the heap-based incremental repair seeded from the previous "
+            "round's potentials, 'auto' uses the seeded repair when the "
+            "violation count is small relative to the graph and the sweep "
+            "otherwise (default: auto)"
+        ),
+    )
+    parser.add_argument(
         "--constant-service-load",
         action="store_true",
         help=(
@@ -125,7 +138,10 @@ def run(args: argparse.Namespace) -> int:
 
     topology = build_topology(args.machines, slots_per_machine=args.slots_per_machine)
     state = ClusterState(topology)
-    scheduler = _make_scheduler(args.scheduler, args.policy, args.executor)
+    scheduler = _make_scheduler(
+        args.scheduler, args.policy, args.executor,
+        price_refine=getattr(args, "price_refine", "auto"),
+    )
 
     trace_config = TraceConfig(
         num_machines=args.machines,
@@ -200,9 +216,16 @@ def _make_policy(name: str):
     raise ValueError(f"unknown policy {name!r}")
 
 
-def _make_scheduler(scheduler_name: str, policy_name: str, executor: str = "sequential"):
+def _make_scheduler(
+    scheduler_name: str,
+    policy_name: str,
+    executor: str = "sequential",
+    price_refine: str = "auto",
+):
     if scheduler_name == "firmament":
-        return FirmamentScheduler(_make_policy(policy_name), executor=executor)
+        return FirmamentScheduler(
+            _make_policy(policy_name), executor=executor, price_refine=price_refine
+        )
     if scheduler_name == "quincy":
         return make_quincy_scheduler()
     if scheduler_name == "sparrow":

@@ -8,7 +8,17 @@ from typing import TextIO
 
 from repro.flow.dimacs import read_dimacs, write_dimacs
 from repro.flow.validation import check_feasibility
-from repro.solvers import make_solver
+from repro.solvers import PRICE_REFINE_MODES, make_solver
+
+#: Algorithms whose constructor accepts a ``price_refine`` variant.
+PRICE_REFINE_ALGORITHMS = frozenset(
+    {
+        "cost_scaling",
+        "incremental_cost_scaling",
+        "firmament_dual",
+        "firmament_dual_parallel",
+    }
+)
 
 #: Algorithm names accepted by ``--algorithm``.  The two ``firmament_dual``
 #: entries are the speculative executors: sequential (modeled race) and
@@ -47,6 +57,17 @@ def register(subparsers) -> None:
         help="MCMF algorithm to use (default: relaxation)",
     )
     parser.add_argument(
+        "--price-refine",
+        choices=PRICE_REFINE_MODES,
+        default="auto",
+        help=(
+            "price-refine variant for the cost-scaling based algorithms: "
+            "'spfa' (deque-based sweep), 'dijkstra' (heap-based incremental "
+            "repair), or 'auto' (default; per-call choice); ignored by "
+            "algorithms that never run price refine"
+        ),
+    )
+    parser.add_argument(
         "--print-flows",
         action="store_true",
         help="print every arc that carries flow in the optimal solution",
@@ -63,7 +84,10 @@ def run(args: argparse.Namespace) -> int:
     """Execute the ``solve`` subcommand."""
     text = _read_input(args.input)
     network = read_dimacs(text)
-    solver = make_solver(args.algorithm)
+    solver_kwargs = {}
+    if args.algorithm in PRICE_REFINE_ALGORITHMS:
+        solver_kwargs["price_refine"] = getattr(args, "price_refine", "auto")
+    solver = make_solver(args.algorithm, **solver_kwargs)
     try:
         result = solver.solve(network)
     finally:

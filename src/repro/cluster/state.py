@@ -33,6 +33,13 @@ class ClusterState:
         self.topology = topology
         self.jobs: Dict[int, Job] = {}
         self.tasks: Dict[int, Task] = {}
+        #: Live (non-terminated) tasks only.  ``tasks`` keeps the full
+        #: history -- metrics and post-hoc analysis need completed tasks --
+        #: but every per-round scan (pending / running / schedulable)
+        #: iterates this index instead, so scan cost is bounded by the
+        #: number of live tasks rather than growing with completed-task
+        #: history over a long-running cluster's lifetime.
+        self._live_tasks: Dict[int, Task] = {}
         #: Typed dirty sets accumulated between scheduling rounds; every
         #: mutator below marks the entities it touches so the graph manager
         #: can update the flow network incrementally.
@@ -57,6 +64,8 @@ class ClusterState:
             if task.task_id in self.tasks:
                 raise ValueError(f"task {task.task_id} already submitted")
             self.tasks[task.task_id] = task
+            if not task.is_finished:
+                self._live_tasks[task.task_id] = task
             self.dirty.mark_task(task.task_id)
         self.dirty.mark_job(job.job_id)
 
@@ -69,6 +78,8 @@ class ClusterState:
             raise ValueError(f"task {task.task_id} already submitted")
         job.add_task(task)
         self.tasks[task.task_id] = task
+        if not task.is_finished:
+            self._live_tasks[task.task_id] = task
         self.dirty.mark_task(task.task_id)
         self.dirty.mark_job(task.job_id)
 
@@ -79,6 +90,7 @@ class ClusterState:
             if task.is_running:
                 raise ValueError(f"cannot remove job {job_id}: task {task.task_id} running")
             self.tasks.pop(task.task_id, None)
+            self._live_tasks.pop(task.task_id, None)
         self.dirty.mark_job(job_id)
 
     # ------------------------------------------------------------------ #
@@ -140,6 +152,10 @@ class ClusterState:
         self.dirty.mark_machine_load(task.machine_id)
         task.state = TaskState.COMPLETED
         task.finish_time = now
+        # The task is terminal: retire it from the live index so future
+        # per-round scans never revisit it (it stays in ``tasks`` for
+        # metrics and post-hoc locality analysis).
+        self._live_tasks.pop(task_id, None)
 
     def fail_machine(self, machine_id: int, now: float) -> List[int]:
         """Fail a machine; its tasks become pending again.
@@ -176,21 +192,39 @@ class ClusterState:
     # ------------------------------------------------------------------ #
     def pending_tasks(self) -> List[Task]:
         """Return tasks waiting to be placed, oldest submission first."""
-        pending = [t for t in self.tasks.values() if t.is_pending]
+        pending = [t for t in self._live_tasks.values() if t.is_pending]
         pending.sort(key=lambda t: (t.submit_time, t.task_id))
         return pending
 
     def running_tasks(self) -> List[Task]:
         """Return currently running tasks."""
-        return [t for t in self.tasks.values() if t.is_running]
+        return [t for t in self._live_tasks.values() if t.is_running]
 
     def schedulable_tasks(self) -> List[Task]:
         """Return tasks eligible for (re)scheduling: pending plus running.
 
         Flow-based scheduling continuously reconsiders the entire workload,
-        so running tasks also appear in the flow network.
+        so running tasks also appear in the flow network.  The scan covers
+        the live-task index only, so its cost is bounded by the number of
+        live tasks regardless of how much completed history ``tasks``
+        retains.
         """
-        return [t for t in self.tasks.values() if t.is_pending or t.is_running]
+        return [
+            t for t in self._live_tasks.values() if t.is_pending or t.is_running
+        ]
+
+    @property
+    def num_live_tasks(self) -> int:
+        """Number of non-terminated tasks (the per-round scan bound)."""
+        return len(self._live_tasks)
+
+    def live_tasks(self) -> List[Task]:
+        """Return every non-terminated task (pending, running, preempted)."""
+        return list(self._live_tasks.values())
+
+    def terminated_task_count(self) -> int:
+        """Number of tasks retained only as history (completed / failed)."""
+        return len(self.tasks) - len(self._live_tasks)
 
     def tasks_on_machine(self, machine_id: int) -> List[Task]:
         """Return the tasks currently running on a machine."""

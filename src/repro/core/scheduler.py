@@ -95,6 +95,7 @@ class FirmamentScheduler:
         solver: Optional[Solver] = None,
         allow_migrations: bool = True,
         executor: Optional[str] = None,
+        price_refine: Optional[str] = None,
     ) -> None:
         """Create a scheduler.
 
@@ -112,11 +113,21 @@ class FirmamentScheduler:
                 and models the race) or ``"parallel"`` (races a relaxation
                 worker subprocess against parent-side incremental cost
                 scaling for real).  Mutually exclusive with ``solver``.
+            price_refine: Price-refine variant for the default executor's
+                incremental cost scaling (``"spfa"``, ``"dijkstra"``, or
+                ``"auto"``); only valid when ``solver`` is omitted.
         """
         if solver is not None and executor is not None:
             raise ValueError("pass either solver= or executor=, not both")
+        if solver is not None and price_refine is not None:
+            raise ValueError("price_refine= only applies to the default executor")
         self.policy = policy
-        self.solver = solver if solver is not None else make_executor(executor or "sequential")
+        if solver is not None:
+            self.solver = solver
+        else:
+            self.solver = make_executor(
+                executor or "sequential", price_refine=price_refine or "auto"
+            )
         # Only pay for per-round network diffing when the solver can
         # actually consume the change batches.
         self.graph_manager = GraphManager(

@@ -102,6 +102,64 @@ def check_epsilon_optimality(
     return problems
 
 
+def check_residual_epsilon_optimality(residual, epsilon: float) -> List[str]:
+    """Check epsilon-optimality directly on a solver residual network.
+
+    The solvers operate on the array-based
+    :class:`~repro.solvers.residual.ResidualNetwork` rather than on a
+    :class:`FlowNetwork`, and their invariant lives in the residual's own
+    (possibly scaled) cost units: a state is epsilon-optimal when no
+    residual arc with remaining capacity has reduced cost below
+    ``-epsilon`` under the stored potentials.  This checker reads the
+    residual's public parallel arrays (duck-typed, so no import cycle with
+    the solvers package) and returns every violating arc; the invariant
+    harness asserts it after every refine / price-refine / repair step.
+
+    Args:
+        residual: A :class:`~repro.solvers.residual.ResidualNetwork` (or
+            anything exposing ``arc_residual`` / ``arc_cost`` / ``arc_from``
+            / ``arc_to`` / ``potential`` / ``node_ids``).
+        epsilon: The bound, in the residual's *stored* cost units (scaled
+            units for a persistent cost-scaling residual).
+    """
+    problems: List[str] = []
+    arc_residual = residual.arc_residual
+    arc_cost = residual.arc_cost
+    arc_from = residual.arc_from
+    arc_to = residual.arc_to
+    potential = residual.potential
+    node_ids = residual.node_ids
+    for arc_index in range(len(arc_residual)):
+        if arc_residual[arc_index] <= 0:
+            continue
+        u = arc_from[arc_index]
+        v = arc_to[arc_index]
+        rc = arc_cost[arc_index] - potential[u] + potential[v]
+        if rc < -epsilon:
+            problems.append(
+                f"residual arc {node_ids[u]}->{node_ids[v]} (index {arc_index}) "
+                f"has reduced cost {rc} < -epsilon ({-epsilon})"
+            )
+    return problems
+
+
+def assert_epsilon_optimal(residual, epsilon: float) -> None:
+    """Raise ``AssertionError`` unless a residual network is epsilon-optimal.
+
+    The convenience form of :func:`check_residual_epsilon_optimality` used
+    by the fuzzed invariant suite: ``assert_epsilon_optimal(residual, 0)``
+    pins the 0-optimality contract a persistent residual must satisfy
+    before it may be handed back to delta solving.
+    """
+    problems = check_residual_epsilon_optimality(residual, epsilon)
+    if problems:
+        raise AssertionError(
+            f"residual network is not {epsilon}-optimal: "
+            + "; ".join(problems[:10])
+            + (f" (+{len(problems) - 10} more)" if len(problems) > 10 else "")
+        )
+
+
 def check_complementary_slackness(
     network: FlowNetwork, potentials: Mapping[int, int]
 ) -> List[str]:

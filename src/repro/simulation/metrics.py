@@ -29,6 +29,13 @@ class MetricsSummary:
     #: Per-run graph-maintenance wall times (flow-based schedulers only),
     #: so runs can attribute time to graph updates vs the solver.
     graph_update_times: List[float] = field(default_factory=list)
+    #: Per-run price-refine wall times (zero for baselines).  Round-level
+    #: attribution: the refine runs inside the cost-scaling leg whether or
+    #: not that leg wins the race, so the dual executors fold the leg's
+    #: refine cost into the round's statistics even when relaxation wins.
+    #: The dominant cost of warm-rebuild rounds, attributed separately so
+    #: fig14-style runs can show where the solver's time goes.
+    price_refine_times: List[float] = field(default_factory=list)
     tasks_completed: int = 0
     tasks_placed: int = 0
     tasks_unplaced: int = 0
@@ -58,12 +65,19 @@ class MetricsSummary:
             return 0.0
         return sum(self.graph_update_times) / len(self.graph_update_times)
 
+    def mean_price_refine_time(self) -> float:
+        """Return the mean per-run price-refine time of the winning solver."""
+        if not self.price_refine_times:
+            return 0.0
+        return sum(self.price_refine_times) / len(self.price_refine_times)
+
 
 def collect_metrics(
     state: ClusterState,
     algorithm_runtimes: Optional[Sequence[float]] = None,
     batch_only: bool = True,
     graph_update_times: Optional[Sequence[float]] = None,
+    price_refine_times: Optional[Sequence[float]] = None,
 ) -> MetricsSummary:
     """Build a :class:`MetricsSummary` from the final cluster state.
 
@@ -73,12 +87,16 @@ def collect_metrics(
         batch_only: Restrict response-time metrics to batch tasks (service
             tasks never complete, so their response time is undefined).
         graph_update_times: Per-run graph-maintenance wall times.
+        price_refine_times: Per-run price-refine wall times of the winning
+            solver.
     """
     summary = MetricsSummary()
     if algorithm_runtimes:
         summary.algorithm_runtimes = list(algorithm_runtimes)
     if graph_update_times:
         summary.graph_update_times = list(graph_update_times)
+    if price_refine_times:
+        summary.price_refine_times = list(price_refine_times)
 
     for task in state.tasks.values():
         job = state.jobs.get(task.job_id)

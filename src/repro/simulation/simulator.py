@@ -68,6 +68,14 @@ class ScheduleRecord:
     #: Graph-maintenance wall time of the round, attributed separately from
     #: the solver runtime (flow-based schedulers only; zero for baselines).
     graph_update_seconds: float = 0.0
+    #: Wall time the round spent in price refine and the label pops its
+    #: sweeps performed (zero for baseline schedulers).  Round-level
+    #: attribution: the dual executors fold the cost-scaling leg's refine
+    #: cost into the round even when relaxation wins, since the refine ran
+    #: either way; attributes warm-rebuild rounds' dominant cost and
+    #: exposes label-correcting degenerations in timelines.
+    price_refine_seconds: float = 0.0
+    price_refine_passes: int = 0
 
 
 @dataclass
@@ -202,6 +210,9 @@ class ClusterSimulator:
             graph_update_times=[
                 r.graph_update_seconds for r in self.schedule_records
             ],
+            price_refine_times=[
+                r.price_refine_seconds for r in self.schedule_records
+            ],
         )
         return SimulationResult(
             state=self.state,
@@ -292,8 +303,13 @@ class ClusterSimulator:
         decision = self.scheduler.schedule(self.state, self.now)
         runtime = decision.algorithm_runtime * self.config.runtime_scale
         winning = ""
+        refine_seconds = 0.0
+        refine_passes = 0
         if decision.solver_result is not None:
             winning = decision.solver_result.algorithm
+            statistics = decision.solver_result.statistics
+            refine_seconds = statistics.price_refine_seconds
+            refine_passes = statistics.price_refine_passes
         self.schedule_records.append(
             ScheduleRecord(
                 start_time=self.now,
@@ -302,6 +318,8 @@ class ClusterSimulator:
                 num_pending_before=pending_before,
                 winning_algorithm=winning,
                 graph_update_seconds=getattr(decision, "graph_update_seconds", 0.0),
+                price_refine_seconds=refine_seconds,
+                price_refine_passes=refine_passes,
             )
         )
         self._last_schedule_start = self.now

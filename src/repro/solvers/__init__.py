@@ -35,7 +35,12 @@ from repro.solvers.base import (
 )
 from repro.solvers.cycle_canceling import CycleCancelingSolver
 from repro.solvers.successive_shortest_path import SuccessiveShortestPathSolver
-from repro.solvers.cost_scaling import CostScalingSolver
+from repro.solvers.cost_scaling import (
+    PRICE_REFINE_MODES,
+    CostScalingSolver,
+    price_refine_dijkstra,
+    price_refine_spfa,
+)
 from repro.solvers.relaxation import RelaxationSolver
 from repro.solvers.incremental import IncrementalCostScalingSolver
 from repro.solvers.incremental_relaxation import IncrementalRelaxationSolver
@@ -49,6 +54,9 @@ from repro.solvers.parallel_executor import ParallelDualExecutor
 __all__ = [
     "COMPLEXITY_TABLE",
     "PRECONDITION_TABLE",
+    "PRICE_REFINE_MODES",
+    "price_refine_dijkstra",
+    "price_refine_spfa",
     "SolveAborted",
     "Solver",
     "SolverResult",

@@ -41,6 +41,15 @@ class SolverStatistics:
     #: batch (zero on rebuild rounds).
     arcs_patched: int = 0
     nodes_touched: int = 0
+    #: Wall-clock seconds spent inside price refine during this run, and the
+    #: number of label-queue pops its sweeps performed (SPFA dequeues plus
+    #: Dijkstra heap settles).  Price refine dominates warm-rebuild rounds,
+    #: so both are surfaced through ``ScheduleRecord`` and ``MetricsSummary``
+    #: to attribute per-round time; the pop count doubles as the
+    #: degeneration detector (a label-correcting pathology shows up as a
+    #: pop count orders of magnitude above the node count).
+    price_refine_seconds: float = 0.0
+    price_refine_passes: int = 0
     #: Wall-clock seconds the graph manager spent producing this round's
     #: network (filled in by the scheduler, not the solver), so fig14-style
     #: runs can attribute per-round time to graph maintenance vs solving.
@@ -62,6 +71,10 @@ class SolverStatistics:
             warm_start=self.warm_start or other.warm_start,
             arcs_patched=self.arcs_patched + other.arcs_patched,
             nodes_touched=self.nodes_touched + other.nodes_touched,
+            price_refine_seconds=self.price_refine_seconds
+            + other.price_refine_seconds,
+            price_refine_passes=self.price_refine_passes
+            + other.price_refine_passes,
             graph_update_seconds=self.graph_update_seconds
             + other.graph_update_seconds,
         )

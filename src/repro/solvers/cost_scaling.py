@@ -34,10 +34,19 @@ every avoidable indirection:
 * Reduced costs are computed **inline** from local aliases of the arc
   arrays (``arc_cost[a] - pot_u + potential[arc_to[a]]``); no method call
   or attribute lookup happens per scanned arc.
-* :func:`price_refine` runs a **deque-based label-correcting sweep** (SPFA)
-  over the residual adjacency instead of a dense ``n``-pass Bellman-Ford
-  over all arcs; on scheduling graphs it converges after a handful of
-  sweeps touching only the arcs whose labels still improve.
+* Price refine comes in two variants selected by the solver's
+  ``price_refine`` mode (``"spfa"``, ``"dijkstra"``, or ``"auto"``):
+  :func:`price_refine_spfa` runs a deque-based label-correcting sweep
+  (SLF-ordered SPFA) over the residual adjacency instead of a dense
+  ``n``-pass Bellman-Ford, while :func:`price_refine_dijkstra` runs a
+  best-first (binary-heap) correction pass *seeded from the current
+  potentials*: only arcs whose reduced cost is negative enter the heap, and
+  labels propagate with set-once semantics wherever reduced costs are
+  non-negative -- which is everywhere except the violated arcs themselves.
+  Seeding makes the Dijkstra variant **incremental**: a warm rebuild that
+  carries the previous round's potentials repairs labels only around the
+  arcs the round's changes violated instead of relabeling the whole
+  network from scratch.
 * ``max_cost`` / epsilon bounds read the residual network's **cached**
   maximum cost rather than rescanning every arc each phase.
 
@@ -69,7 +78,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from heapq import heappop, heappush
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.flow.changes import ChangeBatch
 from repro.flow.graph import FlowNetwork
@@ -99,8 +108,36 @@ ABORT_CHECK_INTERVAL = 2048
 #: latency at ~1 % polling overhead.
 PRICE_REFINE_CHECK_INTERVAL = 256
 
+#: Price-refine variants accepted by the solvers and the CLI.  ``"auto"``
+#: picks per call: the Dijkstra variant when a bounded violation set seeds
+#: the refine (incremental mode), the deque sweep for full recomputations.
+PRICE_REFINE_MODES = ("spfa", "dijkstra", "auto")
 
-def price_refine(residual: ResidualNetwork, abort_check=None) -> bool:
+#: Heap-settle budget of *seeded* Dijkstra refines, as a multiple of the
+#: seed (violated-arc) count with a floor for tiny seed sets.  Successful
+#: incremental repairs settle roughly one label per violated arc, while a
+#: residual that harbours a negative cycle grinds labels down until the
+#: walk-length bound fires.  Both seeded call sites fall back to the
+#: optimality repair on False, which is correct for any violation, so
+#: giving up early only trades refine time for repair time instead of
+#: burning it on cycle detection.
+SEEDED_REFINE_POP_BUDGET_FACTOR = 4
+SEEDED_REFINE_POP_BUDGET_FLOOR = 256
+
+#: Under ``"auto"``, a seeded refine only uses the Dijkstra variant while
+#: the violated arcs number at most ``max(floor, nodes / divisor)``.  Few
+#: violations mean a local repair (a handful of set-once settles); a
+#: violation count approaching the node count means the seed potentials
+#: are globally stale, repair propagation goes wide, heap reinsertion
+#: churn replaces the set-once behaviour, and the canonical SPFA sweep
+#: recomputes from scratch faster.  (An unseeded full refine always takes
+#: the sweep: without usable potentials most arc weights are negative,
+#: which strips the heap of its set-once guarantee on every label.)
+AUTO_SEED_MAX_VIOLATION_FLOOR = 32
+AUTO_SEED_NODE_DIVISOR = 8
+
+
+def price_refine_spfa(residual: ResidualNetwork, abort_check=None, stats=None) -> bool:
     """Recompute node potentials that prove optimality of the current flow.
 
     Runs a deque-based label-correcting sweep (SPFA) over the residual
@@ -124,6 +161,8 @@ def price_refine(residual: ResidualNetwork, abort_check=None) -> bool:
             refine dominates the warm-start path's runtime, so a
             parallel-executor race that cannot cancel it would notice the
             other algorithm's finish tens of milliseconds late.
+        stats: Optional :class:`~repro.solvers.base.SolverStatistics`;
+            dequeued labels are accumulated into ``price_refine_passes``.
 
     Returns:
         True when new potentials were installed (flow was optimal), False
@@ -148,6 +187,7 @@ def price_refine(residual: ResidualNetwork, abort_check=None) -> bool:
     # bound needs.
     hops = [0] * n
 
+    pops = 0
     ops_until_check = PRICE_REFINE_CHECK_INTERVAL
     while queue:
         if abort_check is not None:
@@ -157,6 +197,7 @@ def price_refine(residual: ResidualNetwork, abort_check=None) -> bool:
                 if abort_check():
                     raise SolveAborted("price refine cancelled by abort check")
         u = queue.popleft()
+        pops += 1
         in_queue[u] = 0
         du = dist[u]
         hu = hops[u]
@@ -169,6 +210,8 @@ def price_refine(residual: ResidualNetwork, abort_check=None) -> bool:
                 dist[v] = nd
                 hops[v] = hu + 1
                 if hops[v] > n:
+                    if stats is not None:
+                        stats.price_refine_passes += pops
                     return False
                 if not in_queue[v]:
                     # Smallest-label-first: process promising labels before
@@ -184,6 +227,144 @@ def price_refine(residual: ResidualNetwork, abort_check=None) -> bool:
     potential = residual.potential
     for i in range(n):
         potential[i] = -dist[i]
+    if stats is not None:
+        stats.price_refine_passes += pops
+    return True
+
+
+#: Backwards-compatible name: the SPFA sweep was the only price refine
+#: before the Dijkstra variant landed, exported as plain ``price_refine``.
+price_refine = price_refine_spfa
+
+
+def price_refine_dijkstra(
+    residual: ResidualNetwork,
+    abort_check=None,
+    seed_arcs: Optional[Iterable[int]] = None,
+    stats=None,
+    max_pops: Optional[int] = None,
+) -> bool:
+    """Repair the *current* potentials into optimality-proving ones.
+
+    Where :func:`price_refine_spfa` discards the stored potentials and
+    recomputes canonical ones from scratch, this variant treats them as a
+    starting point: it seeks per-node corrections ``h <= 0`` such that
+    ``potential + h`` leaves no residual arc with negative reduced cost.
+    The corrections satisfy the difference constraints ``h(u) <= h(v) +
+    reduced_cost(u, v)`` over residual arcs, solved as a shortest-path
+    fixpoint with a binary heap: only the *violated* arcs (negative reduced
+    cost under the current potentials) seed the heap, and every label
+    settles permanently on the first pop wherever reduced costs are
+    non-negative -- which, for an epsilon-optimal residual, is everywhere
+    except the violated arcs themselves.  A residual that is already
+    0-optimal therefore costs one scan and zero heap operations, and a
+    residual violated only around a change batch's patched arcs repairs
+    labels only in the region those arcs can reach -- the incremental
+    refine mode.
+
+    Args:
+        residual: The residual network whose potentials to repair.
+        abort_check: Cooperative cancellation hook, polled every
+            :data:`PRICE_REFINE_CHECK_INTERVAL` operations.
+        seed_arcs: Optional iterable of residual arc indices to restrict
+            the violation scan to.  Callers that know which arcs changed
+            (delta patches, a just-computed violation scan) pass them so
+            the refine never touches the rest of the graph; ``None`` scans
+            every residual arc.  Correctness requires every violated arc to
+            be covered by the seeds.
+        stats: Optional :class:`~repro.solvers.base.SolverStatistics`;
+            heap settles are accumulated into ``price_refine_passes``.
+        max_pops: Optional give-up budget on heap settles.  A successful
+            incremental repair settles roughly one label per violated arc;
+            a run far beyond that is almost certainly grinding toward the
+            walk-length bound around a negative cycle, and a caller whose
+            False-path (optimality repair) is correct for *any* violation
+            can bail out much earlier than cycle detection proper.  Do not
+            set it where False is treated as proof of non-optimality.
+
+    Returns:
+        True when corrected potentials were installed (flow optimal),
+        False when a negative residual cycle exists -- labels on such a
+        cycle decrease forever, detected by the same walk-length bound the
+        SPFA sweep uses -- or the ``max_pops`` budget ran out; either way
+        the potentials are left untouched.
+    """
+    n = residual.num_nodes
+    if n == 0:
+        return True
+    adjacency = residual.adjacency
+    arc_residual = residual.arc_residual
+    arc_cost = residual.arc_cost
+    arc_to = residual.arc_to
+    arc_from = residual.arc_from
+    potential = residual.potential
+
+    h = [0] * n
+    hops = [0] * n
+    heap: List[Tuple[int, int]] = []
+    pops = 0
+
+    if seed_arcs is None:
+        seed_arcs = range(len(arc_residual))
+    ops_until_check = PRICE_REFINE_CHECK_INTERVAL
+    for a in seed_arcs:
+        if abort_check is not None:
+            ops_until_check -= 1
+            if ops_until_check <= 0:
+                ops_until_check = PRICE_REFINE_CHECK_INTERVAL
+                if abort_check():
+                    raise SolveAborted("price refine cancelled by abort check")
+        if arc_residual[a] <= 0:
+            continue
+        u = arc_from[a]
+        cand = h[arc_to[a]] + arc_cost[a] - potential[u] + potential[arc_to[a]]
+        if cand < h[u]:
+            h[u] = cand
+            hops[u] = hops[arc_to[a]] + 1
+            heappush(heap, (cand, u))
+
+    while heap:
+        if abort_check is not None:
+            ops_until_check -= 1
+            if ops_until_check <= 0:
+                ops_until_check = PRICE_REFINE_CHECK_INTERVAL
+                if abort_check():
+                    raise SolveAborted("price refine cancelled by abort check")
+        d, x = heappop(heap)
+        if d > h[x]:
+            continue  # stale heap entry; a smaller label was pushed later
+        pops += 1
+        if max_pops is not None and pops > max_pops:
+            if stats is not None:
+                stats.price_refine_passes += pops
+            return False
+        hx = hops[x]
+        px = potential[x]
+        # A settled (lowered) label at x tightens the constraints of the
+        # residual arcs *into* x: for each incoming arc (t, x) -- the
+        # reverse half of an arc in x's adjacency -- the tail's correction
+        # must obey h(t) <= h(x) + reduced_cost(t, x).
+        for a in adjacency[x]:
+            ra = a ^ 1
+            if arc_residual[ra] <= 0:
+                continue
+            t = arc_to[a]
+            cand = d + arc_cost[ra] - potential[t] + px
+            if cand < h[t]:
+                h[t] = cand
+                nh = hx + 1
+                hops[t] = nh
+                if nh > n:
+                    if stats is not None:
+                        stats.price_refine_passes += pops
+                    return False
+                heappush(heap, (cand, t))
+
+    for i in range(n):
+        if h[i]:
+            potential[i] += h[i]
+    if stats is not None:
+        stats.price_refine_passes += pops
     return True
 
 
@@ -197,6 +378,7 @@ class CostScalingSolver(Solver):
         alpha: int = DEFAULT_ALPHA,
         max_phases: Optional[int] = None,
         polish_potentials: bool = False,
+        price_refine: str = "auto",
     ) -> None:
         """Create the solver.
 
@@ -209,12 +391,26 @@ class CostScalingSolver(Solver):
                 through the epsilon ladder, so the residual network is left
                 0-optimal and can be retained for delta solving.  Off by
                 default (a plain Quincy-style solver does not pay for it).
+            price_refine: Price-refine variant (:data:`PRICE_REFINE_MODES`):
+                ``"spfa"`` always runs the deque-based label-correcting
+                sweep, ``"dijkstra"`` the heap-based incremental repair,
+                and ``"auto"`` (default) picks per call -- Dijkstra when a
+                seeded violation set is small relative to the graph
+                (at most ``max(32, nodes / 8)`` violated arcs), the SPFA
+                sweep for widely-violated potentials and for unseeded
+                full recomputations.
         """
         if alpha < 2:
             raise ValueError("alpha must be at least 2")
+        if price_refine not in PRICE_REFINE_MODES:
+            raise ValueError(
+                f"unknown price refine mode {price_refine!r}; "
+                f"choose from {PRICE_REFINE_MODES}"
+            )
         self.alpha = alpha
         self.max_phases = max_phases
         self.polish_potentials = polish_potentials
+        self.price_refine = price_refine
         #: Optional cooperative cancellation hook: a zero-argument callable
         #: polled every :data:`ABORT_CHECK_INTERVAL` operations inside the
         #: long-running loops.  Returning True raises
@@ -305,13 +501,30 @@ class CostScalingSolver(Solver):
         residual.scale_costs(scale)
 
         have_good_potentials = True
+        refine_proved_optimal = False
+        refine_failed = False
         if warm_scaled_potentials is not None and warm_scale:
             multiplier = scale // warm_scale
             for node_id, value in warm_scaled_potentials.items():
                 if node_id in residual.index:
                     residual.potential[residual.index[node_id]] = value * multiplier
-        elif apply_price_refine and price_refine(residual, self.abort_check):
-            stats.potential_updates += 1
+        elif apply_price_refine:
+            if self._handoff_refine(residual, stats, warm_potentials):
+                stats.potential_updates += 1
+                refine_proved_optimal = True
+            else:
+                # The handoff refine is deterministic: retrying it below
+                # with the same potentials and seeds would fail identically,
+                # so remember the outcome and go straight to repair (with
+                # the handed-off potentials loaded) or, without any, to the
+                # naive from-scratch path.
+                refine_failed = True
+                if warm_potentials is not None:
+                    residual.load_potentials(warm_potentials)
+                    for i in range(residual.num_nodes):
+                        residual.potential[i] *= scale
+                else:
+                    have_good_potentials = False
         elif warm_potentials is not None:
             residual.load_potentials(warm_potentials)
             for i in range(residual.num_nodes):
@@ -332,10 +545,18 @@ class CostScalingSolver(Solver):
             # optimal, and the work done is proportional to the size of the
             # change batch rather than to the graph.  A completely unchanged
             # problem needs no repair at all.
-            violation = self._max_violation(residual)
+            if refine_proved_optimal:
+                # The refine just certified 0-optimality; rescanning every
+                # arc would only recompute (0, []).
+                violation, violated = 0, []
+            else:
+                violation, violated = self._scan_violations(residual)
             excess = residual.total_excess()
-            if 0 < violation <= scale and excess == 0 and price_refine(
-                residual, self.abort_check
+            if (
+                0 < violation <= scale
+                and excess == 0
+                and not refine_failed
+                and self._price_refine(residual, stats, seed_arcs=violated)
             ):
                 # The warm flow is still feasible and the violation is small
                 # enough to be a rounding artifact: the previous run's
@@ -616,8 +837,109 @@ class CostScalingSolver(Solver):
         """
         if not self.polish_potentials or self.max_phases is not None:
             return
-        if price_refine(residual, self.abort_check):
+        if self._price_refine(residual, stats):
             stats.potential_updates += 1
+
+    # ------------------------------------------------------------------ #
+    # Price refine dispatch
+    # ------------------------------------------------------------------ #
+    def _resolve_refine_variant(
+        self,
+        residual: ResidualNetwork,
+        seed_arcs: Optional[Sequence[int]],
+    ) -> str:
+        """Pick the price-refine variant for one call (``auto`` resolution).
+
+        A bounded violation set favours the Dijkstra variant: its work is
+        proportional to the violated region, while the SPFA sweep relabels
+        the whole network regardless.  The choice is guarded by the
+        violation count relative to the node count
+        (:data:`AUTO_SEED_MAX_VIOLATION_FLOOR` /
+        :data:`AUTO_SEED_NODE_DIVISOR`) -- widely violated potentials are
+        globally stale and the canonical sweep recomputes from scratch
+        faster.  Unseeded full refines always take the sweep.
+        """
+        mode = self.price_refine
+        if mode != "auto":
+            return mode
+        if seed_arcs is not None and len(seed_arcs) <= max(
+            AUTO_SEED_MAX_VIOLATION_FLOOR,
+            residual.num_nodes // AUTO_SEED_NODE_DIVISOR,
+        ):
+            return "dijkstra"
+        return "spfa"
+
+    def _price_refine(
+        self,
+        residual: ResidualNetwork,
+        stats: SolverStatistics,
+        seed_arcs: Optional[Sequence[int]] = None,
+    ) -> bool:
+        """Run the configured price-refine variant, timing it into ``stats``.
+
+        ``seed_arcs`` (residual arc indices covering every possible
+        violation) arms the incremental mode; the SPFA variant ignores it
+        and recomputes canonical potentials from scratch, so both variants
+        stay interchangeable at every call site.
+        """
+        variant = self._resolve_refine_variant(residual, seed_arcs)
+        max_pops = None
+        if seed_arcs is not None:
+            # Both seeded call sites treat False as "run the optimality
+            # repair instead", which is correct for any violation, so the
+            # seeded refine may give up long before cycle detection proper.
+            max_pops = max(
+                SEEDED_REFINE_POP_BUDGET_FLOOR,
+                SEEDED_REFINE_POP_BUDGET_FACTOR * len(seed_arcs),
+            )
+        start = time.perf_counter()
+        try:
+            if variant == "spfa":
+                return price_refine_spfa(residual, self.abort_check, stats=stats)
+            return price_refine_dijkstra(
+                residual,
+                self.abort_check,
+                seed_arcs=seed_arcs,
+                stats=stats,
+                max_pops=max_pops,
+            )
+        finally:
+            stats.price_refine_seconds += time.perf_counter() - start
+
+    def _handoff_refine(
+        self,
+        residual: ResidualNetwork,
+        stats: SolverStatistics,
+        warm_potentials: Optional[Dict[int, int]],
+    ) -> bool:
+        """Derive complementary-slackness potentials for a warm handoff.
+
+        The SPFA variant recomputes canonical potentials from scratch,
+        ignoring any handed-off ones (the pre-Dijkstra behaviour).  The
+        Dijkstra variant instead *loads* the previous round's potentials
+        when the caller handed some over -- they are exact under scaling,
+        so only arcs the inter-round graph changes violated seed the
+        repair, and the refine's work is proportional to the drift instead
+        of the network (the incremental refine mode).  On failure
+        (negative residual cycle: the warm flow is no longer optimal) the
+        potentials are left as loaded; the caller's fallback chain loads
+        the same values and proceeds to the repair path.
+        """
+        if warm_potentials is not None and self.price_refine != "spfa":
+            # The load + violation scan is part of deriving the potentials,
+            # so it is charged to the price-refine attribution as well.
+            start = time.perf_counter()
+            residual.load_potentials(warm_potentials)
+            potential = residual.potential
+            scale = residual.cost_scale
+            for i in range(residual.num_nodes):
+                potential[i] *= scale
+            _, violated = self._scan_violations(residual)
+            stats.price_refine_seconds += time.perf_counter() - start
+            if not violated:
+                return True
+            return self._price_refine(residual, stats, seed_arcs=violated)
+        return self._price_refine(residual, stats)
 
     def _record_scaled_state(self, residual: ResidualNetwork, scale: int) -> None:
         """Remember the exact scaled potentials for the next warm start."""
@@ -653,23 +975,20 @@ class CostScalingSolver(Solver):
         """Return the magnitude of the worst negative reduced cost on a
         residual arc with remaining capacity (zero when epsilon-optimal for
         epsilon = 0)."""
-        arc_residual = residual.arc_residual
-        arc_cost = residual.arc_cost
-        arc_from = residual.arc_from
-        arc_to = residual.arc_to
-        potential = residual.potential
-        worst = 0
-        for arc_index in range(len(arc_residual)):
-            if arc_residual[arc_index] <= 0:
-                continue
-            rc = (
-                arc_cost[arc_index]
-                - potential[arc_from[arc_index]]
-                + potential[arc_to[arc_index]]
-            )
-            if rc < -worst:
-                worst = -rc
-        return worst
+        return self._scan_violations(residual)[0]
+
+    def _scan_violations(
+        self, residual: ResidualNetwork
+    ) -> Tuple[int, List[int]]:
+        """Scan for 0-optimality violations under the current potentials.
+
+        Returns ``(worst, violated)`` from
+        :meth:`~repro.solvers.residual.ResidualNetwork.violated_arcs`; the
+        index list doubles as the seed set of the incremental price refine
+        -- by construction it covers every violated arc, which is exactly
+        the precondition the seeded repair needs.
+        """
+        return residual.violated_arcs()
 
     def _check_abort(self) -> None:
         """Raise :class:`SolveAborted` when the cancellation hook fires."""

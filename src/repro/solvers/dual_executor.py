@@ -98,6 +98,7 @@ class SpeculativeDualExecutor(Solver):
         self,
         relaxation: Optional[RelaxationSolver] = None,
         incremental: Optional[IncrementalCostScalingSolver] = None,
+        price_refine: str = "auto",
     ) -> None:
         """Create the executor.
 
@@ -107,9 +108,14 @@ class SpeculativeDualExecutor(Solver):
             incremental: Incremental cost scaling instance (a default one
                 with price refine and efficient task removal is created when
                 omitted).
+            price_refine: Price-refine variant for the default incremental
+                instance (``"spfa"``, ``"dijkstra"``, or ``"auto"``);
+                ignored when ``incremental`` is passed explicitly.
         """
         self.relaxation = relaxation or RelaxationSolver(arc_prioritization=True)
-        self.incremental = incremental or IncrementalCostScalingSolver()
+        self.incremental = incremental or IncrementalCostScalingSolver(
+            price_refine=price_refine
+        )
         self.last_result: Optional[DualExecutionResult] = None
         #: Race observability counters, accumulated across rounds.
         self.rounds: int = 0
@@ -165,8 +171,29 @@ class SpeculativeDualExecutor(Solver):
         self.incremental.seed(relaxation_result.flows, relaxation_result.potentials)
 
     def _record_round(self, result: DualExecutionResult) -> DualExecutionResult:
-        """Account a finished round in the executor's counters."""
+        """Account a finished round in the executor's counters.
+
+        Price-refine attribution is *round-level*: the refine runs inside
+        the cost-scaling leg whether or not that leg wins, so when
+        relaxation wins its statistics inherit the leg's
+        ``price_refine_seconds`` / ``price_refine_passes`` (mirroring how
+        the scheduler attributes ``graph_update_seconds`` onto the winning
+        result).  Timelines then show what every round paid for price
+        refine instead of only the rounds cost scaling happened to win.
+        """
         self.rounds += 1
+        loser = result.cost_scaling
+        if (
+            loser is not None
+            and result.winner is not loser
+            and loser.statistics is not result.winner.statistics
+        ):
+            result.winner.statistics.price_refine_seconds += (
+                loser.statistics.price_refine_seconds
+            )
+            result.winner.statistics.price_refine_passes += (
+                loser.statistics.price_refine_passes
+            )
         if result.winner.algorithm == self.relaxation.name:
             self.relaxation_wins += 1
         else:

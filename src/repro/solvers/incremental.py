@@ -147,6 +147,7 @@ class IncrementalCostScalingSolver(Solver):
         alpha: int = DEFAULT_ALPHA,
         efficient_task_removal: bool = True,
         apply_price_refine: bool = True,
+        price_refine: str = "auto",
     ) -> None:
         """Create the solver.
 
@@ -155,10 +156,18 @@ class IncrementalCostScalingSolver(Solver):
             efficient_task_removal: Enable the Section 5.3.2 heuristic.
             apply_price_refine: Apply the price-refine heuristic before each
                 warm-started run (Section 6.2).
+            price_refine: Price-refine variant forwarded to the underlying
+                cost scaling (``"spfa"``, ``"dijkstra"``, or ``"auto"``;
+                see :data:`repro.solvers.cost_scaling.PRICE_REFINE_MODES`).
+                The Dijkstra variant seeds warm rebuilds from the previous
+                round's potentials so refine work tracks inter-round drift
+                instead of network size.
         """
         # polish_potentials keeps the retained residual 0-optimal, which is
         # what makes it legal to hand back to solve_delta next round.
-        self._cost_scaling = CostScalingSolver(alpha=alpha, polish_potentials=True)
+        self._cost_scaling = CostScalingSolver(
+            alpha=alpha, polish_potentials=True, price_refine=price_refine
+        )
         self.efficient_task_removal = efficient_task_removal
         self.apply_price_refine = apply_price_refine
         self._last_flows: Optional[Dict[Tuple[int, int], int]] = None
@@ -197,6 +206,11 @@ class IncrementalCostScalingSolver(Solver):
     def has_state(self) -> bool:
         """Return whether a previous solution is available for warm starting."""
         return self._last_flows is not None
+
+    @property
+    def price_refine(self) -> str:
+        """Price-refine variant of the underlying cost scaling solver."""
+        return self._cost_scaling.price_refine
 
     @property
     def abort_check(self):

@@ -240,6 +240,7 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
         spawn_retries: int = 1,
         loser_grace_seconds: float = LOSER_GRACE_SECONDS,
         delta_solo_threshold: int = DELTA_SOLO_THRESHOLD,
+        price_refine: str = "auto",
     ) -> None:
         """Create the executor.
 
@@ -257,8 +258,16 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
             delta_solo_threshold: Skip speculation on delta-armed rounds
                 whose change batch is at most this large (0 races every
                 round); see :data:`DELTA_SOLO_THRESHOLD`.
+            price_refine: Price-refine variant for the default parent-side
+                incremental instance; ignored when ``incremental`` is
+                passed explicitly.  Faster price refine shifts the
+                solo-vs-race crossover: warm rebuilds the parent used to
+                lose (racing pays) become rounds it wins solo.
         """
-        super().__init__(relaxation=relaxation, incremental=incremental)
+        super().__init__(
+            relaxation=relaxation, incremental=incremental,
+            price_refine=price_refine,
+        )
         self._relaxation_kwargs = {
             "arc_prioritization": self.relaxation.arc_prioritization,
             "priority_probe_limit": self.relaxation.priority_probe_limit,

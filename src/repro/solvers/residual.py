@@ -260,6 +260,37 @@ class ResidualNetwork:
         """Return node indices with negative excess (demand)."""
         return [i for i, e in enumerate(self.excess) if e < 0]
 
+    def violated_arcs(self, epsilon: int = 0) -> Tuple[int, List[int]]:
+        """Scan for epsilon-optimality violations under current potentials.
+
+        Returns ``(worst, indices)``: the magnitude of the worst reduced
+        cost below ``-epsilon`` on a residual arc with remaining capacity,
+        and the indices of every such arc (empty when the stored
+        potentials prove epsilon-optimality).  The index list is exactly
+        the seed set the incremental (Dijkstra) price refine needs: by
+        construction it covers every violated arc.
+        """
+        arc_residual = self.arc_residual
+        arc_cost = self.arc_cost
+        arc_from = self.arc_from
+        arc_to = self.arc_to
+        potential = self.potential
+        worst = 0
+        violated: List[int] = []
+        for arc_index in range(len(arc_residual)):
+            if arc_residual[arc_index] <= 0:
+                continue
+            rc = (
+                arc_cost[arc_index]
+                - potential[arc_from[arc_index]]
+                + potential[arc_to[arc_index]]
+            )
+            if rc < -epsilon:
+                violated.append(arc_index)
+                if -rc > worst:
+                    worst = -rc
+        return worst, violated
+
     def max_cost(self) -> int:
         """Return the largest absolute arc cost (in the stored cost units).
 

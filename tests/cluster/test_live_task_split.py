@@ -1,0 +1,167 @@
+"""The live/terminated task split: scans bounded by the live set.
+
+``ClusterState.tasks`` keeps every task ever submitted -- metrics and
+post-hoc locality analysis need the history -- but per-round scans
+(``pending_tasks`` / ``running_tasks`` / ``schedulable_tasks``) must not
+slow down as completed-task history accumulates over a long-running
+cluster's lifetime.  These tests pin that contract directly: completed
+tasks leave the live index while remaining queryable, and an instrumented
+task class proves the scans never touch terminated tasks, so per-round
+scan counts are independent of history size.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.task import Job, Task
+from tests.conftest import make_cluster_state, make_job
+
+
+class CountingTask(Task):
+    """Task whose lifecycle-property reads are counted (scan detector)."""
+
+    @property
+    def is_pending(self):  # noqa: D102 - counted passthrough
+        self.touch_count = getattr(self, "touch_count", 0) + 1
+        return Task.is_pending.fget(self)
+
+    @property
+    def is_running(self):  # noqa: D102 - counted passthrough
+        self.touch_count = getattr(self, "touch_count", 0) + 1
+        return Task.is_running.fget(self)
+
+
+def make_counting_job(job_id: int, num_tasks: int, submit_time: float = 0.0) -> Job:
+    job = Job(job_id=job_id, submit_time=submit_time)
+    for index in range(num_tasks):
+        job.add_task(
+            CountingTask(
+                task_id=job_id * 1000 + index,
+                job_id=job_id,
+                duration=10.0,
+                submit_time=submit_time,
+            )
+        )
+    return job
+
+
+def reset_touches(state) -> None:
+    for task in state.tasks.values():
+        task.touch_count = 0
+
+
+def total_touches(tasks) -> int:
+    return sum(getattr(t, "touch_count", 0) for t in tasks)
+
+
+def run_round_scans(state) -> None:
+    """The scans a scheduling round performs against the cluster state."""
+    state.pending_tasks()
+    state.running_tasks()
+    state.schedulable_tasks()
+
+
+class TestLiveTerminatedSplit:
+    def test_completed_tasks_leave_live_index_but_stay_queryable(self):
+        state = make_cluster_state()
+        state.submit_job(make_job(job_id=1, num_tasks=4))
+        for index, task in enumerate(state.pending_tasks()):
+            state.place_task(task.task_id, index % 4, now=0.0)
+        assert state.num_live_tasks == 4
+        running = state.running_tasks()
+        state.complete_task(running[0].task_id, now=5.0)
+        state.complete_task(running[1].task_id, now=6.0)
+
+        assert state.num_live_tasks == 2
+        assert state.terminated_task_count() == 2
+        # History is intact: completed tasks remain in the full mapping
+        # with their placement, for metrics and locality analysis.
+        assert len(state.tasks) == 4
+        completed = state.tasks[running[0].task_id]
+        assert completed.finish_time == 5.0
+        assert completed.machine_id is not None
+        # And the scans only see the live ones.
+        assert {t.task_id for t in state.schedulable_tasks()} == {
+            t.task_id for t in running[2:]
+        }
+
+    def test_scans_never_touch_terminated_tasks(self):
+        state = make_cluster_state()
+        state.submit_job(make_counting_job(job_id=1, num_tasks=6))
+        for index, task in enumerate(list(state.pending_tasks())[:4]):
+            state.place_task(task.task_id, index % 4, now=0.0)
+        finished = [t.task_id for t in state.running_tasks()[:3]]
+        for task_id in finished:
+            state.complete_task(task_id, now=5.0)
+
+        reset_touches(state)
+        run_round_scans(state)
+
+        terminated = [state.tasks[task_id] for task_id in finished]
+        live = [t for t in state.tasks.values() if t.task_id not in set(finished)]
+        assert total_touches(terminated) == 0, (
+            "a per-round scan touched terminated tasks; scans are no longer "
+            "bounded by the live set"
+        )
+        assert total_touches(live) > 0
+
+    def test_history_growth_does_not_change_scan_counts(self):
+        """Identical live workloads scan identically regardless of history."""
+
+        def build(history_jobs: int):
+            state = make_cluster_state()
+            # Accumulate completed-task history: submit, place, complete.
+            for job_index in range(history_jobs):
+                job = make_counting_job(job_id=100 + job_index, num_tasks=4)
+                state.submit_job(job)
+                for index, task in enumerate(job.tasks):
+                    state.place_task(task.task_id, index % 4, now=0.0)
+                    state.complete_task(task.task_id, now=1.0)
+            # The live workload under test is identical in both states.
+            state.submit_job(make_counting_job(job_id=1, num_tasks=5))
+            for index, task in enumerate(list(state.pending_tasks())[:2]):
+                state.place_task(task.task_id, index % 4, now=2.0)
+            return state
+
+        without_history = build(history_jobs=0)
+        with_history = build(history_jobs=50)
+        assert with_history.terminated_task_count() == 200
+
+        reset_touches(without_history)
+        reset_touches(with_history)
+        run_round_scans(without_history)
+        run_round_scans(with_history)
+
+        baseline = total_touches(without_history.tasks.values())
+        with_200_completed = total_touches(with_history.tasks.values())
+        assert baseline > 0
+        assert with_200_completed == baseline, (
+            f"per-round scan count changed with history: {baseline} touches "
+            f"without history vs {with_200_completed} with 200 completed tasks"
+        )
+
+    def test_remove_job_purges_both_indexes(self):
+        state = make_cluster_state()
+        job = make_job(job_id=7, num_tasks=3)
+        state.submit_job(job)
+        for index, task in enumerate(job.tasks):
+            state.place_task(task.task_id, index % 4, now=0.0)
+            state.complete_task(task.task_id, now=1.0)
+        state.remove_job(7)
+        assert len(state.tasks) == 0
+        assert state.num_live_tasks == 0
+        assert state.terminated_task_count() == 0
+
+    def test_preemption_and_eviction_keep_tasks_live(self):
+        state = make_cluster_state()
+        state.submit_job(make_job(job_id=1, num_tasks=3))
+        for index, task in enumerate(state.pending_tasks()):
+            state.place_task(task.task_id, index % 2, now=0.0)
+        running = state.running_tasks()
+        state.preempt_task(running[0].task_id, now=1.0)
+        state.fail_machine(running[1].machine_id, now=1.0)
+        # Preempted and evicted tasks must come back in schedulable scans.
+        assert state.num_live_tasks == 3
+        assert {t.task_id for t in state.schedulable_tasks()} == {
+            t.task_id for t in running
+        }
+        assert len(state.live_tasks()) == 3

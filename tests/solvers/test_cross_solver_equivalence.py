@@ -43,6 +43,9 @@ def scratch_costs(network):
     """Optimal cost according to every from-scratch algorithm."""
     return {
         "cost_scaling": CostScalingSolver().solve(network.copy()).total_cost,
+        "cost_scaling_dijkstra_refine": CostScalingSolver(
+            polish_potentials=True, price_refine="dijkstra"
+        ).solve(network.copy()).total_cost,
         "relaxation": RelaxationSolver().solve(network.copy()).total_cost,
         "ssp": SuccessiveShortestPathSolver().solve(network.copy()).total_cost,
         "cycle_canceling": CycleCancelingSolver().solve(network.copy()).total_cost,
@@ -55,6 +58,10 @@ def run_equivalence_rounds(seed: int, rounds: int, include_subprocess: bool) -> 
     network = generate_network(rng)
 
     incremental = IncrementalCostScalingSolver()
+    # Same stateful multi-round path, but with the Dijkstra/incremental
+    # price refine: its delta patches, seeded warm handoffs, and repairs
+    # must agree with every other implementation on every round.
+    incremental_dijkstra = IncrementalCostScalingSolver(price_refine="dijkstra")
     executors = [DualAlgorithmExecutor()]
     parallel = None
     if include_subprocess:
@@ -76,6 +83,15 @@ def run_equivalence_rounds(seed: int, rounds: int, include_subprocess: bool) -> 
             assert incremental_result.total_cost == expected, (
                 f"seed {seed} round {round_index}: incremental (warm) found "
                 f"{incremental_result.total_cost}, oracle says {expected}"
+            )
+
+            dijkstra_result = incremental_dijkstra.solve(
+                network.copy(), changes=changes
+            )
+            assert dijkstra_result.total_cost == expected, (
+                f"seed {seed} round {round_index}: incremental "
+                f"(dijkstra price refine) found {dijkstra_result.total_cost}, "
+                f"oracle says {expected}"
             )
 
             for executor in executors:

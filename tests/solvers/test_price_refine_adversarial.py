@@ -1,0 +1,162 @@
+"""Regression pin for the price-refine label-correcting degeneration.
+
+PR 2 found plain FIFO SPFA degenerating to ~3.6 s/call on the post-seed
+residuals of large accelerated-trace rounds (fig18 at 16x): long improving
+chains whose node ids run *against* the propagation direction, fanning out
+to wide zero-cost neighbourhoods.  FIFO re-relaxes the fan at every chain
+level -- Theta(levels * fan) label churn -- which the SLF queue discipline
+only mitigates and the backward-propagating Dijkstra variant avoids
+entirely (the fan sits on the constraint side that never re-labels).
+
+This test pins a deterministic graph of exactly that shape at test scale
+and enforces **hard pass-count bounds** on every production price-refine
+variant, with an in-test FIFO reference run proving the graph is genuinely
+adversarial (so the bounds are meaningful, and re-introducing FIFO --
+or any ordering with its churn profile -- trips the bound instead of
+silently shipping a quadratic hot loop).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+
+from repro.flow.graph import FlowNetwork, NodeType
+from repro.flow.validation import assert_epsilon_optimal
+from repro.solvers.base import SolverStatistics
+from repro.solvers.cost_scaling import (
+    CostScalingSolver,
+    price_refine_dijkstra,
+    price_refine_spfa,
+)
+from repro.solvers.residual import ResidualNetwork
+
+#: Chain depth and fan width of the pinned graph.  At this scale the FIFO
+#: reference performs >4000 pops on a 101-node graph; the production
+#: variants must stay well below.
+LEVELS = 60
+FAN = 40
+
+#: Hard pass-count bounds (label-queue pops) on the pinned graph.  The SLF
+#: sweep's churn grows with the chain depth (~LEVELS^2 / 2 here, roughly
+#: half of FIFO's); the Dijkstra variant settles one label per chain node.
+FIFO_MIN_POPS = 3500       # demonstrates the graph is adversarial
+SPFA_MAX_POPS = 2600       # SLF today: ~1970; FIFO's ~4300 must trip this
+DIJKSTRA_MAX_POPS = 300    # backward propagation: ~LEVELS pops
+
+
+def build_adversarial_network() -> FlowNetwork:
+    """Chain with ids running against the arc direction, plus wide fans.
+
+    Arcs go from higher chain ids to lower ones at negative cost, so a
+    label-correcting sweep that processes nodes in id order discovers one
+    chain level per wave; every chain node also feeds ``FAN`` zero-cost
+    arcs whose heads FIFO re-relaxes on every wave.
+    """
+    network = FlowNetwork()
+    chain = [
+        network.add_node(NodeType.TASK, name=f"c{i}") for i in range(LEVELS + 1)
+    ]
+    fans = [network.add_node(NodeType.MACHINE, name=f"f{i}") for i in range(FAN)]
+    for i in range(LEVELS):
+        network.add_arc(
+            chain[LEVELS - i].node_id, chain[LEVELS - i - 1].node_id, 1, -100
+        )
+    for node in chain:
+        for fan in fans:
+            network.add_arc(node.node_id, fan.node_id, 1, 0)
+    return network
+
+
+def fifo_spfa_pops(residual: ResidualNetwork) -> int:
+    """Plain FIFO SPFA (the PR 2 degeneration), returning its pop count.
+
+    This is the pre-SLF queue discipline, reimplemented here as the
+    adversarial reference: it must *not* exist in production code, and its
+    pop count on the pinned graph documents what the bounds protect
+    against.
+    """
+    n = residual.num_nodes
+    adjacency = residual.adjacency
+    arc_residual = residual.arc_residual
+    arc_cost = residual.arc_cost
+    arc_to = residual.arc_to
+    dist = [0] * n
+    queue = deque(range(n))
+    in_queue = bytearray(b"\x01" * n)
+    pops = 0
+    while queue:
+        u = queue.popleft()
+        pops += 1
+        du = dist[u]
+        in_queue[u] = 0
+        for a in adjacency[u]:
+            if arc_residual[a] <= 0:
+                continue
+            v = arc_to[a]
+            nd = du + arc_cost[a]
+            if nd < dist[v]:
+                dist[v] = nd
+                if not in_queue[v]:
+                    queue.append(v)
+                    in_queue[v] = 1
+        if pops > 100 * n:  # cap the reference; the point is long made
+            break
+    return pops
+
+
+def test_pinned_graph_is_adversarial_for_fifo():
+    """The FIFO reference churns far beyond the bound imposed on variants."""
+    residual = ResidualNetwork(build_adversarial_network())
+    pops = fifo_spfa_pops(residual)
+    assert pops >= FIFO_MIN_POPS, (
+        f"the pinned graph stopped being adversarial (FIFO pops {pops}); "
+        "rebuild it or the variant bounds below prove nothing"
+    )
+    # And specifically: FIFO would trip the production SPFA bound, so a
+    # regression to FIFO ordering cannot pass this file.
+    assert pops > SPFA_MAX_POPS
+
+
+def test_spfa_stays_within_pass_bound():
+    residual = ResidualNetwork(build_adversarial_network())
+    stats = SolverStatistics()
+    assert price_refine_spfa(residual, stats=stats)
+    assert_epsilon_optimal(residual, 0)
+    assert stats.price_refine_passes <= SPFA_MAX_POPS, (
+        f"SLF SPFA churned {stats.price_refine_passes} pops on the pinned "
+        f"adversarial graph (bound {SPFA_MAX_POPS}); the PR 2 degeneration "
+        "is creeping back"
+    )
+
+
+def test_dijkstra_stays_within_pass_bound():
+    residual = ResidualNetwork(build_adversarial_network())
+    stats = SolverStatistics()
+    assert price_refine_dijkstra(residual, stats=stats)
+    assert_epsilon_optimal(residual, 0)
+    assert stats.price_refine_passes <= DIJKSTRA_MAX_POPS, (
+        f"Dijkstra refine settled {stats.price_refine_passes} labels on the "
+        f"pinned adversarial graph (bound {DIJKSTRA_MAX_POPS}); backward "
+        "propagation lost its set-once behaviour"
+    )
+
+
+@pytest.mark.parametrize("mode", ("spfa", "dijkstra", "auto"))
+def test_solver_level_refine_stays_bounded(mode):
+    """The solver-facing dispatch obeys the same bounds for every mode.
+
+    ``solve_warm`` with no usable potentials routes through the dispatcher
+    exactly like production post-seed rounds; whatever variant the mode
+    resolves to must stay within the loosest variant bound.
+    """
+    network = build_adversarial_network()
+    solver = CostScalingSolver(price_refine=mode)
+    stats = SolverStatistics()
+    residual = ResidualNetwork(network)
+    residual.scale_costs(residual.num_nodes + 1)
+    assert solver._price_refine(residual, stats)
+    assert_epsilon_optimal(residual, 0)
+    assert stats.price_refine_passes <= SPFA_MAX_POPS
+    assert stats.price_refine_seconds > 0.0
