@@ -12,7 +12,16 @@ committed baseline in ``perf_baseline.json``:
 * the price-refine kernel -- the potential-derivation step of one
   post-seed warm-rebuild round, run with the SPFA sweep and with the
   seeded Dijkstra (incremental) refine -- guarding the *price refine*
-  variant selection (the hottest step of warm rebuilds).
+  variant selection (the hottest step of warm rebuilds),
+* the relaxation kernel -- one uncontested fig07-style round solved by a
+  cold relaxation solver (fresh residual build) and by a persistent one
+  whose retained residual is patched from the round's change batch --
+  guarding the relaxation fast path (typed hot loops + residual reuse),
+  and
+* the worker-resync kernel -- one chain-broken worker round served by the
+  full-snapshot path (DIMACS serialize + reparse + cold solve) and by the
+  resync path (composed incremental payload + shadow patch + persistent
+  solve) -- guarding the parallel executor's delta transport.
 
 The gates are host-normalized: the from-scratch solve (resp. the full
 rebuild) acts as the calibration workload, so requiring each measured
@@ -159,11 +168,155 @@ def measure_price_refine_round() -> tuple:
     return spfa, dijkstra
 
 
+def _relaxation_rounds(seed_base: int, churn_rounds: int = 1):
+    """Build a fig07-style uncontested scenario at 48 machines.
+
+    Returns ``(base_network, round_networks, batches)``: a copy of the
+    first round's network plus ``churn_rounds`` low-churn follow-up rounds
+    with their revision-chained change batches.
+    """
+    import random
+
+    state = build_cluster_state(48, utilization=0.6, seed=seed_base)
+    add_pending_batch_job(state, 24, seed=seed_base + 1)
+    manager = GraphManager(QuincyPolicy())
+    base_network = manager.update(state, now=10.0).copy()
+    for task in state.pending_tasks():
+        for machine_id in state.topology.machines:
+            if state.free_slots(machine_id) > 0:
+                state.place_task(task.task_id, machine_id, now=10.0)
+                break
+    rng = random.Random(seed_base + 2)
+    networks, batches = [], []
+    now = 20.0
+    for round_index in range(churn_rounds):
+        running = state.running_tasks()
+        for task in rng.sample(running, min(len(running) // 20 + 1, len(running))):
+            state.complete_task(task.task_id, now=now)
+        add_pending_batch_job(
+            state, 3, seed=seed_base + 3 + round_index,
+            job_id=900_001 + round_index, submit_time=now,
+        )
+        networks.append(manager.update(state, now=now).copy())
+        batches.append(manager.last_changes)
+        now += 10.0
+    return base_network, networks, batches
+
+
+def measure_relaxation_round() -> tuple:
+    """Relaxation kernel: (cold_seconds, warm_seconds).
+
+    One steady-state uncontested fig07-style round (low churn: a few
+    completions and a small arriving job -- the post-placement round is
+    excluded, its batch is placement-sized).  The cold path builds a fresh
+    residual network from the flow network and solves; the warm path is a
+    persistent solver whose retained residual is patched in place from the
+    round's change batch (the relaxation leg of a steady-state dual-race
+    round).  Each measurement sums a few repetitions so the kernel is not
+    dominated by timer noise.
+    """
+    from repro.solvers import RelaxationSolver as Relaxation
+
+    base_network, networks, batches = _relaxation_rounds(seed_base=91, churn_rounds=2)
+    network = networks[-1]
+
+    cold = 0.0
+    warm = 0.0
+    for _ in range(3):
+        target = network.copy()  # untimed: the copy is a kernel artifact
+        start = time.perf_counter()
+        Relaxation().solve(target)
+        cold += time.perf_counter() - start
+
+        solver = Relaxation()
+        # Prime the persistent residual through the preceding rounds.
+        solver.solve(base_network.copy())
+        solver.solve(networks[0].copy(), changes=batches[0])
+        target = network.copy()
+        start = time.perf_counter()
+        solver.solve(target, changes=batches[1])
+        warm += time.perf_counter() - start
+        if solver.residual_reuses != 2:
+            raise AssertionError("perf smoke: the relaxation delta path was not taken")
+    return cold, warm
+
+
+def measure_worker_resync_round() -> tuple:
+    """Worker-resync kernel: (snapshot_seconds, resync_seconds).
+
+    One chain-broken worker round (the worker missed three solo-solved
+    rounds).  The snapshot path pays what the pre-resync executor paid:
+    full DIMACS serialization, a full reparse, and a cold solve (fresh
+    residual build).  The resync path pays the composed incremental
+    payload: serialization and parse of the missed changes, an in-place
+    shadow patch, and a persistent-residual solve.
+    """
+    from repro.flow.changes import ChangeBatch
+    from repro.flow.dimacs import (
+        read_dimacs,
+        read_incremental,
+        write_dimacs,
+        write_incremental,
+    )
+    from repro.solvers import RelaxationSolver as Relaxation
+    from repro.solvers import RevisionChainCache
+
+    base_network, networks, batches = _relaxation_rounds(seed_base=71, churn_rounds=3)
+    final_network = networks[-1]
+    cache = RevisionChainCache()
+    for batch in batches:
+        cache.record(batch)
+    composed = cache.compose(base_network.revision, final_network.revision)
+    if composed is None:
+        raise AssertionError("perf smoke: the resync chain did not compose")
+    base_text = write_dimacs(base_network, include_node_types=False)
+
+    snapshot = 0.0
+    resync = 0.0
+    for _ in range(3):
+        start = time.perf_counter()
+        text = write_dimacs(final_network, include_node_types=False)
+        shadow = read_dimacs(text)
+        Relaxation().solve(shadow)
+        snapshot += time.perf_counter() - start
+
+        # Prime the worker state at the stale base revision (untimed).
+        stale_shadow = read_dimacs(base_text)
+        stale_shadow.revision = base_network.revision
+        solver = Relaxation()
+        solver.solve(stale_shadow)
+
+        start = time.perf_counter()
+        text = write_incremental(
+            composed,
+            base_revision=base_network.revision,
+            target_revision=final_network.revision,
+        )
+        parsed = read_incremental(text)
+        for change in parsed:
+            change.apply(stale_shadow)
+        stale_shadow.revision = final_network.revision
+        solver.solve(
+            stale_shadow,
+            changes=ChangeBatch(
+                changes=parsed,
+                base_revision=base_network.revision,
+                target_revision=final_network.revision,
+            ),
+        )
+        resync += time.perf_counter() - start
+        if solver.residual_reuses != 1:
+            raise AssertionError("perf smoke: the resync delta path was not taken")
+    return snapshot, resync
+
+
 def main() -> int:
     update = "--update" in sys.argv[1:]
     scratch_runs, incremental_runs = [], []
     rebuild_runs, graph_runs = [], []
     refine_spfa_runs, refine_dijkstra_runs = [], []
+    relax_cold_runs, relax_warm_runs = [], []
+    resync_snapshot_runs, resync_delta_runs = [], []
     for _ in range(RUNS):
         scratch, incremental = measure_round()
         scratch_runs.append(scratch)
@@ -174,6 +327,12 @@ def main() -> int:
         refine_spfa, refine_dijkstra = measure_price_refine_round()
         refine_spfa_runs.append(refine_spfa)
         refine_dijkstra_runs.append(refine_dijkstra)
+        relax_cold, relax_warm = measure_relaxation_round()
+        relax_cold_runs.append(relax_cold)
+        relax_warm_runs.append(relax_warm)
+        resync_snapshot, resync_delta = measure_worker_resync_round()
+        resync_snapshot_runs.append(resync_snapshot)
+        resync_delta_runs.append(resync_delta)
     measured = {
         "machines": MACHINES,
         "scratch_s": round(statistics.median(scratch_runs), 6),
@@ -184,6 +343,10 @@ def main() -> int:
         "price_refine_dijkstra_s": round(
             statistics.median(refine_dijkstra_runs), 6
         ),
+        "relaxation_cold_s": round(statistics.median(relax_cold_runs), 6),
+        "relaxation_warm_s": round(statistics.median(relax_warm_runs), 6),
+        "resync_snapshot_s": round(statistics.median(resync_snapshot_runs), 6),
+        "resync_delta_s": round(statistics.median(resync_delta_runs), 6),
     }
     measured["speedup"] = round(
         measured["scratch_s"] / max(measured["incremental_s"], 1e-9), 3
@@ -195,6 +358,12 @@ def main() -> int:
         measured["price_refine_spfa_s"]
         / max(measured["price_refine_dijkstra_s"], 1e-9),
         3,
+    )
+    measured["relaxation_speedup"] = round(
+        measured["relaxation_cold_s"] / max(measured["relaxation_warm_s"], 1e-9), 3
+    )
+    measured["resync_speedup"] = round(
+        measured["resync_snapshot_s"] / max(measured["resync_delta_s"], 1e-9), 3
     )
     print(f"measured: {json.dumps(measured)}")
 
@@ -241,6 +410,28 @@ def main() -> int:
             "FAIL: seeded price refine regressed >2x host-normalized: "
             f"speedup {measured['price_refine_speedup']:.2f}x vs baseline "
             f"{baseline_refine_speedup:.2f}x"
+        )
+        failed = True
+    baseline_relax_speedup = baseline.get("relaxation_speedup")
+    if (
+        baseline_relax_speedup
+        and measured["relaxation_speedup"] < MAX_SPEEDUP_LOSS * baseline_relax_speedup
+    ):
+        print(
+            "FAIL: relaxation delta path regressed >2x host-normalized: "
+            f"speedup {measured['relaxation_speedup']:.2f}x vs baseline "
+            f"{baseline_relax_speedup:.2f}x"
+        )
+        failed = True
+    baseline_resync_speedup = baseline.get("resync_speedup")
+    if (
+        baseline_resync_speedup
+        and measured["resync_speedup"] < MAX_SPEEDUP_LOSS * baseline_resync_speedup
+    ):
+        print(
+            "FAIL: worker resync regressed >2x host-normalized: "
+            f"speedup {measured['resync_speedup']:.2f}x vs baseline "
+            f"{baseline_resync_speedup:.2f}x"
         )
         failed = True
     if failed:

@@ -27,7 +27,7 @@ from repro.core.policies import (
 from repro.simulation.failures import FailureInjector
 from repro.simulation.simulator import ClusterSimulator, SimulationConfig
 from repro.simulation.trace import GoogleTraceGenerator, TraceConfig
-from repro.solvers import EXECUTORS, PRICE_REFINE_MODES
+from repro.solvers import EXECUTOR_POLICIES, EXECUTORS, PRICE_REFINE_MODES
 
 #: Scheduler names accepted by ``--scheduler``.
 SCHEDULERS = ("firmament", "quincy", "sparrow", "swarmkit", "kubernetes", "mesos")
@@ -105,6 +105,18 @@ def register(subparsers) -> None:
         ),
     )
     parser.add_argument(
+        "--executor-policy",
+        choices=EXECUTOR_POLICIES,
+        default="race",
+        help=(
+            "firmament's speculation policy: 'race' runs both algorithms "
+            "every round exactly as the paper deploys, 'auto' lets a cost "
+            "model fed by recent solver statistics pick per round between "
+            "solo relaxation, solo incremental cost scaling, and the full "
+            "race (default: race)"
+        ),
+    )
+    parser.add_argument(
         "--constant-service-load",
         action="store_true",
         help=(
@@ -141,6 +153,7 @@ def run(args: argparse.Namespace) -> int:
     scheduler = _make_scheduler(
         args.scheduler, args.policy, args.executor,
         price_refine=getattr(args, "price_refine", "auto"),
+        executor_policy=getattr(args, "executor_policy", "race"),
     )
 
     trace_config = TraceConfig(
@@ -221,10 +234,12 @@ def _make_scheduler(
     policy_name: str,
     executor: str = "sequential",
     price_refine: str = "auto",
+    executor_policy: str = "race",
 ):
     if scheduler_name == "firmament":
         return FirmamentScheduler(
-            _make_policy(policy_name), executor=executor, price_refine=price_refine
+            _make_policy(policy_name), executor=executor,
+            price_refine=price_refine, executor_policy=executor_policy,
         )
     if scheduler_name == "quincy":
         return make_quincy_scheduler()

@@ -8,7 +8,7 @@ from typing import TextIO
 
 from repro.flow.dimacs import read_dimacs, write_dimacs
 from repro.flow.validation import check_feasibility
-from repro.solvers import PRICE_REFINE_MODES, make_solver
+from repro.solvers import EXECUTOR_POLICIES, PRICE_REFINE_MODES, make_solver
 
 #: Algorithms whose constructor accepts a ``price_refine`` variant.
 PRICE_REFINE_ALGORITHMS = frozenset(
@@ -18,6 +18,12 @@ PRICE_REFINE_ALGORITHMS = frozenset(
         "firmament_dual",
         "firmament_dual_parallel",
     }
+)
+
+#: Algorithms whose constructor accepts an ``executor_policy`` (the two
+#: speculative dual executors).
+EXECUTOR_POLICY_ALGORITHMS = frozenset(
+    {"firmament_dual", "firmament_dual_parallel"}
 )
 
 #: Algorithm names accepted by ``--algorithm``.  The two ``firmament_dual``
@@ -68,6 +74,17 @@ def register(subparsers) -> None:
         ),
     )
     parser.add_argument(
+        "--executor-policy",
+        choices=EXECUTOR_POLICIES,
+        default="race",
+        help=(
+            "speculation policy for the firmament_dual executors: 'race' "
+            "runs both algorithms every round, 'auto' lets a cost model "
+            "skip the predictable loser (default: race); ignored by the "
+            "single-algorithm solvers"
+        ),
+    )
+    parser.add_argument(
         "--print-flows",
         action="store_true",
         help="print every arc that carries flow in the optimal solution",
@@ -87,6 +104,8 @@ def run(args: argparse.Namespace) -> int:
     solver_kwargs = {}
     if args.algorithm in PRICE_REFINE_ALGORITHMS:
         solver_kwargs["price_refine"] = getattr(args, "price_refine", "auto")
+    if args.algorithm in EXECUTOR_POLICY_ALGORITHMS:
+        solver_kwargs["executor_policy"] = getattr(args, "executor_policy", "race")
     solver = make_solver(args.algorithm, **solver_kwargs)
     try:
         result = solver.solve(network)

@@ -96,6 +96,7 @@ class FirmamentScheduler:
         allow_migrations: bool = True,
         executor: Optional[str] = None,
         price_refine: Optional[str] = None,
+        executor_policy: Optional[str] = None,
     ) -> None:
         """Create a scheduler.
 
@@ -116,17 +117,27 @@ class FirmamentScheduler:
             price_refine: Price-refine variant for the default executor's
                 incremental cost scaling (``"spfa"``, ``"dijkstra"``, or
                 ``"auto"``); only valid when ``solver`` is omitted.
+            executor_policy: Race policy for the default executor:
+                ``"race"`` (default) speculates every round as the paper
+                deploys, ``"auto"`` lets a cost model fed by recent solver
+                statistics pick per round between solo relaxation, solo
+                incremental cost scaling, and the full race.  Only valid
+                when ``solver`` is omitted.
         """
         if solver is not None and executor is not None:
             raise ValueError("pass either solver= or executor=, not both")
         if solver is not None and price_refine is not None:
             raise ValueError("price_refine= only applies to the default executor")
+        if solver is not None and executor_policy is not None:
+            raise ValueError("executor_policy= only applies to the default executor")
         self.policy = policy
         if solver is not None:
             self.solver = solver
         else:
             self.solver = make_executor(
-                executor or "sequential", price_refine=price_refine or "auto"
+                executor or "sequential",
+                price_refine=price_refine or "auto",
+                executor_policy=executor_policy or "race",
             )
         # Only pay for per-round network diffing when the solver can
         # actually consume the change batches.

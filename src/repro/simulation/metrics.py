@@ -36,6 +36,20 @@ class MetricsSummary:
     #: The dominant cost of warm-rebuild rounds, attributed separately so
     #: fig14-style runs can show where the solver's time goes.
     price_refine_times: List[float] = field(default_factory=list)
+    #: Per-run relaxation-leg counters (zero for baselines), attributed at
+    #: round level like ``price_refine_times``: tree nodes grown and dual
+    #: ascents performed by the round's relaxation run whether or not it
+    #: won the race.  The ascent series is the contention signal behind
+    #: Figures 8/9 -- it explodes exactly where relaxation degrades.
+    relaxation_tree_nodes: List[int] = field(default_factory=list)
+    relaxation_dual_ascents: List[int] = field(default_factory=list)
+    #: Per-run worker-transport counters of the parallel executor: whether
+    #: the round fed the relaxation worker a full DIMACS snapshot or an
+    #: incremental delta/resync payload.  On a steady-state replay the
+    #: snapshot count should stay at the cold-start 1; see
+    #: :meth:`delta_ship_ratio`.
+    snapshot_ships: List[int] = field(default_factory=list)
+    delta_ships: List[int] = field(default_factory=list)
     tasks_completed: int = 0
     tasks_placed: int = 0
     tasks_unplaced: int = 0
@@ -71,6 +85,27 @@ class MetricsSummary:
             return 0.0
         return sum(self.price_refine_times) / len(self.price_refine_times)
 
+    def mean_dual_ascents(self) -> float:
+        """Return the mean per-run dual-ascent count of the relaxation leg."""
+        if not self.relaxation_dual_ascents:
+            return 0.0
+        return sum(self.relaxation_dual_ascents) / len(self.relaxation_dual_ascents)
+
+    def delta_ship_ratio(self) -> float:
+        """Fraction of worker payloads shipped incrementally (delta/resync).
+
+        1.0 means every consulted round crossed the process boundary as an
+        O(|changes|) payload; full DIMACS snapshots then happened only on
+        rounds where the worker was not consulted at all (cold start
+        excepted).  Returns 0.0 when the worker was never consulted.
+        """
+        deltas = sum(self.delta_ships)
+        snapshots = sum(self.snapshot_ships)
+        total = deltas + snapshots
+        if total == 0:
+            return 0.0
+        return deltas / total
+
 
 def collect_metrics(
     state: ClusterState,
@@ -78,6 +113,10 @@ def collect_metrics(
     batch_only: bool = True,
     graph_update_times: Optional[Sequence[float]] = None,
     price_refine_times: Optional[Sequence[float]] = None,
+    relaxation_tree_nodes: Optional[Sequence[int]] = None,
+    relaxation_dual_ascents: Optional[Sequence[int]] = None,
+    snapshot_ships: Optional[Sequence[int]] = None,
+    delta_ships: Optional[Sequence[int]] = None,
 ) -> MetricsSummary:
     """Build a :class:`MetricsSummary` from the final cluster state.
 
@@ -89,6 +128,10 @@ def collect_metrics(
         graph_update_times: Per-run graph-maintenance wall times.
         price_refine_times: Per-run price-refine wall times of the winning
             solver.
+        relaxation_tree_nodes: Per-run relaxation tree sizes (round-level).
+        relaxation_dual_ascents: Per-run relaxation dual-ascent counts.
+        snapshot_ships: Per-run full-snapshot worker payload counts.
+        delta_ships: Per-run incremental worker payload counts.
     """
     summary = MetricsSummary()
     if algorithm_runtimes:
@@ -97,6 +140,14 @@ def collect_metrics(
         summary.graph_update_times = list(graph_update_times)
     if price_refine_times:
         summary.price_refine_times = list(price_refine_times)
+    if relaxation_tree_nodes:
+        summary.relaxation_tree_nodes = list(relaxation_tree_nodes)
+    if relaxation_dual_ascents:
+        summary.relaxation_dual_ascents = list(relaxation_dual_ascents)
+    if snapshot_ships:
+        summary.snapshot_ships = list(snapshot_ships)
+    if delta_ships:
+        summary.delta_ships = list(delta_ships)
 
     for task in state.tasks.values():
         job = state.jobs.get(task.job_id)

@@ -76,6 +76,20 @@ class ScheduleRecord:
     #: exposes label-correcting degenerations in timelines.
     price_refine_seconds: float = 0.0
     price_refine_passes: int = 0
+    #: Relaxation observability of the round (zero for baselines): nodes
+    #: added across the relaxation leg's zero-reduced-cost trees and its
+    #: dual-ascent count.  Round-level attribution like the price-refine
+    #: fields: the dual executors fold the relaxation leg's counters into
+    #: the winning result even when cost scaling wins, so timelines show
+    #: what every round's relaxation leg cost.
+    relaxation_tree_nodes: int = 0
+    dual_ascents: int = 0
+    #: Worker transport of the round (parallel executor only): 1 when the
+    #: relaxation worker was fed a full DIMACS snapshot, resp. an
+    #: incremental delta/resync payload (both zero when the worker sat the
+    #: round out).
+    snapshot_ships: int = 0
+    delta_ships: int = 0
 
 
 @dataclass
@@ -213,6 +227,14 @@ class ClusterSimulator:
             price_refine_times=[
                 r.price_refine_seconds for r in self.schedule_records
             ],
+            relaxation_tree_nodes=[
+                r.relaxation_tree_nodes for r in self.schedule_records
+            ],
+            relaxation_dual_ascents=[
+                r.dual_ascents for r in self.schedule_records
+            ],
+            snapshot_ships=[r.snapshot_ships for r in self.schedule_records],
+            delta_ships=[r.delta_ships for r in self.schedule_records],
         )
         return SimulationResult(
             state=self.state,
@@ -305,11 +327,19 @@ class ClusterSimulator:
         winning = ""
         refine_seconds = 0.0
         refine_passes = 0
+        relaxation_tree_nodes = 0
+        dual_ascents = 0
+        snapshot_ships = 0
+        delta_ships = 0
         if decision.solver_result is not None:
             winning = decision.solver_result.algorithm
             statistics = decision.solver_result.statistics
             refine_seconds = statistics.price_refine_seconds
             refine_passes = statistics.price_refine_passes
+            relaxation_tree_nodes = statistics.relaxation_tree_nodes
+            dual_ascents = statistics.dual_ascents
+            snapshot_ships = statistics.snapshot_ships
+            delta_ships = statistics.delta_ships
         self.schedule_records.append(
             ScheduleRecord(
                 start_time=self.now,
@@ -320,6 +350,10 @@ class ClusterSimulator:
                 graph_update_seconds=getattr(decision, "graph_update_seconds", 0.0),
                 price_refine_seconds=refine_seconds,
                 price_refine_passes=refine_passes,
+                relaxation_tree_nodes=relaxation_tree_nodes,
+                dual_ascents=dual_ascents,
+                snapshot_ships=snapshot_ships,
+                delta_ships=delta_ships,
             )
         )
         self._last_schedule_start = self.now

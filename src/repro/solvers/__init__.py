@@ -45,16 +45,21 @@ from repro.solvers.relaxation import RelaxationSolver
 from repro.solvers.incremental import IncrementalCostScalingSolver
 from repro.solvers.incremental_relaxation import IncrementalRelaxationSolver
 from repro.solvers.dual_executor import (
+    EXECUTOR_POLICIES,
     DualAlgorithmExecutor,
     DualExecutionResult,
+    RaceCostModel,
     SpeculativeDualExecutor,
 )
-from repro.solvers.parallel_executor import ParallelDualExecutor
+from repro.solvers.parallel_executor import ParallelDualExecutor, RevisionChainCache
 
 __all__ = [
     "COMPLEXITY_TABLE",
+    "EXECUTOR_POLICIES",
     "PRECONDITION_TABLE",
     "PRICE_REFINE_MODES",
+    "RaceCostModel",
+    "RevisionChainCache",
     "price_refine_dijkstra",
     "price_refine_spfa",
     "SolveAborted",

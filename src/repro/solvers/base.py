@@ -50,6 +50,20 @@ class SolverStatistics:
     #: pop count orders of magnitude above the node count).
     price_refine_seconds: float = 0.0
     price_refine_passes: int = 0
+    #: Relaxation observability (Section 4 / Figure 7-9 attribution): nodes
+    #: added across all zero-reduced-cost trees and the number of dual
+    #: ascent steps performed.  Zero for the other algorithms.  The dual
+    #: executors fold the relaxation leg's counters into the round's
+    #: winning result (like ``price_refine_seconds``), so timelines show
+    #: the relaxation work every round paid regardless of who won.
+    relaxation_tree_nodes: int = 0
+    dual_ascents: int = 0
+    #: Worker transport accounting of the round (parallel executor only):
+    #: whether the relaxation worker was fed a full DIMACS snapshot or an
+    #: incremental delta/resync payload this round (at most one of the two
+    #: is 1; both zero when the worker was not consulted).
+    snapshot_ships: int = 0
+    delta_ships: int = 0
     #: Wall-clock seconds the graph manager spent producing this round's
     #: network (filled in by the scheduler, not the solver), so fig14-style
     #: runs can attribute per-round time to graph maintenance vs solving.
@@ -75,6 +89,11 @@ class SolverStatistics:
             + other.price_refine_seconds,
             price_refine_passes=self.price_refine_passes
             + other.price_refine_passes,
+            relaxation_tree_nodes=self.relaxation_tree_nodes
+            + other.relaxation_tree_nodes,
+            dual_ascents=self.dual_ascents + other.dual_ascents,
+            snapshot_ships=self.snapshot_ships + other.snapshot_ships,
+            delta_ships=self.delta_ships + other.delta_ships,
             graph_update_seconds=self.graph_update_seconds
             + other.graph_update_seconds,
         )

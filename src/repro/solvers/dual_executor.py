@@ -26,6 +26,19 @@ in :class:`SpeculativeDualExecutor`:
 After each iteration the winning solution is installed as the warm-start
 state of the incremental cost scaling instance (via price refine, Section
 6.2), so the next run benefits regardless of which algorithm produced it.
+
+Racing every round is insurance, not a law: when one algorithm has been
+winning by a wide margin the loser's run is pure waste (CPU on the
+sequential executor, a core plus IPC on the parallel one).  The
+``executor_policy`` knob selects between the paper-faithful ``"race"``
+(default, always speculate) and ``"auto"``, which consults a small
+:class:`RaceCostModel` fed by recent :class:`~repro.solvers.base.
+SolverStatistics` -- last wall clocks of both legs, the round's change-batch
+size, and relaxation's contention proxy (dual ascents per augmentation, the
+mechanism behind the Figure 8/9 degradation) -- to pick per round between
+solo relaxation, solo incremental cost scaling, and the full race.  The
+model periodically forces a race so the skipped leg's estimate cannot go
+permanently stale.
 """
 
 from __future__ import annotations
@@ -40,6 +53,9 @@ from repro.solvers.base import Solver, SolverResult
 from repro.solvers.incremental import IncrementalCostScalingSolver
 from repro.solvers.relaxation import RelaxationSolver
 
+#: Executor policies accepted by the executors, the scheduler, and the CLI.
+EXECUTOR_POLICIES = ("race", "auto")
+
 
 @dataclass
 class DualExecutionResult:
@@ -49,9 +65,11 @@ class DualExecutionResult:
         winner: The result whose algorithm finished first; its flow is the
             one written to the network.
         relaxation: The relaxation run's result; ``None`` when the parallel
-            executor abandoned the worker's round before it finished.
+            executor abandoned the worker's round before it finished or the
+            adaptive policy skipped the leg.
         cost_scaling: The (incremental) cost scaling run's result; ``None``
-            when the parallel executor cancelled the run mid-flight.
+            when the parallel executor cancelled the run mid-flight or the
+            adaptive policy skipped the leg.
         effective_runtime_seconds: The placement latency of the round: the
             modeled min of the two runtimes for the sequential executor,
             the *measured* wall clock for the parallel one.
@@ -74,6 +92,12 @@ class DualExecutionResult:
     total_work_seconds: float
     wall_clock_seconds: float = 0.0
     executor: str = "sequential"
+    #: Whether both legs actually started this round.  False for the
+    #: adaptive policy's solo rounds and the parallel executor's
+    #: delta-solo/skipped-worker rounds; True for raced rounds even when
+    #: the losing leg's result is ``None`` (cancelled or abandoned) -- the
+    #: cost model then learns from the censored observation.
+    raced: bool = True
 
     @property
     def winning_algorithm(self) -> str:
@@ -81,12 +105,152 @@ class DualExecutionResult:
         return self.winner.algorithm
 
 
+class RaceCostModel:
+    """Per-round strategy chooser behind ``executor_policy="auto"``.
+
+    A deliberately small first cut: exponential moving averages of the two
+    legs' recent runtimes plus relaxation's contention proxy (dual ascents
+    per augmentation -- the quantity that explodes exactly when relaxation
+    degrades, Figures 8/9).  A leg is only skipped when the other has been
+    winning by at least ``margin`` and the skipped leg's estimate is fresh;
+    every ``probe_interval`` non-raced rounds a full race is forced so a
+    stale estimate cannot lock the policy in.  Oversized change batches
+    always race: they are the rounds where Section 6.1's insurance pays.
+    """
+
+    def __init__(
+        self,
+        margin: float = 3.0,
+        ema_alpha: float = 0.5,
+        contention_limit: float = 3.0,
+        probe_interval: int = 8,
+        min_observations: int = 2,
+        always_race_batch_size: int = 8192,
+    ) -> None:
+        """Create the model.
+
+        Args:
+            margin: Minimum runtime ratio between the legs before the
+                slower one is dropped for the round.
+            ema_alpha: Weight of the newest observation in the EMAs.
+            contention_limit: Solo relaxation is off the table while the
+                dual-ascents-per-augmentation EMA exceeds this (contended
+                graphs are where relaxation collapses without warning).
+            probe_interval: Force a full race after this many consecutive
+                solo rounds so both estimates stay fresh.
+            min_observations: Race unconditionally until each leg has been
+                observed this many times.
+        """
+        self.margin = margin
+        self.ema_alpha = ema_alpha
+        self.contention_limit = contention_limit
+        self.probe_interval = probe_interval
+        self.min_observations = min_observations
+        self.always_race_batch_size = always_race_batch_size
+        self.relaxation_seconds: Optional[float] = None
+        self.cost_scaling_seconds: Optional[float] = None
+        self.contention: float = 0.0
+        self.relaxation_observations: int = 0
+        self.cost_scaling_observations: int = 0
+        self.rounds_since_race: int = 0
+
+    def _ema(self, previous: Optional[float], value: float) -> float:
+        if previous is None:
+            return value
+        alpha = self.ema_alpha
+        return alpha * value + (1.0 - alpha) * previous
+
+    def observe(
+        self,
+        relaxation: Optional[SolverResult],
+        cost_scaling: Optional[SolverResult],
+        wall_clock_seconds: Optional[float] = None,
+        raced: Optional[bool] = None,
+    ) -> None:
+        """Fold one finished round's leg results into the estimates.
+
+        A raced round whose losing leg was cancelled or abandoned (result
+        ``None``) still teaches the model: the loser provably needed *at
+        least* the round's wall clock, so that censored lower bound feeds
+        its EMA.  Without it, a dominant winner would cancel the loser
+        every round and the model could never gather the loser-side
+        observations it needs to stop racing.
+        """
+        if raced is None:
+            raced = relaxation is not None and cost_scaling is not None
+        if raced:
+            self.rounds_since_race = 0
+        else:
+            self.rounds_since_race += 1
+        if relaxation is not None:
+            self.relaxation_seconds = self._ema(
+                self.relaxation_seconds, relaxation.runtime_seconds
+            )
+            self.relaxation_observations += 1
+            stats = relaxation.statistics
+            ratio = stats.dual_ascents / max(1, stats.augmentations)
+            self.contention = self._ema(self.contention, ratio)
+        elif raced and wall_clock_seconds:
+            sample = wall_clock_seconds
+            if self.relaxation_seconds is not None:
+                sample = max(sample, self.relaxation_seconds)
+            self.relaxation_seconds = self._ema(self.relaxation_seconds, sample)
+            self.relaxation_observations += 1
+        if cost_scaling is not None:
+            self.cost_scaling_seconds = self._ema(
+                self.cost_scaling_seconds, cost_scaling.runtime_seconds
+            )
+            self.cost_scaling_observations += 1
+        elif raced and wall_clock_seconds:
+            sample = wall_clock_seconds
+            if self.cost_scaling_seconds is not None:
+                sample = max(sample, self.cost_scaling_seconds)
+            self.cost_scaling_seconds = self._ema(self.cost_scaling_seconds, sample)
+            self.cost_scaling_observations += 1
+
+    def choose(self, batch_size: Optional[int], delta_armed: bool) -> str:
+        """Pick this round's strategy.
+
+        Returns ``"race"``, ``"relaxation"``, or ``"cost_scaling"``.
+
+        Args:
+            batch_size: Size of the round's change batch (None when no
+                batch was supplied -- a rebuild-style round).
+            delta_armed: Whether incremental cost scaling would take the
+                pure delta path this round (bounded O(|changes|) repair).
+        """
+        if (
+            self.relaxation_observations < self.min_observations
+            or self.cost_scaling_observations < self.min_observations
+        ):
+            return "race"
+        if self.rounds_since_race >= self.probe_interval:
+            return "race"
+        if batch_size is None or batch_size > self.always_race_batch_size:
+            # Rebuild-style rounds (no change batch) and oversized batches
+            # are the highest-variance rounds -- exactly where Section
+            # 6.1's insurance pays -- so they always race.
+            return "race"
+        relax = self.relaxation_seconds
+        scaling = self.cost_scaling_seconds
+        if delta_armed and scaling is not None and scaling <= relax:
+            # A delta-armed repair that has also been *measuring* faster
+            # cannot lose to from-scratch relaxation.
+            return "cost_scaling"
+        if scaling * self.margin <= relax:
+            return "cost_scaling"
+        if relax * self.margin <= scaling and self.contention <= self.contention_limit:
+            return "relaxation"
+        return "race"
+
+
 class SpeculativeDualExecutor(Solver):
     """Shared race/seed/result logic of the two dual-algorithm executors.
 
     Subclasses implement :meth:`solve_detailed`; the base class owns the
-    component solvers, the winner-seeds-warm-start rule, and the race
-    counters used by benchmarks and tests for observability.
+    component solvers, the winner-seeds-warm-start rule, the adaptive race
+    policy, and the race counters used by benchmarks and tests for
+    observability.
     """
 
     #: The scheduler may pass ``changes=ChangeBatch`` to :meth:`solve`; the
@@ -99,6 +263,8 @@ class SpeculativeDualExecutor(Solver):
         relaxation: Optional[RelaxationSolver] = None,
         incremental: Optional[IncrementalCostScalingSolver] = None,
         price_refine: str = "auto",
+        executor_policy: str = "race",
+        cost_model: Optional[RaceCostModel] = None,
     ) -> None:
         """Create the executor.
 
@@ -111,11 +277,23 @@ class SpeculativeDualExecutor(Solver):
             price_refine: Price-refine variant for the default incremental
                 instance (``"spfa"``, ``"dijkstra"``, or ``"auto"``);
                 ignored when ``incremental`` is passed explicitly.
+            executor_policy: ``"race"`` (default) speculates every round,
+                exactly as the paper deploys; ``"auto"`` consults the
+                :class:`RaceCostModel` to skip the predictable loser's leg.
+            cost_model: Model instance driving ``"auto"`` (a default one is
+                created when omitted; ignored under ``"race"``).
         """
+        if executor_policy not in EXECUTOR_POLICIES:
+            raise ValueError(
+                f"unknown executor policy {executor_policy!r}; "
+                f"choose from {EXECUTOR_POLICIES}"
+            )
         self.relaxation = relaxation or RelaxationSolver(arc_prioritization=True)
         self.incremental = incremental or IncrementalCostScalingSolver(
             price_refine=price_refine
         )
+        self.executor_policy = executor_policy
+        self.cost_model = cost_model or RaceCostModel()
         self.last_result: Optional[DualExecutionResult] = None
         #: Race observability counters, accumulated across rounds.
         self.rounds: int = 0
@@ -124,6 +302,9 @@ class SpeculativeDualExecutor(Solver):
         self.total_wall_clock_seconds: float = 0.0
         self.total_winner_runtime_seconds: float = 0.0
         self.total_work_seconds: float = 0.0
+        #: Rounds the adaptive policy served with a single leg.
+        self.solo_relaxation_rounds: int = 0
+        self.solo_cost_scaling_rounds: int = 0
 
     def solve(
         self, network: FlowNetwork, changes: Optional[ChangeBatch] = None
@@ -154,10 +335,21 @@ class SpeculativeDualExecutor(Solver):
         self.total_wall_clock_seconds = 0.0
         self.total_winner_runtime_seconds = 0.0
         self.total_work_seconds = 0.0
+        self.solo_relaxation_rounds = 0
+        self.solo_cost_scaling_rounds = 0
 
     # ------------------------------------------------------------------ #
     # Shared race plumbing
     # ------------------------------------------------------------------ #
+    def _choose_strategy(self, changes: Optional[ChangeBatch]) -> str:
+        """Resolve the round's strategy under the configured policy."""
+        if self.executor_policy != "auto":
+            return "race"
+        return self.cost_model.choose(
+            batch_size=len(changes) if changes is not None else None,
+            delta_armed=self.incremental.can_solve_delta(changes),
+        )
+
     def _install_relaxation_win(
         self, network: FlowNetwork, relaxation_result: SolverResult
     ) -> None:
@@ -173,15 +365,15 @@ class SpeculativeDualExecutor(Solver):
     def _record_round(self, result: DualExecutionResult) -> DualExecutionResult:
         """Account a finished round in the executor's counters.
 
-        Price-refine attribution is *round-level*: the refine runs inside
-        the cost-scaling leg whether or not that leg wins, so when
-        relaxation wins its statistics inherit the leg's
-        ``price_refine_seconds`` / ``price_refine_passes`` (mirroring how
-        the scheduler attributes ``graph_update_seconds`` onto the winning
-        result).  Timelines then show what every round paid for price
-        refine instead of only the rounds cost scaling happened to win.
+        Leg-cost attribution is *round-level*: the cost-scaling leg's
+        ``price_refine_seconds`` / ``price_refine_passes`` and the
+        relaxation leg's ``relaxation_tree_nodes`` / ``dual_ascents`` are
+        folded into the winning result's statistics whenever the other leg
+        won (mirroring how the scheduler attributes
+        ``graph_update_seconds``).  Timelines then show what every round
+        paid for each leg instead of only the rounds that leg happened to
+        win.
         """
-        self.rounds += 1
         loser = result.cost_scaling
         if (
             loser is not None
@@ -194,15 +386,54 @@ class SpeculativeDualExecutor(Solver):
             result.winner.statistics.price_refine_passes += (
                 loser.statistics.price_refine_passes
             )
+        relaxation_loser = result.relaxation
+        if (
+            relaxation_loser is not None
+            and result.winner is not relaxation_loser
+            and relaxation_loser.statistics is not result.winner.statistics
+        ):
+            result.winner.statistics.relaxation_tree_nodes += (
+                relaxation_loser.statistics.relaxation_tree_nodes
+            )
+            result.winner.statistics.dual_ascents += (
+                relaxation_loser.statistics.dual_ascents
+            )
+        self._tally_round(result)
+        self.cost_model.observe(
+            result.relaxation,
+            result.cost_scaling,
+            wall_clock_seconds=result.wall_clock_seconds,
+            raced=result.raced,
+        )
+        return result
+
+    def _tally_round(self, result: DualExecutionResult) -> None:
+        """Accumulate one round into the executor's counters.
+
+        Shared by :meth:`_record_round` and the parallel executor's
+        fallback path (which must *not* re-run the stat folding or the
+        cost-model observation -- the inner sequential executor already
+        did both); every counter lives here so the two paths cannot
+        drift.
+        """
+        self.rounds += 1
         if result.winner.algorithm == self.relaxation.name:
             self.relaxation_wins += 1
         else:
             self.cost_scaling_wins += 1
+        if not result.raced and result.executor != "parallel":
+            # Sequential and fallback solo rounds are classified here from
+            # the result shape; the parallel executor counts its own solo
+            # rounds at the decision site instead, where delta-solos and
+            # policy solos are distinguishable.
+            if result.cost_scaling is None:
+                self.solo_relaxation_rounds += 1
+            elif result.relaxation is None:
+                self.solo_cost_scaling_rounds += 1
         self.total_wall_clock_seconds += result.wall_clock_seconds
         self.total_winner_runtime_seconds += result.winner.runtime_seconds
         self.total_work_seconds += result.total_work_seconds
         self.last_result = result
-        return result
 
 
 class DualAlgorithmExecutor(SpeculativeDualExecutor):
@@ -217,14 +448,55 @@ class DualAlgorithmExecutor(SpeculativeDualExecutor):
         """Solve the network and return both algorithms' results.
 
         The winning flow is the one left assigned on the network's arcs.
+        Under ``executor_policy="auto"`` the round may run a single leg;
+        the skipped leg's slot in the result is ``None``.
         """
         started = time.perf_counter()
-        # Run relaxation on a copy so the network's arcs end up carrying the
-        # winner's flow regardless of execution order.
-        relaxation_network = network.copy()
-        relaxation_result = self.relaxation.solve(relaxation_network)
+        strategy = self._choose_strategy(changes)
+
+        relaxation_result: Optional[SolverResult] = None
+        if strategy != "cost_scaling":
+            # Run relaxation on a copy so the network's arcs end up carrying
+            # the winner's flow regardless of execution order.  The round's
+            # change batch is forwarded so the solver can patch its
+            # persistent residual instead of rebuilding it.
+            relaxation_network = network.copy()
+            relaxation_result = self.relaxation.solve(
+                relaxation_network, changes=changes
+            )
+
+        if strategy == "relaxation":
+            self._install_relaxation_win(network, relaxation_result)
+            runtime = relaxation_result.runtime_seconds
+            return self._record_round(
+                DualExecutionResult(
+                    winner=relaxation_result,
+                    relaxation=relaxation_result,
+                    cost_scaling=None,
+                    effective_runtime_seconds=runtime,
+                    total_work_seconds=runtime,
+                    wall_clock_seconds=time.perf_counter() - started,
+                    executor="sequential",
+                    raced=False,
+                )
+            )
 
         cost_scaling_result = self.incremental.solve(network, changes=changes)
+
+        if strategy == "cost_scaling":
+            runtime = cost_scaling_result.runtime_seconds
+            return self._record_round(
+                DualExecutionResult(
+                    winner=cost_scaling_result,
+                    relaxation=None,
+                    cost_scaling=cost_scaling_result,
+                    effective_runtime_seconds=runtime,
+                    total_work_seconds=runtime,
+                    wall_clock_seconds=time.perf_counter() - started,
+                    executor="sequential",
+                    raced=False,
+                )
+            )
 
         if relaxation_result.runtime_seconds <= cost_scaling_result.runtime_seconds:
             winner = relaxation_result

@@ -15,6 +15,14 @@ reproducible: it is the stateful warm-starting wrapper around
 :class:`~repro.solvers.relaxation.RelaxationSolver` that Firmament chose not
 to use, and ``benchmarks/bench_ablation_incremental_relaxation.py`` measures
 it against the from-scratch solver on both uncontested and contended graphs.
+
+The wrapper's warm state has exactly one source of truth: the
+``(flows, potentials)`` pair installed through :meth:`_install_state`, the
+single code path behind :meth:`seed`, :meth:`reset`, and the post-solve
+update.  The underlying solver's persistent residual carries flow and
+potential state of its own, so every state installation also drops it --
+two independently mutated copies of the same solution is how warm-start
+bugs are born.
 """
 
 from __future__ import annotations
@@ -39,23 +47,42 @@ class IncrementalRelaxationSolver(Solver):
                 in the underlying relaxation algorithm.
         """
         self._relaxation = RelaxationSolver(arc_prioritization=arc_prioritization)
-        self._last_flows: Optional[Dict[Tuple[int, int], int]] = None
-        self._last_potentials: Optional[Dict[int, int]] = None
+        #: The remembered solution, or ``None`` for a cold start.  Only
+        #: ever written by :meth:`_install_state`.
+        self._warm_state: Optional[
+            Tuple[Dict[Tuple[int, int], int], Dict[int, int]]
+        ] = None
+
+    def _install_state(
+        self,
+        flows: Optional[Dict[Tuple[int, int], int]],
+        potentials: Optional[Dict[int, int]],
+    ) -> None:
+        """Install (or clear, with ``flows=None``) the warm-start state.
+
+        The one code path through which seeding, resetting, and the
+        post-solve update all go; it also invalidates the underlying
+        solver's persistent residual so the wrapper's dicts remain the
+        single authoritative copy of the solution.
+        """
+        if flows is None:
+            self._warm_state = None
+        else:
+            self._warm_state = (dict(flows), dict(potentials or {}))
+        self._relaxation.invalidate_residual()
 
     def reset(self) -> None:
         """Discard the remembered solution; the next solve runs from scratch."""
-        self._last_flows = None
-        self._last_potentials = None
+        self._install_state(None, None)
 
     def seed(self, flows: Dict[Tuple[int, int], int], potentials: Dict[int, int]) -> None:
         """Install an externally produced solution as the warm-start state."""
-        self._last_flows = dict(flows)
-        self._last_potentials = dict(potentials)
+        self._install_state(flows, potentials)
 
     @property
     def has_state(self) -> bool:
         """Return whether a previous solution is available for warm starting."""
-        return self._last_flows is not None
+        return self._warm_state is not None
 
     def solve(self, network: FlowNetwork) -> SolverResult:
         """Solve the network, reusing the previous solution when available."""
@@ -71,12 +98,8 @@ class IncrementalRelaxationSolver(Solver):
                 optimal=result.optimal,
             )
         else:
-            result = self._relaxation.solve_warm(
-                network,
-                dict(self._last_flows),
-                dict(self._last_potentials or {}),
-            )
+            warm_flows, warm_potentials = self._warm_state
+            result = self._relaxation.solve_warm(network, warm_flows, warm_potentials)
             result.algorithm = self.name
-        self._last_flows = dict(result.flows)
-        self._last_potentials = dict(result.potentials)
+        self._install_state(result.flows, result.potentials)
         return result

@@ -9,12 +9,17 @@ for real instead of modeling the race:
   the process boundary in the compact DIMACS text forms
   (:mod:`repro.flow.dimacs`), never as a pickled object graph -- and, like
   the real Firmament's out-of-process solver, usually only as a *delta*:
-  the worker keeps a shadow copy of the last network it saw, and when the
-  round's :class:`~repro.flow.changes.ChangeBatch` chains onto the shadow's
-  revision the parent ships :func:`~repro.flow.dimacs.write_incremental`
-  text (O(|changes|)) instead of the full ``write_dimacs`` document
-  (O(graph)).  Full snapshots are sent on the first round, after skipped or
-  failed rounds, and whenever no revision-chained batch is available.
+  the worker keeps a persistent shadow network (plus the relaxation
+  solver's own persistent residual patched from the same changes), and the
+  parent keeps a :class:`RevisionChainCache` of every revision-chained
+  change batch it has seen.  A round whose batch chains directly onto the
+  worker's revision ships as :func:`~repro.flow.dimacs.write_incremental`
+  text (O(|changes|)); a round where the chain *broke* -- solo-solved
+  rounds, skipped rounds, any gap -- ships a **resync payload**: the
+  recorded batches composed from the worker's last known revision to the
+  current one, still O(|missed changes|).  Full ``write_dimacs`` snapshots
+  (O(graph), plus an O(graph) reparse and residual rebuild in the worker)
+  remain only for true cold starts, worker respawns, and worker errors.
 * **Incremental cost scaling** runs in the parent process, patching its
   persistent residual network from the round's
   :class:`~repro.flow.changes.ChangeBatch` exactly as in the sequential
@@ -38,9 +43,13 @@ revision-chained persistent residual and the round's change batch is small
 (:data:`DELTA_SOLO_THRESHOLD`), the parent solves solo -- a bounded
 O(|changes|) repair cannot lose to a from-scratch relaxation run, so racing
 would only waste a core (and on oversubscribed hosts would actively slow
-the guaranteed winner).  The race runs on exactly the rounds where Section
-6.1's insurance matters: cold starts, post-seed rebuilds, broken revision
-chains, and oversized batches.
+the guaranteed winner).  Under ``executor_policy="auto"`` the shared
+:class:`~repro.solvers.dual_executor.RaceCostModel` additionally skips the
+predictable loser on the remaining rounds (solo relaxation ships the round
+to the worker and waits; solo cost scaling leaves the worker idle and the
+revision-chain cache covers the gap).  The full race runs on exactly the
+rounds where Section 6.1's insurance matters: cold starts, post-seed
+rebuilds, oversized batches, and whenever the cost model is unsure.
 
 When multiprocessing is unavailable (spawn failure, broken pipe, platforms
 without it) the executor transparently falls back to the sequential
@@ -52,9 +61,10 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Any, Dict, Optional
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.flow.changes import ChangeBatch, apply_changes
+from repro.flow.changes import ChangeBatch, GraphChange, apply_changes
 from repro.flow.dimacs import (
     read_dimacs,
     read_incremental,
@@ -66,6 +76,7 @@ from repro.solvers.base import SolveAborted, SolverResult, SolverStatistics
 from repro.solvers.dual_executor import (
     DualAlgorithmExecutor,
     DualExecutionResult,
+    RaceCostModel,
     SpeculativeDualExecutor,
 )
 from repro.solvers.incremental import IncrementalCostScalingSolver
@@ -86,28 +97,104 @@ from repro.solvers.relaxation import RelaxationSolver
 #: far below any from-scratch relaxation run, so racing the worker cannot
 #: change the winner; it only burns a second core (or, on shared cores,
 #: steals scheduling quanta from the guaranteed winner).  Rebuild rounds --
-#: first round, post-seed rounds, broken revision chains, oversized batches
-#: -- always race, which is where Section 6.1's tail-latency insurance
-#: actually pays.
+#: first round, post-seed rounds, oversized batches -- always race, which
+#: is where Section 6.1's tail-latency insurance actually pays.
 DELTA_SOLO_THRESHOLD = 1024
 
 #: How long the parent waits for the worker after the parent-side solver
 #: *failed* (e.g. infeasibility) before re-raising the parent's error.
 LOSER_GRACE_SECONDS = 30.0
 
+#: How many revision-chained change batches the parent remembers for
+#: worker resync.  At one batch per scheduling round this covers every
+#: realistic solo/skip streak; a worker further behind than this gets a
+#: full snapshot, exactly as before the cache existed.
+BATCH_HISTORY_LIMIT = 256
+
+#: A resync payload is worth shipping while it stays within this multiple
+#: of the full snapshot's line count (one line per change vs one line per
+#: node/arc): even at equal line counts the delta wins, because the worker
+#: patches its shadow and persistent residual in place instead of reparsing
+#: the whole document and rebuilding the residual from scratch -- roughly
+#: half of a cold round's cost.  Beyond ~2x, a churn-heavy history (adds
+#: later removed again) makes the composed payload pure overhead and the
+#: full document takes over.
+RESYNC_MAX_SNAPSHOT_MULTIPLE = 2
+
+
+class RevisionChainCache:
+    """Recent revision-chained change batches, for worker-side resync.
+
+    The parent records every revision-chained batch it sees (including the
+    rounds it solves solo, which is precisely when the worker's chain
+    breaks) keyed by base revision.  :meth:`compose` then rebuilds the
+    change sequence from the worker's last known revision to the current
+    one by walking the recorded chain, so a broken chain resyncs with an
+    O(|missed changes|) incremental payload instead of a full DIMACS
+    snapshot and reparse.
+    """
+
+    def __init__(self, max_entries: int = BATCH_HISTORY_LIMIT) -> None:
+        self.max_entries = max_entries
+        #: base_revision -> (target_revision, changes)
+        self._by_base: "OrderedDict[int, Tuple[int, List[GraphChange]]]" = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._by_base)
+
+    def record(self, batch: ChangeBatch) -> None:
+        """Remember one revision-chained batch (unrevisioned ones are not
+        resyncable and are ignored)."""
+        base = batch.base_revision
+        target = batch.target_revision
+        if base is None or target is None or base == target:
+            return
+        self._by_base[base] = (target, list(batch))
+        self._by_base.move_to_end(base)
+        while len(self._by_base) > self.max_entries:
+            self._by_base.popitem(last=False)
+
+    def compose(
+        self, from_revision: int, to_revision: int, max_changes: Optional[int] = None
+    ) -> Optional[List[GraphChange]]:
+        """Return the concatenated changes leading ``from_revision`` to
+        ``to_revision``, or ``None`` when the recorded chain has a gap (or
+        the composition exceeds ``max_changes``)."""
+        if from_revision == to_revision:
+            return []
+        changes: List[GraphChange] = []
+        revision = from_revision
+        for _ in range(len(self._by_base)):
+            entry = self._by_base.get(revision)
+            if entry is None:
+                return None
+            target, recorded = entry
+            changes.extend(recorded)
+            if max_changes is not None and len(changes) > max_changes:
+                return None
+            if target == to_revision:
+                return changes
+            revision = target
+        return None
+
 
 def _relaxation_worker(conn, relaxation_kwargs: Dict[str, Any]) -> None:
     """Entry point of the persistent relaxation worker subprocess.
 
-    Serves ``("full", round_id, dimacs_text)`` and ``("delta", round_id,
-    incremental_text)`` requests until a ``("shutdown",)`` message or pipe
-    closure.  A full request replaces the worker's shadow network; a delta
-    request patches the shadow in place (O(|changes|)) before solving, so
-    steady-state rounds never pay a full-document parse.  Responses carry
-    the round id so the parent can discard answers to rounds it has already
-    abandoned, and a monotonic finish stamp so the parent can settle photo
-    finishes (CLOCK_MONOTONIC is system-wide, hence comparable across
-    processes).
+    Serves ``("full", round_id, dimacs_text, revision)`` and ``("delta",
+    round_id, incremental_text, base_revision, target_revision)`` requests
+    until a ``("shutdown",)`` message or pipe closure.  A full request
+    replaces the worker's shadow network (and, through the solve, the
+    relaxation solver's persistent residual); a delta request patches the
+    shadow in place (O(|changes|)) and hands the same batch to the solver,
+    whose persistent residual is patched rather than rebuilt -- so
+    steady-state rounds pay neither a full-document parse nor an O(graph)
+    residual construction.  Responses carry the round id so the parent can
+    discard answers to rounds it has already abandoned, and a monotonic
+    finish stamp so the parent can settle photo finishes (CLOCK_MONOTONIC
+    is system-wide, hence comparable across processes).
     """
     solver = RelaxationSolver(**relaxation_kwargs)
     shadow = None
@@ -118,15 +205,27 @@ def _relaxation_worker(conn, relaxation_kwargs: Dict[str, Any]) -> None:
             break
         if message[0] == "shutdown":
             break
-        kind, round_id, text = message
+        kind, round_id, text = message[0], message[1], message[2]
         try:
             if kind == "full":
                 shadow = read_dimacs(text)
+                shadow.revision = message[3]
+                solver.invalidate_residual()
+                result = solver.solve(shadow)
             elif shadow is None:
                 raise RuntimeError("delta request but no shadow network")
             else:
-                apply_changes(shadow, read_incremental(text))
-            result = solver.solve(shadow)
+                base_revision, target_revision = message[3], message[4]
+                parsed = read_incremental(text)
+                apply_changes(shadow, parsed)
+                shadow.revision = target_revision
+                batch = ChangeBatch(
+                    changes=parsed,
+                    base_revision=base_revision,
+                    target_revision=target_revision,
+                )
+                result = solver.solve(shadow, changes=batch)
+            stats = result.statistics
             response = (
                 "result",
                 round_id,
@@ -135,16 +234,21 @@ def _relaxation_worker(conn, relaxation_kwargs: Dict[str, Any]) -> None:
                     "flows": result.flows,
                     "potentials": result.potentials,
                     "runtime_seconds": result.runtime_seconds,
-                    "iterations": result.statistics.iterations,
-                    "augmentations": result.statistics.augmentations,
+                    "iterations": stats.iterations,
+                    "augmentations": stats.augmentations,
+                    "relaxation_tree_nodes": stats.relaxation_tree_nodes,
+                    "dual_ascents": stats.dual_ascents,
+                    "arcs_patched": stats.arcs_patched,
+                    "nodes_touched": stats.nodes_touched,
                     "finished_at": time.monotonic(),
                 },
             )
         except Exception as error:
-            # The shadow may be half-patched; drop it so the next full
-            # snapshot (which the parent sends after seeing any error)
-            # starts clean.
+            # The shadow (and the solver's residual) may be half-patched;
+            # drop both so the next full snapshot (which the parent sends
+            # after seeing any error) starts clean.
             shadow = None
+            solver.invalidate_residual()
             response = ("error", round_id, f"{type(error).__name__}: {error}")
         try:
             conn.send(response)
@@ -241,6 +345,9 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
         loser_grace_seconds: float = LOSER_GRACE_SECONDS,
         delta_solo_threshold: int = DELTA_SOLO_THRESHOLD,
         price_refine: str = "auto",
+        executor_policy: str = "race",
+        cost_model: Optional[RaceCostModel] = None,
+        batch_history_limit: int = BATCH_HISTORY_LIMIT,
     ) -> None:
         """Create the executor.
 
@@ -263,10 +370,18 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
                 passed explicitly.  Faster price refine shifts the
                 solo-vs-race crossover: warm rebuilds the parent used to
                 lose (racing pays) become rounds it wins solo.
+            executor_policy: ``"race"`` (default) races every non-solo-delta
+                round; ``"auto"`` lets the cost model skip the predictable
+                loser (see :class:`~repro.solvers.dual_executor.
+                RaceCostModel`).
+            cost_model: Model instance driving ``"auto"``.
+            batch_history_limit: How many revision-chained batches the
+                resync cache retains (see :class:`RevisionChainCache`).
         """
         super().__init__(
             relaxation=relaxation, incremental=incremental,
-            price_refine=price_refine,
+            price_refine=price_refine, executor_policy=executor_policy,
+            cost_model=cost_model,
         )
         self._relaxation_kwargs = {
             "arc_prioritization": self.relaxation.arc_prioritization,
@@ -283,15 +398,31 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
         #: Revision of the network content the worker's shadow copy mirrors
         #: (None forces the next request to be a full snapshot).
         self._worker_revision: Optional[int] = None
+        #: Revision-chained batches seen recently, for worker resync.
+        self._batch_history = RevisionChainCache(max_entries=batch_history_limit)
         #: Rounds served by the sequential fallback (observability).
         self.fallback_rounds: int = 0
         #: Rounds where the worker was skipped because it lagged too far.
         self.skipped_worker_rounds: int = 0
         #: Delta-armed rounds solved solo (speculation skipped as futile).
         self.solo_delta_rounds: int = 0
-        #: Requests shipped as full DIMACS snapshots vs incremental deltas.
+        #: Requests shipped as full DIMACS snapshots vs incremental deltas
+        #: (``delta_payloads`` includes both directly-chained rounds and
+        #: history-composed resyncs; the latter are additionally counted in
+        #: ``resync_payloads``).
         self.full_payloads: int = 0
         self.delta_payloads: int = 0
+        self.resync_payloads: int = 0
+
+    @property
+    def snapshot_ships(self) -> int:
+        """Alias of :attr:`full_payloads` (full DIMACS snapshots shipped)."""
+        return self.full_payloads
+
+    @property
+    def delta_ships(self) -> int:
+        """Alias of :attr:`delta_payloads` (incremental payloads shipped)."""
+        return self.delta_payloads
 
     def reset_counters(self) -> None:
         """Zero race and transport counters; worker and warm state persist."""
@@ -301,6 +432,7 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
         self.solo_delta_rounds = 0
         self.full_payloads = 0
         self.delta_payloads = 0
+        self.resync_payloads = 0
 
     # ------------------------------------------------------------------ #
     # Worker lifecycle
@@ -344,7 +476,8 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
         self._spawn_attempts_left = 0
         if self._fallback is None:
             self._fallback = DualAlgorithmExecutor(
-                relaxation=self.relaxation, incremental=self.incremental
+                relaxation=self.relaxation, incremental=self.incremental,
+                executor_policy=self.executor_policy, cost_model=self.cost_model,
             )
 
     def _note_worker_error(self) -> None:
@@ -402,6 +535,11 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
 
         The winning flow is the one left assigned on the network's arcs.
         """
+        if changes is not None:
+            # Remember every revision-chained batch -- including the rounds
+            # solved solo below, which is exactly when the worker's chain
+            # would otherwise break and force a full snapshot.
+            self._batch_history.record(changes)
         if not self._ensure_worker():
             return self._solve_fallback(network, changes)
         self._drain_pending()
@@ -411,7 +549,7 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
                 return self._solve_fallback(network, changes)
 
         started = time.perf_counter()
-        race: Optional[_RoundRace] = None
+        strategy = "race"
         if (
             changes is not None
             and len(changes) <= self.delta_solo_threshold
@@ -421,41 +559,78 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
             # is O(|changes|) and cannot lose to a from-scratch relaxation
             # run, so speculation would only burn CPU.  Solve solo.
             self.solo_delta_rounds += 1
-        elif not self._unanswered:
-            self._round_id += 1
-            round_id = self._round_id
-            try:
-                kind, text, shipped_revision = self._encode_request(network, changes)
-                self._conn.send((kind, round_id, text))
-                # Yield the timeslice so the worker starts on the request
-                # immediately.  On a multi-core box this costs nothing; on a
-                # shared core it stops the parent from sitting on the CPU
-                # for a full scheduling quantum before the race even starts.
-                if hasattr(os, "sched_yield"):
-                    os.sched_yield()
-                self._unanswered.add(round_id)
-                self._worker_revision = shipped_revision
-                if kind == "delta":
-                    self.delta_payloads += 1
-                else:
-                    self.full_payloads += 1
-                race = _RoundRace(
-                    self._conn, round_id, self._unanswered,
-                    on_error=self._note_worker_error,
-                )
-            except (BrokenPipeError, OSError):
-                self._teardown_worker()
-                if not self._ensure_worker():
-                    return self._solve_fallback(network, changes)
-                return self.solve_detailed(network, changes)
+            strategy = "cost_scaling"
         else:
-            # The worker is still chewing on an older (abandoned) round; do
-            # not pile on -- see the deadlock note on the answered-up send
-            # precondition above.  Cost scaling runs this round unopposed,
-            # and the unshipped network breaks the delta chain, so the next
-            # request will be a full snapshot (its batch bases on this
-            # revision).
-            self.skipped_worker_rounds += 1
+            strategy = self._choose_strategy(changes)
+            if strategy == "cost_scaling":
+                self.solo_cost_scaling_rounds += 1
+
+        race: Optional[_RoundRace] = None
+        ship_kind: Optional[str] = None
+        if strategy != "cost_scaling":
+            if not self._unanswered:
+                self._round_id += 1
+                round_id = self._round_id
+                try:
+                    message, ship_kind, shipped_revision = self._encode_request(
+                        round_id, network, changes
+                    )
+                    self._conn.send(message)
+                    # Yield the timeslice so the worker starts on the
+                    # request immediately.  On a multi-core box this costs
+                    # nothing; on a shared core it stops the parent from
+                    # sitting on the CPU for a full scheduling quantum
+                    # before the race even starts.
+                    if hasattr(os, "sched_yield"):
+                        os.sched_yield()
+                    self._unanswered.add(round_id)
+                    self._worker_revision = shipped_revision
+                    if ship_kind == "delta":
+                        self.delta_payloads += 1
+                    else:
+                        self.full_payloads += 1
+                    race = _RoundRace(
+                        self._conn, round_id, self._unanswered,
+                        on_error=self._note_worker_error,
+                    )
+                except (BrokenPipeError, OSError):
+                    self._teardown_worker()
+                    if not self._ensure_worker():
+                        return self._solve_fallback(network, changes)
+                    return self.solve_detailed(network, changes)
+            else:
+                # The worker is still chewing on an older (abandoned) round;
+                # do not pile on -- see the deadlock note on the answered-up
+                # send precondition above.  Cost scaling runs this round
+                # unopposed; the revision-chain cache lets the *next*
+                # shipped round resync the worker with a delta payload.
+                self.skipped_worker_rounds += 1
+
+        if race is not None and strategy == "relaxation":
+            # The cost model picked solo relaxation: wait for the worker
+            # instead of burning the parent core on the predicted loser.
+            # The wait is bounded by the *cost-scaling* estimate (with
+            # slack), not the failure-grace bound: if the worker has not
+            # answered within a few multiples of what the skipped leg
+            # would have taken, the prediction was wrong (e.g. a
+            # contention spike) and the parent-side solver takes over.
+            self.solo_relaxation_rounds += 1
+            scaling_estimate = self.cost_model.cost_scaling_seconds
+            timeout = self.loser_grace_seconds
+            if scaling_estimate is not None:
+                timeout = min(timeout, max(0.05, 4.0 * scaling_estimate))
+            if race.wait(timeout):
+                relaxation_result = self._payload_to_result(race.payload)
+                return self._finish_round(
+                    network, started, None, relaxation_result,
+                    winner_is_relaxation=True, ship_kind=ship_kind,
+                    parent_ran=False,
+                )
+            if race.pipe_broken:
+                self._teardown_worker()
+            # The worker failed or timed out; degrade to the parent-side
+            # solver (the race below, with the worker round still pending,
+            # simply runs cost scaling unopposed).
 
         cost_scaling_result: Optional[SolverResult] = None
         parent_error: Optional[BaseException] = None
@@ -475,7 +650,8 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
             if parent_error is not None:
                 raise parent_error
             return self._finish_round(
-                network, started, cost_scaling_result, None, winner_is_relaxation=False
+                network, started, cost_scaling_result, None,
+                winner_is_relaxation=False, ship_kind=ship_kind,
             )
 
         if cost_scaling_result is not None:
@@ -494,6 +670,7 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
                 cost_scaling_result,
                 relaxation_result,
                 winner_is_relaxation=worker_first,
+                ship_kind=ship_kind,
             )
 
         if parent_error is None:
@@ -501,7 +678,8 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
             # current round's relaxation result is in hand.
             relaxation_result = self._payload_to_result(race.payload)
             return self._finish_round(
-                network, started, None, relaxation_result, winner_is_relaxation=True
+                network, started, None, relaxation_result,
+                winner_is_relaxation=True, ship_kind=ship_kind,
             )
 
         # The parent-side solver failed (e.g. infeasibility).  Give the
@@ -510,32 +688,72 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
         if race.wait(self.loser_grace_seconds):
             relaxation_result = self._payload_to_result(race.payload)
             return self._finish_round(
-                network, started, None, relaxation_result, winner_is_relaxation=True
+                network, started, None, relaxation_result,
+                winner_is_relaxation=True, ship_kind=ship_kind,
             )
         if race.pipe_broken:
             self._teardown_worker()
         raise parent_error
 
-    def _encode_request(self, network: FlowNetwork, changes: Optional[ChangeBatch]):
-        """Serialize the round for the worker: delta when the chain holds.
+    def _encode_request(
+        self,
+        round_id: int,
+        network: FlowNetwork,
+        changes: Optional[ChangeBatch],
+    ) -> Tuple[tuple, str, Optional[int]]:
+        """Serialize the round for the worker: a delta whenever possible.
 
-        A delta is only legal when the round's change batch provably
-        transforms the exact revision the worker's shadow network mirrors;
-        anything else (first round, skipped rounds, unrevisioned hand-built
-        networks, unserializable batches) ships a full snapshot.
+        Returns ``(message, kind, shipped_revision)``.  An incremental
+        payload is legal when the revision-chain cache can compose the
+        recorded batches from the exact revision the worker's shadow
+        mirrors to the round's target revision -- the directly-chained case
+        is just a one-batch composition.  Anything else (cold start, worker
+        respawn or error, a gap older than the cache, unserializable
+        batches, unrevisioned hand-built networks) ships a full snapshot.
         """
+        # Only a revision-*tracked* round may ship incrementally: without a
+        # batch whose revisions vouch for the graph's lineage, two
+        # different networks could share a revision number (hand-built
+        # networks default to 0) and an "empty delta" would make the
+        # worker solve its stale shadow as if it were the new problem.
+        # Full snapshots still stamp the network's own revision so the
+        # next *tracked* round can chain onto them.
+        target = None
         if (
             changes is not None
             and changes.base_revision is not None
-            and changes.base_revision == self._worker_revision
             and changes.target_revision is not None
         ):
-            try:
-                return "delta", write_incremental(list(changes)), changes.target_revision
-            except (ValueError, TypeError):
-                pass  # e.g. a NodeAddition without an explicit node id
+            target = changes.target_revision
+        worker_revision = self._worker_revision
+        if worker_revision is not None and target is not None:
+            composed = self._batch_history.compose(
+                worker_revision,
+                target,
+                max_changes=RESYNC_MAX_SNAPSHOT_MULTIPLE
+                * (network.num_arcs + network.num_nodes),
+            )
+            if composed is not None:
+                try:
+                    text = write_incremental(
+                        composed,
+                        base_revision=worker_revision,
+                        target_revision=target,
+                    )
+                except (ValueError, TypeError):
+                    pass  # e.g. a NodeAddition without an explicit node id
+                else:
+                    if changes is None or worker_revision != changes.base_revision:
+                        # The payload bridges a gap beyond the current
+                        # round's own batch: a resync of a broken chain.
+                        self.resync_payloads += 1
+                    message = (
+                        "delta", round_id, text, worker_revision, target,
+                    )
+                    return message, "delta", target
         text = write_dimacs(network, include_node_types=False)
-        return "full", text, getattr(network, "revision", None)
+        shipped_revision = getattr(network, "revision", None)
+        return ("full", round_id, text, shipped_revision), "full", shipped_revision
 
     # ------------------------------------------------------------------ #
     # Round assembly
@@ -546,7 +764,10 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
         result = self._fallback.solve_detailed(network, changes)
         result.executor = "sequential_fallback"
         self.fallback_rounds += 1
-        return self._record_round(result)
+        # Tally only: the inner sequential executor's _record_round already
+        # folded the loser's stats and fed the (shared) cost model.
+        self._tally_round(result)
+        return result
 
     def _payload_to_result(
         self, payload: Optional[Dict[str, Any]]
@@ -563,6 +784,10 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
             statistics=SolverStatistics(
                 iterations=payload["iterations"],
                 augmentations=payload["augmentations"],
+                relaxation_tree_nodes=payload.get("relaxation_tree_nodes", 0),
+                dual_ascents=payload.get("dual_ascents", 0),
+                arcs_patched=payload.get("arcs_patched", 0),
+                nodes_touched=payload.get("nodes_touched", 0),
             ),
         )
 
@@ -573,6 +798,8 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
         cost_scaling_result: Optional[SolverResult],
         relaxation_result: Optional[SolverResult],
         winner_is_relaxation: bool,
+        ship_kind: Optional[str] = None,
+        parent_ran: bool = True,
     ) -> DualExecutionResult:
         wall_clock = time.perf_counter() - started
         if winner_is_relaxation:
@@ -581,16 +808,20 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
         else:
             winner = cost_scaling_result
         # A cancelled parent run consumed roughly the whole round's wall
-        # clock before it stopped; an abandoned worker round is accounted
-        # only when its runtime is known (the stale result may never drain).
+        # clock before it stopped (a solo-relaxation round's idle parent
+        # consumed nothing); an abandoned worker round is accounted only
+        # when its runtime is known (the stale result may never drain).
         work = 0.0
-        work += (
-            cost_scaling_result.runtime_seconds
-            if cost_scaling_result is not None
-            else wall_clock
-        )
+        if cost_scaling_result is not None:
+            work += cost_scaling_result.runtime_seconds
+        elif parent_ran:
+            work += wall_clock
         if relaxation_result is not None:
             work += relaxation_result.runtime_seconds
+        if ship_kind == "full":
+            winner.statistics.snapshot_ships = 1
+        elif ship_kind == "delta":
+            winner.statistics.delta_ships = 1
         result = DualExecutionResult(
             winner=winner,
             relaxation=relaxation_result,
@@ -599,5 +830,9 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
             total_work_seconds=work,
             wall_clock_seconds=wall_clock,
             executor="parallel",
+            # A round raced only when the worker was consulted *and* the
+            # parent leg ran; solo rounds must not feed the cost model
+            # censored loser samples (the skipped leg never started).
+            raced=ship_kind is not None and parent_ran,
         )
         return self._record_round(result)

@@ -20,14 +20,61 @@ This implementation includes the **arc prioritization** heuristic of
 Section 5.3.1: when growing the tree, arcs that lead towards nodes with
 demand are explored first (depth-first bias), which the paper reports cuts
 runtime by ~45 % on contended graphs.
+
+Performance architecture
+========================
+
+Relaxation is the leg that wins the dual race in the common case, so the
+end-to-end placement latency of most rounds is *its* runtime plus the cost
+of handing it the problem.  The solver therefore mirrors the cost-scaling
+core's data layout and avoids every avoidable indirection:
+
+* All hot loops run over the shared typed ``array('q')`` residual columns
+  (:class:`~repro.solvers.residual.ResidualNetwork`) with **inlined
+  reduced-cost arithmetic** from local aliases -- no method call or
+  attribute lookup per scanned arc.
+* Tree growth scans each tree node's adjacency **exactly once per tree**
+  (the current-arc discipline): zero-reduced-cost arcs extend the tree
+  immediately, while every other residual arc leaving the tree is filed
+  into a **candidate heap** keyed by its reduced cost plus the cumulative
+  ascent at insertion time.  Because a dual ascent raises every tree
+  potential uniformly, the key stays comparable forever: the arc's live
+  reduced cost is ``key - cum``.  A dual-ascent step is then a heap peek
+  (the minimum valid key yields the ascent delta) followed by popping
+  exactly the arcs whose reduced cost just reached zero -- the re-traversal
+  of the whole tree after every ascent, the old implementation's dominant
+  cost on contended graphs, is gone entirely.
+* Per-tree node marks are **stamp-versioned** (``tree_mark[v] == stamp``),
+  so routing a new batch of supply costs no O(n) clearing.
+* The solver keeps a **persistent residual network** across solves
+  (:attr:`RelaxationSolver.last_residual`): when the caller supplies the
+  revision-chained :class:`~repro.flow.changes.ChangeBatch` that transforms
+  the previously solved network into the current one (the same contract as
+  :class:`~repro.solvers.incremental.IncrementalCostScalingSolver`), the
+  residual is patched in place
+  (:meth:`~repro.solvers.residual.ResidualNetwork.apply_changes`) and reset
+  to the zero-flow start state with pure array arithmetic
+  (:meth:`~repro.solvers.residual.ResidualNetwork.reset_to_zero_flow`) --
+  no index rebuild and no O(graph) object traversal.  Relaxation still runs
+  *from scratch* on the patched residual (Section 5.2: warm-starting
+  relaxation does not pay), only the problem hand-off is incremental.
+
+Note on write-back: with a persistent residual, flow write-back and
+extraction run through the residual's dirty-flow journal, which is exact
+when the solver repeatedly writes to the same target network (the worker's
+shadow, a graph manager's persistent network) or when only the returned
+``flows`` mapping is consumed (the dual executors).  The result's ``flows``
+dict is always the authoritative solution.
 """
 
 from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from heapq import heapify, heappop, heappush
+from typing import Dict, Optional, Tuple
 
+from repro.flow.changes import ChangeBatch
 from repro.flow.graph import FlowNetwork
 from repro.solvers.base import (
     InfeasibleProblemError,
@@ -37,13 +84,16 @@ from repro.solvers.base import (
 )
 from repro.solvers.residual import ResidualNetwork
 
-_INF = float("inf")
-
 
 class RelaxationSolver(Solver):
     """Bertsekas-Tseng relaxation (dual ascent with tree augmentation)."""
 
     name = "relaxation"
+
+    #: The dual executors may pass ``changes=ChangeBatch`` to :meth:`solve`;
+    #: a revision-chained batch lets the solver patch its persistent
+    #: residual instead of rebuilding it from the flow network.
+    accepts_change_batches = True
 
     def __init__(
         self,
@@ -61,17 +111,55 @@ class RelaxationSolver(Solver):
         """
         self.arc_prioritization = arc_prioritization
         self.priority_probe_limit = priority_probe_limit
+        #: The residual network of the most recent run, retained for the
+        #: delta hand-off path (None until the first solve).
+        self.last_residual: Optional[ResidualNetwork] = None
+        #: Optional instrumentation hook called as ``hook(residual, event)``
+        #: after every dual ascent (``"ascent"``) and augmentation
+        #: (``"augment"``).  The fuzzed invariant suite installs one to
+        #: assert reduced-cost optimality after every step; ``None`` (the
+        #: default) costs one predicate check per ascent/augmentation.
+        self.invariant_hook = None
+        #: Solves served by patching the persistent residual vs rebuilding
+        #: it from the flow network (observability).
+        self.residual_reuses: int = 0
+        self.residual_rebuilds: int = 0
+
+    def invalidate_residual(self) -> None:
+        """Drop the persistent residual; the next solve rebuilds it."""
+        self.last_residual = None
 
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
-    def solve(self, network: FlowNetwork) -> SolverResult:
-        """Compute a min-cost max-flow on the network."""
+    def solve(
+        self, network: FlowNetwork, changes: Optional[ChangeBatch] = None
+    ) -> SolverResult:
+        """Compute a min-cost max-flow on the network.
+
+        Args:
+            network: The flow network to solve.
+            changes: Optional revision-chained batch transforming the
+                previously solved network into ``network``.  When it chains
+                onto the retained residual's revision, the residual is
+                patched in place (O(|changes|)) instead of being rebuilt
+                (O(graph)); otherwise the batch is ignored.
+        """
         start = time.perf_counter()
-        residual = ResidualNetwork(network)
         stats = SolverStatistics()
-        self._run(residual, stats)
+        residual = self._reusable_residual(changes)
+        if residual is not None:
+            self.residual_reuses += 1
+            stats.arcs_patched = residual.last_arcs_patched
+            stats.nodes_touched = residual.last_nodes_touched
+        else:
+            residual = ResidualNetwork(network)
+            self.residual_rebuilds += 1
+        # Both paths leave all-zero potentials: a fresh build starts there,
+        # and the reuse path went through reset_to_zero_flow.
+        self._run(residual, stats, potentials_are_zero=True)
         residual.write_flow_back(network)
+        self.last_residual = residual
         runtime = time.perf_counter() - start
         return SolverResult(
             algorithm=self.name,
@@ -104,6 +192,8 @@ class RelaxationSolver(Solver):
         stats = SolverStatistics(warm_start=True)
         self._run(residual, stats)
         residual.write_flow_back(network)
+        self.last_residual = residual
+        self.residual_rebuilds += 1
         runtime = time.perf_counter() - start
         return SolverResult(
             algorithm="incremental_relaxation",
@@ -115,16 +205,67 @@ class RelaxationSolver(Solver):
         )
 
     # ------------------------------------------------------------------ #
+    # Persistent-residual hand-off
+    # ------------------------------------------------------------------ #
+    def _reusable_residual(
+        self, changes: Optional[ChangeBatch]
+    ) -> Optional[ResidualNetwork]:
+        """Return the retained residual patched by ``changes``, if legal.
+
+        A patch is only legal when the batch provably transforms the exact
+        revision the residual mirrors (the same guard
+        :class:`~repro.solvers.incremental.IncrementalCostScalingSolver`
+        applies).  The carried solution is reset *before* patching so
+        removals and capacity changes never have flow to return; a batch
+        that fails to apply leaves the structure unusable and drops it.
+        """
+        residual = self.last_residual
+        if residual is None or changes is None:
+            return None
+        if changes.base_revision is None or changes.target_revision is None:
+            return None
+        if residual.revision != changes.base_revision:
+            return None
+        try:
+            residual.reset_to_zero_flow()
+            residual.apply_changes(changes)
+        except (KeyError, ValueError):
+            self.last_residual = None
+            return None
+        residual.revision = changes.target_revision
+        return residual
+
+    # ------------------------------------------------------------------ #
     # Core algorithm
     # ------------------------------------------------------------------ #
-    def _run(self, residual: ResidualNetwork, stats: SolverStatistics) -> None:
-        self._restore_reduced_cost_optimality(residual, stats)
+    def _run(
+        self,
+        residual: ResidualNetwork,
+        stats: SolverStatistics,
+        potentials_are_zero: bool = False,
+    ) -> None:
+        # With all-zero potentials and no negative arc cost, every reduced
+        # cost is already non-negative; skip the O(arcs) restoration scan
+        # (the common case for scheduling graphs on both the fresh-build
+        # and the reset-and-patch paths).
+        if not (potentials_are_zero and not residual.has_negative_costs):
+            self._restore_reduced_cost_optimality(residual, stats)
         # The ascent-count guard depends on the largest arc cost; compute it
         # once per run rather than per source.
         max_cost = max(1, residual.max_cost())
-        for source in range(residual.num_nodes):
-            while residual.excess[source] > 0:
-                self._route_from_source(residual, source, stats, max_cost)
+        n = residual.num_nodes
+        # Stamp-versioned tree membership: routing a new batch of supply
+        # bumps the stamp instead of clearing an O(n) boolean array.
+        tree_mark = [0] * n
+        pred_arc = [0] * n
+        excess = residual.excess
+        stamp = 0
+        for source in range(n):
+            while excess[source] > 0:
+                stamp += 1
+                self._route_from_source(
+                    residual, source, stats, max_cost, tree_mark, pred_arc, stamp
+                )
 
     def _restore_reduced_cost_optimality(
         self, residual: ResidualNetwork, stats: SolverStatistics
@@ -136,11 +277,22 @@ class RelaxationSolver(Solver):
         negative costs, where reduced-cost optimality must be restored before
         the main loop may run.
         """
-        for arc_index in range(residual.num_arcs):
-            if residual.arc_residual[arc_index] <= 0:
+        arc_residual = residual.arc_residual
+        arc_cost = residual.arc_cost
+        arc_from = residual.arc_from
+        arc_to = residual.arc_to
+        potential = residual.potential
+        for arc_index in range(len(arc_residual)):
+            r = arc_residual[arc_index]
+            if r <= 0:
                 continue
-            if residual.reduced_cost(arc_index) < 0:
-                residual.push(arc_index, residual.arc_residual[arc_index])
+            if (
+                arc_cost[arc_index]
+                - potential[arc_from[arc_index]]
+                + potential[arc_to[arc_index]]
+                < 0
+            ):
+                residual.push(arc_index, r)
                 stats.pushes += 1
 
     def _route_from_source(
@@ -149,153 +301,172 @@ class RelaxationSolver(Solver):
         source: int,
         stats: SolverStatistics,
         max_cost: int,
+        tree_mark: list,
+        pred_arc: list,
+        stamp: int,
     ) -> None:
         """Route one batch of supply from ``source`` to a demand node.
 
         Grows the zero-reduced-cost tree, performing dual-ascent steps
         whenever the tree can no longer be extended, until a node with
         negative excess is reached; then augments along the tree path.
+
+        Every tree node's adjacency is scanned exactly once: arcs leaving
+        the tree with positive reduced cost enter the candidate heap keyed
+        by ``reduced_cost + cum`` (``cum`` = cumulative ascent applied so
+        far), so an ascent needs no rescan -- the heap minimum *is* the
+        ascent delta, and the entries matching it are exactly the arcs
+        whose reduced cost drops to zero.
         """
+        adjacency = residual.adjacency
+        arc_residual = residual.arc_residual
+        arc_cost = residual.arc_cost
+        arc_from = residual.arc_from
+        arc_to = residual.arc_to
+        potential = residual.potential
+        excess = residual.excess
+        prioritize = self.arc_prioritization
+        probe_limit = self.priority_probe_limit
+        hook = self.invariant_hook
+
         n = residual.num_nodes
-        in_tree = [False] * n
-        pred_arc: List[Optional[int]] = [None] * n
-        tree_nodes: List[int] = [source]
-        in_tree[source] = True
-        frontier: deque = deque([source])
+        tree_mark[source] = stamp
+        tree_nodes = [source]
+        frontier: deque = deque((source,))
+        # Candidates: residual arcs leaving the tree, keyed by reduced cost
+        # at insertion plus the cumulative ascent at insertion (live
+        # reduced cost of an entry = key - cum; uniform ascents keep the
+        # ordering valid forever).  Entries whose head has joined the tree
+        # since insertion are discarded lazily on pop.  In the common
+        # uncontested case a tree reaches a demand node without a single
+        # ascent, so the candidates stay a plain append-only list and are
+        # heapified only when the first ascent actually needs an ordering.
+        heap: list = []
+        heap_ordered = False
+        cum = 0
         target = -1
-        ascent_guard = 0
+        ascents = 0
         max_ascents = 2 * n * max_cost + n + 16
+        arcs_scanned = 0
 
         while target < 0:
-            target = self._grow_tree(
-                residual, frontier, in_tree, pred_arc, tree_nodes, stats
-            )
+            # Grow the tree along zero-reduced-cost residual arcs.
+            while frontier:
+                u = frontier.popleft()
+                pot_u = potential[u]
+                for a in adjacency[u]:
+                    if arc_residual[a] <= 0:
+                        continue
+                    v = arc_to[a]
+                    if tree_mark[v] == stamp:
+                        continue
+                    arcs_scanned += 1
+                    rc = arc_cost[a] - pot_u + potential[v]
+                    if rc != 0:
+                        if heap_ordered:
+                            heappush(heap, (rc + cum, a))
+                        else:
+                            heap.append((rc + cum, a))
+                        continue
+                    tree_mark[v] = stamp
+                    pred_arc[v] = a
+                    tree_nodes.append(v)
+                    if excess[v] < 0:
+                        target = v
+                        break
+                    if prioritize:
+                        # Section 5.3.1 probe: explore nodes with a usable
+                        # residual arc to a demand node first (depth bias).
+                        leads = False
+                        probes = probe_limit
+                        for b in adjacency[v]:
+                            probes -= 1
+                            if probes < 0:
+                                break
+                            if arc_residual[b] > 0 and excess[arc_to[b]] < 0:
+                                leads = True
+                                break
+                        if leads:
+                            frontier.appendleft(v)
+                        else:
+                            frontier.append(v)
+                    else:
+                        frontier.append(v)
+                if target >= 0:
+                    break
             if target >= 0:
                 break
+
             # The tree is maximal but contains no demand node: dual ascent.
-            delta = self._ascent_step(residual, tree_nodes, in_tree, stats)
-            if delta is None:
+            if not heap_ordered:
+                heapify(heap)
+                heap_ordered = True
+            while heap and tree_mark[arc_to[heap[0][1]]] == stamp:
+                heappop(heap)  # head joined the tree since insertion
+            if not heap:
                 raise InfeasibleProblemError(
                     "supply cannot reach any demand node; the scheduling graph "
                     "must provide unscheduled aggregator capacity for every task"
                 )
-            ascent_guard += 1
-            if ascent_guard > max_ascents:
+            delta = heap[0][0] - cum
+            if delta > 0:
+                for u in tree_nodes:
+                    potential[u] += delta
+                cum += delta
+            ascents += 1
+            stats.potential_updates += 1
+            stats.iterations += 1
+            if hook is not None:
+                hook(residual, "ascent")
+            if ascents > max_ascents:
                 raise InfeasibleProblemError(
                     "dual ascent failed to converge; the problem is infeasible "
                     "or costs are not integral"
                 )
-            # Newly created zero-reduced-cost arcs may leave any tree node, so
-            # the whole tree re-enters the frontier.  This re-traversal is the
-            # behaviour that makes relaxation slow on large contended trees.
-            frontier = deque(tree_nodes)
-
-        self._augment(residual, source, target, pred_arc, stats)
-
-    def _grow_tree(
-        self,
-        residual: ResidualNetwork,
-        frontier: deque,
-        in_tree: List[bool],
-        pred_arc: List[Optional[int]],
-        tree_nodes: List[int],
-        stats: SolverStatistics,
-    ) -> int:
-        """Extend the tree along zero-reduced-cost residual arcs.
-
-        Returns the index of a demand node as soon as one enters the tree, or
-        ``-1`` when the frontier is exhausted without finding one.
-        """
-        while frontier:
-            u = frontier.popleft()
-            for arc_index in residual.adjacency[u]:
-                if residual.arc_residual[arc_index] <= 0:
+            # The arcs whose reduced cost just reached zero (key == cum)
+            # extend the tree directly; growth then resumes from the new
+            # nodes only -- no re-traversal of the existing tree.  (The
+            # <= guard also drains any key below cum, so a reduced cost
+            # that somehow went negative can never wedge the loop.)
+            while heap and heap[0][0] <= cum:
+                a = heappop(heap)[1]
+                v = arc_to[a]
+                if tree_mark[v] == stamp:
                     continue
-                v = residual.arc_to[arc_index]
-                if in_tree[v]:
-                    continue
-                stats.arcs_scanned += 1
-                if residual.reduced_cost(arc_index) != 0:
-                    continue
-                in_tree[v] = True
-                pred_arc[v] = arc_index
+                tree_mark[v] = stamp
+                pred_arc[v] = a
                 tree_nodes.append(v)
-                if residual.excess[v] < 0:
-                    return v
-                if self.arc_prioritization and self._leads_to_demand(residual, v):
-                    frontier.appendleft(v)
-                else:
-                    frontier.append(v)
-        return -1
+                if excess[v] < 0:
+                    target = v
+                    break
+                frontier.append(v)
 
-    def _leads_to_demand(self, residual: ResidualNetwork, node: int) -> bool:
-        """Return True when the node has a usable residual arc to a demand node."""
-        probes = 0
-        for arc_index in residual.adjacency[node]:
-            probes += 1
-            if probes > self.priority_probe_limit:
-                return False
-            if residual.arc_residual[arc_index] <= 0:
-                continue
-            if residual.excess[residual.arc_to[arc_index]] < 0:
-                return True
-        return False
-
-    def _ascent_step(
-        self,
-        residual: ResidualNetwork,
-        tree_nodes: List[int],
-        in_tree: List[bool],
-        stats: SolverStatistics,
-    ) -> Optional[int]:
-        """Raise the potentials of every tree node by the smallest reduced
-        cost of a residual arc leaving the tree.
-
-        Returns the applied delta, or ``None`` when no residual arc leaves
-        the tree (the problem is infeasible).
-        """
-        delta: float = _INF
-        for u in tree_nodes:
-            for arc_index in residual.adjacency[u]:
-                if residual.arc_residual[arc_index] <= 0:
-                    continue
-                v = residual.arc_to[arc_index]
-                if in_tree[v]:
-                    continue
-                stats.arcs_scanned += 1
-                rc = residual.reduced_cost(arc_index)
-                if rc < delta:
-                    delta = rc
-        if delta == _INF:
-            return None
-        delta_int = max(0, int(delta))
-        for u in tree_nodes:
-            residual.potential[u] += delta_int
-        stats.potential_updates += 1
-        stats.iterations += 1
-        return delta_int
-
-    def _augment(
-        self,
-        residual: ResidualNetwork,
-        source: int,
-        target: int,
-        pred_arc: List[Optional[int]],
-        stats: SolverStatistics,
-    ) -> None:
-        """Push flow from ``source`` to ``target`` along tree predecessor arcs."""
-        amount = min(residual.excess[source], -residual.excess[target])
+        # Augment along the tree predecessor path.
+        amount = excess[source]
+        deficit = -excess[target]
+        if deficit < amount:
+            amount = deficit
         node = target
         while node != source:
-            arc_index = pred_arc[node]
-            amount = min(amount, residual.arc_residual[arc_index])
-            node = residual.arc_from[arc_index]
-        path: List[int] = []
+            a = pred_arc[node]
+            r = arc_residual[a]
+            if r < amount:
+                amount = r
+            node = arc_from[a]
+        journal = residual._flow_journal
         node = target
         while node != source:
-            arc_index = pred_arc[node]
-            path.append(arc_index)
-            node = residual.arc_from[arc_index]
-        for arc_index in reversed(path):
-            residual.push(arc_index, amount)
+            a = pred_arc[node]
+            arc_residual[a] -= amount
+            arc_residual[a ^ 1] += amount
+            if journal is not None:
+                journal.add(a >> 1)
+            node = arc_from[a]
+        excess[source] -= amount
+        excess[target] += amount
         stats.augmentations += 1
+        stats.dual_ascents += ascents
+        stats.relaxation_tree_nodes += len(tree_nodes)
+        stats.arcs_scanned += arcs_scanned
+        if hook is not None:
+            hook(residual, "augment")

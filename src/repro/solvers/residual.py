@@ -110,6 +110,11 @@ class ResidualNetwork:
         self.arc_position: Dict[Tuple[int, int], int] = {}
 
         self.cost_scale: int = 1
+        #: Whether any arc may carry a negative cost (conservative: set on
+        #: load/patch of a negative cost, only cleared by a compaction's
+        #: full rescan).  A from-scratch solver with all-zero potentials
+        #: skips its reduced-cost restoration scan when this is False.
+        self.has_negative_costs: bool = False
         self.revision: Optional[int] = getattr(network, "revision", None)
         self.dead_arc_pairs: int = 0
         self.dead_nodes: int = 0
@@ -145,6 +150,8 @@ class ResidualNetwork:
                     f"arc {arc.src}->{arc.dst} has invalid warm-start flow {flow}"
                 )
             position = self._add_arc_pair(u, v, arc.capacity, arc.cost, flow)
+            if arc.cost < 0:
+                self.has_negative_costs = True
             self.forward_arc_keys.append((arc.src, arc.dst))
             self.arc_position[(arc.src, arc.dst)] = position
             if use_existing_flow and flow:
@@ -292,12 +299,17 @@ class ResidualNetwork:
         return worst, violated
 
     def max_cost(self) -> int:
-        """Return the largest absolute arc cost (in the stored cost units).
+        """Return an upper bound on the largest absolute arc cost (in the
+        stored cost units).
 
-        The value is cached; every mutation that can change it (cost
-        patches, arc additions/removals, cost rescaling) invalidates the
-        cache, so repeated calls inside the scaling phases are O(1) instead
-        of a full O(arcs) scan each time.
+        The value is cached and maintained through mutations: cost patches
+        and arc additions raise it in O(1) when they exceed it, so a
+        persistent residual never pays an O(arcs) rescan per round.  The
+        bound is exact after a full scan or a compaction and can only
+        overestimate when the arc that held the maximum is removed or its
+        cost lowered -- every caller (relaxation's ascent guard, cost
+        scaling's initial epsilon and potential bound) is safe under an
+        upper bound.
         """
         if self._max_cost_cache is None:
             self._max_cost_cache = (
@@ -334,6 +346,43 @@ class ResidualNetwork:
     def reset_current_arcs(self) -> None:
         """Reset every node's current-arc cursor to the start of its list."""
         self.current_arc = [0] * self.num_nodes
+
+    def reset_to_zero_flow(self) -> None:
+        """Return the residual to the zero-flow, zero-potential start state.
+
+        From-scratch solvers that keep a *persistent* residual between
+        rounds (the relaxation fast path) patch the structure with
+        :meth:`apply_changes` and then reset the carried solution instead
+        of rebuilding the whole object from the flow network: forward
+        residuals return to the arcs' capacities, every node's excess
+        returns to its supply, and potentials and scan cursors are zeroed.
+        The reset is pure array arithmetic -- no dict rebuilds, no object
+        traversal -- which is what makes reuse cheaper than reconstruction.
+
+        The dirty-flow journal survives: every arc whose carried flow is
+        being dropped is recorded as dirty, so a following solve still
+        extracts its result in O(changed + non-zero) instead of O(arcs).
+        """
+        arc_residual = self.arc_residual
+        journal = self._flow_journal
+        for position, key in enumerate(self.forward_arc_keys):
+            if key is None:
+                continue
+            forward = 2 * position
+            flow = arc_residual[forward + 1]
+            if flow:
+                arc_residual[forward] += flow
+                arc_residual[forward + 1] = 0
+                if journal is not None:
+                    journal.add(position)
+        supply = self.supply
+        excess = self.excess
+        potential = self.potential
+        node_alive = self.node_alive
+        for i in range(self.num_nodes):
+            excess[i] = supply[i] if node_alive[i] else 0
+            potential[i] = 0
+        self.reset_current_arcs()
 
     # ------------------------------------------------------------------ #
     # Delta patching
@@ -390,7 +439,12 @@ class ResidualNetwork:
                 self.arc_cost[2 * position] = cost
                 self.arc_cost[2 * position + 1] = -cost
                 dirty.add(position)
-                self._max_cost_cache = None
+                if cost < 0:
+                    self.has_negative_costs = True
+                if self._max_cost_cache is not None:
+                    scaled = cost if cost >= 0 else -cost
+                    if scaled > self._max_cost_cache:
+                        self._max_cost_cache = scaled
             elif isinstance(change, ch.ArcCapacityChange):
                 position = self.arc_position[(change.src, change.dst)]
                 self._patch_capacity(position, change.new_capacity)
@@ -448,6 +502,8 @@ class ResidualNetwork:
         if not (self.node_alive[u] and self.node_alive[v]):
             raise ValueError(f"arc {src}->{dst} references a removed node")
         position = self._add_arc_pair(u, v, capacity, cost * self.cost_scale, 0)
+        if cost < 0:
+            self.has_negative_costs = True
         self.forward_arc_keys.append(key)
         self.arc_position[key] = position
         if self._max_cost_cache is not None:
@@ -549,10 +605,15 @@ class ResidualNetwork:
         self.forward_arc_keys = []
         self.arc_position = {}
         self.dead_arc_pairs = 0
+        # The full walk below makes the conservative negative-cost flag
+        # exact again (the max-cost cache stays a valid upper bound).
+        self.has_negative_costs = False
         for position, key in enumerate(old_keys):
             if key is None:
                 continue
             forward = 2 * position
+            if old_cost[forward] < 0:
+                self.has_negative_costs = True
             u = remap[old_from[forward]]
             v = remap[old_to[forward]]
             new_position = len(self.forward_arc_keys)

@@ -74,6 +74,14 @@ class TestSolveCommand:
             costs.add(int(cost_line.split(":")[1]))
         assert len(costs) == 1
 
+    def test_executor_policy_flag_accepted_by_dual_algorithms(self, dimacs_file, capsys):
+        assert main([
+            "solve", str(dimacs_file), "--algorithm", "firmament_dual",
+            "--executor-policy", "auto",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "total cost" in output
+
     def test_missing_file_reports_error(self, capsys):
         assert main(["solve", "/nonexistent/problem.dimacs"]) == 1
         assert "error" in capsys.readouterr().err.lower()
@@ -100,6 +108,25 @@ class TestSimulateCommand:
         output = capsys.readouterr().out
         assert "executor: parallel" in output
         assert "placement latency" in output
+
+    def test_auto_executor_policy_simulation(self, capsys):
+        code = main([
+            "simulate", "--machines", "8", "--duration", "60",
+            "--utilization", "0.5", "--seed", "1",
+            "--executor-policy", "auto",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "placement latency" in output
+
+    def test_unknown_executor_policy_rejected(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main([
+                "simulate", "--machines", "4", "--duration", "10",
+                "--executor-policy", "always",
+            ])
 
     def test_baseline_scheduler_simulation(self, capsys):
         code = main([

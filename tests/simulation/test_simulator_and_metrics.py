@@ -37,6 +37,38 @@ class TestSimulatorBasics:
         scaled_runtime = result.schedule_records[0].algorithm_runtime
         assert result.metrics.placement_latency_percentile(50) >= scaled_runtime * 0.5
 
+    def test_relaxation_observability_threads_into_metrics(self):
+        """SolverStatistics relaxation counters flow through ScheduleRecord
+        into MetricsSummary (like price_refine_times in PR 4)."""
+        state = make_cluster_state(num_machines=4, slots_per_machine=2)
+        simulator = ClusterSimulator(
+            state, FirmamentScheduler(QuincyPolicy()), SimulationConfig(max_time=100.0)
+        )
+        simulator.submit_job(make_job(job_id=1, num_tasks=4, duration=5.0, submit_time=1.0))
+        result = simulator.run()
+        records = result.schedule_records
+        assert len(records) >= 1
+        # The sequential executor always runs the relaxation leg, so every
+        # record carries its tree/ascent counters regardless of the winner.
+        assert any(r.relaxation_tree_nodes > 0 for r in records)
+        assert result.metrics.relaxation_tree_nodes == [
+            r.relaxation_tree_nodes for r in records
+        ]
+        assert result.metrics.relaxation_dual_ascents == [
+            r.dual_ascents for r in records
+        ]
+        # No worker exists on the sequential executor: no ships recorded.
+        assert sum(result.metrics.snapshot_ships) == 0
+        assert sum(result.metrics.delta_ships) == 0
+        assert result.metrics.delta_ship_ratio() == 0.0
+
+    def test_delta_ship_ratio(self):
+        from repro.simulation.metrics import MetricsSummary
+
+        summary = MetricsSummary(snapshot_ships=[1, 0, 0], delta_ships=[0, 1, 1])
+        assert summary.delta_ship_ratio() == pytest.approx(2 / 3)
+        assert MetricsSummary().delta_ship_ratio() == 0.0
+
     def test_queue_based_scheduler_places_tasks_one_by_one(self):
         state = make_cluster_state(num_machines=4, slots_per_machine=2)
         scheduler = SparrowScheduler(per_task_decision_seconds=0.01)

@@ -4,10 +4,23 @@ import pytest
 
 from repro.flow.validation import check_feasibility
 from repro.solvers.base import COMPLEXITY_TABLE, PRECONDITION_TABLE, SolverStatistics
-from repro.solvers.dual_executor import DualAlgorithmExecutor
+from repro.solvers.dual_executor import DualAlgorithmExecutor, RaceCostModel
 from repro.solvers.incremental import IncrementalCostScalingSolver
 from repro.solvers.relaxation import RelaxationSolver
 from tests.conftest import build_scheduling_network, reference_min_cost
+
+
+def make_result(algorithm: str, runtime: float, **stats) -> "object":
+    from repro.solvers.base import SolverResult
+
+    return SolverResult(
+        algorithm=algorithm,
+        total_cost=0,
+        flows={},
+        potentials={},
+        runtime_seconds=runtime,
+        statistics=SolverStatistics(**stats),
+    )
 
 
 class TestDualExecution:
@@ -72,6 +85,161 @@ class TestDualExecution:
         assert executor.incremental is incremental
         network = build_scheduling_network(seed=46)
         assert executor.solve(network).total_cost == reference_min_cost(network)
+
+
+class TestRaceCostModel:
+    def observe_rounds(self, model, relax_s, scaling_s, rounds=3, **relax_stats):
+        for _ in range(rounds):
+            model.observe(
+                make_result("relaxation", relax_s, augmentations=10, **relax_stats),
+                make_result("incremental_cost_scaling", scaling_s),
+            )
+
+    def test_races_until_both_legs_observed(self):
+        model = RaceCostModel(min_observations=2)
+        assert model.choose(batch_size=5, delta_armed=False) == "race"
+        model.observe(make_result("relaxation", 0.001), None)
+        model.observe(make_result("relaxation", 0.001), None)
+        # Cost scaling still unobserved: keep racing.
+        assert model.choose(batch_size=5, delta_armed=False) == "race"
+
+    def test_rebuild_rounds_always_race(self):
+        model = RaceCostModel()
+        self.observe_rounds(model, relax_s=0.001, scaling_s=0.050)
+        # Solo would be chosen for a small batch, but a no-batch round is
+        # a rebuild round and must race.
+        assert model.choose(batch_size=10, delta_armed=False) == "relaxation"
+        assert model.choose(batch_size=None, delta_armed=False) == "race"
+
+    def test_wide_relaxation_margin_picks_solo_relaxation(self):
+        model = RaceCostModel()
+        self.observe_rounds(model, relax_s=0.001, scaling_s=0.050)
+        assert model.choose(batch_size=10, delta_armed=False) == "relaxation"
+
+    def test_wide_cost_scaling_margin_picks_solo_cost_scaling(self):
+        model = RaceCostModel()
+        self.observe_rounds(model, relax_s=0.050, scaling_s=0.001)
+        assert model.choose(batch_size=10, delta_armed=False) == "cost_scaling"
+
+    def test_contention_disables_solo_relaxation(self):
+        model = RaceCostModel(contention_limit=3.0)
+        # 10 augmentations vs 100 ascents: the Figure 8/9 regime.
+        self.observe_rounds(model, relax_s=0.001, scaling_s=0.050, dual_ascents=100)
+        assert model.choose(batch_size=10, delta_armed=False) == "race"
+
+    def test_probe_interval_forces_periodic_race(self):
+        model = RaceCostModel(probe_interval=3)
+        self.observe_rounds(model, relax_s=0.001, scaling_s=0.050)
+        for _ in range(3):  # solo rounds: only the relaxation leg reports
+            assert model.choose(batch_size=5, delta_armed=False) == "relaxation"
+            model.observe(make_result("relaxation", 0.001, augmentations=10), None)
+        assert model.choose(batch_size=5, delta_armed=False) == "race"
+
+    def test_oversized_batches_always_race(self):
+        model = RaceCostModel(always_race_batch_size=100)
+        self.observe_rounds(model, relax_s=0.001, scaling_s=0.050)
+        assert model.choose(batch_size=101, delta_armed=False) == "race"
+
+    def test_delta_armed_faster_scaling_solos_without_margin(self):
+        model = RaceCostModel(margin=100.0)
+        self.observe_rounds(model, relax_s=0.002, scaling_s=0.001)
+        assert model.choose(batch_size=10, delta_armed=True) == "cost_scaling"
+        # Without the delta arm the margin gate applies and the race runs.
+        assert model.choose(batch_size=10, delta_armed=False) == "race"
+
+
+class TestAdaptivePolicy:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            DualAlgorithmExecutor(executor_policy="always")
+
+    def test_race_policy_preserves_dual_leg_results(self):
+        executor = DualAlgorithmExecutor(executor_policy="race")
+        network = build_scheduling_network(seed=61, num_tasks=10)
+        detailed = executor.solve_detailed(network)
+        assert detailed.relaxation is not None
+        assert detailed.cost_scaling is not None
+        assert executor.solo_relaxation_rounds == 0
+        assert executor.solo_cost_scaling_rounds == 0
+
+    def test_auto_policy_solo_relaxation_round(self):
+        from repro.flow.changes import ChangeBatch
+
+        model = RaceCostModel()
+        model.relaxation_seconds = 0.0001
+        model.cost_scaling_seconds = 1.0
+        model.relaxation_observations = 5
+        model.cost_scaling_observations = 5
+        executor = DualAlgorithmExecutor(executor_policy="auto", cost_model=model)
+        network = build_scheduling_network(seed=62, num_tasks=10)
+        expected = reference_min_cost(network)
+        # Rebuild rounds (no batch) always race; a tracked batch arms the
+        # policy decision.
+        batch = ChangeBatch(changes=[], base_revision=7, target_revision=8)
+        detailed = executor.solve_detailed(network, changes=batch)
+        assert detailed.cost_scaling is None
+        assert detailed.winner.total_cost == expected
+        assert check_feasibility(network) == []
+        assert executor.solo_relaxation_rounds == 1
+        # The winning relaxation solution still seeds the warm state.
+        assert executor.incremental.has_state
+        assert detailed.effective_runtime_seconds == pytest.approx(
+            detailed.relaxation.runtime_seconds
+        )
+
+    def test_auto_policy_solo_cost_scaling_round(self):
+        model = RaceCostModel()
+        model.relaxation_seconds = 1.0
+        model.cost_scaling_seconds = 0.0001
+        model.relaxation_observations = 5
+        model.cost_scaling_observations = 5
+        executor = DualAlgorithmExecutor(executor_policy="auto", cost_model=model)
+        network = build_scheduling_network(seed=63, num_tasks=10)
+        expected = reference_min_cost(network)
+        from repro.flow.changes import ChangeBatch
+
+        batch = ChangeBatch(changes=[], base_revision=7, target_revision=8)
+        detailed = executor.solve_detailed(network, changes=batch)
+        assert detailed.relaxation is None
+        assert detailed.winner.total_cost == expected
+        assert check_feasibility(network) == []
+        assert executor.solo_cost_scaling_rounds == 1
+
+    def test_auto_policy_stays_optimal_across_rounds(self):
+        executor = DualAlgorithmExecutor(
+            executor_policy="auto",
+            cost_model=RaceCostModel(min_observations=1, probe_interval=2),
+        )
+        base = build_scheduling_network(seed=64, num_tasks=10)
+        for round_index in range(6):
+            network = base.copy()
+            arc = next(a for a in network.arcs() if a.cost > 0)
+            network.set_arc_cost(arc.src, arc.dst, arc.cost + round_index)
+            expected = reference_min_cost(network)
+            assert executor.solve(network).total_cost == expected
+        assert executor.rounds == 6
+
+
+class TestLegAttribution:
+    def test_relaxation_loser_counters_fold_into_winner(self):
+        executor = DualAlgorithmExecutor()
+        relaxation = make_result(
+            "relaxation", 0.5, relaxation_tree_nodes=40, dual_ascents=7
+        )
+        cost_scaling = make_result("incremental_cost_scaling", 0.001)
+        from repro.solvers.dual_executor import DualExecutionResult
+
+        executor._record_round(
+            DualExecutionResult(
+                winner=cost_scaling,
+                relaxation=relaxation,
+                cost_scaling=cost_scaling,
+                effective_runtime_seconds=0.001,
+                total_work_seconds=0.501,
+            )
+        )
+        assert cost_scaling.statistics.relaxation_tree_nodes == 40
+        assert cost_scaling.statistics.dual_ascents == 7
 
 
 class TestStaticTables:

@@ -135,6 +135,117 @@ class TestParallelRace:
             instance.close()
 
 
+class TestAdaptivePolicy:
+    def test_auto_solo_relaxation_waits_on_worker(self):
+        from repro.solvers.dual_executor import RaceCostModel
+
+        model = RaceCostModel()
+        model.relaxation_seconds = 0.0001
+        model.cost_scaling_seconds = 10.0
+        model.relaxation_observations = 5
+        model.cost_scaling_observations = 5
+        instance = ParallelDualExecutor(executor_policy="auto", cost_model=model)
+        try:
+            network = build_scheduling_network(seed=54, num_tasks=10)
+            expected = reference_min_cost(network)
+            batch = ChangeBatch(changes=[], base_revision=7, target_revision=8)
+            detailed = instance.solve_detailed(network, changes=batch)
+            assert detailed.winner.total_cost == expected
+            assert detailed.winning_algorithm == "relaxation"
+            assert detailed.cost_scaling is None
+            assert instance.solo_relaxation_rounds == 1
+            assert check_feasibility(network) == []
+            # The idle parent contributed no speculation work.
+            assert detailed.total_work_seconds == pytest.approx(
+                detailed.relaxation.runtime_seconds
+            )
+        finally:
+            instance.close()
+
+    def test_auto_solo_cost_scaling_leaves_worker_idle(self):
+        from repro.solvers.dual_executor import RaceCostModel
+
+        model = RaceCostModel()
+        model.relaxation_seconds = 10.0
+        model.cost_scaling_seconds = 0.0001
+        model.relaxation_observations = 5
+        model.cost_scaling_observations = 5
+        instance = ParallelDualExecutor(executor_policy="auto", cost_model=model)
+        try:
+            network = build_scheduling_network(seed=55, num_tasks=10)
+            expected = reference_min_cost(network)
+            batch = ChangeBatch(changes=[], base_revision=7, target_revision=8)
+            detailed = instance.solve_detailed(network, changes=batch)
+            assert detailed.winner.total_cost == expected
+            assert detailed.relaxation is None
+            assert instance.solo_cost_scaling_rounds == 1
+            assert instance.full_payloads + instance.delta_payloads == 0
+        finally:
+            instance.close()
+
+    def test_equal_revision_hand_built_networks_both_ship_full(self):
+        """Two unrelated networks sharing the default revision must not be
+        bridged by an empty delta: without a revision-chained batch the
+        worker's shadow lineage is unproven and the round ships full."""
+        net_a = build_scheduling_network(seed=101, num_tasks=8)
+        net_b = build_scheduling_network(seed=202, num_tasks=12)
+        assert net_a.revision == net_b.revision
+        instance = ParallelDualExecutor()
+        try:
+            assert instance.solve(net_a).total_cost == reference_min_cost(net_a)
+            assert instance.solve(net_b).total_cost == reference_min_cost(net_b)
+            # The second round may be skipped entirely when the worker's
+            # first answer has not drained yet (the documented busy-worker
+            # path); what must never happen is an incremental bridge
+            # between the two unrelated graphs.
+            assert instance.delta_payloads == 0
+            assert instance.full_payloads >= 1
+            assert (
+                instance.full_payloads + instance.skipped_worker_rounds == 2
+            )
+        finally:
+            instance.close()
+
+    def test_fallback_rounds_keep_solo_counters_live(self, monkeypatch):
+        import multiprocessing
+
+        from repro.solvers.dual_executor import RaceCostModel
+
+        monkeypatch.setattr(
+            multiprocessing,
+            "get_context",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("unavailable")),
+        )
+        model = RaceCostModel()
+        model.relaxation_seconds = 0.0001
+        model.cost_scaling_seconds = 1.0
+        model.relaxation_observations = 5
+        model.cost_scaling_observations = 5
+        instance = ParallelDualExecutor(executor_policy="auto", cost_model=model)
+        try:
+            network = build_scheduling_network(seed=57, num_tasks=8)
+            batch = ChangeBatch(changes=[], base_revision=7, target_revision=8)
+            detailed = instance.solve_detailed(network, changes=batch)
+            assert detailed.executor == "sequential_fallback"
+            # The inner sequential executor served the round solo; the
+            # outer executor's documented counters must reflect it.
+            assert instance.solo_relaxation_rounds == 1
+            assert instance.rounds == 1
+        finally:
+            instance.close()
+
+    def test_race_policy_is_default_and_unchanged(self):
+        instance = ParallelDualExecutor()
+        try:
+            assert instance.executor_policy == "race"
+            network = build_scheduling_network(seed=56, num_tasks=8)
+            instance.solve(network)
+            assert instance.solo_relaxation_rounds == 0
+            assert instance.solo_cost_scaling_rounds == 0
+        finally:
+            instance.close()
+
+
 class TestSequentialFallback:
     def test_fallback_when_multiprocessing_unavailable(self, monkeypatch):
         import multiprocessing
@@ -206,7 +317,7 @@ class _InstantWorkerConn:
         self.requests = 0
 
     def send(self, message):
-        kind, round_id, text = message
+        kind, round_id, text = message[0], message[1], message[2]
         assert kind == "full"  # no revision chain exists in these tests
         self.requests += 1
         result = RelaxationSolver().solve(read_dimacs(text))
@@ -221,6 +332,8 @@ class _InstantWorkerConn:
                     "runtime_seconds": result.runtime_seconds,
                     "iterations": result.statistics.iterations,
                     "augmentations": result.statistics.augmentations,
+                    "relaxation_tree_nodes": result.statistics.relaxation_tree_nodes,
+                    "dual_ascents": result.statistics.dual_ascents,
                     "finished_at": float("-inf"),
                 },
             )
