@@ -21,6 +21,9 @@ The package is organized around the paper's architecture (Figure 4):
   CSV/JSON result exports.
 * :mod:`repro.cli` -- the ``firmament-repro`` command-line interface
   (``solve``, ``simulate``, ``trace``).
+* :mod:`repro.chaos` -- seeded, deterministic fault injection for the
+  round pipeline (worker kills, pipe breaks, revision-chain breaks,
+  residual corruption) behind zero-cost no-op defaults.
 """
 
 __version__ = "1.1.0"
@@ -35,4 +38,5 @@ __all__ = [
     "testbed",
     "analysis",
     "cli",
+    "chaos",
 ]

@@ -1,0 +1,158 @@
+"""Seeded, deterministic fault injection for the scheduling round pipeline.
+
+The paper's production claim (Section 5.2, fig10) is that Firmament keeps
+sub-second placement latency *even when the environment misbehaves*.  The
+recovery machinery that backs that claim here — worker respawn with a
+circuit breaker, sequential fallback, rebuild-on-broken-revision-chain,
+residual revalidation — is only trustworthy if faults are injected
+deliberately and the degraded output is validated against invariants.
+
+:class:`ChaosPolicy` is that injector.  Consumers (the parallel executor,
+its relaxation worker, and :class:`~repro.core.graph_manager.GraphManager`)
+hold a ``chaos`` attribute that defaults to ``None``; every hook site is a
+single ``if chaos is not None`` guard, so the production path pays nothing.
+A policy decides per ``(fault, round_index)`` whether the fault fires,
+either from an explicit per-round schedule (exact, for counter-matching
+assertions) or from a seeded Bernoulli draw keyed on
+``(seed, fault, round_index)`` — the draw is independent of call order, so
+two runs with the same seed inject the identical fault sequence.
+
+Fault classes (``FAULT_KINDS``):
+
+``worker_kill``
+    SIGTERM the relaxation worker subprocess right after the round's
+    payload ships — the race sees pipe EOF mid-round and the parent-side
+    cost scaling serves the round unopposed.
+``pipe_break``
+    Close the parent's end of the worker pipe before the send, so the
+    ship raises ``OSError`` exactly like a broken pipe during a delta
+    ship.
+``corrupt_message``
+    Append garbage to the serialized DIMACS/delta payload; the worker's
+    parser raises, the worker replies with an error, and the parent
+    ships a full snapshot next round.
+``worker_delay``
+    Prepend a ``("chaos_delay", seconds)`` message the worker sleeps on
+    before serving the round — a slow-worker stand-in for deadline and
+    photo-finish paths.
+``chain_break``
+    Drop the round's emitted :class:`ChangeBatch` in the graph manager,
+    forcing the downstream revision-chain guards (warm rebuild, worker
+    resync/full ship) to recover.
+``residual_corruption``
+    Perturb one potential in the incremental solver's persistent
+    residual so a residual arc violates 0-optimality; the solver's
+    ``validate_residual`` pre-delta check must catch it and rebuild.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Mapping, Optional
+
+__all__ = ["FAULT_KINDS", "ChaosPolicy", "corrupt_residual_potentials"]
+
+#: Every fault class the policy knows how to fire, in pipeline order.
+FAULT_KINDS = (
+    "worker_kill",
+    "pipe_break",
+    "corrupt_message",
+    "worker_delay",
+    "chain_break",
+    "residual_corruption",
+)
+
+
+class ChaosPolicy:
+    """Deterministic per-round fault firing decisions plus injection counters.
+
+    Args:
+        seed: Seed for the per-``(fault, round)`` Bernoulli draws.
+        rates: Optional ``{fault: probability}`` of firing per round.
+        schedule: Optional ``{fault: iterable of round indexes}`` that fire
+            exactly at those rounds (on top of any rate for the fault).
+        delay_seconds: Sleep injected by ``worker_delay`` faults.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rates: Optional[Mapping[str, float]] = None,
+        schedule: Optional[Mapping[str, Iterable[int]]] = None,
+        delay_seconds: float = 0.05,
+    ) -> None:
+        self.seed = seed
+        self.rates: Dict[str, float] = dict(rates or {})
+        self.schedule: Dict[str, frozenset] = {
+            fault: frozenset(rounds) for fault, rounds in (schedule or {}).items()
+        }
+        for fault in list(self.rates) + list(self.schedule):
+            if fault not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind: {fault!r}")
+        for fault, rate in self.rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"rate for {fault!r} must be in [0, 1], got {rate}")
+        if delay_seconds < 0:
+            raise ValueError("delay_seconds must be >= 0")
+        self.delay_seconds = float(delay_seconds)
+        #: Count of injections actually performed, per fault kind.
+        self.injected: Dict[str, int] = {}
+        #: Round indexes at which each fault fired, in firing order.
+        self.injected_rounds: Dict[str, List[int]] = {}
+
+    def arms(self, fault: str) -> bool:
+        """Return True when the policy can ever fire ``fault``."""
+        return fault in self.schedule or self.rates.get(fault, 0.0) > 0.0
+
+    def fires(self, fault: str, round_index: int) -> bool:
+        """Decide (and record) whether ``fault`` fires at ``round_index``.
+
+        Call exactly once per (fault, round) at the injection site: a
+        ``True`` return is counted in :attr:`injected`, so the counters
+        reflect faults actually delivered, not merely drawn.
+        """
+        if fault not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind: {fault!r}")
+        hit = round_index in self.schedule.get(fault, ())
+        if not hit:
+            rate = self.rates.get(fault, 0.0)
+            if rate > 0.0:
+                draw = random.Random(f"{self.seed}:{fault}:{round_index}").random()
+                hit = draw < rate
+        if hit:
+            self.injected[fault] = self.injected.get(fault, 0) + 1
+            self.injected_rounds.setdefault(fault, []).append(round_index)
+        return hit
+
+    @property
+    def total_injected(self) -> int:
+        """Total number of faults delivered so far."""
+        return sum(self.injected.values())
+
+    def reset_counters(self) -> None:
+        """Clear the injection log (e.g. between simulation runs)."""
+        self.injected = {}
+        self.injected_rounds = {}
+
+
+def corrupt_residual_potentials(residual, seed: int = 0) -> bool:
+    """Make one residual arc violate 0-optimality by bumping a potential.
+
+    Picks a seeded arc with remaining residual capacity and raises its
+    tail's potential just past the arc's reduced cost, guaranteeing the
+    arc's reduced cost goes negative — exactly the corruption
+    ``check_residual_epsilon_optimality(residual, 0)`` exists to catch.
+    Returns False when the residual has no arc with capacity left (nothing
+    to violate, so the corruption would be unobservable and is skipped).
+    """
+    candidates = [
+        index for index in range(len(residual.arc_residual)) if residual.arc_residual[index] > 0
+    ]
+    if not candidates:
+        return False
+    arc = random.Random(f"{seed}:residual_corruption").choice(candidates)
+    u = residual.arc_from[arc]
+    v = residual.arc_to[arc]
+    rc = residual.arc_cost[arc] - residual.potential[u] + residual.potential[v]
+    residual.potential[u] += rc + 1 + 7
+    return True

@@ -172,6 +172,7 @@ class GraphManager:
         track_changes: bool = True,
         incremental: bool = True,
         verify_changes: bool = False,
+        chaos=None,
     ) -> None:
         """Create the manager.
 
@@ -190,11 +191,19 @@ class GraphManager:
                 directly-emitted batch replays the previous network into
                 it.  Used by the equivalence tests; adds two O(graph)
                 passes per round, so it is off by default.
+            chaos: Optional :class:`repro.chaos.ChaosPolicy`; its
+                ``chain_break`` fault drops the round's emitted change
+                batch, forcing downstream consumers onto their
+                broken-revision-chain recovery paths (tests only).
         """
         self.policy = policy
         self.track_changes = track_changes
         self.incremental = incremental
         self.verify_changes = verify_changes
+        self.chaos = chaos
+        self._chaos_round = 0
+        #: Change batches dropped by injected ``chain_break`` faults.
+        self.chain_breaks_injected = 0
         self._next_node_id = 0
         self._sink_node: Optional[int] = None
         self._task_nodes: Dict[int, int] = {}
@@ -377,6 +386,17 @@ class GraphManager:
         self._state_id = id(state)
         if self.verify_changes:
             self._verify_snapshot = network.copy()
+        round_index = self._chaos_round
+        self._chaos_round += 1
+        if (
+            self.chaos is not None
+            and self.last_changes is not None
+            and self.chaos.fires("chain_break", round_index)
+        ):
+            # Injected revision-chain break: consumers must fall back to
+            # warm rebuild / full-snapshot resync and stay correct.
+            self.last_changes = None
+            self.chain_breaks_injected += 1
 
     def _drain_dirty(self, state: ClusterState):
         """Consume the state's dirty tracker when incremental updates can

@@ -21,7 +21,7 @@ from repro.core.placement import extract_placements
 from repro.core.policies.base import SchedulingPolicy
 from repro.flow.graph import FlowNetwork
 from repro.solvers import make_executor
-from repro.solvers.base import Solver, SolverResult
+from repro.solvers.base import RoundDeadlineExceeded, Solver, SolverResult
 
 
 @dataclass
@@ -40,12 +40,21 @@ class SchedulingDecision:
             start of the run; queue-based baselines fill this in because they
             place tasks one at a time, while flow-based scheduling places the
             whole batch when the solver finishes.
+        degraded: True when the round could not run to full optimality:
+            either the solver's epsilon ladder was truncated at the round
+            deadline (``degraded_reason="epsilon_truncated"``; the flow is
+            still feasible and epsilon-optimal at the coarser epsilon) or
+            no solver finished in budget and the previous feasible
+            placements were reused (``degraded_reason="round_deadline"``;
+            running tasks stay put, pending tasks wait a round).
     """
 
     placements: Dict[int, int] = field(default_factory=dict)
     migrations: Dict[int, int] = field(default_factory=dict)
     preemptions: List[int] = field(default_factory=list)
     unscheduled: List[int] = field(default_factory=list)
+    degraded: bool = False
+    degraded_reason: str = ""
     algorithm_runtime: float = 0.0
     #: Wall-clock seconds the graph manager needed to bring the flow
     #: network up to date for this round (graph maintenance, attributed
@@ -71,12 +80,22 @@ class SchedulerStatistics:
     total_placements: int = 0
     total_migrations: int = 0
     total_preemptions: int = 0
+    #: Rounds that finished degraded (epsilon truncation or previous-
+    #: placement reuse); every round is still *served* -- never a stall.
+    degraded_rounds: int = 0
+    #: Degraded rounds where no solver finished and the previous feasible
+    #: placements were reused (a subset of ``degraded_rounds``).
+    deadline_abandoned_rounds: int = 0
     algorithm_runtimes: List[float] = field(default_factory=list)
     graph_update_times: List[float] = field(default_factory=list)
 
     def record(self, decision: SchedulingDecision) -> None:
         """Account one scheduling decision."""
         self.runs += 1
+        if decision.degraded:
+            self.degraded_rounds += 1
+            if decision.degraded_reason == "round_deadline":
+                self.deadline_abandoned_rounds += 1
         self.total_algorithm_runtime += decision.algorithm_runtime
         self.total_graph_update_time += decision.graph_update_seconds
         self.total_placements += len(decision.placements)
@@ -97,6 +116,8 @@ class FirmamentScheduler:
         executor: Optional[str] = None,
         price_refine: Optional[str] = None,
         executor_policy: Optional[str] = None,
+        round_deadline_seconds: Optional[float] = None,
+        chaos=None,
     ) -> None:
         """Create a scheduler.
 
@@ -123,6 +144,16 @@ class FirmamentScheduler:
                 statistics pick per round between solo relaxation, solo
                 incremental cost scaling, and the full race.  Only valid
                 when ``solver`` is omitted.
+            round_deadline_seconds: Per-round wall-clock budget.  The
+                solver degrades at the budget (epsilon-ladder truncation,
+                relaxation abort) and a round where no solver produced a
+                feasible flow reuses the previous placements instead of
+                stalling; both outcomes are recorded as degraded rounds.
+                Requires a solver that supports round deadlines (the dual
+                executors do).
+            chaos: Optional :class:`repro.chaos.ChaosPolicy` injecting
+                deterministic faults into the round pipeline (tests and
+                chaos benchmarks only).
         """
         if solver is not None and executor is not None:
             raise ValueError("pass either solver= or executor=, not both")
@@ -139,11 +170,22 @@ class FirmamentScheduler:
                 price_refine=price_refine or "auto",
                 executor_policy=executor_policy or "race",
             )
+        self.round_deadline_seconds = round_deadline_seconds
+        if round_deadline_seconds is not None:
+            if not hasattr(self.solver, "round_deadline_seconds"):
+                raise ValueError(
+                    "round_deadline_seconds requires a solver with deadline "
+                    f"support; {type(self.solver).__name__} has none"
+                )
+            self.solver.round_deadline_seconds = round_deadline_seconds
+        if chaos is not None and hasattr(self.solver, "chaos"):
+            self.solver.chaos = chaos
         # Only pay for per-round network diffing when the solver can
         # actually consume the change batches.
         self.graph_manager = GraphManager(
             policy,
             track_changes=getattr(self.solver, "accepts_change_batches", False),
+            chaos=chaos,
         )
         self.allow_migrations = allow_migrations
         self.statistics = SchedulerStatistics()
@@ -164,13 +206,29 @@ class FirmamentScheduler:
 
         solver_start = time.perf_counter()
         changes = self.graph_manager.last_changes
-        if changes is not None and getattr(self.solver, "accepts_change_batches", False):
-            # Hand the solver the typed change batch so an incremental
-            # instance can patch its persistent residual network in place
-            # instead of reconstructing it from the rebuilt flow network.
-            result = self.solver.solve(network, changes=changes)
-        else:
-            result = self.solver.solve(network)
+        try:
+            if changes is not None and getattr(
+                self.solver, "accepts_change_batches", False
+            ):
+                # Hand the solver the typed change batch so an incremental
+                # instance can patch its persistent residual network in place
+                # instead of reconstructing it from the rebuilt flow network.
+                result = self.solver.solve(network, changes=changes)
+            else:
+                result = self.solver.solve(network)
+        except RoundDeadlineExceeded:
+            # No solver produced a feasible flow within the round budget.
+            # Degrade gracefully instead of stalling: reuse the previous
+            # feasible placements (running tasks stay where they are, no
+            # preemptions or migrations) and let pending tasks wait one
+            # round.  The incremental solvers notice the revision gap next
+            # round and rebuild warm, so nothing stale survives.
+            return self._degraded_decision(
+                state,
+                reason="round_deadline",
+                algorithm_runtime=time.perf_counter() - solver_start,
+                graph_seconds=graph_seconds,
+            )
         wall_runtime = time.perf_counter() - solver_start
         if getattr(self.solver, "charges_wall_clock", False):
             # The parallel executor races the algorithms physically, so the
@@ -201,6 +259,33 @@ class FirmamentScheduler:
         result.statistics.graph_update_seconds = graph_seconds
         decision.solver_result = result
         decision.total_cost = result.total_cost
+        if not result.optimal:
+            # The round deadline truncated the epsilon ladder: the flow is
+            # feasible and epsilon-optimal at the coarser epsilon, but not
+            # the fully-scaled optimum.
+            decision.degraded = True
+            decision.degraded_reason = "epsilon_truncated"
+        self.statistics.record(decision)
+        return decision
+
+    def _degraded_decision(
+        self,
+        state: ClusterState,
+        reason: str,
+        algorithm_runtime: float,
+        graph_seconds: float,
+    ) -> SchedulingDecision:
+        """Build the previous-placements-reused decision for a dead round."""
+        decision = SchedulingDecision(
+            degraded=True,
+            degraded_reason=reason,
+            algorithm_runtime=algorithm_runtime,
+            graph_update_seconds=graph_seconds,
+        )
+        for task_id in self.graph_manager.task_nodes:
+            task = state.tasks.get(task_id)
+            if task is not None and not task.is_running:
+                decision.unscheduled.append(task_id)
         self.statistics.record(decision)
         return decision
 

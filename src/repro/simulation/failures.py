@@ -62,6 +62,21 @@ class FailureSchedule:
             if event.recover_time is not None:
                 simulator.recover_machine_at(event.machine_id, event.recover_time)
 
+    def merge(self, other: "FailureSchedule") -> "FailureSchedule":
+        """Return a new schedule combining both event lists, time-ordered.
+
+        Lets experiments overlay independent-failure background churn with
+        correlated rack storms.  Overlapping events are kept as-is: the
+        simulator already ignores a failure for a machine that is down and
+        a recovery for one that is up, so a machine named by both
+        schedules degrades to whichever event fires first.
+        """
+        merged = sorted(
+            list(self.events) + list(other.events),
+            key=lambda event: (event.fail_time, event.machine_id),
+        )
+        return FailureSchedule(events=merged)
+
 
 class FailureInjector:
     """Generates seeded machine-failure schedules from MTBF/MTTR parameters."""
@@ -144,6 +159,76 @@ class FailureInjector:
                     recover_time=recover_time,
                 )
             )
+        return FailureSchedule(events=events)
+
+    def generate_rack_storms(
+        self,
+        topology: ClusterTopology,
+        horizon: float,
+        start_time: float = 0.0,
+        mean_time_between_storms: Optional[float] = None,
+    ) -> FailureSchedule:
+        """Generate correlated failure-domain storms: whole racks at once.
+
+        Real clusters lose failure *domains*, not uniform random machines:
+        a PDU or top-of-rack switch takes every machine in the rack down
+        together.  Each storm picks one rack (drawn from the topology's
+        failure domains) and fails all of its machines at the storm time;
+        recoveries are per-machine, exponentially distributed around the
+        injector's MTTR, so the rack comes back ragged the way real repairs
+        do.  The draw stream is seeded separately from :meth:`generate`
+        (``f"{seed}:storms"``), so overlaying both schedules for one
+        experiment keeps each deterministic.
+
+        Args:
+            topology: The cluster; storms pick among its racks uniformly.
+            horizon: Virtual time at which the schedule ends.
+            start_time: Virtual time at which storms may begin.
+            mean_time_between_storms: Mean exponential gap between storms;
+                defaults to four times the injector's machine-level MTBF
+                (storms are rarer than isolated failures).
+
+        Returns:
+            A :class:`FailureSchedule` with one event per affected machine,
+            ordered by failure time.
+        """
+        if horizon <= start_time or not topology.racks:
+            return FailureSchedule()
+        mean_gap = (
+            mean_time_between_storms
+            if mean_time_between_storms is not None
+            else 4.0 * self.mean_time_between_failures
+        )
+        if mean_gap <= 0:
+            raise ValueError("mean time between storms must be positive")
+        rng = random.Random(f"{self.seed}:storms")
+        rack_ids = sorted(topology.racks)
+        events: List[FailureEvent] = []
+        down_until = {}
+        time = start_time
+        while True:
+            time += rng.expovariate(1.0 / mean_gap)
+            if time >= horizon:
+                break
+            rack_id = rng.choice(rack_ids)
+            for machine_id in sorted(topology.racks[rack_id].machine_ids):
+                if down_until.get(machine_id, start_time) > time:
+                    continue  # still down from an earlier storm
+                recover_time: Optional[float] = None
+                if self.mean_time_to_repair > 0:
+                    recover_time = time + rng.expovariate(
+                        1.0 / self.mean_time_to_repair
+                    )
+                    down_until[machine_id] = recover_time
+                else:
+                    down_until[machine_id] = float("inf")
+                events.append(
+                    FailureEvent(
+                        machine_id=machine_id,
+                        fail_time=time,
+                        recover_time=recover_time,
+                    )
+                )
         return FailureSchedule(events=events)
 
     def inject(

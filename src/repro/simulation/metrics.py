@@ -50,6 +50,15 @@ class MetricsSummary:
     #: :meth:`delta_ship_ratio`.
     snapshot_ships: List[int] = field(default_factory=list)
     delta_ships: List[int] = field(default_factory=list)
+    #: Per-run robustness counters (zero everywhere on a fault-free run
+    #: with no deadline configured): whether each round degraded (epsilon
+    #: truncation or previous-placement reuse), how many solver legs hit
+    #: the round deadline, worker respawns performed, and whether the
+    #: worker circuit breaker was open during the round.
+    degraded_rounds: List[int] = field(default_factory=list)
+    deadline_hits: List[int] = field(default_factory=list)
+    worker_respawns: List[int] = field(default_factory=list)
+    breaker_open_rounds: List[int] = field(default_factory=list)
     tasks_completed: int = 0
     tasks_placed: int = 0
     tasks_unplaced: int = 0
@@ -106,6 +115,18 @@ class MetricsSummary:
             return 0.0
         return deltas / total
 
+    def degraded_round_count(self) -> int:
+        """Number of rounds that finished degraded (never stalled)."""
+        return sum(1 for flag in self.degraded_rounds if flag)
+
+    def total_worker_respawns(self) -> int:
+        """Total relaxation-worker respawns across the run."""
+        return sum(self.worker_respawns)
+
+    def breaker_open_round_count(self) -> int:
+        """Number of rounds served while the worker breaker was open."""
+        return sum(1 for flag in self.breaker_open_rounds if flag)
+
 
 def collect_metrics(
     state: ClusterState,
@@ -117,6 +138,10 @@ def collect_metrics(
     relaxation_dual_ascents: Optional[Sequence[int]] = None,
     snapshot_ships: Optional[Sequence[int]] = None,
     delta_ships: Optional[Sequence[int]] = None,
+    degraded_rounds: Optional[Sequence[int]] = None,
+    deadline_hits: Optional[Sequence[int]] = None,
+    worker_respawns: Optional[Sequence[int]] = None,
+    breaker_open_rounds: Optional[Sequence[int]] = None,
 ) -> MetricsSummary:
     """Build a :class:`MetricsSummary` from the final cluster state.
 
@@ -132,6 +157,10 @@ def collect_metrics(
         relaxation_dual_ascents: Per-run relaxation dual-ascent counts.
         snapshot_ships: Per-run full-snapshot worker payload counts.
         delta_ships: Per-run incremental worker payload counts.
+        degraded_rounds: Per-run degraded-round flags.
+        deadline_hits: Per-run solver-leg deadline-hit counts.
+        worker_respawns: Per-run relaxation-worker respawn counts.
+        breaker_open_rounds: Per-run breaker-open flags.
     """
     summary = MetricsSummary()
     if algorithm_runtimes:
@@ -148,6 +177,14 @@ def collect_metrics(
         summary.snapshot_ships = list(snapshot_ships)
     if delta_ships:
         summary.delta_ships = list(delta_ships)
+    if degraded_rounds:
+        summary.degraded_rounds = list(degraded_rounds)
+    if deadline_hits:
+        summary.deadline_hits = list(deadline_hits)
+    if worker_respawns:
+        summary.worker_respawns = list(worker_respawns)
+    if breaker_open_rounds:
+        summary.breaker_open_rounds = list(breaker_open_rounds)
 
     for task in state.tasks.values():
         job = state.jobs.get(task.job_id)

@@ -90,6 +90,16 @@ class ScheduleRecord:
     #: round out).
     snapshot_ships: int = 0
     delta_ships: int = 0
+    #: Robustness observability of the round: 1 when the round degraded
+    #: (epsilon truncation or previous-placement reuse under a deadline),
+    #: deadline hits attributed to the round's solver legs, worker
+    #: respawns performed during the round, and 1 while the worker
+    #: circuit breaker was open (all zero for baselines and fault-free
+    #: sequential rounds).
+    degraded_round: int = 0
+    deadline_hits: int = 0
+    worker_respawns: int = 0
+    breaker_open: int = 0
 
 
 @dataclass
@@ -235,6 +245,10 @@ class ClusterSimulator:
             ],
             snapshot_ships=[r.snapshot_ships for r in self.schedule_records],
             delta_ships=[r.delta_ships for r in self.schedule_records],
+            degraded_rounds=[r.degraded_round for r in self.schedule_records],
+            deadline_hits=[r.deadline_hits for r in self.schedule_records],
+            worker_respawns=[r.worker_respawns for r in self.schedule_records],
+            breaker_open_rounds=[r.breaker_open for r in self.schedule_records],
         )
         return SimulationResult(
             state=self.state,
@@ -331,6 +345,10 @@ class ClusterSimulator:
         dual_ascents = 0
         snapshot_ships = 0
         delta_ships = 0
+        deadline_hits = 0
+        worker_respawns = 0
+        breaker_open = 0
+        degraded_round = 1 if getattr(decision, "degraded", False) else 0
         if decision.solver_result is not None:
             winning = decision.solver_result.algorithm
             statistics = decision.solver_result.statistics
@@ -340,6 +358,10 @@ class ClusterSimulator:
             dual_ascents = statistics.dual_ascents
             snapshot_ships = statistics.snapshot_ships
             delta_ships = statistics.delta_ships
+            deadline_hits = statistics.deadline_hits
+            worker_respawns = statistics.worker_respawns
+            breaker_open = statistics.breaker_open
+            degraded_round = max(degraded_round, statistics.degraded_round)
         self.schedule_records.append(
             ScheduleRecord(
                 start_time=self.now,
@@ -354,6 +376,10 @@ class ClusterSimulator:
                 dual_ascents=dual_ascents,
                 snapshot_ships=snapshot_ships,
                 delta_ships=delta_ships,
+                degraded_round=degraded_round,
+                deadline_hits=deadline_hits,
+                worker_respawns=worker_respawns,
+                breaker_open=breaker_open,
             )
         )
         self._last_schedule_start = self.now

@@ -28,6 +28,8 @@ arcs, and return a :class:`~repro.solvers.base.SolverResult` with statistics.
 from repro.solvers.base import (
     COMPLEXITY_TABLE,
     PRECONDITION_TABLE,
+    RoundDeadline,
+    RoundDeadlineExceeded,
     SolveAborted,
     Solver,
     SolverResult,
@@ -52,6 +54,7 @@ from repro.solvers.dual_executor import (
     SpeculativeDualExecutor,
 )
 from repro.solvers.parallel_executor import ParallelDualExecutor, RevisionChainCache
+from repro.solvers.worker_health import WorkerCircuitBreaker
 
 __all__ = [
     "COMPLEXITY_TABLE",
@@ -62,7 +65,10 @@ __all__ = [
     "RevisionChainCache",
     "price_refine_dijkstra",
     "price_refine_spfa",
+    "RoundDeadline",
+    "RoundDeadlineExceeded",
     "SolveAborted",
+    "WorkerCircuitBreaker",
     "Solver",
     "SolverResult",
     "SolverStatistics",

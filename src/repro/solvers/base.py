@@ -68,6 +68,17 @@ class SolverStatistics:
     #: network (filled in by the scheduler, not the solver), so fig14-style
     #: runs can attribute per-round time to graph maintenance vs solving.
     graph_update_seconds: float = 0.0
+    #: Self-healing round pipeline attribution.  ``deadline_hits`` counts
+    #: deadline firings that truncated or aborted work this round;
+    #: ``degraded_round`` flags a round whose result is deliberately
+    #: non-optimal (epsilon-truncated ladder or previous-placement reuse);
+    #: ``worker_respawns`` counts relaxation-worker respawns performed
+    #: during the round; ``breaker_open`` flags a round served while the
+    #: worker circuit breaker was not closed (sequential fallback rounds).
+    deadline_hits: int = 0
+    degraded_round: int = 0
+    worker_respawns: int = 0
+    breaker_open: int = 0
 
     def merge(self, other: "SolverStatistics") -> "SolverStatistics":
         """Return statistics summing this run with another."""
@@ -96,6 +107,10 @@ class SolverStatistics:
             delta_ships=self.delta_ships + other.delta_ships,
             graph_update_seconds=self.graph_update_seconds
             + other.graph_update_seconds,
+            deadline_hits=self.deadline_hits + other.deadline_hits,
+            degraded_round=max(self.degraded_round, other.degraded_round),
+            worker_respawns=self.worker_respawns + other.worker_respawns,
+            breaker_open=max(self.breaker_open, other.breaker_open),
         )
 
 
@@ -149,6 +164,76 @@ class SolverError(RuntimeError):
 
 class InfeasibleProblemError(SolverError):
     """Raised when the network admits no feasible flow routing all supply."""
+
+
+class RoundDeadlineExceeded(SolverError):
+    """Raised when a round's latency budget expired with no usable result.
+
+    Soft deadline expiry degrades gracefully (cost scaling stops its
+    epsilon ladder at the current coarser epsilon, relaxation caps its
+    ascents); this error is the last resort — the hard deadline passed and
+    *no* solver produced a feasible flow, so the scheduler must reuse the
+    previous round's placements and record a degraded round rather than
+    stall (ROADMAP item 5's latency-budget half, fig10's approximation
+    claim applied to latency).
+    """
+
+
+#: Floor for the deadline watchdog period: the granularity at which
+#: cooperative checks are expected to observe an expired budget.
+DEFAULT_WATCHDOG_PERIOD = 0.05
+
+
+class RoundDeadline:
+    """Wall-clock budget for one scheduling round, with a grace watchdog.
+
+    ``expired()`` is the *soft* deadline: cooperative ``deadline_check``
+    hooks poll it to stop doing optional work (finish the current epsilon
+    phase, skip the polish).  ``hard_expired()`` adds one watchdog period
+    of grace and is wired into the existing ``abort_check`` machinery to
+    cancel a solver outright — so no round overruns its budget by more
+    than the watchdog period plus one cooperative-check interval.
+
+    Args:
+        budget_seconds: The round's latency budget (> 0).
+        watchdog_period: Grace period between the soft and hard deadlines;
+            defaults to ``max(DEFAULT_WATCHDOG_PERIOD, 0.25 * budget)``.
+        clock: Monotonic clock, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        budget_seconds: float,
+        watchdog_period: Optional[float] = None,
+        clock=time.monotonic,
+    ) -> None:
+        if budget_seconds <= 0:
+            raise ValueError("budget_seconds must be > 0")
+        self.budget_seconds = float(budget_seconds)
+        if watchdog_period is None:
+            watchdog_period = max(DEFAULT_WATCHDOG_PERIOD, 0.25 * self.budget_seconds)
+        if watchdog_period < 0:
+            raise ValueError("watchdog_period must be >= 0")
+        self.watchdog_period = float(watchdog_period)
+        self._clock = clock
+        self.started_at = clock()
+
+    def elapsed(self) -> float:
+        return self._clock() - self.started_at
+
+    def remaining(self) -> float:
+        """Seconds left until the soft deadline (negative once expired)."""
+        return self.budget_seconds - self.elapsed()
+
+    def expired(self) -> bool:
+        return self.elapsed() >= self.budget_seconds
+
+    def hard_expired(self) -> bool:
+        return self.elapsed() >= self.budget_seconds + self.watchdog_period
+
+    def __call__(self) -> bool:
+        """Alias for :meth:`expired`, so a deadline is a ``deadline_check``."""
+        return self.expired()
 
 
 class SolveAborted(Exception):

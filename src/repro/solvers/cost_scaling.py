@@ -82,6 +82,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.flow.changes import ChangeBatch
 from repro.flow.graph import FlowNetwork
+from repro.flow.validation import check_residual_epsilon_optimality
 from repro.solvers.base import (
     InfeasibleProblemError,
     SolveAborted,
@@ -424,6 +425,20 @@ class CostScalingSolver(Solver):
         #: The residual network of the most recent run, retained in scaled
         #: cost units for :meth:`solve_delta` (None until the first solve).
         self.last_residual: Optional[ResidualNetwork] = None
+        #: Optional soft-deadline hook: a zero-argument callable polled at
+        #: epsilon-phase boundaries.  Returning True stops the scaling
+        #: ladder at the *current* coarser epsilon instead of running to
+        #: epsilon = 1: the flow stays feasible and epsilon-optimal (the
+        #: paper's fig10 approximation), the result is flagged
+        #: ``optimal=False``, and :attr:`last_degradation` records the
+        #: epsilon together with an inline
+        #: ``check_residual_epsilon_optimality`` validation.  ``None`` (the
+        #: default) adds no per-phase work.
+        self.deadline_check: Optional[callable] = None
+        #: Details of the most recent deadline-truncated ladder:
+        #: ``{"epsilon": int, "validated": bool, "problems": [...]}``;
+        #: None when the last run finished its ladder (or never ran one).
+        self.last_degradation: Optional[Dict] = None
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -431,6 +446,7 @@ class CostScalingSolver(Solver):
     def solve(self, network: FlowNetwork) -> SolverResult:
         """Compute a min-cost max-flow from scratch."""
         start = time.perf_counter()
+        self.last_degradation = None
         residual = ResidualNetwork(network, abort_check=self.abort_check)
         stats = SolverStatistics()
         scale = self._cost_scale(residual)
@@ -440,10 +456,17 @@ class CostScalingSolver(Solver):
         self._establish_feasible_flow(residual, stats)
 
         epsilon = max(1, residual.max_cost())
-        self._run_phases(residual, epsilon, stats)
-        self._polish(residual, stats)
+        truncated = self._run_phases(residual, epsilon, stats)
+        if not truncated:
+            self._polish(residual, stats)
 
-        return self._finish(network, residual, stats, start, optimal=self.max_phases is None)
+        return self._finish(
+            network,
+            residual,
+            stats,
+            start,
+            optimal=self.max_phases is None and not truncated,
+        )
 
     def solve_warm(
         self,
@@ -483,6 +506,7 @@ class CostScalingSolver(Solver):
             warm_scale: The cost scale those potentials were computed under.
         """
         start = time.perf_counter()
+        self.last_degradation = None
         for arc in network.arcs():
             arc.flow = min(warm_flows.get(arc.key(), 0), arc.capacity)
         self._check_abort()
@@ -579,9 +603,20 @@ class CostScalingSolver(Solver):
             # starting from the worst observed violation.
             self._establish_feasible_flow(residual, stats)
             violation = self._max_violation(residual)
+            truncated = False
             if violation > 0:
-                self._run_phases(residual, max(1, violation), stats)
-            self._polish(residual, stats)
+                truncated = self._run_phases(residual, max(1, violation), stats)
+            if not truncated:
+                self._polish(residual, stats)
+            if truncated:
+                return self._finish(
+                    network,
+                    residual,
+                    stats,
+                    start,
+                    algorithm="incremental_cost_scaling",
+                    optimal=False,
+                )
 
         return self._finish(
             network, residual, stats, start, algorithm="incremental_cost_scaling"
@@ -610,6 +645,7 @@ class CostScalingSolver(Solver):
                 must be discarded).
         """
         start = time.perf_counter()
+        self.last_degradation = None
         stats = SolverStatistics(warm_start=True)
         dirty = residual.apply_changes(changes)
         stats.arcs_patched = residual.last_arcs_patched
@@ -808,7 +844,7 @@ class CostScalingSolver(Solver):
         """
         scale = residual.cost_scale
         self._record_scaled_state(residual, scale)
-        if self.polish_potentials and self.max_phases is None:
+        if self.polish_potentials and self.max_phases is None and optimal:
             self.last_residual = residual
         else:
             self.last_residual = None
@@ -998,10 +1034,19 @@ class CostScalingSolver(Solver):
 
     def _run_phases(
         self, residual: ResidualNetwork, initial_epsilon: int, stats: SolverStatistics
-    ) -> None:
-        """Run scaling phases from ``initial_epsilon`` down to 1."""
+    ) -> bool:
+        """Run scaling phases from ``initial_epsilon`` down to 1.
+
+        Returns True when :attr:`deadline_check` fired and the ladder was
+        cut short at a coarser epsilon.  At least one phase always runs, so
+        a deadline-truncated result is still a feasible, epsilon-optimal
+        flow; the truncation epsilon is validated inline with
+        :func:`~repro.flow.validation.check_residual_epsilon_optimality`
+        and recorded in :attr:`last_degradation`.
+        """
         epsilon = initial_epsilon
         phases = 0
+        deadline = self.deadline_check
         while True:
             self._check_abort()
             self._refine(residual, epsilon, stats)
@@ -1011,7 +1056,18 @@ class CostScalingSolver(Solver):
                 break
             if self.max_phases is not None and phases >= self.max_phases:
                 break
+            if deadline is not None and deadline():
+                stats.deadline_hits += 1
+                stats.degraded_round = 1
+                problems = check_residual_epsilon_optimality(residual, epsilon)
+                self.last_degradation = {
+                    "epsilon": epsilon,
+                    "validated": not problems,
+                    "problems": problems,
+                }
+                return True
             epsilon = max(1, epsilon // self.alpha)
+        return False
 
     def _establish_feasible_flow(
         self, residual: ResidualNetwork, stats: SolverStatistics

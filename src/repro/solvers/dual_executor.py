@@ -47,9 +47,16 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.chaos import corrupt_residual_potentials
 from repro.flow.changes import ChangeBatch
 from repro.flow.graph import FlowNetwork
-from repro.solvers.base import Solver, SolverResult
+from repro.solvers.base import (
+    RoundDeadline,
+    RoundDeadlineExceeded,
+    SolveAborted,
+    Solver,
+    SolverResult,
+)
 from repro.solvers.incremental import IncrementalCostScalingSolver
 from repro.solvers.relaxation import RelaxationSolver
 
@@ -265,6 +272,9 @@ class SpeculativeDualExecutor(Solver):
         price_refine: str = "auto",
         executor_policy: str = "race",
         cost_model: Optional[RaceCostModel] = None,
+        round_deadline_seconds: Optional[float] = None,
+        relaxation_ascent_cap: Optional[int] = None,
+        chaos=None,
     ) -> None:
         """Create the executor.
 
@@ -282,6 +292,19 @@ class SpeculativeDualExecutor(Solver):
                 :class:`RaceCostModel` to skip the predictable loser's leg.
             cost_model: Model instance driving ``"auto"`` (a default one is
                 created when omitted; ignored under ``"race"``).
+            round_deadline_seconds: Optional per-round latency budget.  When
+                set, every leg runs under a :class:`RoundDeadline`: cost
+                scaling degrades to the current coarser epsilon at the soft
+                deadline, relaxation (and any leg still running at the hard
+                deadline) is aborted, and a round in which *no* leg produced
+                a feasible flow raises :class:`RoundDeadlineExceeded` so the
+                scheduler can reuse the previous placements instead of
+                stalling.
+            relaxation_ascent_cap: Optional cap on relaxation dual ascents
+                per run (the relaxation-side degradation knob; exceeded →
+                the round falls back to the cost-scaling leg).
+            chaos: Optional :class:`repro.chaos.ChaosPolicy` injecting
+                deterministic faults; ``None`` (default) is a no-op.
         """
         if executor_policy not in EXECUTOR_POLICIES:
             raise ValueError(
@@ -294,6 +317,14 @@ class SpeculativeDualExecutor(Solver):
         )
         self.executor_policy = executor_policy
         self.cost_model = cost_model or RaceCostModel()
+        self.round_deadline_seconds = round_deadline_seconds
+        if relaxation_ascent_cap is not None:
+            self.relaxation.ascent_cap = relaxation_ascent_cap
+        self.chaos = chaos
+        #: Rounds that blew their hard deadline with no usable result
+        #: (each raised :class:`RoundDeadlineExceeded`).
+        self.deadline_exceeded_rounds: int = 0
+        self._chaos_round: int = 0
         self.last_result: Optional[DualExecutionResult] = None
         #: Race observability counters, accumulated across rounds.
         self.rounds: int = 0
@@ -341,6 +372,27 @@ class SpeculativeDualExecutor(Solver):
     # ------------------------------------------------------------------ #
     # Shared race plumbing
     # ------------------------------------------------------------------ #
+    def _begin_chaos_round(self):
+        """Advance the chaos round clock and inject solver-state faults.
+
+        Returns ``(chaos, round_index)``; both executors call this once at
+        the top of :meth:`solve_detailed`.  ``residual_corruption`` is the
+        one fault injected here because it lives in shared solver state
+        (the incremental solver's persistent residual); the worker-process
+        faults only exist in the parallel subclass.  Corrupting also arms
+        ``validate_residual`` so the poisoned state must be *detected*, not
+        merely survived.
+        """
+        chaos = self.chaos
+        round_index = self._chaos_round
+        self._chaos_round += 1
+        if chaos is not None:
+            residual = self.incremental.persistent_residual
+            if residual is not None and chaos.fires("residual_corruption", round_index):
+                corrupt_residual_potentials(residual, seed=chaos.seed + round_index)
+                self.incremental.validate_residual = True
+        return chaos, round_index
+
     def _choose_strategy(self, changes: Optional[ChangeBatch]) -> str:
         """Resolve the round's strategy under the configured policy."""
         if self.executor_policy != "auto":
@@ -450,9 +502,21 @@ class DualAlgorithmExecutor(SpeculativeDualExecutor):
         The winning flow is the one left assigned on the network's arcs.
         Under ``executor_policy="auto"`` the round may run a single leg;
         the skipped leg's slot in the result is ``None``.
+
+        With ``round_deadline_seconds`` set, each leg runs under its own
+        :class:`RoundDeadline` (the legs model *concurrent* algorithms, so
+        each gets the full budget): relaxation is aborted at the hard
+        deadline or its ascent cap, cost scaling stops its epsilon ladder
+        at the soft deadline (``optimal=False``) and is aborted outright at
+        the hard one.  A leg that died degrades the round to the surviving
+        leg; if both died, :class:`RoundDeadlineExceeded` is raised so the
+        caller reuses the previous placements.
         """
         started = time.perf_counter()
+        self._begin_chaos_round()
         strategy = self._choose_strategy(changes)
+        budget = self.round_deadline_seconds
+        deadline_hit = False
 
         relaxation_result: Optional[SolverResult] = None
         if strategy != "cost_scaling":
@@ -461,11 +525,20 @@ class DualAlgorithmExecutor(SpeculativeDualExecutor):
             # change batch is forwarded so the solver can patch its
             # persistent residual instead of rebuilding it.
             relaxation_network = network.copy()
-            relaxation_result = self.relaxation.solve(
-                relaxation_network, changes=changes
-            )
+            if budget is not None:
+                self.relaxation.abort_check = RoundDeadline(budget).hard_expired
+            try:
+                relaxation_result = self.relaxation.solve(
+                    relaxation_network, changes=changes
+                )
+            except SolveAborted:
+                # Hard deadline or ascent cap: degrade to the other leg.
+                relaxation_result = None
+                deadline_hit = True
+            finally:
+                self.relaxation.abort_check = None
 
-        if strategy == "relaxation":
+        if strategy == "relaxation" and relaxation_result is not None:
             self._install_relaxation_win(network, relaxation_result)
             runtime = relaxation_result.runtime_seconds
             return self._record_round(
@@ -481,15 +554,58 @@ class DualAlgorithmExecutor(SpeculativeDualExecutor):
                 )
             )
 
-        cost_scaling_result = self.incremental.solve(network, changes=changes)
+        cost_scaling_result: Optional[SolverResult] = None
+        deadline: Optional[RoundDeadline] = None
+        if budget is not None:
+            deadline = RoundDeadline(budget)
+            self.incremental.deadline_check = deadline
+            self.incremental.abort_check = deadline.hard_expired
+        try:
+            cost_scaling_result = self.incremental.solve(network, changes=changes)
+        except SolveAborted:
+            cost_scaling_result = None
+            deadline_hit = True
+        finally:
+            if deadline is not None:
+                self.incremental.deadline_check = None
+                self.incremental.abort_check = None
 
-        if strategy == "cost_scaling":
+        if relaxation_result is None and cost_scaling_result is None:
+            self.deadline_exceeded_rounds += 1
+            raise RoundDeadlineExceeded(
+                "no solver produced a feasible flow within the round budget"
+                + (f" ({budget:.3f}s)" if budget is not None else "")
+            )
+
+        if relaxation_result is None:
+            # Policy solo, or a raced/solo relaxation leg that died at the
+            # deadline: the cost-scaling leg serves the round alone.
+            if deadline_hit:
+                cost_scaling_result.statistics.deadline_hits += 1
             runtime = cost_scaling_result.runtime_seconds
             return self._record_round(
                 DualExecutionResult(
                     winner=cost_scaling_result,
                     relaxation=None,
                     cost_scaling=cost_scaling_result,
+                    effective_runtime_seconds=runtime,
+                    total_work_seconds=runtime,
+                    wall_clock_seconds=time.perf_counter() - started,
+                    executor="sequential",
+                    raced=False,
+                )
+            )
+
+        if cost_scaling_result is None:
+            # Race round whose cost-scaling leg died at the hard deadline.
+            self._install_relaxation_win(network, relaxation_result)
+            relaxation_result.statistics.deadline_hits += 1
+            runtime = relaxation_result.runtime_seconds
+            return self._record_round(
+                DualExecutionResult(
+                    winner=relaxation_result,
+                    relaxation=relaxation_result,
+                    cost_scaling=None,
                     effective_runtime_seconds=runtime,
                     total_work_seconds=runtime,
                     wall_clock_seconds=time.perf_counter() - started,

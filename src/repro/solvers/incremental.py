@@ -53,6 +53,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.flow.changes import ChangeBatch
 from repro.flow.graph import FlowNetwork, NodeType
+from repro.flow.validation import check_residual_epsilon_optimality
 from repro.solvers.base import SolveAborted, Solver, SolverResult
 from repro.solvers.cost_scaling import CostScalingSolver, DEFAULT_ALPHA
 
@@ -178,6 +179,16 @@ class IncrementalCostScalingSolver(Solver):
         self.delta_solves: int = 0
         #: Count of delta attempts that had to fall back to a rebuild.
         self.delta_fallbacks: int = 0
+        #: When True, the retained residual's 0-optimality invariant is
+        #: re-checked (``check_residual_epsilon_optimality(residual, 0)``)
+        #: before every delta solve; a corrupted residual is dropped and the
+        #: round falls back to a warm rebuild instead of repairing on top
+        #: of garbage potentials.  Off by default — the check is O(arcs)
+        #: per round; the chaos harness (and paranoid deployments) turn it
+        #: on.
+        self.validate_residual: bool = False
+        #: Count of retained residuals the validation check rejected.
+        self.residual_validation_failures: int = 0
 
     def reset(self) -> None:
         """Discard the remembered solution; the next solve runs from scratch."""
@@ -226,6 +237,31 @@ class IncrementalCostScalingSolver(Solver):
     def abort_check(self, check) -> None:
         self._cost_scaling.abort_check = check
 
+    @property
+    def deadline_check(self):
+        """Soft-deadline hook, forwarded to the inner solver.
+
+        Polled at epsilon-phase boundaries; firing stops the scaling
+        ladder at the current coarser epsilon (fig10-style approximate
+        solving) instead of cancelling the run; see
+        :attr:`repro.solvers.cost_scaling.CostScalingSolver.deadline_check`.
+        """
+        return self._cost_scaling.deadline_check
+
+    @deadline_check.setter
+    def deadline_check(self, check) -> None:
+        self._cost_scaling.deadline_check = check
+
+    @property
+    def persistent_residual(self):
+        """The retained residual of the inner solver (None when absent)."""
+        return self._cost_scaling.last_residual
+
+    @property
+    def last_degradation(self):
+        """Deadline-degradation record of the most recent inner run."""
+        return self._cost_scaling.last_degradation
+
     def can_solve_delta(self, changes: Optional[ChangeBatch]) -> bool:
         """Whether the next solve with this batch takes the pure delta path.
 
@@ -265,6 +301,16 @@ class IncrementalCostScalingSolver(Solver):
                 residual without reconstructing it.
         """
         residual = self._deltable_residual(changes)
+        if residual is not None and self.validate_residual:
+            problems = check_residual_epsilon_optimality(residual, 0)
+            if problems:
+                # The retained residual no longer proves 0-optimality
+                # (state corruption, a bug, a cosmic ray).  Repairing on
+                # top of bad potentials would silently produce a wrong
+                # flow, so drop the residual and rebuild warm instead.
+                self._cost_scaling.last_residual = None
+                self.residual_validation_failures += 1
+                residual = None
         if residual is not None:
             try:
                 result = self._cost_scaling.solve_delta(residual, network, changes)

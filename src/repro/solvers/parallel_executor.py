@@ -72,7 +72,13 @@ from repro.flow.dimacs import (
     write_incremental,
 )
 from repro.flow.graph import FlowNetwork
-from repro.solvers.base import SolveAborted, SolverResult, SolverStatistics
+from repro.solvers.base import (
+    RoundDeadline,
+    RoundDeadlineExceeded,
+    SolveAborted,
+    SolverResult,
+    SolverStatistics,
+)
 from repro.solvers.dual_executor import (
     DualAlgorithmExecutor,
     DualExecutionResult,
@@ -81,6 +87,7 @@ from repro.solvers.dual_executor import (
 )
 from repro.solvers.incremental import IncrementalCostScalingSolver
 from repro.solvers.relaxation import RelaxationSolver
+from repro.solvers.worker_health import WorkerCircuitBreaker
 
 #: The parent only ships a round when the worker has answered every
 #: previous request.  Besides keeping a slow worker from falling ever
@@ -196,7 +203,10 @@ def _relaxation_worker(conn, relaxation_kwargs: Dict[str, Any]) -> None:
     finish stamp so the parent can settle photo finishes (CLOCK_MONOTONIC
     is system-wide, hence comparable across processes).
     """
+    relaxation_kwargs = dict(relaxation_kwargs)
+    ascent_cap = relaxation_kwargs.pop("ascent_cap", None)
     solver = RelaxationSolver(**relaxation_kwargs)
+    solver.ascent_cap = ascent_cap
     shadow = None
     while True:
         try:
@@ -205,6 +215,11 @@ def _relaxation_worker(conn, relaxation_kwargs: Dict[str, Any]) -> None:
             break
         if message[0] == "shutdown":
             break
+        if message[0] == "chaos_delay":
+            # Chaos harness: a one-way "sleep before serving the next
+            # round" message, standing in for a slow/overloaded worker.
+            time.sleep(message[1])
+            continue
         kind, round_id, text = message[0], message[1], message[2]
         try:
             if kind == "full":
@@ -330,12 +345,14 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
         """Tell the scheduler to charge real measured wall clock per round.
 
         True while racing for real: the race is physical, so the modeled
-        ``min()`` of the sequential executor would under-report.  Once the
-        executor has fallen back to sequential execution the rounds run
-        back to back again, and charging wall clock would double-charge
-        the loser -- the fallback reverts to the winner's modeled runtime.
+        ``min()`` of the sequential executor would under-report.  On a
+        round served by the sequential fallback the legs run back to back
+        again, and charging wall clock would double-charge the loser --
+        such rounds revert to the winner's modeled runtime.  The flag is
+        per-round because the circuit breaker makes fallback temporary:
+        a probe round that re-closes the breaker resumes real racing.
         """
-        return self._fallback is None
+        return not self._last_round_fallback
 
     def __init__(
         self,
@@ -348,6 +365,10 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
         executor_policy: str = "race",
         cost_model: Optional[RaceCostModel] = None,
         batch_history_limit: int = BATCH_HISTORY_LIMIT,
+        breaker: Optional[WorkerCircuitBreaker] = None,
+        round_deadline_seconds: Optional[float] = None,
+        relaxation_ascent_cap: Optional[int] = None,
+        chaos=None,
     ) -> None:
         """Create the executor.
 
@@ -357,8 +378,12 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
                 instance itself only solves when the executor has fallen
                 back to sequential mode.
             incremental: Incremental cost scaling instance run in the parent.
-            spawn_retries: How many times a dead worker is respawned before
-                the executor permanently falls back to sequential execution.
+            spawn_retries: Compatibility knob: when ``breaker`` is not
+                given, maps to a default breaker whose ``failure_threshold``
+                is ``1 + spawn_retries`` (the old one-shot semantics of "N
+                respawns, then fallback" become "N+1 consecutive failures
+                trip the breaker" -- but the breaker re-closes via probe
+                rounds instead of staying down forever).
             loser_grace_seconds: How long to wait for the worker when the
                 parent-side solver failed (infeasible problems race an
                 error against an error).
@@ -377,15 +402,34 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
             cost_model: Model instance driving ``"auto"``.
             batch_history_limit: How many revision-chained batches the
                 resync cache retains (see :class:`RevisionChainCache`).
+            breaker: Worker health state machine; defaults to a
+                :class:`~repro.solvers.worker_health.WorkerCircuitBreaker`
+                derived from ``spawn_retries``.
+            round_deadline_seconds: Per-round wall-clock budget.  When set,
+                the parent-side cost scaling leg truncates its epsilon
+                ladder at the budget (still feasible and epsilon-optimal
+                at the coarser epsilon) and both legs are hard-aborted one
+                watchdog period later; a round where *no* leg produced a
+                feasible flow raises :class:`RoundDeadlineExceeded` so the
+                scheduler can degrade to the previous placements.
+            relaxation_ascent_cap: Cap on dual ascents per relaxation run
+                (shipped to the worker); the leg aborts past the cap.
+            chaos: Optional :class:`repro.chaos.ChaosPolicy` injecting
+                deterministic faults into the round pipeline (tests only;
+                None keeps every hook a no-op).
         """
         super().__init__(
             relaxation=relaxation, incremental=incremental,
             price_refine=price_refine, executor_policy=executor_policy,
             cost_model=cost_model,
+            round_deadline_seconds=round_deadline_seconds,
+            relaxation_ascent_cap=relaxation_ascent_cap,
+            chaos=chaos,
         )
         self._relaxation_kwargs = {
             "arc_prioritization": self.relaxation.arc_prioritization,
             "priority_probe_limit": self.relaxation.priority_probe_limit,
+            "ascent_cap": self.relaxation.ascent_cap,
         }
         self.loser_grace_seconds = loser_grace_seconds
         self.delta_solo_threshold = delta_solo_threshold
@@ -393,8 +437,16 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
         self._process = None
         self._round_id = 0
         self._unanswered: set = set()
-        self._spawn_attempts_left = 1 + max(0, spawn_retries)
+        self.breaker = breaker or WorkerCircuitBreaker(
+            failure_threshold=1 + max(0, spawn_retries)
+        )
         self._fallback: Optional[DualAlgorithmExecutor] = None
+        self._closed = False
+        self._spawned_once = False
+        self._last_round_fallback = False
+        self._respawns_at_round_start = 0
+        #: Worker subprocesses respawned after the first (observability).
+        self.worker_respawns: int = 0
         #: Revision of the network content the worker's shadow copy mirrors
         #: (None forces the next request to be a full snapshot).
         self._worker_revision: Optional[int] = None
@@ -433,56 +485,83 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
         self.full_payloads = 0
         self.delta_payloads = 0
         self.resync_payloads = 0
+        self.worker_respawns = 0
 
     # ------------------------------------------------------------------ #
     # Worker lifecycle
     # ------------------------------------------------------------------ #
     def _ensure_worker(self) -> bool:
-        """Return True when a live worker exists (spawning one if needed)."""
+        """Return True when a live worker exists (spawning one if needed).
+
+        Respawn attempts are gated by the circuit breaker: after the first
+        failure the retry is immediate, repeated failures back off
+        exponentially, and past ``failure_threshold`` consecutive failures
+        the breaker opens -- rounds run on the sequential fallback until a
+        periodic probe round re-closes it.
+        """
         if self._conn is not None:
             if self._process is None or self._process.is_alive():
                 return True
-            self._teardown_worker()
-        if self._fallback is not None:
+            # The worker died between rounds: a process-level failure.
+            self._note_worker_failure()
+        if not self.breaker.allow_attempt():
             return False
-        while self._spawn_attempts_left > 0:
-            self._spawn_attempts_left -= 1
-            try:
-                import multiprocessing
+        try:
+            import multiprocessing
 
-                context = multiprocessing.get_context()
-                parent_conn, child_conn = context.Pipe(duplex=True)
-                process = context.Process(
-                    target=_relaxation_worker,
-                    args=(child_conn, self._relaxation_kwargs),
-                    daemon=True,
-                    name="repro-relaxation-worker",
-                )
-                process.start()
-                child_conn.close()
-                self._conn = parent_conn
-                self._process = process
-                self._unanswered.clear()
-                self._worker_revision = None
-                return True
-            except Exception:
-                continue
-        self._activate_fallback()
-        return False
+            context = multiprocessing.get_context()
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_relaxation_worker,
+                args=(child_conn, self._relaxation_kwargs),
+                daemon=True,
+                name="repro-relaxation-worker",
+            )
+            process.start()
+            child_conn.close()
+            self._conn = parent_conn
+            self._process = process
+            self._unanswered.clear()
+            self._worker_revision = None
+            if self._spawned_once:
+                self.worker_respawns += 1
+            self._spawned_once = True
+            return True
+        except Exception:
+            self.breaker.record_failure()
+            return False
 
-    def _activate_fallback(self) -> None:
-        """Switch permanently to sequential execution (shared solvers)."""
-        self._teardown_worker()
-        self._spawn_attempts_left = 0
+    def _ensure_fallback(self) -> None:
+        """Lazily build the sequential fallback executor (shared solvers)."""
         if self._fallback is None:
             self._fallback = DualAlgorithmExecutor(
                 relaxation=self.relaxation, incremental=self.incremental,
                 executor_policy=self.executor_policy, cost_model=self.cost_model,
+                round_deadline_seconds=self.round_deadline_seconds,
             )
 
     def _note_worker_error(self) -> None:
         """The worker dropped its shadow; ship a full snapshot next round."""
         self._worker_revision = None
+
+    def _note_worker_failure(self) -> None:
+        """Record a process-level failure (death, broken pipe, spawn fail)."""
+        self.breaker.record_failure()
+        self._teardown_worker()
+
+    def _settle_worker_health(self, race: Optional["_RoundRace"]) -> None:
+        """End-of-round health bookkeeping: exactly one breaker update.
+
+        Mid-round sites that discover a broken pipe only tear the worker
+        down; the failure itself is recorded here, once, so a single bad
+        round cannot double-count against the breaker's threshold.
+        """
+        if race is None:
+            return
+        if race.pipe_broken:
+            self._note_worker_failure()
+        else:
+            self.breaker.record_success()
 
     def _drain_pending(self) -> None:
         """Consume any queued responses to already-abandoned rounds."""
@@ -496,7 +575,7 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
                 if kind == "error":
                     self._note_worker_error()
         except (EOFError, OSError):
-            self._teardown_worker()
+            self._note_worker_failure()
 
     def _teardown_worker(self) -> None:
         conn, process = self._conn, self._process
@@ -514,7 +593,14 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
             process.join(timeout=2.0)
 
     def close(self) -> None:
-        """Shut the worker down gracefully; idempotent."""
+        """Shut the worker down gracefully; idempotent and terminal.
+
+        Safe to call twice and safe when the worker already died (the
+        shutdown send is best-effort and join on a dead process is a
+        no-op).  After close the executor refuses further rounds instead
+        of hanging on a dead pipe -- see :meth:`solve_detailed`.
+        """
+        self._closed = True
         conn, process = self._conn, self._process
         if conn is not None:
             try:
@@ -535,6 +621,14 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
 
         The winning flow is the one left assigned on the network's arcs.
         """
+        if self._closed:
+            raise RuntimeError(
+                "ParallelDualExecutor is closed; create a new executor "
+                "(a solve after close would hang on the dead worker pipe)"
+            )
+        chaos, chaos_round = self._begin_chaos_round()
+        self.breaker.note_round()
+        self._respawns_at_round_start = self.worker_respawns
         if changes is not None:
             # Remember every revision-chained batch -- including the rounds
             # solved solo below, which is exactly when the worker's chain
@@ -549,6 +643,9 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
                 return self._solve_fallback(network, changes)
 
         started = time.perf_counter()
+        deadline: Optional[RoundDeadline] = None
+        if self.round_deadline_seconds is not None:
+            deadline = RoundDeadline(self.round_deadline_seconds)
         strategy = "race"
         if (
             changes is not None
@@ -575,6 +672,10 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
                     message, ship_kind, shipped_revision = self._encode_request(
                         round_id, network, changes
                     )
+                    if chaos is not None:
+                        message = self._apply_send_chaos(
+                            chaos, chaos_round, message
+                        )
                     self._conn.send(message)
                     # Yield the timeslice so the worker starts on the
                     # request immediately.  On a multi-core box this costs
@@ -593,11 +694,20 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
                         self._conn, round_id, self._unanswered,
                         on_error=self._note_worker_error,
                     )
+                    if (
+                        chaos is not None
+                        and self._process is not None
+                        and chaos.fires("worker_kill", chaos_round)
+                    ):
+                        self._process.terminate()
                 except (BrokenPipeError, OSError):
-                    self._teardown_worker()
-                    if not self._ensure_worker():
-                        return self._solve_fallback(network, changes)
-                    return self.solve_detailed(network, changes)
+                    # The ship itself failed: a process-level failure, now.
+                    # Serve the round with the parent-side solver unopposed
+                    # (no retry recursion -- the breaker's backoff decides
+                    # when the next respawn attempt happens).
+                    self._note_worker_failure()
+                    race = None
+                    ship_kind = None
             else:
                 # The worker is still chewing on an older (abandoned) round;
                 # do not pile on -- see the deadlock note on the answered-up
@@ -619,23 +729,39 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
             timeout = self.loser_grace_seconds
             if scaling_estimate is not None:
                 timeout = min(timeout, max(0.05, 4.0 * scaling_estimate))
+            if deadline is not None:
+                timeout = min(
+                    timeout,
+                    max(0.01, deadline.remaining() + deadline.watchdog_period),
+                )
             if race.wait(timeout):
-                relaxation_result = self._payload_to_result(race.payload)
+                self._settle_worker_health(race)
                 return self._finish_round(
-                    network, started, None, relaxation_result,
+                    network, started, None,
+                    self._payload_to_result(race.payload),
                     winner_is_relaxation=True, ship_kind=ship_kind,
                     parent_ran=False,
                 )
-            if race.pipe_broken:
-                self._teardown_worker()
             # The worker failed or timed out; degrade to the parent-side
             # solver (the race below, with the worker round still pending,
-            # simply runs cost scaling unopposed).
+            # simply runs cost scaling unopposed).  A broken pipe is
+            # recorded once, by the end-of-round health settlement.
 
         cost_scaling_result: Optional[SolverResult] = None
         parent_error: Optional[BaseException] = None
-        if race is not None:
-            self.incremental.abort_check = race
+        abort_check = None
+        if race is not None and deadline is not None:
+            hard_expired = deadline.hard_expired
+            current_race = race
+            abort_check = lambda: current_race() or hard_expired()  # noqa: E731
+        elif race is not None:
+            abort_check = race
+        elif deadline is not None:
+            abort_check = deadline.hard_expired
+        if abort_check is not None:
+            self.incremental.abort_check = abort_check
+        if deadline is not None:
+            self.incremental.deadline_check = deadline
         try:
             cost_scaling_result = self.incremental.solve(network, changes=changes)
         except SolveAborted:
@@ -644,11 +770,20 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
             parent_error = error
         finally:
             self.incremental.abort_check = None
+            self.incremental.deadline_check = None
         parent_finished_at = time.monotonic()
 
         if race is None:
             if parent_error is not None:
                 raise parent_error
+            if cost_scaling_result is None:
+                # The deadline hard-aborted the only leg before it produced
+                # a feasible flow (no worker to fall back on either).
+                self.deadline_exceeded_rounds += 1
+                raise RoundDeadlineExceeded(
+                    "no solver produced a feasible flow within the round "
+                    f"budget ({self.round_deadline_seconds:.3f}s)"
+                )
             return self._finish_round(
                 network, started, cost_scaling_result, None,
                 winner_is_relaxation=False, ship_kind=ship_kind,
@@ -664,6 +799,7 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
                 race.payload is not None
                 and race.payload["finished_at"] <= parent_finished_at
             )
+            self._settle_worker_health(race)
             return self._finish_round(
                 network,
                 started,
@@ -674,26 +810,73 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
             )
 
         if parent_error is None:
-            # Cost scaling was cancelled: the abort check only fires once the
-            # current round's relaxation result is in hand.
-            relaxation_result = self._payload_to_result(race.payload)
-            return self._finish_round(
-                network, started, None, relaxation_result,
-                winner_is_relaxation=True, ship_kind=ship_kind,
-            )
+            # Cost scaling was cancelled -- by the worker's finish, or (with
+            # a budget set) by the hard deadline.  One drain disambiguates.
+            race()
+            if race.payload is not None:
+                self._settle_worker_health(race)
+                return self._finish_round(
+                    network, started, None,
+                    self._payload_to_result(race.payload),
+                    winner_is_relaxation=True, ship_kind=ship_kind,
+                )
+            if deadline is not None:
+                # Deadline abort with the worker still in flight: grant one
+                # watchdog period of grace (the worker may be mid-send), then
+                # give up on the round entirely.
+                if race.wait(deadline.watchdog_period):
+                    self._settle_worker_health(race)
+                    return self._finish_round(
+                        network, started, None,
+                        self._payload_to_result(race.payload),
+                        winner_is_relaxation=True, ship_kind=ship_kind,
+                        deadline_hit=True,
+                    )
+                self._settle_worker_health(race)
+                self.deadline_exceeded_rounds += 1
+                raise RoundDeadlineExceeded(
+                    "no solver produced a feasible flow within the round "
+                    f"budget ({self.round_deadline_seconds:.3f}s)"
+                )
+            self._settle_worker_health(race)
+            raise RuntimeError(
+                "cost scaling aborted without a worker result or deadline"
+            )  # pragma: no cover - abort sources are exactly those two
 
         # The parent-side solver failed (e.g. infeasibility).  Give the
         # worker a bounded grace period to disagree; if it cannot produce a
         # solution either, surface the parent's error.
         if race.wait(self.loser_grace_seconds):
-            relaxation_result = self._payload_to_result(race.payload)
+            self._settle_worker_health(race)
             return self._finish_round(
-                network, started, None, relaxation_result,
+                network, started, None,
+                self._payload_to_result(race.payload),
                 winner_is_relaxation=True, ship_kind=ship_kind,
             )
-        if race.pipe_broken:
-            self._teardown_worker()
+        self._settle_worker_health(race)
         raise parent_error
+
+    def _apply_send_chaos(self, chaos, round_index: int, message: tuple) -> tuple:
+        """Deliver this round's send-path faults just before the ship.
+
+        ``pipe_break`` closes the transport out from under the send (the
+        caller's ``conn.send`` raises exactly like a real broken pipe);
+        ``corrupt_message`` appends garbage to the DIMACS text so the
+        worker's parser rejects it (exercising the error-reply + full
+        resnapshot path); ``worker_delay`` slips a sleep request in front
+        of the round so the worker answers late.
+        """
+        if chaos.fires("pipe_break", round_index):
+            self._conn.close()
+            return message
+        if chaos.fires("corrupt_message", round_index):
+            message = (
+                message[0], message[1],
+                message[2] + "\nthis is not DIMACS\n",
+            ) + tuple(message[3:])
+        if chaos.fires("worker_delay", round_index):
+            self._conn.send(("chaos_delay", chaos.delay_seconds))
+        return message
 
     def _encode_request(
         self,
@@ -761,13 +944,23 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
     def _solve_fallback(
         self, network: FlowNetwork, changes: Optional[ChangeBatch]
     ) -> DualExecutionResult:
+        self._ensure_fallback()
         result = self._fallback.solve_detailed(network, changes)
         result.executor = "sequential_fallback"
         self.fallback_rounds += 1
+        self._last_round_fallback = True
+        self._stamp_health_stats(result.winner.statistics)
         # Tally only: the inner sequential executor's _record_round already
         # folded the loser's stats and fed the (shared) cost model.
         self._tally_round(result)
         return result
+
+    def _stamp_health_stats(self, stats: SolverStatistics) -> None:
+        """Surface this round's breaker/respawn state on the winner's stats."""
+        stats.breaker_open = 0 if self.breaker.is_closed else 1
+        stats.worker_respawns += (
+            self.worker_respawns - self._respawns_at_round_start
+        )
 
     def _payload_to_result(
         self, payload: Optional[Dict[str, Any]]
@@ -800,6 +993,7 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
         winner_is_relaxation: bool,
         ship_kind: Optional[str] = None,
         parent_ran: bool = True,
+        deadline_hit: bool = False,
     ) -> DualExecutionResult:
         wall_clock = time.perf_counter() - started
         if winner_is_relaxation:
@@ -822,6 +1016,13 @@ class ParallelDualExecutor(SpeculativeDualExecutor):
             winner.statistics.snapshot_ships = 1
         elif ship_kind == "delta":
             winner.statistics.delta_ships = 1
+        if deadline_hit:
+            winner.statistics.deadline_hits += 1
+        if not winner.optimal:
+            # A deadline-truncated epsilon ladder degraded this round.
+            winner.statistics.degraded_round = 1
+        self._stamp_health_stats(winner.statistics)
+        self._last_round_fallback = False
         result = DualExecutionResult(
             winner=winner,
             relaxation=relaxation_result,

@@ -78,6 +78,7 @@ from repro.flow.changes import ChangeBatch
 from repro.flow.graph import FlowNetwork
 from repro.solvers.base import (
     InfeasibleProblemError,
+    SolveAborted,
     Solver,
     SolverResult,
     SolverStatistics,
@@ -124,6 +125,17 @@ class RelaxationSolver(Solver):
         #: it from the flow network (observability).
         self.residual_reuses: int = 0
         self.residual_rebuilds: int = 0
+        #: Optional cooperative cancellation hook (same contract as cost
+        #: scaling's ``abort_check``): a zero-argument callable polled once
+        #: per routed source batch and every 32 dual ascents.  Returning
+        #: True raises :class:`~repro.solvers.base.SolveAborted`.  ``None``
+        #: (the default) adds no per-operation work.
+        self.abort_check = None
+        #: Optional cap on dual ascents per run (the deadline-degradation
+        #: knob for relaxation, mirroring cost scaling's coarser-epsilon
+        #: termination): exceeding the cap raises ``SolveAborted`` so the
+        #: round falls back to the other leg.  ``None`` disables the cap.
+        self.ascent_cap: Optional[int] = None
 
     def invalidate_residual(self) -> None:
         """Drop the persistent residual; the next solve rebuilds it."""
@@ -260,8 +272,11 @@ class RelaxationSolver(Solver):
         pred_arc = [0] * n
         excess = residual.excess
         stamp = 0
+        check = self.abort_check
         for source in range(n):
             while excess[source] > 0:
+                if check is not None and check():
+                    raise SolveAborted("relaxation run cancelled by abort check")
                 stamp += 1
                 self._route_from_source(
                     residual, source, stats, max_cost, tree_mark, pred_arc, stamp
@@ -328,6 +343,8 @@ class RelaxationSolver(Solver):
         prioritize = self.arc_prioritization
         probe_limit = self.priority_probe_limit
         hook = self.invariant_hook
+        check = self.abort_check
+        cap = self.ascent_cap
 
         n = residual.num_nodes
         tree_mark[source] = stamp
@@ -418,6 +435,13 @@ class RelaxationSolver(Solver):
             stats.iterations += 1
             if hook is not None:
                 hook(residual, "ascent")
+            if cap is not None and stats.dual_ascents + ascents > cap:
+                raise SolveAborted(
+                    f"relaxation ascent cap ({cap}) exceeded; degrading to the "
+                    "other leg"
+                )
+            if check is not None and (ascents & 31) == 0 and check():
+                raise SolveAborted("relaxation run cancelled by abort check")
             if ascents > max_ascents:
                 raise InfeasibleProblemError(
                     "dual ascent failed to converge; the problem is infeasible "

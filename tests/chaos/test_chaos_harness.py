@@ -1,0 +1,504 @@
+"""Chaos-injection harness: round deadlines, degradation, and recovery.
+
+The suite drives the self-healing round pipeline under every fault class
+of :mod:`repro.chaos` and asserts the robustness contract: a run always
+completes (degraded rounds are recorded, never stalled), solver-fault
+rounds produce the same answers as a fault-free oracle, and with a round
+deadline set every round finishes within budget plus the watchdog period
+or is recorded degraded with its epsilon-optimality validated.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.chaos import FAULT_KINDS, ChaosPolicy, corrupt_residual_potentials
+from repro.core import FirmamentScheduler, QuincyPolicy
+from repro.flow.changes import ChangeBatch
+from repro.flow.validation import (
+    check_feasibility,
+    check_residual_epsilon_optimality,
+)
+from repro.simulation.simulator import ClusterSimulator, SimulationConfig
+from repro.solvers import (
+    CostScalingSolver,
+    DualAlgorithmExecutor,
+    IncrementalCostScalingSolver,
+    ParallelDualExecutor,
+    RoundDeadline,
+    RoundDeadlineExceeded,
+    SolveAborted,
+    WorkerCircuitBreaker,
+)
+from repro.solvers.base import DEFAULT_WATCHDOG_PERIOD
+from tests.conftest import (
+    build_scheduling_network,
+    make_cluster_state,
+    make_job,
+    reference_min_cost,
+)
+from tests.solvers.test_parallel_executor import perturbed_rounds
+
+
+# --------------------------------------------------------------------- #
+# The policy itself
+# --------------------------------------------------------------------- #
+class TestChaosPolicy:
+    def test_seeded_draws_are_deterministic_and_order_independent(self):
+        first = ChaosPolicy(seed=11, rates={f: 0.5 for f in FAULT_KINDS})
+        second = ChaosPolicy(seed=11, rates={f: 0.5 for f in FAULT_KINDS})
+        forward = [
+            (f, r, first.fires(f, r)) for f in FAULT_KINDS for r in range(20)
+        ]
+        # Query the second policy in the reverse order: the draw is keyed
+        # on (seed, fault, round), not on call sequence.
+        backward = {
+            (f, r): second.fires(f, r)
+            for f in reversed(FAULT_KINDS)
+            for r in reversed(range(20))
+        }
+        assert all(hit == backward[(f, r)] for f, r, hit in forward)
+        assert first.injected == second.injected
+        assert first.total_injected > 0
+
+    def test_different_seeds_differ(self):
+        rates = {"worker_kill": 0.5}
+        a = ChaosPolicy(seed=1, rates=rates)
+        b = ChaosPolicy(seed=2, rates=rates)
+        assert [a.fires("worker_kill", r) for r in range(64)] != [
+            b.fires("worker_kill", r) for r in range(64)
+        ]
+
+    def test_schedule_fires_exactly_and_counts(self):
+        policy = ChaosPolicy(schedule={"pipe_break": [2, 5], "chain_break": [3]})
+        fired = [
+            (fault, r)
+            for r in range(8)
+            for fault in ("pipe_break", "chain_break")
+            if policy.fires(fault, r)
+        ]
+        assert fired == [("pipe_break", 2), ("chain_break", 3), ("pipe_break", 5)]
+        assert policy.injected == {"pipe_break": 2, "chain_break": 1}
+        assert policy.injected_rounds == {
+            "pipe_break": [2, 5],
+            "chain_break": [3],
+        }
+        assert policy.total_injected == 3
+        policy.reset_counters()
+        assert policy.total_injected == 0
+
+    def test_arms_and_validation(self):
+        policy = ChaosPolicy(rates={"worker_delay": 0.1})
+        assert policy.arms("worker_delay")
+        assert not policy.arms("worker_kill")
+        with pytest.raises(ValueError):
+            ChaosPolicy(rates={"bogus_fault": 0.5})
+        with pytest.raises(ValueError):
+            ChaosPolicy(schedule={"bogus_fault": [1]})
+        with pytest.raises(ValueError):
+            ChaosPolicy(rates={"worker_kill": 1.5})
+        with pytest.raises(ValueError):
+            ChaosPolicy(delay_seconds=-1.0)
+        with pytest.raises(ValueError):
+            policy.fires("bogus_fault", 0)
+
+
+# --------------------------------------------------------------------- #
+# Round deadlines and graceful degradation
+# --------------------------------------------------------------------- #
+class TestRoundDeadline:
+    def test_deadline_clock_and_validation(self):
+        fake_now = [0.0]
+        deadline = RoundDeadline(1.0, watchdog_period=0.5, clock=lambda: fake_now[0])
+        assert not deadline.expired() and not deadline.hard_expired()
+        fake_now[0] = 1.1
+        assert deadline.expired() and not deadline.hard_expired()
+        fake_now[0] = 1.6
+        assert deadline.hard_expired()
+        assert deadline() is True  # __call__ aliases hard_expired
+        with pytest.raises(ValueError):
+            RoundDeadline(0.0)
+        with pytest.raises(ValueError):
+            RoundDeadline(1.0, watchdog_period=-0.1)
+        # Default watchdog: a quarter of the budget, floored at the global
+        # watchdog period.
+        assert RoundDeadline(10.0).watchdog_period == pytest.approx(2.5)
+        assert RoundDeadline(0.01).watchdog_period == DEFAULT_WATCHDOG_PERIOD
+
+    def test_epsilon_truncation_is_feasible_and_validated(self):
+        network = build_scheduling_network(seed=80, num_tasks=12)
+        solver = CostScalingSolver()
+        solver.deadline_check = lambda: True  # budget exhausted immediately
+        result = solver.solve(network)
+        # The flow is feasible and epsilon-optimal at the coarser epsilon
+        # the ladder stopped at -- degraded, recorded, never a stall.
+        assert check_feasibility(network) == []
+        assert not result.optimal
+        assert result.statistics.deadline_hits == 1
+        assert result.statistics.degraded_round == 1
+        assert solver.last_degradation is not None
+        assert solver.last_degradation["validated"] is True
+        assert solver.last_degradation["problems"] == []
+        assert solver.last_degradation["epsilon"] >= 1
+        assert result.total_cost >= reference_min_cost(network)
+        # Without the deadline the same solver is exactly optimal again.
+        solver.deadline_check = None
+        fresh = build_scheduling_network(seed=80, num_tasks=12)
+        assert solver.solve(fresh).total_cost == reference_min_cost(fresh)
+
+    def test_relaxation_ascent_cap_aborts(self):
+        executor = DualAlgorithmExecutor(relaxation_ascent_cap=0)
+        network = build_scheduling_network(seed=81, num_tasks=10)
+        result = executor.solve_detailed(network)
+        # The capped relaxation leg died; cost scaling served the round.
+        assert result.winner.algorithm != "relaxation"
+        assert result.winner.total_cost == reference_min_cost(network)
+        assert check_feasibility(network) == []
+
+    def test_no_leg_in_budget_raises_round_deadline_exceeded(self, monkeypatch):
+        executor = DualAlgorithmExecutor(round_deadline_seconds=0.05)
+
+        def abort(*args, **kwargs):
+            raise SolveAborted("leg killed by test")
+
+        monkeypatch.setattr(executor.relaxation, "solve", abort)
+        monkeypatch.setattr(executor.incremental, "solve", abort)
+        with pytest.raises(RoundDeadlineExceeded):
+            executor.solve_detailed(build_scheduling_network(seed=82))
+        assert executor.deadline_exceeded_rounds == 1
+
+    def test_round_wall_clock_bounded_under_deadline(self):
+        budget = 0.2
+        instance = ParallelDualExecutor(
+            round_deadline_seconds=budget, delta_solo_threshold=0
+        )
+        watchdog = RoundDeadline(budget).watchdog_period
+        try:
+            for network, changes, expected in perturbed_rounds(seed=83, rounds=3):
+                started = time.perf_counter()
+                try:
+                    result = instance.solve(network, changes=changes)
+                except RoundDeadlineExceeded:
+                    result = None
+                elapsed = time.perf_counter() - started
+                # Budget + watchdog is the contract; the extra slack only
+                # absorbs CI scheduling jitter around the abort polls.
+                assert elapsed <= budget + watchdog + 0.5
+                if result is not None and result.optimal:
+                    assert result.total_cost == expected
+        finally:
+            instance.close()
+
+
+class TestSchedulerDegradation:
+    class _DeadlineStubSolver:
+        """Solver stub whose every solve blows the round budget."""
+
+        accepts_change_batches = False
+        round_deadline_seconds = None
+
+        def solve(self, network, changes=None):
+            raise RoundDeadlineExceeded("stubbed: no leg finished in budget")
+
+    def test_degraded_round_reuses_previous_placements(self):
+        state = make_cluster_state(num_machines=4, slots_per_machine=2)
+        healthy = FirmamentScheduler(QuincyPolicy())
+        state.submit_job(make_job(job_id=1, num_tasks=3, submit_time=0.0))
+        healthy.schedule_and_apply(state, now=0.0)
+        running_before = {
+            t.task_id: t.machine_id for t in state.tasks.values() if t.is_running
+        }
+        assert running_before  # the healthy round placed tasks
+
+        # A second job arrives, but now every solve blows the budget.
+        degraded_scheduler = FirmamentScheduler(
+            QuincyPolicy(),
+            solver=self._DeadlineStubSolver(),
+            round_deadline_seconds=0.001,
+        )
+        state.submit_job(make_job(job_id=2, num_tasks=2, submit_time=1.0))
+        decision = degraded_scheduler.schedule(state, now=1.0)
+        assert decision.degraded is True
+        assert decision.degraded_reason == "round_deadline"
+        # Previous feasible placements are reused: nothing moves, nothing
+        # is preempted, the new tasks simply wait a round.
+        assert decision.placements == {}
+        assert decision.migrations == {}
+        assert decision.preemptions == []
+        assert set(decision.unscheduled) == {2000, 2001}
+        degraded_scheduler.apply(state, decision, now=1.0)
+        running_after = {
+            t.task_id: t.machine_id for t in state.tasks.values() if t.is_running
+        }
+        assert running_after == running_before
+        assert degraded_scheduler.statistics.degraded_rounds == 1
+        assert degraded_scheduler.statistics.deadline_abandoned_rounds == 1
+
+    def test_epsilon_truncated_round_is_marked_degraded(self, monkeypatch):
+        state = make_cluster_state(num_machines=4, slots_per_machine=2)
+        scheduler = FirmamentScheduler(QuincyPolicy())
+        # Kill the relaxation leg and exhaust the cost-scaling budget at
+        # once, so the round is deterministically served by a truncated
+        # (feasible, coarser-epsilon) cost-scaling result.
+        def abort(*args, **kwargs):
+            raise SolveAborted("leg killed by test")
+
+        monkeypatch.setattr(scheduler.solver.relaxation, "solve", abort)
+        scheduler.solver.incremental.deadline_check = lambda: True
+        state.submit_job(make_job(job_id=1, num_tasks=3, submit_time=0.0))
+        decision = scheduler.schedule(state, now=0.0)
+        assert decision.solver_result.algorithm != "relaxation"
+        assert len(decision.placements) == 3
+        assert decision.degraded is True
+        assert decision.degraded_reason == "epsilon_truncated"
+        assert scheduler.statistics.degraded_rounds == 1
+        assert scheduler.statistics.deadline_abandoned_rounds == 0
+
+    def test_deadline_requires_capable_solver(self):
+        with pytest.raises(ValueError, match="deadline"):
+            FirmamentScheduler(
+                QuincyPolicy(),
+                solver=CostScalingSolver(),
+                round_deadline_seconds=1.0,
+            )
+
+
+# --------------------------------------------------------------------- #
+# Solver-state faults: revision-chain breaks and residual corruption
+# --------------------------------------------------------------------- #
+class TestSolverStateFaults:
+    def test_chain_break_forces_recovery_and_stays_optimal(self):
+        chaos = ChaosPolicy(schedule={"chain_break": [1, 3]})
+        scheduler = FirmamentScheduler(QuincyPolicy(), chaos=chaos)
+        state = make_cluster_state(num_machines=6, slots_per_machine=2)
+        try:
+            for round_index in range(5):
+                state.submit_job(
+                    make_job(
+                        job_id=round_index + 1,
+                        num_tasks=2,
+                        submit_time=float(round_index),
+                    )
+                )
+                decision = scheduler.schedule_and_apply(state, now=float(round_index))
+                assert len(decision.placements) == 2
+                assert check_feasibility(scheduler.last_network) == []
+            assert scheduler.graph_manager.chain_breaks_injected == 2
+            assert chaos.injected.get("chain_break") == 2
+        finally:
+            scheduler.close()
+
+    def test_corrupt_residual_potentials_violates_zero_optimality(self):
+        solver = IncrementalCostScalingSolver()
+        network = build_scheduling_network(seed=84, num_tasks=10)
+        solver.solve(network)
+        residual = solver.persistent_residual
+        assert residual is not None
+        assert check_residual_epsilon_optimality(residual, 0) == []
+        assert corrupt_residual_potentials(residual, seed=3) is True
+        assert check_residual_epsilon_optimality(residual, 0) != []
+
+    def test_residual_corruption_is_caught_and_rebuilt(self, monkeypatch):
+        chaos = ChaosPolicy(schedule={"residual_corruption": [1, 3]})
+        executor = DualAlgorithmExecutor(chaos=chaos)
+        # Kill the relaxation leg so the incremental leg serves (and its
+        # persistent residual survives) every round -- which leg wins the
+        # modeled race is wall-clock-dependent, and a relaxation win would
+        # leave no residual for the corruption to land in.
+        def abort(*args, **kwargs):
+            raise SolveAborted("leg killed by test")
+
+        monkeypatch.setattr(executor.relaxation, "solve", abort)
+        for network, changes, expected in perturbed_rounds(seed=85, rounds=4):
+            result = executor.solve(network, changes=changes)
+            assert result.total_cost == expected
+            assert check_feasibility(network) == []
+        # Both injected corruptions were delivered into a live residual,
+        # caught by the pre-delta validation, and recovered from by warm
+        # rebuild -- placement quality never moved.
+        assert chaos.injected.get("residual_corruption") == 2
+        assert executor.incremental.residual_validation_failures == 2
+
+
+# --------------------------------------------------------------------- #
+# Fault-free oracle equivalence under transport faults
+# --------------------------------------------------------------------- #
+class TestFaultOracle:
+    def test_pipe_breaks_every_round_match_fault_free_flows(self):
+        # Break the pipe under every single ship: the worker never
+        # participates, so the parent-side incremental solver must produce
+        # *exactly* the flows of an identically-configured solo solver fed
+        # the same change batches -- not just the same cost.
+        chaos = ChaosPolicy(schedule={"pipe_break": range(16)})
+        breaker = WorkerCircuitBreaker(
+            failure_threshold=10**9, backoff_max_rounds=0
+        )
+        instance = ParallelDualExecutor(
+            chaos=chaos, breaker=breaker, delta_solo_threshold=0
+        )
+        oracle = IncrementalCostScalingSolver(price_refine="auto")
+        try:
+            for network, changes, expected in perturbed_rounds(seed=86, rounds=5):
+                chaotic = instance.solve(network, changes=changes)
+                reference = oracle.solve(network, changes=changes)
+                assert chaotic.algorithm == reference.algorithm
+                assert chaotic.total_cost == expected
+                assert chaotic.flows == reference.flows
+            assert chaos.injected.get("pipe_break") == 6
+            assert instance.fallback_rounds == 0
+            assert instance.breaker.is_closed
+            assert instance.worker_respawns >= 5
+        finally:
+            instance.close()
+
+    def test_mixed_fault_storm_stays_optimal_with_matching_counters(self):
+        schedule = {
+            "worker_kill": [1, 4],
+            "corrupt_message": [2],
+            "worker_delay": [3],
+        }
+        chaos = ChaosPolicy(schedule=schedule, delay_seconds=0.01)
+        instance = ParallelDualExecutor(chaos=chaos, delta_solo_threshold=0)
+        try:
+            for network, changes, expected in perturbed_rounds(seed=87, rounds=6):
+                result = instance.solve(network, changes=changes)
+                assert result.total_cost == expected
+                assert check_feasibility(network) == []
+            # Every delivered fault is recorded against the round it hit
+            # (rounds where the worker sat out deliver nothing, so compare
+            # against the policy's own injection log, not the schedule).
+            for fault, rounds in chaos.injected_rounds.items():
+                assert set(rounds) <= set(schedule[fault])
+            assert instance.fallback_rounds == 0
+            assert instance.breaker.is_closed
+        finally:
+            instance.close()
+
+
+# --------------------------------------------------------------------- #
+# Fig14-style closed-loop simulations under each fault class
+# --------------------------------------------------------------------- #
+def run_chaos_simulation(fault: str):
+    chaos = ChaosPolicy(seed=13, rates={fault: 0.6}, delay_seconds=0.01)
+    state = make_cluster_state(num_machines=6, slots_per_machine=2)
+    # delta_solo_threshold=0 consults the worker every round, so the
+    # worker-transport fault classes actually get a chance to fire in a
+    # short simulation (solo rounds never touch the pipe).
+    solver = ParallelDualExecutor(delta_solo_threshold=0)
+    scheduler = FirmamentScheduler(QuincyPolicy(), solver=solver, chaos=chaos)
+    simulator = ClusterSimulator(state, scheduler, SimulationConfig(max_time=60.0))
+    for job_id in range(1, 4):
+        simulator.submit_job(
+            make_job(
+                job_id=job_id,
+                num_tasks=4,
+                duration=6.0,
+                submit_time=float(job_id - 1) * 3.0,
+            )
+        )
+    try:
+        result = simulator.run()
+    finally:
+        simulator.close()
+    return result, chaos
+
+
+class TestChaosSimulation:
+    @pytest.mark.parametrize("fault", FAULT_KINDS)
+    def test_simulation_completes_under_each_fault_class(self, fault):
+        result, chaos = run_chaos_simulation(fault)
+        metrics = result.metrics
+        # The run completes: every task placed and finished, zero rounds
+        # unserved, no stall regardless of the injected fault class.
+        assert metrics.tasks_placed == 12
+        assert metrics.tasks_completed == 12
+        assert metrics.tasks_unplaced == 0
+        assert len(result.schedule_records) >= 1
+        # No deadline was configured, so no round may report degradation.
+        assert metrics.degraded_round_count() == 0
+        assert sum(metrics.deadline_hits) == 0
+
+    def test_worker_kill_simulation_actually_injected_and_recovered(self):
+        # Deterministic variant: kill the worker on the first round and keep
+        # the breaker pinned closed, so a respawn is guaranteed at the next
+        # consulted round no matter how the SIGTERM races the reply.
+        chaos = ChaosPolicy(schedule={"worker_kill": [0]})
+        state = make_cluster_state(num_machines=6, slots_per_machine=2)
+        solver = ParallelDualExecutor(
+            breaker=WorkerCircuitBreaker(
+                failure_threshold=10**9, backoff_max_rounds=0
+            ),
+            delta_solo_threshold=0,
+        )
+        scheduler = FirmamentScheduler(QuincyPolicy(), solver=solver, chaos=chaos)
+        simulator = ClusterSimulator(state, scheduler, SimulationConfig(max_time=60.0))
+        for job_id in range(1, 4):
+            simulator.submit_job(
+                make_job(
+                    job_id=job_id,
+                    num_tasks=4,
+                    duration=6.0,
+                    submit_time=float(job_id - 1) * 3.0,
+                )
+            )
+        try:
+            result = simulator.run()
+            assert chaos.injected.get("worker_kill", 0) == 1
+            assert result.metrics.tasks_unplaced == 0
+            assert result.metrics.tasks_completed == 12
+            assert solver.fallback_rounds == 0
+            # The respawn counters thread through ScheduleRecord into
+            # MetricsSummary verbatim.
+            assert result.metrics.worker_respawns == [
+                r.worker_respawns for r in result.schedule_records
+            ]
+            assert result.metrics.breaker_open_rounds == [
+                r.breaker_open for r in result.schedule_records
+            ]
+            if result.metrics.total_worker_respawns() == 0:
+                # The simulation's few scheduler rounds can all land inside
+                # the few-ms window before the SIGTERM'd worker is
+                # observably dead.  The recovery contract is "the next
+                # consulted round after the death is observable respawns":
+                # wait the death out and drive one more round.
+                if solver._process is not None:
+                    solver._process.join(timeout=5.0)
+                state.submit_job(make_job(job_id=9, num_tasks=2, submit_time=50.0))
+                scheduler.schedule_and_apply(state, now=50.0)
+            assert solver.worker_respawns >= 1
+            assert solver.breaker.is_closed
+        finally:
+            simulator.close()
+
+    def test_deadline_simulation_records_rounds_in_budget_or_degraded(self):
+        budget = 0.25
+        state = make_cluster_state(num_machines=6, slots_per_machine=2)
+        scheduler = FirmamentScheduler(
+            QuincyPolicy(), executor="sequential", round_deadline_seconds=budget
+        )
+        simulator = ClusterSimulator(
+            state, scheduler, SimulationConfig(max_time=60.0)
+        )
+        for job_id in range(1, 4):
+            simulator.submit_job(
+                make_job(job_id=job_id, num_tasks=4, duration=6.0, submit_time=0.0)
+            )
+        try:
+            result = simulator.run()
+        finally:
+            simulator.close()
+        assert result.metrics.tasks_unplaced == 0
+        assert result.metrics.tasks_completed == 12
+        watchdog = RoundDeadline(budget).watchdog_period
+        for record in result.schedule_records:
+            # Every round finished within budget + watchdog or was
+            # recorded degraded -- never silently late, never a stall.
+            assert (
+                record.algorithm_runtime <= budget + watchdog
+                or record.degraded_round == 1
+            )
+        assert result.metrics.degraded_rounds == [
+            r.degraded_round for r in result.schedule_records
+        ]

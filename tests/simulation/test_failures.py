@@ -82,6 +82,116 @@ class TestFailureInjector:
             FailureInjector(mean_time_between_failures=0.0)
 
 
+class TestRackStorms:
+    def test_storm_takes_whole_rack_down_together(self):
+        state = make_cluster_state(num_machines=8, machines_per_rack=4)
+        injector = FailureInjector(
+            mean_time_between_failures=25.0, mean_time_to_repair=10.0, seed=3
+        )
+        schedule = injector.generate_rack_storms(state.topology, horizon=1_000.0)
+        assert schedule.num_failures > 0
+        # Group by storm time: every event sharing a fail_time is one storm
+        # and must cover exactly one rack's machine set (minus machines
+        # still down from an earlier storm).
+        storms = {}
+        for event in schedule.events:
+            storms.setdefault(event.fail_time, []).append(event.machine_id)
+        rack_sets = [
+            frozenset(rack.machine_ids) for rack in state.topology.racks.values()
+        ]
+        full_storms = 0
+        for machines in storms.values():
+            hit = frozenset(machines)
+            containing = [rack for rack in rack_sets if hit <= rack]
+            assert len(containing) == 1  # never straddles racks
+            if hit == containing[0]:
+                full_storms += 1
+        # At least one storm hit a fully-up rack and took all of it down.
+        assert full_storms >= 1
+
+    def test_storms_are_deterministic_and_distinct_from_machine_stream(self):
+        state = make_cluster_state(num_machines=8, machines_per_rack=4)
+        injector = FailureInjector(
+            mean_time_between_failures=25.0, mean_time_to_repair=10.0, seed=9
+        )
+        first = injector.generate_rack_storms(state.topology, horizon=1_000.0)
+        second = FailureInjector(
+            mean_time_between_failures=25.0, mean_time_to_repair=10.0, seed=9
+        ).generate_rack_storms(state.topology, horizon=1_000.0)
+        assert first.events == second.events
+        assert first.num_failures > 0
+        # The storm stream is seeded separately, so overlaying it on the
+        # per-machine stream keeps both deterministic and uncorrelated.
+        machine_stream = injector.generate(state.topology, horizon=1_000.0)
+        assert first.events != machine_stream.events
+
+    def test_storm_recoveries_are_ragged_per_machine(self):
+        state = make_cluster_state(num_machines=8, machines_per_rack=4)
+        injector = FailureInjector(
+            mean_time_between_failures=25.0, mean_time_to_repair=30.0, seed=5
+        )
+        schedule = injector.generate_rack_storms(state.topology, horizon=2_000.0)
+        storms = {}
+        for event in schedule.events:
+            storms.setdefault(event.fail_time, []).append(event)
+        multi = [events for events in storms.values() if len(events) >= 2]
+        assert multi
+        # Machines fail together but repair independently.
+        assert any(
+            len({event.recover_time for event in events}) > 1 for events in multi
+        )
+
+    def test_zero_mttr_storms_never_recover_and_never_refail(self):
+        state = make_cluster_state(num_machines=8, machines_per_rack=4)
+        injector = FailureInjector(
+            mean_time_between_failures=25.0, mean_time_to_repair=0.0, seed=7
+        )
+        schedule = injector.generate_rack_storms(state.topology, horizon=5_000.0)
+        assert schedule.num_failures > 0
+        assert all(event.recover_time is None for event in schedule.events)
+        machines = [event.machine_id for event in schedule.events]
+        assert len(machines) == len(set(machines))
+
+    def test_invalid_storm_gap_rejected(self):
+        state = make_cluster_state(num_machines=4)
+        injector = FailureInjector()
+        with pytest.raises(ValueError):
+            injector.generate_rack_storms(
+                state.topology, horizon=100.0, mean_time_between_storms=0.0
+            )
+
+    def test_merge_overlays_storms_on_background_churn(self):
+        state = make_cluster_state(num_machines=8, machines_per_rack=4)
+        injector = FailureInjector(
+            mean_time_between_failures=30.0, mean_time_to_repair=15.0, seed=17
+        )
+        churn = injector.generate(state.topology, horizon=500.0)
+        storms = injector.generate_rack_storms(
+            state.topology, horizon=500.0, mean_time_between_storms=60.0
+        )
+        merged = churn.merge(storms)
+        assert merged.num_failures == churn.num_failures + storms.num_failures
+        times = [(event.fail_time, event.machine_id) for event in merged.events]
+        assert times == sorted(times)
+
+    def test_merged_storm_schedule_installs_and_run_completes(self):
+        simulator, state = make_simulator(num_machines=8, max_time=200.0)
+        simulator.submit_jobs([make_job(job_id=1, num_tasks=6, duration=30.0)])
+        injector = FailureInjector(
+            mean_time_between_failures=80.0, mean_time_to_repair=10.0, seed=23
+        )
+        churn = injector.generate(state.topology, horizon=200.0)
+        storms = injector.generate_rack_storms(
+            state.topology, horizon=200.0, mean_time_between_storms=90.0
+        )
+        merged = churn.merge(storms)
+        merged.install(simulator)
+        result = simulator.run()
+        # Correlated rack loss plus background churn: the scheduler still
+        # re-places evicted work and finishes the job.
+        assert result.metrics.tasks_completed == 6
+
+
 class TestSimulatorFailureHandling:
     def test_failure_evicts_and_rescheduler_replaces_tasks(self):
         simulator, state = make_simulator(num_machines=4, max_time=100.0)

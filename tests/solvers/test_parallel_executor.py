@@ -7,6 +7,7 @@ from collections import deque
 
 import pytest
 
+from repro.chaos import ChaosPolicy
 from repro.flow.changes import ChangeBatch
 from repro.flow.dimacs import read_dimacs
 from repro.flow.validation import check_feasibility
@@ -17,6 +18,7 @@ from repro.solvers.parallel_executor import (
     _RoundRace,
 )
 from repro.solvers.relaxation import RelaxationSolver
+from repro.solvers.worker_health import BREAKER_OPEN, WorkerCircuitBreaker
 from tests.conftest import build_scheduling_network, reference_min_cost
 
 
@@ -110,29 +112,153 @@ class TestParallelRace:
         assert not process.is_alive()
         instance.close()  # idempotent
 
-    def test_worker_death_triggers_respawn_then_fallback(self):
+    def test_worker_death_triggers_transparent_respawn(self):
         instance = ParallelDualExecutor(spawn_retries=1)
         try:
             network = build_scheduling_network(seed=48, num_tasks=8)
             expected = reference_min_cost(network)
             assert instance.solve(network.copy()).total_cost == expected
 
-            # Kill the worker; the next round must respawn transparently.
+            # Kill the worker; the next round must respawn transparently
+            # (the breaker backs an isolated first failure off zero rounds).
             instance._process.terminate()
             instance._process.join(timeout=5.0)
             assert instance.solve(network.copy()).total_cost == expected
             assert instance.fallback_rounds == 0
+            assert instance.worker_respawns == 1
+            assert instance.breaker.is_closed
 
-            # Kill it again; the spawn budget is exhausted, so the executor
-            # must fall back to sequential execution -- still optimal.
+            # A second isolated death respawns again: the served round in
+            # between reset the consecutive-failure count.  (The old
+            # one-shot spawn budget fell back permanently here.)
             instance._process.terminate()
             instance._process.join(timeout=5.0)
             result = instance.solve_detailed(network.copy())
-            assert result.executor == "sequential_fallback"
+            assert result.executor == "parallel"
             assert result.winner.total_cost == expected
-            assert instance.fallback_rounds == 1
+            assert instance.worker_respawns == 2
+            assert instance.fallback_rounds == 0
+            assert instance.breaker.is_closed
         finally:
             instance.close()
+
+
+def drain_until_idle(instance, timeout=5.0):
+    """Wait until the worker has answered every shipped round."""
+    deadline = time.perf_counter() + timeout
+    while instance._unanswered and time.perf_counter() < deadline:
+        time.sleep(0.01)
+        instance._drain_pending()
+    assert not instance._unanswered
+
+
+class TestRecoveryPaths:
+    """Worker death mid-round, broken pipe during delta ship, and the
+    breaker's fallback -> probe respawn -> recovery cycle."""
+
+    def test_chaos_worker_kill_mid_round_recovers(self):
+        chaos = ChaosPolicy(schedule={"worker_kill": [0]})
+        instance = ParallelDualExecutor(chaos=chaos, delta_solo_threshold=0)
+        try:
+            for network, changes, expected in perturbed_rounds(seed=60, rounds=3):
+                result = instance.solve(network, changes=changes)
+                assert result.total_cost == expected
+                assert check_feasibility(network) == []
+            assert chaos.injected.get("worker_kill") == 1
+            # One injected kill is an isolated failure: respawn, never
+            # fallback, breaker stays closed.
+            assert instance.worker_respawns >= 1
+            assert instance.fallback_rounds == 0
+            assert instance.breaker.is_closed
+        finally:
+            instance.close()
+
+    def test_chaos_pipe_break_during_delta_ship_recovers(self):
+        # Draining between rounds keeps the worker's revision chain intact,
+        # so round 2's payload is an incremental delta -- and the injected
+        # fault breaks the pipe out from under exactly that send.
+        chaos = ChaosPolicy(schedule={"pipe_break": [2]})
+        instance = ParallelDualExecutor(chaos=chaos, delta_solo_threshold=0)
+        try:
+            for index, (network, changes, expected) in enumerate(
+                perturbed_rounds(seed=61, rounds=4)
+            ):
+                result = instance.solve(network, changes=changes)
+                assert result.total_cost == expected
+                drain_until_idle(instance)
+            assert chaos.injected.get("pipe_break") == 1
+            assert instance.delta_payloads >= 1
+            # The respawned worker has no shadow; the post-break round
+            # ships a full snapshot (cold start's plus the resync's).
+            assert instance.full_payloads >= 2
+            assert instance.fallback_rounds == 0
+            assert instance.breaker.is_closed
+        finally:
+            instance.close()
+
+    def test_breaker_trips_to_fallback_then_probe_recovers(self, monkeypatch):
+        import multiprocessing
+
+        real_get_context = multiprocessing.get_context
+        broken = {"on": True}
+
+        def flaky_get_context(*args, **kwargs):
+            if broken["on"]:
+                raise OSError("spawn refused")
+            return real_get_context(*args, **kwargs)
+
+        monkeypatch.setattr(multiprocessing, "get_context", flaky_get_context)
+        breaker = WorkerCircuitBreaker(failure_threshold=1, probe_interval_rounds=2)
+        instance = ParallelDualExecutor(breaker=breaker)
+        try:
+            network = build_scheduling_network(seed=62, num_tasks=8)
+            expected = reference_min_cost(network)
+
+            # Round 1: the spawn fails, the breaker (threshold 1) trips
+            # open, and the round is served by the sequential fallback.
+            result = instance.solve_detailed(network.copy())
+            assert result.executor == "sequential_fallback"
+            assert result.winner.total_cost == expected
+            assert breaker.state == BREAKER_OPEN
+            assert result.winner.statistics.breaker_open == 1
+            assert instance.charges_wall_clock is False
+
+            # Round 2: still open, not yet the probe window -- fallback
+            # again, with no spawn attempt burned.
+            result = instance.solve_detailed(network.copy())
+            assert result.executor == "sequential_fallback"
+            assert breaker.probes == 0
+
+            # Round 3: probe window.  The environment recovered, the probe
+            # respawn succeeds, and the served round re-closes the breaker.
+            broken["on"] = False
+            result = instance.solve_detailed(network.copy())
+            assert result.executor == "parallel"
+            assert result.winner.total_cost == expected
+            assert breaker.is_closed
+            assert breaker.trips == 1
+            assert breaker.probes == 1
+            assert breaker.reclosures == 1
+            assert instance.fallback_rounds == 2
+            assert instance.charges_wall_clock is True
+        finally:
+            instance.close()
+
+    def test_close_with_already_dead_worker(self):
+        instance = ParallelDualExecutor()
+        instance.solve(build_scheduling_network(seed=63))
+        instance._process.terminate()
+        instance._process.join(timeout=5.0)
+        instance.close()  # must not raise on the dead pipe
+        instance.close()  # and stays idempotent
+
+    def test_solve_after_close_raises_instead_of_hanging(self):
+        instance = ParallelDualExecutor()
+        network = build_scheduling_network(seed=64)
+        instance.solve(network)
+        instance.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            instance.solve(network.copy())
 
 
 class TestAdaptivePolicy:
