@@ -64,7 +64,7 @@ def replay_with_chaos(chaos=None):
     simulator = ClusterSimulator(
         state, scheduler, SimulationConfig(max_time=TRACE_SECONDS)
     )
-    simulator.submit_jobs(GoogleTraceGenerator(config).generate())
+    simulator.submit_job_stream(GoogleTraceGenerator(config).iter_jobs())
     try:
         result = simulator.run()
     finally:
@@ -190,7 +190,7 @@ def test_chaos_deadline_degradation_bounds_round_tail(benchmark):
     simulator = ClusterSimulator(
         state, scheduler, SimulationConfig(max_time=TRACE_SECONDS)
     )
-    simulator.submit_jobs(GoogleTraceGenerator(config).generate())
+    simulator.submit_job_stream(GoogleTraceGenerator(config).iter_jobs())
     try:
         result = simulator.run()
     finally:

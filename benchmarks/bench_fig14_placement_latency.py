@@ -58,7 +58,7 @@ def replay(scheduler, machines: int = None):
         service_job_fraction=0.1,
     )
     simulator = ClusterSimulator(state, scheduler, SimulationConfig(max_time=TRACE_SECONDS))
-    simulator.submit_jobs(GoogleTraceGenerator(config).generate())
+    simulator.submit_job_stream(GoogleTraceGenerator(config).iter_jobs())
     return simulator.run()
 
 

@@ -82,7 +82,7 @@ def replay(speedup: float, solver):
             max_time=TRACE_SECONDS, min_scheduler_interval=0.5, drain=False
         ),
     )
-    simulator.submit_jobs(GoogleTraceGenerator(config).generate())
+    simulator.submit_job_stream(GoogleTraceGenerator(config).iter_jobs())
     try:
         result = simulator.run()
     finally:

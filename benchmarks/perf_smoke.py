@@ -21,7 +21,12 @@ committed baseline in ``perf_baseline.json``:
 * the worker-resync kernel -- one chain-broken worker round served by the
   full-snapshot path (DIMACS serialize + reparse + cold solve) and by the
   resync path (composed incremental payload + shadow patch + persistent
-  solve) -- guarding the parallel executor's delta transport.
+  solve) -- guarding the parallel executor's delta transport, and
+* the sim-replay kernel -- a small ingested-trace replay (CSV ->
+  ``read_trace`` -> streamed event-driven simulation) -- guarding the
+  event engine and ingestion path; normalized against the from-scratch
+  solve like every other kernel (``bench_sim_scale.py`` is the full-size
+  1k-machine/10^5-task version of the same path).
 
 The gates are host-normalized: the from-scratch solve (resp. the full
 rebuild) acts as the calibration workload, so requiring each measured
@@ -310,6 +315,59 @@ def measure_worker_resync_round() -> tuple:
     return snapshot, resync
 
 
+def measure_sim_replay_round() -> float:
+    """Sim-replay kernel: wall seconds for one small ingested-trace replay.
+
+    The full ingestion path at CI size: a synthetic workload serialized to
+    an in-memory CSV trace, streamed back through ``read_trace``, and
+    replayed against a queue-based baseline with batch rounds.  Guards the
+    event engine (queue discipline, streaming submission, O(1) pending
+    bookkeeping) and the trace reader; the conservation law is asserted so
+    the timed run is also a correct one.
+    """
+    import io
+
+    from benchmarks.common import build_cluster_state as build_state
+    from repro.baselines import SparrowScheduler
+    from repro.simulation import (
+        ClusterSimulator,
+        GoogleTraceGenerator,
+        SimulationConfig,
+        TraceConfig,
+        read_trace,
+        verify_placement_conservation,
+        write_jobs_csv,
+    )
+
+    trace_config = TraceConfig(
+        num_machines=MACHINES,
+        slots_per_machine=4,
+        target_utilization=0.6,
+        duration=240.0,
+        seed=61,
+        service_job_fraction=0.05,
+        constant_service_load=True,
+    )
+    buffer = io.StringIO()
+    write_jobs_csv(GoogleTraceGenerator(trace_config).iter_jobs(), buffer)
+    buffer.seek(0)
+
+    state = build_state(MACHINES)
+    simulator = ClusterSimulator(
+        state,
+        SparrowScheduler(per_task_decision_seconds=0.0005),
+        SimulationConfig(max_time=240.0, min_scheduler_interval=2.0, drain=False),
+    )
+    simulator.submit_job_stream(read_trace(buffer))
+    start = time.perf_counter()
+    result = simulator.run()
+    elapsed = time.perf_counter() - start
+    verify_placement_conservation(result)
+    if result.metrics.tasks_placed == 0:
+        raise AssertionError("perf smoke: the sim replay placed nothing")
+    return elapsed
+
+
 def main() -> int:
     update = "--update" in sys.argv[1:]
     scratch_runs, incremental_runs = [], []
@@ -317,6 +375,7 @@ def main() -> int:
     refine_spfa_runs, refine_dijkstra_runs = [], []
     relax_cold_runs, relax_warm_runs = [], []
     resync_snapshot_runs, resync_delta_runs = [], []
+    sim_replay_runs = []
     for _ in range(RUNS):
         scratch, incremental = measure_round()
         scratch_runs.append(scratch)
@@ -333,6 +392,7 @@ def main() -> int:
         resync_snapshot, resync_delta = measure_worker_resync_round()
         resync_snapshot_runs.append(resync_snapshot)
         resync_delta_runs.append(resync_delta)
+        sim_replay_runs.append(measure_sim_replay_round())
     measured = {
         "machines": MACHINES,
         "scratch_s": round(statistics.median(scratch_runs), 6),
@@ -347,6 +407,7 @@ def main() -> int:
         "relaxation_warm_s": round(statistics.median(relax_warm_runs), 6),
         "resync_snapshot_s": round(statistics.median(resync_snapshot_runs), 6),
         "resync_delta_s": round(statistics.median(resync_delta_runs), 6),
+        "sim_replay_s": round(statistics.median(sim_replay_runs), 6),
     }
     measured["speedup"] = round(
         measured["scratch_s"] / max(measured["incremental_s"], 1e-9), 3
@@ -364,6 +425,12 @@ def main() -> int:
     )
     measured["resync_speedup"] = round(
         measured["resync_snapshot_s"] / max(measured["resync_delta_s"], 1e-9), 3
+    )
+    # Host normalization for the sim replay: the from-scratch solve is the
+    # calibration workload, so the ratio is host-independent and a drop
+    # below half the baseline's means the replay itself got >2x slower.
+    measured["sim_replay_speedup"] = round(
+        measured["scratch_s"] / max(measured["sim_replay_s"], 1e-9), 3
     )
     print(f"measured: {json.dumps(measured)}")
 
@@ -432,6 +499,17 @@ def main() -> int:
             "FAIL: worker resync regressed >2x host-normalized: "
             f"speedup {measured['resync_speedup']:.2f}x vs baseline "
             f"{baseline_resync_speedup:.2f}x"
+        )
+        failed = True
+    baseline_sim_speedup = baseline.get("sim_replay_speedup")
+    if (
+        baseline_sim_speedup
+        and measured["sim_replay_speedup"] < MAX_SPEEDUP_LOSS * baseline_sim_speedup
+    ):
+        print(
+            "FAIL: sim replay regressed >2x host-normalized: "
+            f"speedup {measured['sim_replay_speedup']:.2f}x vs baseline "
+            f"{baseline_sim_speedup:.2f}x"
         )
         failed = True
     if failed:

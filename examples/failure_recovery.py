@@ -47,7 +47,7 @@ def run_simulation(inject_failures: bool):
         topology,
     )
     simulator = ClusterSimulator(state, scheduler, SimulationConfig(max_time=DURATION))
-    simulator.submit_jobs(trace.generate())
+    simulator.submit_job_stream(trace.iter_jobs())
 
     schedule = None
     if inject_failures:

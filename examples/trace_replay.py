@@ -45,10 +45,9 @@ def replay(scheduler, name: str, num_machines: int, trace_seconds: float) -> Non
         seed=123,
         service_job_fraction=0.15,
     )
-    jobs = GoogleTraceGenerator(trace_config).generate()
-
     simulator = ClusterSimulator(state, scheduler, SimulationConfig(max_time=trace_seconds))
-    simulator.submit_jobs(jobs)
+    # Streamed: only the trace's next job ever sits in the event queue.
+    simulator.submit_job_stream(GoogleTraceGenerator(trace_config).iter_jobs())
     result = simulator.run()
 
     latencies = result.metrics.placement_latencies

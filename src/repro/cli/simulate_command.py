@@ -25,6 +25,7 @@ from repro.core.policies import (
     ShortestJobFirstPolicy,
 )
 from repro.simulation.failures import FailureInjector
+from repro.simulation.ingest import SCHEMAS, read_trace
 from repro.simulation.simulator import ClusterSimulator, SimulationConfig
 from repro.simulation.trace import GoogleTraceGenerator, TraceConfig
 from repro.solvers import EXECUTOR_POLICIES, EXECUTORS, PRICE_REFINE_MODES
@@ -125,6 +126,21 @@ def register(subparsers) -> None:
             "for batch work in accelerated replays, Figure 18)"
         ),
     )
+    parser.add_argument(
+        "--trace-csv",
+        default=None,
+        help=(
+            "replay a CSV cluster trace instead of generating a synthetic "
+            "workload (streamed; jobs must be row-contiguous and sorted by "
+            "arrival time)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-schema",
+        choices=sorted(SCHEMAS),
+        default="generic",
+        help="column schema of --trace-csv (default: generic)",
+    )
     parser.add_argument("--seed", type=int, default=42, help="workload seed")
     parser.add_argument(
         "--failure-mtbf",
@@ -156,22 +172,24 @@ def run(args: argparse.Namespace) -> int:
         executor_policy=getattr(args, "executor_policy", "race"),
     )
 
-    trace_config = TraceConfig(
-        num_machines=args.machines,
-        slots_per_machine=args.slots_per_machine,
-        target_utilization=args.utilization,
-        duration=args.duration,
-        speedup=args.speedup,
-        seed=args.seed,
-        constant_service_load=args.constant_service_load,
-    )
-    generator = GoogleTraceGenerator(trace_config, topology)
-    jobs = generator.generate()
-
     simulator = ClusterSimulator(
         state, scheduler, SimulationConfig(max_time=args.duration)
     )
-    simulator.submit_jobs(jobs)
+    trace_csv = getattr(args, "trace_csv", None)
+    if trace_csv is not None:
+        simulator.submit_job_stream(read_trace(trace_csv, SCHEMAS[args.trace_schema]))
+    else:
+        trace_config = TraceConfig(
+            num_machines=args.machines,
+            slots_per_machine=args.slots_per_machine,
+            target_utilization=args.utilization,
+            duration=args.duration,
+            speedup=args.speedup,
+            seed=args.seed,
+            constant_service_load=args.constant_service_load,
+        )
+        generator = GoogleTraceGenerator(trace_config, topology)
+        simulator.submit_job_stream(generator.iter_jobs())
 
     schedule = None
     if args.failure_mtbf > 0:
@@ -190,8 +208,11 @@ def run(args: argparse.Namespace) -> int:
 
     executor_note = f", executor: {args.executor}" if args.scheduler == "firmament" else ""
     print(f"scheduler: {args.scheduler} (policy: {args.policy}{executor_note})")
-    print(f"jobs submitted: {len(jobs)}, tasks placed: {metrics.tasks_placed}, "
+    print(f"jobs submitted: {len(state.jobs)}, tasks placed: {metrics.tasks_placed}, "
           f"tasks completed: {metrics.tasks_completed}")
+    print(f"scheduler rounds: {len(result.schedule_records)} "
+          f"(voided: {result.rounds_voided}, placements applied: "
+          f"{result.placements_applied}, drift-dropped: {result.placements_dropped})")
     if schedule is not None:
         print(f"machine failures injected: {schedule.num_failures}")
     rows = [

@@ -40,6 +40,11 @@ class ClusterState:
         #: number of live tasks rather than growing with completed-task
         #: history over a long-running cluster's lifetime.
         self._live_tasks: Dict[int, Task] = {}
+        #: Tasks currently awaiting placement (submitted or evicted).  The
+        #: event-driven simulator consults "is anything pending?" after
+        #: *every* event, so the answer must be O(1) rather than a scan of
+        #: the live set; every mutator below keeps this index exact.
+        self._pending_tasks: Dict[int, Task] = {}
         #: Typed dirty sets accumulated between scheduling rounds; every
         #: mutator below marks the entities it touches so the graph manager
         #: can update the flow network incrementally.
@@ -66,6 +71,8 @@ class ClusterState:
             self.tasks[task.task_id] = task
             if not task.is_finished:
                 self._live_tasks[task.task_id] = task
+            if task.is_pending:
+                self._pending_tasks[task.task_id] = task
             self.dirty.mark_task(task.task_id)
         self.dirty.mark_job(job.job_id)
 
@@ -80,6 +87,8 @@ class ClusterState:
         self.tasks[task.task_id] = task
         if not task.is_finished:
             self._live_tasks[task.task_id] = task
+        if task.is_pending:
+            self._pending_tasks[task.task_id] = task
         self.dirty.mark_task(task.task_id)
         self.dirty.mark_job(task.job_id)
 
@@ -91,6 +100,7 @@ class ClusterState:
                 raise ValueError(f"cannot remove job {job_id}: task {task.task_id} running")
             self.tasks.pop(task.task_id, None)
             self._live_tasks.pop(task.task_id, None)
+            self._pending_tasks.pop(task.task_id, None)
         self.dirty.mark_job(job_id)
 
     # ------------------------------------------------------------------ #
@@ -108,10 +118,12 @@ class ClusterState:
             raise ValueError(f"task {task_id} is already running")
         task.state = TaskState.RUNNING
         task.machine_id = machine_id
+        task.last_machine_id = machine_id
         if task.placement_time is None:
             task.placement_time = now
         task.start_time = now
         self._machine_tasks[machine_id].add(task_id)
+        self._pending_tasks.pop(task_id, None)
         self.dirty.mark_task(task_id)
         self.dirty.mark_machine_load(machine_id)
 
@@ -137,6 +149,7 @@ class ClusterState:
         task.state = TaskState.PREEMPTED
         task.machine_id = None
         task.start_time = None
+        self._pending_tasks[task_id] = task
 
     def complete_task(self, task_id: int, now: float) -> None:
         """Mark a running task as completed and free its slot.
@@ -171,6 +184,7 @@ class ClusterState:
             task.state = TaskState.PREEMPTED
             task.machine_id = None
             task.start_time = None
+            self._pending_tasks[task_id] = task
             self.dirty.mark_task(task_id)
         self._machine_tasks[machine_id].clear()
         return evicted
@@ -192,9 +206,18 @@ class ClusterState:
     # ------------------------------------------------------------------ #
     def pending_tasks(self) -> List[Task]:
         """Return tasks waiting to be placed, oldest submission first."""
-        pending = [t for t in self._live_tasks.values() if t.is_pending]
+        pending = list(self._pending_tasks.values())
         pending.sort(key=lambda t: (t.submit_time, t.task_id))
         return pending
+
+    @property
+    def num_pending_tasks(self) -> int:
+        """Number of tasks awaiting placement, in O(1).
+
+        The event-driven simulator checks this after every event to decide
+        whether a scheduling round could do anything, so it must not scan.
+        """
+        return len(self._pending_tasks)
 
     def running_tasks(self) -> List[Task]:
         """Return currently running tasks."""

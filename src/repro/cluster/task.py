@@ -60,6 +60,10 @@ class Task:
         start_time: Time the task started running.
         finish_time: Time the task completed (or failed / was preempted).
         machine_id: Machine currently running the task, if any.
+        last_machine_id: Most recent machine the task ran on.  Unlike
+            ``machine_id`` it survives preemption and eviction, so post-hoc
+            metrics (e.g. the data locality of the placement an evicted
+            task actually ran with) remain computable.
     """
 
     task_id: int
@@ -77,6 +81,7 @@ class Task:
     start_time: Optional[float] = None
     finish_time: Optional[float] = None
     machine_id: Optional[int] = None
+    last_machine_id: Optional[int] = None
 
     @property
     def is_running(self) -> bool:

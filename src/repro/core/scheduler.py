@@ -86,6 +86,12 @@ class SchedulerStatistics:
     #: Degraded rounds where no solver finished and the previous feasible
     #: placements were reused (a subset of ``degraded_rounds``).
     deadline_abandoned_rounds: int = 0
+    #: Rounds whose decision was produced but never applied: the driver
+    #: (e.g. the simulator at its ``max_time``/hard-stop boundary) voided
+    #: the round via :meth:`record_void` instead of applying it, so the
+    #: placement totals above stay truthful about cluster state.
+    voided_rounds: int = 0
+    placements_voided: int = 0
     algorithm_runtimes: List[float] = field(default_factory=list)
     graph_update_times: List[float] = field(default_factory=list)
 
@@ -103,6 +109,20 @@ class SchedulerStatistics:
         self.total_preemptions += len(decision.preemptions)
         self.algorithm_runtimes.append(decision.algorithm_runtime)
         self.graph_update_times.append(decision.graph_update_seconds)
+
+    def record_void(self, decision: SchedulingDecision) -> None:
+        """Account a decision the driver voided instead of applying.
+
+        :meth:`record` already counted the decision's placements when the
+        scheduler produced it; a voided round backs those actions out of
+        the lifetime placement totals (they never reached cluster state)
+        and tallies the void itself.
+        """
+        self.voided_rounds += 1
+        self.placements_voided += decision.num_assignments
+        self.total_placements -= len(decision.placements)
+        self.total_migrations -= len(decision.migrations)
+        self.total_preemptions -= len(decision.preemptions)
 
 
 class FirmamentScheduler:

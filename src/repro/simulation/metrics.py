@@ -15,7 +15,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.analysis.stats import percentile
 from repro.cluster.state import ClusterState
-from repro.cluster.task import JobType, TaskState
+from repro.cluster.task import JobType
 
 
 @dataclass
@@ -148,8 +148,12 @@ def collect_metrics(
     Args:
         state: Cluster state after the simulation finished.
         algorithm_runtimes: Per-run solver runtimes recorded by the driver.
-        batch_only: Restrict response-time metrics to batch tasks (service
-            tasks never complete, so their response time is undefined).
+        batch_only: Restrict per-task metrics to batch tasks.  The filter
+            applies to *all* task-level counters -- placement latency and
+            response time share one denominator population, so the
+            placement percentiles describe the same tasks the completion
+            counts do (service tasks never complete; mixing them into the
+            placement side only would skew the comparison).
         graph_update_times: Per-run graph-maintenance wall times.
         price_refine_times: Per-run price-refine wall times of the winning
             solver.
@@ -189,14 +193,20 @@ def collect_metrics(
     for task in state.tasks.values():
         job = state.jobs.get(task.job_id)
         is_service = job is not None and job.job_type is JobType.SERVICE
+        if batch_only and is_service:
+            # One consistent population: service tasks are excluded from
+            # the placement-side counters too, not just completions.
+            continue
         latency = task.placement_latency()
         if latency is not None:
             summary.placement_latencies.append(latency)
             summary.tasks_placed += 1
-        elif task.state is TaskState.SUBMITTED:
+        if task.is_pending:
+            # Awaiting placement at the end of the run: never placed
+            # (SUBMITTED) *or* evicted/preempted and not re-placed
+            # (PREEMPTED).  An evicted task that ran earlier also counts
+            # in ``tasks_placed`` -- it was placed at least once.
             summary.tasks_unplaced += 1
-        if batch_only and is_service:
-            continue
         response = task.response_time()
         if response is not None:
             summary.response_times.append(response)
@@ -219,6 +229,13 @@ def input_data_locality(state: ClusterState) -> float:
     Only tasks that have been placed at least once and declare an input size
     contribute.  The metric matches Table 15b in the paper: the preference
     threshold of the Quincy policy directly controls it.
+
+    A task evicted after running (``machine_id`` is ``None`` but it was
+    placed) is credited with the locality of the *last* machine it ran on:
+    that is the placement whose input reads actually happened.  Charging
+    its full ``input_size_gb`` with zero possible local credit -- as the
+    old ``machine_id``-only accounting did -- deflated the metric for
+    every run with evictions.
     """
     local_gb = 0.0
     total_gb = 0.0
@@ -226,11 +243,13 @@ def input_data_locality(state: ClusterState) -> float:
         if task.input_size_gb <= 0:
             continue
         machine_id = task.machine_id
-        if machine_id is None and task.placement_time is None:
+        if machine_id is None:
+            machine_id = task.last_machine_id
+        if machine_id is None:
+            # Never ran anywhere: no input was read, nothing to charge.
             continue
         total_gb += task.input_size_gb
-        if machine_id is not None:
-            local_gb += task.input_size_gb * task.locality_fraction(machine_id)
+        local_gb += task.input_size_gb * task.locality_fraction(machine_id)
     if total_gb == 0:
         return 0.0
     return local_gb / total_gb

@@ -107,15 +107,27 @@ class GoogleTraceGenerator:
     def generate(self) -> List[Job]:
         """Generate the full trace: a list of jobs with submit times set.
 
+        Materializes :meth:`iter_jobs`; prefer the iterator (with
+        ``ClusterSimulator.submit_job_stream``) for large traces.
+        """
+        return list(self.iter_jobs())
+
+    def iter_jobs(self) -> Iterator[Job]:
+        """Stream the trace's jobs in non-decreasing submit-time order.
+
+        The synthetic generator is one producer behind the same iterator
+        contract as :func:`repro.simulation.ingest.read_trace`: jobs are
+        yielded one at a time as the arrival process advances, so a replay
+        never has to hold the whole workload in memory.
+
         In constant-service-load mode the fixed service allotment is
         submitted at t=0 and the arrival process generates batch jobs only;
         otherwise every arrival draws its type independently.
         """
-        jobs: List[Job] = []
         config = self.config
         arrival_type: Optional[JobType] = None
         if config.constant_service_load:
-            jobs.extend(self._constant_service_jobs())
+            yield from self._constant_service_jobs()
             arrival_type = JobType.BATCH
         arrival_rate = self._job_arrival_rate()
         now = 0.0
@@ -123,9 +135,8 @@ class GoogleTraceGenerator:
             gap = self._rng.expovariate(arrival_rate) if arrival_rate > 0 else config.duration
             now += gap
             if now >= config.duration:
-                break
-            jobs.append(self.generate_job(submit_time=now, job_type=arrival_type))
-        return jobs
+                return
+            yield self.generate_job(submit_time=now, job_type=arrival_type)
 
     def _constant_service_jobs(self) -> List[Job]:
         """Submit the fixed service-task allotment as t=0 service jobs."""

@@ -103,9 +103,16 @@ class TestSimulatorBasics:
             make_job(job_id=1, num_tasks=2, duration=None, job_type=JobType.SERVICE)
         )
         result = simulator.run()
-        assert result.metrics.tasks_placed == 2
+        # batch_only metrics use one consistent population: service tasks
+        # are excluded from the placement counters too, not just the
+        # completion counters (the old accounting mixed populations).
+        assert result.metrics.tasks_placed == 0
         assert result.metrics.tasks_completed == 0
         assert all(t.is_running for t in state.tasks.values())
+        # The full-population view still sees the placements.
+        full = collect_metrics(state, batch_only=False)
+        assert full.tasks_placed == 2
+        assert full.tasks_completed == 0
 
     def test_multiple_jobs_over_time(self):
         state = make_cluster_state(num_machines=6, slots_per_machine=2)
@@ -181,6 +188,69 @@ class TestMetrics:
         summary = collect_metrics(state)
         assert summary.placement_latencies == []
         assert summary.mean_algorithm_runtime() == 0.0
+
+    def test_evicted_unreplaced_task_counts_as_unplaced(self):
+        # An evicted-but-not-replaced task is waiting for placement just
+        # like a never-placed one; the old accounting only counted
+        # SUBMITTED tasks and understated the backlog.
+        state = make_cluster_state(num_machines=2, slots_per_machine=2)
+        job = make_job(job_id=1, num_tasks=2, duration=50.0)
+        state.submit_job(job)
+        state.place_task(job.tasks[0].task_id, 0, now=1.0)
+        state.place_task(job.tasks[1].task_id, 0, now=1.0)
+        state.fail_machine(0, now=5.0)
+        summary = collect_metrics(state)
+        assert summary.tasks_unplaced == 2
+        # They were placed once, so they still count in tasks_placed.
+        assert summary.tasks_placed == 2
+
+    def test_batch_only_filter_shares_one_population(self):
+        from repro.cluster.task import JobType
+
+        state = make_cluster_state(num_machines=2, slots_per_machine=4)
+        service = make_job(job_id=1, num_tasks=2, duration=None, job_type=JobType.SERVICE)
+        batch = make_job(job_id=2, num_tasks=2, duration=5.0)
+        state.submit_job(service)
+        state.submit_job(batch)
+        for task in service.tasks + batch.tasks:
+            state.place_task(task.task_id, 0, now=1.0)
+        for task in batch.tasks:
+            state.complete_task(task.task_id, now=6.0)
+        summary = collect_metrics(state, batch_only=True)
+        # Placement and completion counters describe the same (batch)
+        # denominator; service placements don't leak into one side only.
+        assert summary.tasks_placed == 2
+        assert summary.tasks_completed == 2
+        assert len(summary.placement_latencies) == len(summary.response_times)
+        full = collect_metrics(state, batch_only=False)
+        assert full.tasks_placed == 4
+        assert full.tasks_completed == 2
+
+    def test_data_locality_credits_evicted_task_last_placement(self):
+        # A task evicted after running read its input on the machine it
+        # actually ran on; charging its bytes with zero possible credit
+        # (the old machine_id-only accounting) deflated the metric.
+        state = make_cluster_state(num_machines=2, slots_per_machine=2)
+        job = make_job(
+            job_id=1, num_tasks=1, duration=50.0,
+            input_size_gb=10.0, input_locality={0: 0.8},
+        )
+        state.submit_job(job)
+        state.place_task(job.tasks[0].task_id, 0, now=1.0)
+        assert input_data_locality(state) == pytest.approx(0.8)
+        state.fail_machine(0, now=5.0)
+        task = job.tasks[0]
+        assert task.machine_id is None and task.is_pending
+        # Credited with the last placement, not charged at zero.
+        assert input_data_locality(state) == pytest.approx(0.8)
+
+    def test_data_locality_skips_never_placed_tasks(self):
+        state = make_cluster_state(num_machines=2, slots_per_machine=2)
+        job = make_job(job_id=1, num_tasks=1, input_size_gb=10.0,
+                       input_locality={0: 0.8})
+        state.submit_job(job)
+        # Never ran anywhere: nothing read, nothing charged.
+        assert input_data_locality(state) == 0.0
 
 
 class TestTraceReplayIntegration:
