@@ -26,6 +26,8 @@ import time
 
 from benchmarks.common import bench_scale, build_cluster_state
 from repro.baselines import SparrowScheduler
+from repro.core import ShardedScheduler
+from repro.core.policies import QuincyPolicy
 from repro.simulation import (
     ClusterSimulator,
     GoogleTraceGenerator,
@@ -45,6 +47,17 @@ MEAN_TASK_DURATION = 60.0
 #: scheduling of 10^5 tasks would measure the baseline scheduler's queue
 #: scans, not the engine.
 SCHEDULER_INTERVAL = 5.0
+
+#: The sharded flow replay (PR 8): the monolithic MCMF solver cannot run
+#: 1,000-machine rounds in benchmark time, but 8 rack-granular cells cut
+#: each round to 1/8-size networks solved incrementally, so the flow-based
+#: policy completes the same 1k-machine replay path end to end.  The full
+#: trace volume (10^5 tasks, 488 rounds) completes in ~5.3 minutes wall --
+#: measured, all 100,007 tasks placed, conservation exact -- which is too
+#: heavy for the default suite, so the benchmark replays a 1/5 slice of
+#: the same trace and keeps the full run reachable via REPRO_BENCH_SCALE.
+SHARDED_CELLS = 8
+SHARDED_TASKS = 20_000 * bench_scale()
 
 
 def trace_duration() -> float:
@@ -145,3 +158,88 @@ def test_sim_scale_trace_replay(benchmark, tmp_path):
         tallies["applied"] + tallies["dropped"] + tallies["voided"]
     )
     assert result.events_processed > rows  # submits + completions + rounds
+
+
+def sharded_duration() -> float:
+    """Virtual seconds for ~SHARDED_TASKS arrivals at the same rates."""
+    return trace_duration() * SHARDED_TASKS / TARGET_TASKS
+
+
+def write_sharded_trace_csv(path) -> int:
+    """Serialize the sharded replay's trace slice; returns task rows."""
+    config = TraceConfig(
+        num_machines=MACHINES,
+        slots_per_machine=SLOTS_PER_MACHINE,
+        target_utilization=TARGET_UTILIZATION,
+        duration=sharded_duration(),
+        mean_batch_task_duration=MEAN_TASK_DURATION,
+        seed=101,
+        service_job_fraction=0.05,
+        constant_service_load=True,
+    )
+    generator = GoogleTraceGenerator(config)
+    return write_jobs_csv(
+        capped_stream(generator.iter_jobs(), SHARDED_TASKS), path
+    )
+
+
+def test_sim_scale_sharded_flow_replay(benchmark, tmp_path):
+    """The flow-based policy completes the 1k-machine replay via sharding.
+
+    Same ingestion path as the queue-based replay above, but the rounds
+    are solved by :class:`ShardedScheduler` -- per-cell incremental MCMF
+    solves over rack-granular cells -- which is what makes a flow-based
+    policy feasible at this cluster size at all.
+    """
+    path = tmp_path / "sharded_trace.csv"
+    rows = write_sharded_trace_csv(path)
+    assert rows >= SHARDED_TASKS * 0.9  # the arrival process is stochastic
+
+    holder = {}
+
+    def run():
+        state = build_cluster_state(
+            MACHINES, slots_per_machine=SLOTS_PER_MACHINE, machines_per_rack=40
+        )
+        scheduler = ShardedScheduler(QuincyPolicy, num_cells=SHARDED_CELLS)
+        simulator = ClusterSimulator(
+            state,
+            scheduler,
+            SimulationConfig(
+                max_time=sharded_duration(),
+                min_scheduler_interval=SCHEDULER_INTERVAL,
+                drain=False,
+            ),
+        )
+        simulator.submit_job_stream(read_trace(path))
+        start = time.perf_counter()
+        try:
+            holder["result"] = simulator.run()
+        finally:
+            simulator.close()
+        holder["wall"] = time.perf_counter() - start
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    result, wall = holder["result"], holder["wall"]
+
+    tallies = verify_placement_conservation(result)
+    rounds = [r for r in result.schedule_records if r.num_cells]
+    stragglers = {r.straggler_cell for r in rounds}
+
+    print()
+    print(f"sharded flow replay: {MACHINES} machines, {SHARDED_CELLS} cells, "
+          f"{rows} trace tasks, {result.virtual_time:.0f} simulated seconds")
+    print(f"  tasks placed:       {result.metrics.tasks_placed}")
+    print(f"  scheduler rounds:   {len(result.schedule_records)}")
+    print(f"  straggler cells:    {sorted(stragglers)}")
+    print(f"  replay wall clock:  {wall:.1f} s")
+
+    assert result.metrics.tasks_placed >= rows * 0.8
+    assert tallies["recorded"] == (
+        tallies["applied"] + tallies["dropped"] + tallies["voided"]
+    )
+    # The sharded observability chain is threaded through the records.
+    # Idle cells are skipped per round, so cells_solved ranges over
+    # [1, SHARDED_CELLS]; sustained churn must hit the full fan-out often.
+    assert rounds and all(1 <= r.num_cells <= SHARDED_CELLS for r in rounds)
+    assert max(r.num_cells for r in rounds) == SHARDED_CELLS

@@ -26,7 +26,12 @@ committed baseline in ``perf_baseline.json``:
   ``read_trace`` -> streamed event-driven simulation) -- guarding the
   event engine and ingestion path; normalized against the from-scratch
   solve like every other kernel (``bench_sim_scale.py`` is the full-size
-  1k-machine/10^5-task version of the same path).
+  1k-machine/10^5-task version of the same path), and
+* the sharded-round kernel -- low-churn steady-state scheduling rounds at
+  256 machines solved by the monolithic incremental scheduler and by the
+  4-cell sharded scheduler (per-round latency charged as the straggler
+  cell's solve) -- guarding the sharding layer's round-latency win
+  (``bench_shard_scaling.py`` is the full grid version).
 
 The gates are host-normalized: the from-scratch solve (resp. the full
 rebuild) acts as the calibration workload, so requiring each measured
@@ -62,6 +67,11 @@ from repro.solvers import (  # noqa: E402
 
 BASELINE_PATH = Path(__file__).resolve().parent / "perf_baseline.json"
 MACHINES = 64
+#: The sharded-round kernel needs a cluster large enough that the
+#: monolithic solve visibly dominates the per-cell solves (ISSUE PR 8:
+#: >= 256 machines, 4 cells).
+SHARD_MACHINES = 256
+SHARD_CELLS = 4
 RUNS = 5
 #: Fail when the host-normalized incremental solve regresses by more than
 #: 2x, i.e. the measured speedup falls below half the baseline's.
@@ -368,6 +378,54 @@ def measure_sim_replay_round() -> float:
     return elapsed
 
 
+def measure_sharded_round() -> tuple:
+    """Sharded-round kernel: (monolithic_seconds, sharded_seconds).
+
+    Three low-churn steady-state rounds at ``SHARD_MACHINES`` machines (a
+    small job arrives per round), summed so the kernel is not dominated by
+    timer noise.  Both sides are charged the same per-round latency
+    yardstick the simulator uses -- ``decision.algorithm_runtime``, which
+    for the sharded scheduler is the straggler cell's solve.  The cold
+    build round is excluded: the kernel guards the steady-state delta
+    path, where the sharding win (per-cell networks are 1/cells the size
+    and MCMF solve cost is superlinear) must hold.
+    """
+    from benchmarks.common import make_job
+    from repro.core import FirmamentScheduler, ShardedScheduler
+
+    def run(make_scheduler) -> float:
+        state = build_cluster_state(
+            SHARD_MACHINES,
+            slots_per_machine=4,
+            machines_per_rack=16,
+            utilization=0.5,
+            seed=31,
+        )
+        scheduler = make_scheduler()
+        job_id, task_id = 910_000, 91_000_000
+        total = 0.0
+        try:
+            scheduler.schedule_and_apply(state, now=0.0)  # cold build, untimed
+            for round_index in range(1, 4):
+                now = round_index * 5.0
+                state.submit_job(make_job(job_id, 4, task_id, submit_time=now))
+                job_id += 1
+                task_id += 4
+                decision = scheduler.schedule_and_apply(state, now=now)
+                total += decision.algorithm_runtime
+        finally:
+            scheduler.close()
+        return total
+
+    mono = run(
+        lambda: FirmamentScheduler(
+            QuincyPolicy(), solver=IncrementalCostScalingSolver()
+        )
+    )
+    sharded = run(lambda: ShardedScheduler(QuincyPolicy, num_cells=SHARD_CELLS))
+    return mono, sharded
+
+
 def main() -> int:
     update = "--update" in sys.argv[1:]
     scratch_runs, incremental_runs = [], []
@@ -376,6 +434,7 @@ def main() -> int:
     relax_cold_runs, relax_warm_runs = [], []
     resync_snapshot_runs, resync_delta_runs = [], []
     sim_replay_runs = []
+    shard_mono_runs, shard_cell_runs = [], []
     for _ in range(RUNS):
         scratch, incremental = measure_round()
         scratch_runs.append(scratch)
@@ -393,6 +452,9 @@ def main() -> int:
         resync_snapshot_runs.append(resync_snapshot)
         resync_delta_runs.append(resync_delta)
         sim_replay_runs.append(measure_sim_replay_round())
+        shard_mono, shard_cell = measure_sharded_round()
+        shard_mono_runs.append(shard_mono)
+        shard_cell_runs.append(shard_cell)
     measured = {
         "machines": MACHINES,
         "scratch_s": round(statistics.median(scratch_runs), 6),
@@ -408,6 +470,8 @@ def main() -> int:
         "resync_snapshot_s": round(statistics.median(resync_snapshot_runs), 6),
         "resync_delta_s": round(statistics.median(resync_delta_runs), 6),
         "sim_replay_s": round(statistics.median(sim_replay_runs), 6),
+        "sharded_mono_s": round(statistics.median(shard_mono_runs), 6),
+        "sharded_cell_s": round(statistics.median(shard_cell_runs), 6),
     }
     measured["speedup"] = round(
         measured["scratch_s"] / max(measured["incremental_s"], 1e-9), 3
@@ -431,6 +495,9 @@ def main() -> int:
     # below half the baseline's means the replay itself got >2x slower.
     measured["sim_replay_speedup"] = round(
         measured["scratch_s"] / max(measured["sim_replay_s"], 1e-9), 3
+    )
+    measured["sharded_speedup"] = round(
+        measured["sharded_mono_s"] / max(measured["sharded_cell_s"], 1e-9), 3
     )
     print(f"measured: {json.dumps(measured)}")
 
@@ -510,6 +577,20 @@ def main() -> int:
             "FAIL: sim replay regressed >2x host-normalized: "
             f"speedup {measured['sim_replay_speedup']:.2f}x vs baseline "
             f"{baseline_sim_speedup:.2f}x"
+        )
+        failed = True
+    baseline_sharded_speedup = baseline.get("sharded_speedup")
+    if baseline_sharded_speedup and (
+        measured["sharded_speedup"] < MAX_SPEEDUP_LOSS * baseline_sharded_speedup
+        or measured["sharded_speedup"] < 2.0
+    ):
+        # Both host-normalized (vs baseline) and absolute (ISSUE PR 8:
+        # 4 cells at >= 256 machines must stay > 2x per round): the ratio
+        # of two same-host round latencies is already host-independent.
+        print(
+            "FAIL: sharded round latency regressed: speedup "
+            f"{measured['sharded_speedup']:.2f}x vs baseline "
+            f"{baseline_sharded_speedup:.2f}x (floor 2.0x)"
         )
         failed = True
     if failed:

@@ -15,7 +15,7 @@ from repro.baselines import (
 )
 from repro.cluster.state import ClusterState
 from repro.cluster.topology import build_topology
-from repro.core import FirmamentScheduler
+from repro.core import FirmamentScheduler, ShardedScheduler
 from repro.core.policies import (
     CpuMemoryPolicy,
     LoadSpreadingPolicy,
@@ -118,6 +118,26 @@ def register(subparsers) -> None:
         ),
     )
     parser.add_argument(
+        "--cells",
+        type=int,
+        default=0,
+        help=(
+            "shard the cluster into this many scheduling cells (racks map "
+            "to cells round-robin) and run one incremental solver per cell "
+            "with cross-cell balancing, so round wall clock tracks the "
+            "slowest cell instead of the whole cluster; firmament only, "
+            "0 keeps the monolithic scheduler (default: 0)"
+        ),
+    )
+    parser.add_argument(
+        "--cell-workers",
+        action="store_true",
+        help=(
+            "with --cells, solve each cell in a persistent worker "
+            "subprocess instead of inline (real process parallelism)"
+        ),
+    )
+    parser.add_argument(
         "--constant-service-load",
         action="store_true",
         help=(
@@ -170,6 +190,8 @@ def run(args: argparse.Namespace) -> int:
         args.scheduler, args.policy, args.executor,
         price_refine=getattr(args, "price_refine", "auto"),
         executor_policy=getattr(args, "executor_policy", "race"),
+        cells=getattr(args, "cells", 0),
+        cell_workers=getattr(args, "cell_workers", False),
     )
 
     simulator = ClusterSimulator(
@@ -207,6 +229,11 @@ def run(args: argparse.Namespace) -> int:
     metrics = result.metrics
 
     executor_note = f", executor: {args.executor}" if args.scheduler == "firmament" else ""
+    cells = getattr(args, "cells", 0)
+    if args.scheduler == "firmament" and cells > 0:
+        executor_note = f", cells: {cells}" + (
+            " (worker subprocesses)" if getattr(args, "cell_workers", False) else " (inline)"
+        )
     print(f"scheduler: {args.scheduler} (policy: {args.policy}{executor_note})")
     print(f"jobs submitted: {len(state.jobs)}, tasks placed: {metrics.tasks_placed}, "
           f"tasks completed: {metrics.tasks_completed}")
@@ -231,6 +258,15 @@ def run(args: argparse.Namespace) -> int:
     ]
     print(format_table(["metric", "p50", "p90", "p99"], rows))
     print(f"input data locality: {100 * metrics.data_locality:.1f}%")
+    if metrics.cells_solved:
+        stragglers = metrics.straggler_attribution()
+        attribution = ", ".join(
+            f"cell {cell}: {count}" for cell, count in sorted(stragglers.items())
+        )
+        print(
+            f"cross-cell migrations: {metrics.total_cross_cell_migrations()}, "
+            f"straggler rounds by cell: {attribution or 'none'}"
+        )
     return 0
 
 
@@ -256,8 +292,16 @@ def _make_scheduler(
     executor: str = "sequential",
     price_refine: str = "auto",
     executor_policy: str = "race",
+    cells: int = 0,
+    cell_workers: bool = False,
 ):
     if scheduler_name == "firmament":
+        if cells > 0:
+            return ShardedScheduler(
+                lambda: _make_policy(policy_name),
+                num_cells=cells,
+                workers=cell_workers,
+            )
         return FirmamentScheduler(
             _make_policy(policy_name), executor=executor,
             price_refine=price_refine, executor_policy=executor_policy,

@@ -47,7 +47,10 @@ def register(subparsers) -> None:
         help="solve a DIMACS min-cost-flow problem with a chosen MCMF algorithm",
         description=(
             "Read a flow network in DIMACS min-cost-flow format and print the "
-            "optimal flow cost, the non-zero arc flows, and solver statistics."
+            "optimal flow cost, the non-zero arc flows, and solver statistics. "
+            "Solves one network at a time; for cluster-scale scheduling that "
+            "shards the flow problem into per-cell networks solved "
+            "concurrently, see `simulate --cells`."
         ),
     )
     parser.add_argument(

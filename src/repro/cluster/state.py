@@ -56,6 +56,29 @@ class ClusterState:
         self._machine_tasks: Dict[int, set] = {
             machine_id: set() for machine_id in topology.machines
         }
+        #: Machines that are available *and* have at least one free slot.
+        #: Every mutator below that changes a machine's occupancy or
+        #: availability refreshes its entry, so queue-based schedulers can
+        #: enumerate feasible machines in O(|free machines|) instead of
+        #: scanning the whole topology (the ROADMAP's 10k-machine headroom
+        #: for the baselines).  A dict (insertion-ordered) used as a set.
+        self._free_slot_index: Dict[int, None] = {
+            machine_id: None
+            for machine_id, machine in topology.machines.items()
+            if machine.is_available and machine.num_slots > 0
+        }
+
+    def _refresh_free_slot_entry(self, machine_id: int) -> None:
+        """Re-derive one machine's membership in the free-slot index."""
+        machine = self.topology.machines.get(machine_id)
+        if (
+            machine is not None
+            and machine.is_available
+            and len(self._machine_tasks.get(machine_id, ())) < machine.num_slots
+        ):
+            self._free_slot_index[machine_id] = None
+        else:
+            self._free_slot_index.pop(machine_id, None)
 
     # ------------------------------------------------------------------ #
     # Workload management
@@ -123,6 +146,7 @@ class ClusterState:
             task.placement_time = now
         task.start_time = now
         self._machine_tasks[machine_id].add(task_id)
+        self._refresh_free_slot_entry(machine_id)
         self._pending_tasks.pop(task_id, None)
         self.dirty.mark_task(task_id)
         self.dirty.mark_machine_load(machine_id)
@@ -133,6 +157,7 @@ class ClusterState:
         if not task.is_running:
             raise ValueError(f"task {task_id} is not running")
         self._machine_tasks[task.machine_id].discard(task_id)
+        self._refresh_free_slot_entry(task.machine_id)
         self.dirty.mark_machine_load(task.machine_id)
         task.state = TaskState.SUBMITTED
         task.machine_id = None
@@ -144,6 +169,7 @@ class ClusterState:
         if not task.is_running:
             raise ValueError(f"task {task_id} is not running")
         self._machine_tasks[task.machine_id].discard(task_id)
+        self._refresh_free_slot_entry(task.machine_id)
         self.dirty.mark_task(task_id)
         self.dirty.mark_machine_load(task.machine_id)
         task.state = TaskState.PREEMPTED
@@ -161,6 +187,7 @@ class ClusterState:
         if not task.is_running:
             raise ValueError(f"task {task_id} is not running")
         self._machine_tasks[task.machine_id].discard(task_id)
+        self._refresh_free_slot_entry(task.machine_id)
         self.dirty.mark_task(task_id)
         self.dirty.mark_machine_load(task.machine_id)
         task.state = TaskState.COMPLETED
@@ -187,18 +214,21 @@ class ClusterState:
             self._pending_tasks[task_id] = task
             self.dirty.mark_task(task_id)
         self._machine_tasks[machine_id].clear()
+        self._refresh_free_slot_entry(machine_id)
         return evicted
 
     def recover_machine(self, machine_id: int, now: float = 0.0) -> None:
         """Bring a failed machine back into the schedulable set."""
         machine = self.topology.machine(machine_id)
         machine.recover()
+        self._refresh_free_slot_entry(machine_id)
         self.dirty.mark_machine_availability(machine_id)
 
     def add_machine(self, machine: Machine) -> None:
         """Add a machine to the topology (a machine joined the cluster)."""
         self.topology.add_machine(machine)
         self._machine_tasks.setdefault(machine.machine_id, set())
+        self._refresh_free_slot_entry(machine.machine_id)
         self.dirty.mark_machine_availability(machine.machine_id)
 
     # ------------------------------------------------------------------ #
@@ -264,9 +294,21 @@ class ClusterState:
             return 0
         return machine.num_slots - len(self._machine_tasks[machine_id])
 
+    def machines_with_free_slots(self) -> List[Machine]:
+        """Return available machines holding at least one free slot.
+
+        Served from the incrementally maintained free-slot index, so the
+        cost is O(|result| log |result|) -- the sort keeps candidate order
+        identical to a topology scan -- rather than O(|machines|).  This is
+        what lets the queue-based baselines dispatch against 10k-machine
+        clusters without a per-task full scan.
+        """
+        machines = self.topology.machines
+        return [machines[mid] for mid in sorted(self._free_slot_index)]
+
     def total_free_slots(self) -> int:
         """Return the number of free slots across the cluster."""
-        return sum(self.free_slots(m) for m in self.topology.machines)
+        return sum(self.free_slots(m) for m in self._free_slot_index)
 
     def slot_utilization(self) -> float:
         """Return the fraction of slots currently occupied."""

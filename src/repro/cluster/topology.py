@@ -20,6 +20,13 @@ class ClusterTopology:
 
     machines: Dict[int, Machine] = field(default_factory=dict)
     racks: Dict[int, Rack] = field(default_factory=dict)
+    #: Membership version, bumped whenever a machine (and possibly its
+    #: rack) joins or leaves the topology.  Availability flips do *not*
+    #: bump it: the machine objects stay in place and readers see the flag
+    #: through their existing references.  Cached filtered views (the
+    #: sharding layer's per-cell topology facades) key their caches on
+    #: this counter instead of re-deriving membership every access.
+    version: int = 0
 
     @property
     def num_machines(self) -> int:
@@ -64,11 +71,13 @@ class ClusterTopology:
             rack = Rack(rack_id=machine.rack_id)
             self.racks[machine.rack_id] = rack
         rack.add_machine(machine.machine_id)
+        self.version += 1
 
     def remove_machine(self, machine_id: int) -> None:
         """Remove a machine from the topology (e.g., permanent failure)."""
         machine = self.machines.pop(machine_id)
         self.racks[machine.rack_id].remove_machine(machine_id)
+        self.version += 1
 
 
 def build_topology(

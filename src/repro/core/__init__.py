@@ -14,6 +14,13 @@ from repro.core.graph_manager import (
 )
 from repro.core.placement import extract_placements
 from repro.core.scheduler import FirmamentScheduler, SchedulingDecision, SchedulerStatistics
+from repro.core.sharding import (
+    CellPartition,
+    CellStateView,
+    CellTopologyView,
+    CrossCellBalancer,
+    ShardedScheduler,
+)
 from repro.core.policies import (
     CpuMemoryPolicy,
     LoadSpreadingPolicy,
@@ -32,6 +39,11 @@ __all__ = [
     "FirmamentScheduler",
     "SchedulingDecision",
     "SchedulerStatistics",
+    "CellPartition",
+    "CellStateView",
+    "CellTopologyView",
+    "CrossCellBalancer",
+    "ShardedScheduler",
     "CpuMemoryPolicy",
     "LoadSpreadingPolicy",
     "NetworkAwarePolicy",

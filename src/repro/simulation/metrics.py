@@ -59,6 +59,13 @@ class MetricsSummary:
     deadline_hits: List[int] = field(default_factory=list)
     worker_respawns: List[int] = field(default_factory=list)
     breaker_open_rounds: List[int] = field(default_factory=list)
+    #: Per-run sharded-scheduler counters (empty/zero for monolithic
+    #: schedulers and baselines): how many cells each round solved, which
+    #: cell bounded each round's wall clock (-1 when no cell solved), and
+    #: how many tasks the cross-cell balancer re-homed per round.
+    cells_solved: List[int] = field(default_factory=list)
+    straggler_cells: List[int] = field(default_factory=list)
+    cross_cell_migrations: List[int] = field(default_factory=list)
     tasks_completed: int = 0
     tasks_placed: int = 0
     tasks_unplaced: int = 0
@@ -127,6 +134,25 @@ class MetricsSummary:
         """Number of rounds served while the worker breaker was open."""
         return sum(1 for flag in self.breaker_open_rounds if flag)
 
+    def total_cross_cell_migrations(self) -> int:
+        """Tasks the balancer re-homed to another cell across the run."""
+        return sum(self.cross_cell_migrations)
+
+    def straggler_attribution(self) -> Dict[int, int]:
+        """How often each cell bounded a round's wall clock.
+
+        Maps cell index to the number of rounds it was the straggler; a
+        healthy partition spreads the counts, while one hot cell
+        monopolizing them is the signal to look at that cell's load (or
+        the balancer's ceiling).  Rounds where no cell solved (-1) are
+        excluded.
+        """
+        counts: Dict[int, int] = {}
+        for cell in self.straggler_cells:
+            if cell >= 0:
+                counts[cell] = counts.get(cell, 0) + 1
+        return counts
+
 
 def collect_metrics(
     state: ClusterState,
@@ -142,6 +168,9 @@ def collect_metrics(
     deadline_hits: Optional[Sequence[int]] = None,
     worker_respawns: Optional[Sequence[int]] = None,
     breaker_open_rounds: Optional[Sequence[int]] = None,
+    cells_solved: Optional[Sequence[int]] = None,
+    straggler_cells: Optional[Sequence[int]] = None,
+    cross_cell_migrations: Optional[Sequence[int]] = None,
 ) -> MetricsSummary:
     """Build a :class:`MetricsSummary` from the final cluster state.
 
@@ -165,6 +194,9 @@ def collect_metrics(
         deadline_hits: Per-run solver-leg deadline-hit counts.
         worker_respawns: Per-run relaxation-worker respawn counts.
         breaker_open_rounds: Per-run breaker-open flags.
+        cells_solved: Per-run cell counts of the sharded scheduler.
+        straggler_cells: Per-run straggler-cell indices (-1 when none).
+        cross_cell_migrations: Per-run balancer re-homing counts.
     """
     summary = MetricsSummary()
     if algorithm_runtimes:
@@ -189,6 +221,12 @@ def collect_metrics(
         summary.worker_respawns = list(worker_respawns)
     if breaker_open_rounds:
         summary.breaker_open_rounds = list(breaker_open_rounds)
+    if cells_solved:
+        summary.cells_solved = list(cells_solved)
+    if straggler_cells:
+        summary.straggler_cells = list(straggler_cells)
+    if cross_cell_migrations:
+        summary.cross_cell_migrations = list(cross_cell_migrations)
 
     for task in state.tasks.values():
         job = state.jobs.get(task.job_id)

@@ -148,6 +148,14 @@ class ScheduleRecord:
     deadline_hits: int = 0
     worker_respawns: int = 0
     breaker_open: int = 0
+    #: Sharded-scheduler observability of the round (zero/negative for
+    #: monolithic schedulers and baselines): how many cells solved, which
+    #: cell bounded the round's wall clock (straggler attribution) and its
+    #: runtime, and how many tasks the cross-cell balancer re-homed.
+    num_cells: int = 0
+    straggler_cell: int = -1
+    straggler_seconds: float = 0.0
+    cross_cell_migrations: int = 0
 
 
 @dataclass
@@ -473,6 +481,10 @@ class SimulatorBridge:
         deadline_hits = 0
         worker_respawns = 0
         breaker_open = 0
+        num_cells = 0
+        straggler_cell = -1
+        straggler_seconds = 0.0
+        cross_cell_migrations = 0
         degraded_round = 1 if getattr(decision, "degraded", False) else 0
         if decision.solver_result is not None:
             winning = decision.solver_result.algorithm
@@ -486,6 +498,10 @@ class SimulatorBridge:
             deadline_hits = statistics.deadline_hits
             worker_respawns = statistics.worker_respawns
             breaker_open = statistics.breaker_open
+            num_cells = statistics.cells_solved
+            straggler_cell = statistics.straggler_cell
+            straggler_seconds = statistics.straggler_seconds
+            cross_cell_migrations = statistics.cross_cell_migrations
             degraded_round = max(degraded_round, statistics.degraded_round)
         record_index = len(self.schedule_records)
         self.schedule_records.append(
@@ -506,6 +522,10 @@ class SimulatorBridge:
                 deadline_hits=deadline_hits,
                 worker_respawns=worker_respawns,
                 breaker_open=breaker_open,
+                num_cells=num_cells,
+                straggler_cell=straggler_cell,
+                straggler_seconds=straggler_seconds,
+                cross_cell_migrations=cross_cell_migrations,
             )
         )
         self._last_schedule_start = self.now
@@ -699,6 +719,9 @@ class ClusterSimulator:
             deadline_hits=[r.deadline_hits for r in records],
             worker_respawns=[r.worker_respawns for r in records],
             breaker_open_rounds=[r.breaker_open for r in records],
+            cells_solved=[r.num_cells for r in records],
+            straggler_cells=[r.straggler_cell for r in records],
+            cross_cell_migrations=[r.cross_cell_migrations for r in records],
         )
         return SimulationResult(
             state=self.state,

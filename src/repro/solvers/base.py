@@ -79,6 +79,17 @@ class SolverStatistics:
     degraded_round: int = 0
     worker_respawns: int = 0
     breaker_open: int = 0
+    #: Sharded-round attribution (:mod:`repro.core.sharding`): how many
+    #: cells solved this round, which cell's solve took longest (the round's
+    #: wall clock in concurrent gather is the straggler's time, so tail
+    #: latency is attributed to a specific cell rather than "the cluster"),
+    #: that cell's solve seconds, and how many queued/unscheduled tasks the
+    #: cross-cell balancer re-homed after the round.  All zero (straggler
+    #: cell ``-1``) for monolithic schedulers.
+    cells_solved: int = 0
+    straggler_cell: int = -1
+    straggler_seconds: float = 0.0
+    cross_cell_migrations: int = 0
 
     def merge(self, other: "SolverStatistics") -> "SolverStatistics":
         """Return statistics summing this run with another."""
@@ -111,6 +122,17 @@ class SolverStatistics:
             degraded_round=max(self.degraded_round, other.degraded_round),
             worker_respawns=self.worker_respawns + other.worker_respawns,
             breaker_open=max(self.breaker_open, other.breaker_open),
+            cells_solved=self.cells_solved + other.cells_solved,
+            # The slower side's cell keeps the straggler attribution.
+            straggler_cell=(
+                self.straggler_cell
+                if self.straggler_seconds >= other.straggler_seconds
+                else other.straggler_cell
+            ),
+            straggler_seconds=max(self.straggler_seconds, other.straggler_seconds),
+            cross_cell_migrations=(
+                self.cross_cell_migrations + other.cross_cell_migrations
+            ),
         )
 
 
