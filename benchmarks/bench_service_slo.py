@@ -1,0 +1,152 @@
+"""Service-level placement SLO: p50/p99 submission-to-placement latency.
+
+Drives a real ``firmament-repro serve`` process end to end: the service
+listens on an ephemeral TCP port, the closed-loop load generator
+(:mod:`repro.service.loadgen`) offers sustained load at two or more
+levels (offered load is the number of concurrent closed-loop clients),
+and the benchmark reports the p50/p99 submission-to-placement latency the
+service achieved at each level, plus the service's conservation counters.
+
+The assertions pin the service contract rather than absolute speed:
+
+* every accepted task is placed (the cluster is sized so the offered load
+  fits), and the conservation law ``accepted == placed + pending +
+  rejected`` holds exactly at every load level and at drain;
+* latency percentiles are finite and ordered (p50 <= p99);
+* the drained server process exits 0 (it self-checks conservation).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+
+from benchmarks.common import bench_scale
+from repro.analysis.reporting import format_table
+from repro.service.loadgen import run_loadgen_sync
+
+MACHINES = 128 * bench_scale()
+
+#: Offered-load levels: concurrent closed-loop clients.
+LOAD_LEVELS = (4, 16)
+JOBS_PER_CLIENT = 4
+TASKS_PER_JOB = 8
+
+
+def test_service_slo_p99_under_load(benchmark):
+    """p50/p99 placement latency at >= 2 offered loads, exact conservation."""
+    env = dict(os.environ)
+    repo_src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli.main", "serve",
+            "--machines", str(MACHINES),
+            "--round-interval", "0.02",
+            "--time-scale", "0.01",
+            "--serve-seconds", "300",
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+    try:
+        handshake = proc.stdout.readline().strip()
+        assert handshake.startswith("serving on "), handshake
+        port = int(handshake.rsplit(":", 1)[1])
+
+        rows = []
+        results = {}
+        for clients in LOAD_LEVELS:
+            result = run_loadgen_sync(
+                "127.0.0.1", port,
+                clients=clients,
+                jobs_per_client=JOBS_PER_CLIENT,
+                tasks_per_job=TASKS_PER_JOB,
+                duration=1.0,
+            )
+            results[clients] = result
+            stats = result.service_stats
+            assert stats is not None
+            # The conservation law holds exactly while under load.
+            assert stats["conserved"] is True
+            # The cluster fits the offered load: everything gets placed.
+            assert result.tasks_placed == result.tasks_accepted
+            assert result.errors == 0
+            rows.append([
+                str(clients),
+                str(result.tasks_accepted),
+                f"{result.latency_percentile(50) * 1000:.1f}",
+                f"{result.latency_percentile(99) * 1000:.1f}",
+                str(stats["rounds"]),
+                str(stats["degraded_rounds"]),
+            ])
+
+        print()
+        print(
+            f"Service placement SLO ({MACHINES} machines, closed-loop "
+            f"clients x {JOBS_PER_CLIENT} jobs x {TASKS_PER_JOB} tasks)"
+        )
+        print(format_table(
+            ["clients", "tasks", "p50 [ms]", "p99 [ms]", "rounds",
+             "degraded"],
+            rows,
+        ))
+
+        for result in results.values():
+            assert result.latencies, "no placement latencies measured"
+            assert (
+                result.latency_percentile(50) <= result.latency_percentile(99)
+            )
+
+        # Drain via the protocol; the server self-checks conservation and
+        # must exit 0.
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+            sock.sendall(b'{"op": "shutdown"}\n')
+            final = json.loads(sock.recv(65536).split(b"\n")[0])
+        assert final["conserved"] is True
+        out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 0, out
+        assert "conservation: accepted == placed + pending + rejected" in out
+
+        # pytest-benchmark kernel: one full closed-loop burst at the low
+        # load level against a fresh in-process service (subprocess startup
+        # excluded so the number is the service round trip, not fork+import).
+        benchmark(_inprocess_burst)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+
+def _inprocess_burst() -> None:
+    import asyncio
+
+    from repro.cluster.state import ClusterState
+    from repro.cluster.topology import build_topology
+    from repro.core import FirmamentScheduler
+    from repro.core.policies import QuincyPolicy
+
+    from repro.service import SchedulerService, ServiceConfig
+
+    async def burst():
+        state = ClusterState(build_topology(32))
+        service = SchedulerService(
+            state,
+            FirmamentScheduler(QuincyPolicy()),
+            ServiceConfig(round_interval=0.005, time_scale=0.01),
+        )
+        await service.start()
+        try:
+            from repro.service.loadgen import run_loadgen
+
+            result = await run_loadgen(
+                "127.0.0.1", service.port, clients=2, jobs_per_client=2,
+                tasks_per_job=4, duration=1.0, poll_stats=False,
+            )
+            assert result.tasks_placed == result.tasks_accepted
+        finally:
+            await service.stop()
+
+    asyncio.run(burst())

@@ -31,7 +31,13 @@ committed baseline in ``perf_baseline.json``:
   256 machines solved by the monolithic incremental scheduler and by the
   4-cell sharded scheduler (per-round latency charged as the straggler
   cell's solve) -- guarding the sharding layer's round-latency win
-  (``bench_shard_scaling.py`` is the full grid version).
+  (``bench_shard_scaling.py`` is the full grid version), and
+* the service-round kernel -- a small closed-loop burst against an
+  in-process :class:`SchedulerService` over loopback TCP (submit -> coalesced
+  admission -> round -> placement stream -> drain) -- guarding the
+  scheduler-as-a-service front end; normalized against the from-scratch
+  solve like the sim-replay kernel (``bench_service_slo.py`` is the
+  full-size subprocess version of the same path).
 
 The gates are host-normalized: the from-scratch solve (resp. the full
 rebuild) acts as the calibration workload, so requiring each measured
@@ -426,6 +432,52 @@ def measure_sharded_round() -> tuple:
     return mono, sharded
 
 
+def measure_service_round() -> float:
+    """Service-round kernel: wall seconds for one closed-loop service burst.
+
+    An in-process :class:`SchedulerService` on an ephemeral loopback port,
+    driven by the closed-loop load generator (2 clients x 2 jobs x 4
+    tasks), then drained.  Covers the whole service path -- JSON-lines
+    parsing, coalesced admission, the executor-backed round, the
+    per-client notification queues, and drain -- with the conservation law
+    asserted so the timed run is also a correct one.
+    """
+    import asyncio
+
+    from repro.cluster.state import ClusterState
+    from repro.cluster.topology import build_topology
+    from repro.core import FirmamentScheduler
+    from repro.core.policies import QuincyPolicy as ServiceQuincyPolicy
+    from repro.service import SchedulerService, ServiceConfig
+    from repro.service.loadgen import run_loadgen
+
+    async def burst() -> None:
+        state = ClusterState(build_topology(16))
+        service = SchedulerService(
+            state,
+            FirmamentScheduler(ServiceQuincyPolicy()),
+            ServiceConfig(round_interval=0.002, time_scale=0.01),
+        )
+        await service.start()
+        try:
+            result = await run_loadgen(
+                "127.0.0.1", service.port, clients=2, jobs_per_client=2,
+                tasks_per_job=4, duration=1.0, poll_stats=False,
+            )
+            if result.tasks_placed != result.tasks_accepted or result.errors:
+                raise AssertionError("perf smoke: the service burst lost tasks")
+        finally:
+            snapshot = await service.stop()
+            if not snapshot["conserved"]:
+                raise AssertionError(
+                    "perf smoke: the service conservation law was violated"
+                )
+
+    start = time.perf_counter()
+    asyncio.run(burst())
+    return time.perf_counter() - start
+
+
 def main() -> int:
     update = "--update" in sys.argv[1:]
     scratch_runs, incremental_runs = [], []
@@ -435,6 +487,7 @@ def main() -> int:
     resync_snapshot_runs, resync_delta_runs = [], []
     sim_replay_runs = []
     shard_mono_runs, shard_cell_runs = [], []
+    service_round_runs = []
     for _ in range(RUNS):
         scratch, incremental = measure_round()
         scratch_runs.append(scratch)
@@ -455,6 +508,7 @@ def main() -> int:
         shard_mono, shard_cell = measure_sharded_round()
         shard_mono_runs.append(shard_mono)
         shard_cell_runs.append(shard_cell)
+        service_round_runs.append(measure_service_round())
     measured = {
         "machines": MACHINES,
         "scratch_s": round(statistics.median(scratch_runs), 6),
@@ -472,6 +526,7 @@ def main() -> int:
         "sim_replay_s": round(statistics.median(sim_replay_runs), 6),
         "sharded_mono_s": round(statistics.median(shard_mono_runs), 6),
         "sharded_cell_s": round(statistics.median(shard_cell_runs), 6),
+        "service_round_s": round(statistics.median(service_round_runs), 6),
     }
     measured["speedup"] = round(
         measured["scratch_s"] / max(measured["incremental_s"], 1e-9), 3
@@ -498,6 +553,13 @@ def main() -> int:
     )
     measured["sharded_speedup"] = round(
         measured["sharded_mono_s"] / max(measured["sharded_cell_s"], 1e-9), 3
+    )
+    # Host normalization for the service round mirrors the sim replay: the
+    # from-scratch solve calibrates host speed, so the ratio only drops if
+    # the service path itself (parsing, admission, round, stream, drain)
+    # got slower.
+    measured["service_round_speedup"] = round(
+        measured["scratch_s"] / max(measured["service_round_s"], 1e-9), 3
     )
     print(f"measured: {json.dumps(measured)}")
 
@@ -591,6 +653,18 @@ def main() -> int:
             "FAIL: sharded round latency regressed: speedup "
             f"{measured['sharded_speedup']:.2f}x vs baseline "
             f"{baseline_sharded_speedup:.2f}x (floor 2.0x)"
+        )
+        failed = True
+    baseline_service_speedup = baseline.get("service_round_speedup")
+    if (
+        baseline_service_speedup
+        and measured["service_round_speedup"]
+        < MAX_SPEEDUP_LOSS * baseline_service_speedup
+    ):
+        print(
+            "FAIL: service round regressed >2x host-normalized: "
+            f"speedup {measured['service_round_speedup']:.2f}x vs baseline "
+            f"{baseline_service_speedup:.2f}x"
         )
         failed = True
     if failed:

@@ -1,6 +1,6 @@
 """Command-line interface for the Firmament reproduction.
 
-The ``firmament-repro`` entry point groups three subcommands:
+The ``firmament-repro`` entry point groups four subcommands:
 
 * ``solve`` -- read a flow network in DIMACS min-cost-flow format and solve
   it with any of the implemented MCMF algorithms
@@ -10,6 +10,9 @@ The ``firmament-repro`` entry point groups three subcommands:
   paper's figures report (:mod:`repro.cli.simulate_command`).
 * ``trace`` -- generate a synthetic trace and print or export its workload
   statistics (:mod:`repro.cli.trace_command`).
+* ``serve`` -- run the scheduler as a service: concurrent clients submit
+  jobs over a JSON-lines TCP protocol and stream placement notifications
+  back (:mod:`repro.cli.serve_command`).
 
 Every subcommand is importable and callable with an argument list, so the
 test suite exercises the CLI without spawning processes.

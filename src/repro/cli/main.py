@@ -6,7 +6,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from repro.cli import simulate_command, solve_command, trace_command
+from repro.cli import serve_command, simulate_command, solve_command, trace_command
 from repro.solvers.base import SolverError
 
 
@@ -23,6 +23,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve_command.register(subparsers)
     simulate_command.register(subparsers)
     trace_command.register(subparsers)
+    serve_command.register(subparsers)
     return parser
 
 

@@ -1,0 +1,163 @@
+"""``firmament-repro serve``: run the scheduler as a network service.
+
+Starts a :class:`~repro.service.server.SchedulerService` over an initially
+empty cluster of ``--machines`` machines and serves the JSON-lines
+protocol until ``--serve-seconds`` elapses (or forever without it, until
+interrupted or a client sends ``{"op": "shutdown"}``).  On exit the
+service drains gracefully and the final conservation counters are
+printed; a violated conservation law (accepted != placed + pending +
+rejected) fails the command, so scripted callers -- the SLO benchmark,
+the CI service step -- get a hard signal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from repro.cli.simulate_command import POLICIES, SCHEDULERS, _make_scheduler
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import build_topology
+from repro.service import SchedulerService, ServiceConfig
+from repro.solvers import PRICE_REFINE_MODES
+
+
+def register(subparsers) -> None:
+    """Register the ``serve`` subcommand."""
+    parser = subparsers.add_parser(
+        "serve",
+        help="serve the scheduler over a JSON-lines TCP API",
+        description=(
+            "Run the scheduler as a service: concurrent clients submit jobs "
+            "and machine events over a JSON-lines TCP protocol, submissions "
+            "arriving between rounds are coalesced into one admission batch, "
+            "and placement/preemption notifications stream back per client. "
+            "Exits non-zero if the service conservation law (accepted == "
+            "placed + pending + rejected) is violated at drain."
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="bind port; 0 picks an ephemeral port (default: 0)",
+    )
+    parser.add_argument(
+        "--machines", type=int, default=128, help="cluster size (default: 128)"
+    )
+    parser.add_argument(
+        "--slots-per-machine", type=int, default=4,
+        help="task slots per machine (default: 4)",
+    )
+    parser.add_argument(
+        "--scheduler", choices=SCHEDULERS, default="firmament",
+        help="scheduler to serve (default: firmament)",
+    )
+    parser.add_argument(
+        "--policy", choices=POLICIES, default="quincy",
+        help="policy for the flow-based schedulers (default: quincy)",
+    )
+    parser.add_argument(
+        "--price-refine", choices=PRICE_REFINE_MODES, default="auto",
+        help="price-refine variant for the incremental solver (default: auto)",
+    )
+    parser.add_argument(
+        "--cells", type=int, default=0, metavar="N",
+        help="shard the cluster into N cells (ShardedScheduler; default: off)",
+    )
+    parser.add_argument(
+        "--cell-workers", action="store_true",
+        help="with --cells, solve each cell in a worker subprocess",
+    )
+    parser.add_argument(
+        "--round-deadline", type=float, default=None, metavar="SECONDS",
+        help=(
+            "per-round wall-clock budget (same plumbing as simulate "
+            "--round-deadline); degraded rounds are counted in the final "
+            "stats (default: no deadline)"
+        ),
+    )
+    parser.add_argument(
+        "--round-interval", type=float, default=0.05, metavar="SECONDS",
+        help=(
+            "minimum seconds between scheduling rounds; submissions "
+            "arriving in the gap are coalesced (default: 0.05)"
+        ),
+    )
+    parser.add_argument(
+        "--time-scale", type=float, default=1.0, metavar="FACTOR",
+        help=(
+            "wall seconds per submitted duration second; small values make "
+            "finite tasks free their slots faster (default: 1.0)"
+        ),
+    )
+    parser.add_argument(
+        "--client-queue-limit", type=int, default=1024, metavar="EVENTS",
+        help=(
+            "notification events buffered per client before a non-reading "
+            "client is evicted (default: 1024)"
+        ),
+    )
+    parser.add_argument(
+        "--serve-seconds", type=float, default=None, metavar="SECONDS",
+        help="drain and exit after this long (default: serve until shutdown)",
+    )
+    parser.set_defaults(handler=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    """Run the service until shutdown; return the process exit code."""
+    if args.machines <= 0:
+        raise ValueError("cluster must have at least one machine")
+    return asyncio.run(_serve(args))
+
+
+async def _serve(args) -> int:
+    topology = build_topology(
+        args.machines, slots_per_machine=args.slots_per_machine
+    )
+    state = ClusterState(topology)
+    scheduler = _make_scheduler(
+        args.scheduler, args.policy,
+        price_refine=args.price_refine,
+        cells=args.cells,
+        cell_workers=args.cell_workers,
+        round_deadline_seconds=args.round_deadline,
+    )
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        round_interval=args.round_interval,
+        time_scale=args.time_scale,
+        client_queue_limit=args.client_queue_limit,
+    )
+    service = SchedulerService(state, scheduler, config)
+    await service.start()
+    # The parseable handshake line scripted drivers wait for.
+    print(f"serving on {args.host}:{service.port}", flush=True)
+
+    # The round loop only completes when a drain was requested (a client's
+    # shutdown op); otherwise serve until the --serve-seconds timer.
+    try:
+        if args.serve_seconds is not None:
+            await asyncio.wait_for(
+                asyncio.shield(service._round_task),
+                timeout=args.serve_seconds,
+            )
+        else:
+            await asyncio.shield(service._round_task)
+    except asyncio.TimeoutError:
+        pass
+    snapshot = await service.stop()
+
+    print("service drained")
+    for key in ("accepted", "placed", "pending", "rejected", "rounds",
+                "degraded_rounds", "preemptions", "completions",
+                "evicted_clients"):
+        print(f"  {key}: {snapshot[key]}")
+    if not snapshot["conserved"]:
+        print("  CONSERVATION VIOLATED: accepted != placed+pending+rejected")
+        return 1
+    print("  conservation: accepted == placed + pending + rejected")
+    return 0

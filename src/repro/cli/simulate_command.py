@@ -138,6 +138,20 @@ def register(subparsers) -> None:
         ),
     )
     parser.add_argument(
+        "--round-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-round wall-clock budget for the flow-based schedulers "
+            "(PR 6 plumbing): the solver degrades at the budget (epsilon-"
+            "ladder truncation, relaxation abort) and a round where no "
+            "solver finished reuses the previous feasible placements "
+            "instead of stalling; degraded-round counts are reported in "
+            "the summary (firmament only, default: no deadline)"
+        ),
+    )
+    parser.add_argument(
         "--constant-service-load",
         action="store_true",
         help=(
@@ -192,6 +206,7 @@ def run(args: argparse.Namespace) -> int:
         executor_policy=getattr(args, "executor_policy", "race"),
         cells=getattr(args, "cells", 0),
         cell_workers=getattr(args, "cell_workers", False),
+        round_deadline_seconds=getattr(args, "round_deadline", None),
     )
 
     simulator = ClusterSimulator(
@@ -242,6 +257,16 @@ def run(args: argparse.Namespace) -> int:
           f"{result.placements_applied}, drift-dropped: {result.placements_dropped})")
     if schedule is not None:
         print(f"machine failures injected: {schedule.num_failures}")
+    if getattr(args, "round_deadline", None) is not None:
+        # Degraded rounds are the price of the budget: epsilon-truncated
+        # rounds plus rounds that reused the previous feasible placements.
+        stats = getattr(scheduler, "statistics", None)
+        abandoned = getattr(stats, "deadline_abandoned_rounds", 0)
+        print(
+            f"round deadline: {args.round_deadline:.3f}s, degraded rounds: "
+            f"{metrics.degraded_round_count()} "
+            f"(previous placements reused: {abandoned})"
+        )
     rows = [
         ["placement latency [s]",
          f"{metrics.placement_latency_percentile(50):.3f}",
@@ -294,18 +319,60 @@ def _make_scheduler(
     executor_policy: str = "race",
     cells: int = 0,
     cell_workers: bool = False,
+    round_deadline_seconds: Optional[float] = None,
 ):
+    """Build the scheduler a CLI invocation asked for.
+
+    Knob combinations that cannot take effect are rejected loudly instead
+    of silently ignored: ``cells`` only applies to the firmament scheduler,
+    the dual-executor knobs (``executor``, ``executor_policy``) do not
+    exist in the sharded scheduler (each cell runs one incremental solver,
+    there is no race to configure), and ``round_deadline_seconds`` needs a
+    flow-based scheduler with deadline support.  ``price_refine`` *is* a
+    per-cell solver knob and is forwarded to the sharded scheduler's
+    inline and worker solvers alike.
+    """
+    if cells > 0 and scheduler_name != "firmament":
+        raise ValueError(
+            f"--cells only applies to the firmament scheduler, not "
+            f"{scheduler_name!r}"
+        )
+    if round_deadline_seconds is not None and scheduler_name != "firmament":
+        raise ValueError(
+            f"--round-deadline only applies to the firmament scheduler, not "
+            f"{scheduler_name!r} (the queue-based baselines have no round "
+            "budget to enforce)"
+        )
     if scheduler_name == "firmament":
         if cells > 0:
+            if executor != "sequential":
+                raise ValueError(
+                    f"--executor {executor!r} cannot combine with --cells: "
+                    "the sharded scheduler runs one incremental solver per "
+                    "cell (use --cell-workers for real process parallelism)"
+                )
+            if executor_policy != "race":
+                raise ValueError(
+                    f"--executor-policy {executor_policy!r} cannot combine "
+                    "with --cells: the sharded scheduler has no dual-"
+                    "algorithm race to steer"
+                )
             return ShardedScheduler(
                 lambda: _make_policy(policy_name),
                 num_cells=cells,
                 workers=cell_workers,
+                price_refine=price_refine,
+                round_deadline_seconds=round_deadline_seconds,
             )
+        if cell_workers:
+            raise ValueError("--cell-workers requires --cells")
         return FirmamentScheduler(
             _make_policy(policy_name), executor=executor,
             price_refine=price_refine, executor_policy=executor_policy,
+            round_deadline_seconds=round_deadline_seconds,
         )
+    if cell_workers:
+        raise ValueError("--cell-workers requires --cells")
     if scheduler_name == "quincy":
         return make_quincy_scheduler()
     if scheduler_name == "sparrow":

@@ -715,6 +715,12 @@ class ShardedScheduler:
         solver_factory: Zero-argument callable producing each cell's
             inline/fallback solver; defaults to
             ``IncrementalCostScalingSolver()``.
+        price_refine: Price-refine variant forwarded to every per-cell
+            solver -- the inline/fallback solvers *and* the worker
+            subprocesses (``"spfa"``, ``"dijkstra"``, or ``"auto"``; see
+            :data:`repro.solvers.cost_scaling.PRICE_REFINE_MODES`).  Only
+            valid with the default ``solver_factory``: a custom factory
+            already controls its solvers' construction.
         allow_migrations: As in :class:`FirmamentScheduler`.
         balance: Enable the cross-cell balancer.
         round_deadline_seconds: Per-round budget, applied per cell (cells
@@ -731,11 +737,16 @@ class ShardedScheduler:
         num_cells: int = 4,
         workers: bool = False,
         solver_factory=None,
+        price_refine: Optional[str] = None,
         allow_migrations: bool = True,
         balance: bool = True,
         round_deadline_seconds: Optional[float] = None,
         chaos=None,
     ) -> None:
+        if solver_factory is not None and price_refine is not None:
+            raise ValueError(
+                "price_refine= only applies to the default solver_factory"
+            )
         self.partition = CellPartition(num_cells)
         self.num_cells = num_cells
         self.workers = workers
@@ -743,8 +754,16 @@ class ShardedScheduler:
         self.round_deadline_seconds = round_deadline_seconds
         self.chaos = chaos
         self._policy_factory = policy_factory
+        # The worker subprocesses construct their own solvers, so the knobs
+        # must travel as kwargs; the inline/fallback factory uses the same
+        # kwargs so both modes solve identically configured.
+        self._solver_kwargs: Dict[str, Any] = {}
+        if price_refine is not None:
+            self._solver_kwargs["price_refine"] = price_refine
+        if solver_factory is None and round_deadline_seconds is not None:
+            self._solver_kwargs["round_deadline_seconds"] = round_deadline_seconds
         self._solver_factory = solver_factory or (
-            lambda: IncrementalCostScalingSolver()
+            lambda: IncrementalCostScalingSolver(**self._solver_kwargs)
         )
         self.statistics = SchedulerStatistics()
         self.balancer = CrossCellBalancer(self.partition) if balance else None
@@ -790,7 +809,9 @@ class ShardedScheduler:
                     )
                 solver.round_deadline_seconds = self.round_deadline_seconds
             self._solvers.append(solver)
-            self._clients.append(_CellWorkerClient(cell))
+            self._clients.append(
+                _CellWorkerClient(cell, solver_kwargs=self._solver_kwargs)
+            )
         self._cell_had_tasks = [False] * self.num_cells
         self._dirty_epoch = None
         self._task_home = {}

@@ -1,0 +1,24 @@
+"""Scheduler-as-a-service front end (ISSUE 9 / ROADMAP item 3).
+
+The simulator drives the scheduler from a synthetic event queue; this
+package drives it from *live clients*.  :class:`SchedulerService` exposes
+the flow-based schedulers over a JSON-lines TCP protocol: concurrent
+clients submit jobs and machine events, the service coalesces everything
+that arrived since the previous round into ordinary
+:class:`~repro.cluster.state.ClusterState` mutations (admission cost stays
+O(|changes|) through the existing dirty-tracking path), runs a budgeted
+scheduling round, and streams per-client placement / preemption
+notifications back with backpressure.
+
+The package is pure stdlib (``asyncio`` + ``json``); no new dependencies.
+
+Modules:
+
+* :mod:`repro.service.server` -- the service itself.
+* :mod:`repro.service.loadgen` -- closed-loop load generator used by the
+  service tests and ``benchmarks/bench_service_slo.py``.
+"""
+
+from repro.service.server import SchedulerService, ServiceConfig, ServiceStats
+
+__all__ = ["SchedulerService", "ServiceConfig", "ServiceStats"]

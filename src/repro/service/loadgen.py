@@ -1,0 +1,181 @@
+"""Closed-loop load generator for :class:`repro.service.server.SchedulerService`.
+
+Each generator client runs a closed loop: submit one job, wait until every
+task of that job is placed (reading the service's placement stream), then
+immediately submit the next.  Offered load is therefore controlled by the
+number of concurrent clients -- the canonical closed-loop model, where a
+slow scheduler throttles its own offered load instead of building an
+unbounded backlog.
+
+The per-task submission-to-placement latency is taken from the service's
+own ``placement`` events (service time, measured at the round boundary),
+so the SLO numbers exclude client-side network jitter.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["LoadgenResult", "run_loadgen", "run_loadgen_sync"]
+
+
+@dataclass
+class LoadgenResult:
+    """Aggregated outcome of one load-generation run."""
+
+    clients: int = 0
+    jobs_submitted: int = 0
+    tasks_accepted: int = 0
+    tasks_placed: int = 0
+    #: Service-side submission-to-placement latency per placed task (s).
+    latencies: List[float] = field(default_factory=list)
+    errors: int = 0
+    #: Final service stats snapshot (the conservation counters), if polled.
+    service_stats: Optional[Dict[str, Any]] = None
+
+    def latency_percentile(self, pct: float) -> float:
+        """Return a latency percentile (nearest-rank); 0.0 when empty."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = max(0, min(len(ordered) - 1, int(round(
+            pct / 100.0 * (len(ordered) - 1)
+        ))))
+        return ordered[rank]
+
+    def merge(self, other: "LoadgenResult") -> None:
+        self.jobs_submitted += other.jobs_submitted
+        self.tasks_accepted += other.tasks_accepted
+        self.tasks_placed += other.tasks_placed
+        self.latencies.extend(other.latencies)
+        self.errors += other.errors
+
+
+async def _read_event(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+    line = await reader.readline()
+    if not line:
+        return None
+    return json.loads(line)
+
+
+async def _client_loop(
+    host: str,
+    port: int,
+    jobs: int,
+    tasks_per_job: int,
+    duration: Optional[float],
+    job_type: str,
+) -> LoadgenResult:
+    """One closed-loop client: submit, await all placements, repeat."""
+    result = LoadgenResult()
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for sequence in range(jobs):
+            request = {
+                "op": "submit", "tasks": tasks_per_job, "id": sequence,
+                "job_type": job_type,
+            }
+            if duration is not None:
+                request["duration"] = duration
+            writer.write(json.dumps(request).encode("utf-8") + b"\n")
+            await writer.drain()
+            result.jobs_submitted += 1
+
+            outstanding: set = set()
+            acked = False
+            while not acked or outstanding:
+                event = await _read_event(reader)
+                if event is None:
+                    result.errors += 1
+                    return result
+                kind = event.get("event")
+                if kind == "ack" and event.get("id") == sequence:
+                    acked = True
+                    if event.get("error"):
+                        result.errors += 1
+                        break
+                    result.tasks_accepted += event.get("accepted", 0)
+                    outstanding.update(event.get("task_ids", []))
+                elif kind == "placement":
+                    task_id = event.get("task_id")
+                    if task_id in outstanding:
+                        outstanding.discard(task_id)
+                        result.tasks_placed += 1
+                        result.latencies.append(float(event["latency"]))
+                elif kind == "rejected":
+                    for task_id in event.get("task_ids", []):
+                        outstanding.discard(task_id)
+                elif kind == "error":
+                    result.errors += 1
+                # completions/preemptions of earlier jobs are ignored:
+                # the closed loop only gates on the current job's placement.
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    return result
+
+
+async def _poll_stats(host: str, port: int) -> Optional[Dict[str, Any]]:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(json.dumps({"op": "stats"}).encode("utf-8") + b"\n")
+        await writer.drain()
+        while True:
+            event = await _read_event(reader)
+            if event is None:
+                return None
+            if event.get("event") == "stats":
+                return event
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    clients: int = 4,
+    jobs_per_client: int = 4,
+    tasks_per_job: int = 8,
+    duration: Optional[float] = 1.0,
+    job_type: str = "batch",
+    poll_stats: bool = True,
+) -> LoadgenResult:
+    """Run ``clients`` concurrent closed-loop clients and aggregate.
+
+    Args:
+        host: Service host.
+        port: Service port.
+        clients: Concurrent closed-loop clients (the offered-load knob).
+        jobs_per_client: Jobs each client submits (sequentially).
+        tasks_per_job: Tasks per submitted job.
+        duration: Task duration in service seconds (None = service tasks
+            that never complete -- they hold their slots).
+        job_type: ``"batch"`` or ``"service"``.
+        poll_stats: Fetch the service's conservation counters afterwards.
+    """
+    outcomes = await asyncio.gather(*[
+        _client_loop(host, port, jobs_per_client, tasks_per_job, duration,
+                     job_type)
+        for _ in range(clients)
+    ])
+    total = LoadgenResult(clients=clients)
+    for outcome in outcomes:
+        total.merge(outcome)
+    if poll_stats:
+        total.service_stats = await _poll_stats(host, port)
+    return total
+
+
+def run_loadgen_sync(*args, **kwargs) -> LoadgenResult:
+    """Synchronous wrapper around :func:`run_loadgen` (tests, benchmarks)."""
+    return asyncio.run(run_loadgen(*args, **kwargs))

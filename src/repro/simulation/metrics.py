@@ -257,16 +257,23 @@ def collect_metrics(
         if response is not None:
             summary.job_response_times.append(response)
 
-    summary.data_locality = input_data_locality(state)
+    summary.data_locality = input_data_locality(state, batch_only=batch_only)
     return summary
 
 
-def input_data_locality(state: ClusterState) -> float:
+def input_data_locality(state: ClusterState, batch_only: bool = False) -> float:
     """Return the fraction of input data that was local to tasks' machines.
 
     Only tasks that have been placed at least once and declare an input size
     contribute.  The metric matches Table 15b in the paper: the preference
     threshold of the Quincy policy directly controls it.
+
+    ``batch_only`` restricts the metric to batch tasks, the same filter
+    every other task-level counter of :func:`collect_metrics` applies --
+    the locality percentage must describe the same task population as the
+    placement and completion counts it is reported next to (service tasks
+    used to leak into this one metric only, skewing it whenever service
+    jobs declared inputs).
 
     A task evicted after running (``machine_id`` is ``None`` but it was
     placed) is credited with the locality of the *last* machine it ran on:
@@ -280,6 +287,10 @@ def input_data_locality(state: ClusterState) -> float:
     for task in state.tasks.values():
         if task.input_size_gb <= 0:
             continue
+        if batch_only:
+            job = state.jobs.get(task.job_id)
+            if job is not None and job.job_type is JobType.SERVICE:
+                continue
         machine_id = task.machine_id
         if machine_id is None:
             machine_id = task.last_machine_id

@@ -54,7 +54,7 @@ from typing import Dict, Optional, Tuple
 from repro.flow.changes import ChangeBatch
 from repro.flow.graph import FlowNetwork, NodeType
 from repro.flow.validation import check_residual_epsilon_optimality
-from repro.solvers.base import SolveAborted, Solver, SolverResult
+from repro.solvers.base import RoundDeadline, SolveAborted, Solver, SolverResult
 from repro.solvers.cost_scaling import CostScalingSolver, DEFAULT_ALPHA
 
 
@@ -149,6 +149,7 @@ class IncrementalCostScalingSolver(Solver):
         efficient_task_removal: bool = True,
         apply_price_refine: bool = True,
         price_refine: str = "auto",
+        round_deadline_seconds: Optional[float] = None,
     ) -> None:
         """Create the solver.
 
@@ -163,6 +164,14 @@ class IncrementalCostScalingSolver(Solver):
                 The Dijkstra variant seeds warm rebuilds from the previous
                 round's potentials so refine work tracks inter-round drift
                 instead of network size.
+            round_deadline_seconds: Optional per-solve wall-clock budget.
+                Each :meth:`solve` call runs under its own soft
+                :class:`~repro.solvers.base.RoundDeadline`: the epsilon
+                ladder stops at the current coarser epsilon when the budget
+                expires, so the result is still a feasible epsilon-optimal
+                flow, marked ``optimal=False`` (fig10-style approximate
+                solving).  An externally installed :attr:`deadline_check`
+                (e.g. a dual executor's) takes precedence.
         """
         # polish_potentials keeps the retained residual 0-optimal, which is
         # what makes it legal to hand back to solve_delta next round.
@@ -171,6 +180,8 @@ class IncrementalCostScalingSolver(Solver):
         )
         self.efficient_task_removal = efficient_task_removal
         self.apply_price_refine = apply_price_refine
+        #: Per-solve soft budget; see ``round_deadline_seconds`` above.
+        self.round_deadline_seconds = round_deadline_seconds
         self._last_flows: Optional[Dict[Tuple[int, int], int]] = None
         self._last_potentials: Optional[Dict[int, int]] = None
         self._last_scaled_potentials: Optional[Dict[int, int]] = None
@@ -300,6 +311,27 @@ class IncrementalCostScalingSolver(Solver):
                 supplied and applicable, the solve runs on the persistent
                 residual without reconstructing it.
         """
+        # Per-solve soft deadline: truncate the epsilon ladder at the
+        # budget.  An externally installed check (a dual executor running
+        # its own RoundDeadline) is never clobbered.
+        installed_deadline = False
+        if (
+            self.round_deadline_seconds is not None
+            and self._cost_scaling.deadline_check is None
+        ):
+            self._cost_scaling.deadline_check = RoundDeadline(
+                self.round_deadline_seconds
+            ).expired
+            installed_deadline = True
+        try:
+            return self._solve_inner(network, changes)
+        finally:
+            if installed_deadline:
+                self._cost_scaling.deadline_check = None
+
+    def _solve_inner(
+        self, network: FlowNetwork, changes: Optional[ChangeBatch] = None
+    ) -> SolverResult:
         residual = self._deltable_residual(changes)
         if residual is not None and self.validate_residual:
             problems = check_residual_epsilon_optimality(residual, 0)

@@ -152,6 +152,102 @@ class TestSimulateCommand:
         assert main(["simulate", "--machines", "4", "--utilization", "2.0"]) == 1
         assert "error" in capsys.readouterr().err.lower()
 
+    def test_round_deadline_reported_in_summary(self, capsys):
+        # PR 6's round_deadline_seconds reachable from the CLI: a generous
+        # budget never degrades a small run, but the summary must report it.
+        code = main([
+            "simulate", "--machines", "8", "--duration", "40",
+            "--utilization", "0.5", "--seed", "1", "--round-deadline", "30",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "round deadline" in output
+        assert "degraded rounds: 0" in output
+
+    def test_round_deadline_sharded_accepted(self, capsys):
+        code = main([
+            "simulate", "--machines", "8", "--duration", "30",
+            "--utilization", "0.5", "--seed", "1",
+            "--cells", "2", "--round-deadline", "30",
+        ])
+        assert code == 0
+        assert "degraded rounds" in capsys.readouterr().out
+
+    def test_round_deadline_rejected_for_baselines(self, capsys):
+        assert main([
+            "simulate", "--machines", "4", "--scheduler", "sparrow",
+            "--round-deadline", "1",
+        ]) == 1
+        assert "--round-deadline" in capsys.readouterr().err
+
+
+class TestSchedulerKnobForwarding:
+    """Regression: solver knobs must reach the sharded per-cell solvers
+    and impossible knob combinations must fail loudly, not silently."""
+
+    def test_cells_forward_price_refine_to_cell_solvers(self):
+        from repro.cli.simulate_command import _make_scheduler
+        from repro.core import ShardedScheduler
+
+        scheduler = _make_scheduler(
+            "firmament", "quincy", cells=2, price_refine="spfa",
+        )
+        assert isinstance(scheduler, ShardedScheduler)
+        # The per-cell solver factory and the worker kwargs both carry the
+        # knob (pre-fix, ShardedScheduler never received it and every cell
+        # silently solved with the default).
+        assert scheduler._solver_factory().price_refine == "spfa"
+        assert scheduler._solver_kwargs == {"price_refine": "spfa"}
+
+    def test_cells_forward_round_deadline(self):
+        from repro.cli.simulate_command import _make_scheduler
+
+        scheduler = _make_scheduler(
+            "firmament", "quincy", cells=2, round_deadline_seconds=0.5,
+        )
+        assert scheduler.round_deadline_seconds == 0.5
+
+    def test_cells_with_baseline_scheduler_fails_loudly(self, capsys):
+        # Pre-fix, --cells was silently ignored for non-firmament
+        # schedulers and the run reported baseline numbers as sharded.
+        assert main([
+            "simulate", "--machines", "4", "--duration", "10",
+            "--scheduler", "sparrow", "--cells", "2",
+        ]) == 1
+        assert "--cells" in capsys.readouterr().err
+
+    def test_cells_with_parallel_executor_fails_loudly(self, capsys):
+        # Pre-fix, --executor parallel was silently dropped when --cells
+        # was given (ShardedScheduler has no dual race to configure).
+        assert main([
+            "simulate", "--machines", "4", "--duration", "10",
+            "--cells", "2", "--executor", "parallel",
+        ]) == 1
+        assert "--executor" in capsys.readouterr().err
+
+    def test_cells_with_auto_executor_policy_fails_loudly(self, capsys):
+        assert main([
+            "simulate", "--machines", "4", "--duration", "10",
+            "--cells", "2", "--executor-policy", "auto",
+        ]) == 1
+        assert "--executor-policy" in capsys.readouterr().err
+
+    def test_cell_workers_without_cells_fails_loudly(self, capsys):
+        assert main([
+            "simulate", "--machines", "4", "--duration", "10",
+            "--cell-workers",
+        ]) == 1
+        assert "--cell-workers" in capsys.readouterr().err
+
+    def test_sharded_cli_run_with_knobs_succeeds(self, capsys):
+        code = main([
+            "simulate", "--machines", "8", "--duration", "30",
+            "--utilization", "0.5", "--seed", "1",
+            "--cells", "2", "--price-refine", "spfa",
+        ])
+        assert code == 0
+        assert "cells: 2" in capsys.readouterr().out
+
 
 class TestTraceCommand:
     def test_trace_summary(self, capsys):

@@ -1,0 +1,369 @@
+"""Tests for the scheduler-as-a-service front end (`repro.service`).
+
+Covers the ISSUE 9 service contract: concurrent submission with placement
+streaming, drain-on-shutdown conservation, slow-client backpressure
+(eviction, not stalling), machine events, and a chaos case with a worker
+kill mid-round behind the service.
+
+The suite is stdlib-only: each test drives a real asyncio TCP service on
+an ephemeral port inside ``asyncio.run`` (no pytest-asyncio dependency).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.chaos import ChaosPolicy
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import build_topology
+from repro.core import FirmamentScheduler, ShardedScheduler
+from repro.core.policies import QuincyPolicy
+from repro.service import SchedulerService, ServiceConfig
+from repro.service.loadgen import run_loadgen
+
+
+def make_service(
+    machines: int = 16,
+    scheduler=None,
+    **config_kwargs,
+) -> SchedulerService:
+    state = ClusterState(build_topology(machines))
+    scheduler = scheduler or FirmamentScheduler(QuincyPolicy())
+    defaults = {"round_interval": 0.01, "time_scale": 0.01}
+    defaults.update(config_kwargs)
+    return SchedulerService(state, scheduler, ServiceConfig(**defaults))
+
+
+async def send(writer: asyncio.StreamWriter, payload: dict) -> None:
+    writer.write(json.dumps(payload).encode() + b"\n")
+    await writer.drain()
+
+
+async def recv(reader: asyncio.StreamReader) -> dict:
+    line = await reader.readline()
+    assert line, "connection closed unexpectedly"
+    return json.loads(line)
+
+
+async def recv_until(reader: asyncio.StreamReader, event: str) -> dict:
+    while True:
+        message = await recv(reader)
+        if message.get("event") == event:
+            return message
+
+
+class TestSubmissionStreaming:
+    def test_concurrent_clients_stream_placements(self):
+        async def scenario():
+            service = make_service(machines=16)
+            await service.start()
+            try:
+                result = await run_loadgen(
+                    "127.0.0.1", service.port, clients=4, jobs_per_client=3,
+                    tasks_per_job=4, duration=1.0,
+                )
+                assert result.tasks_accepted == 4 * 3 * 4
+                assert result.tasks_placed == result.tasks_accepted
+                assert result.errors == 0
+                assert len(result.latencies) == result.tasks_placed
+                assert all(lat >= 0.0 for lat in result.latencies)
+                stats = result.service_stats
+                assert stats["conserved"] is True
+                assert stats["accepted"] == 48
+                assert stats["placed"] == 48
+                assert stats["rejected"] == 0
+            finally:
+                await service.stop()
+
+        asyncio.run(asyncio.wait_for(scenario(), 30))
+
+    def test_submissions_coalesce_into_shared_rounds(self):
+        """Many jobs submitted inside one round gap share admission rounds."""
+
+        async def scenario():
+            service = make_service(machines=16, round_interval=0.1)
+            await service.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", service.port
+                )
+                for sequence in range(6):
+                    await send(writer, {
+                        "op": "submit", "tasks": 2, "id": sequence,
+                        "duration": 1.0,
+                    })
+                placed = 0
+                while placed < 12:
+                    message = await recv(reader)
+                    if message["event"] == "placement":
+                        placed += 1
+                writer.close()
+                # 6 jobs, but far fewer rounds: the burst was coalesced.
+                assert service.stats.rounds < 6
+            finally:
+                await service.stop()
+
+        asyncio.run(asyncio.wait_for(scenario(), 30))
+
+    def test_stats_and_errors(self):
+        async def scenario():
+            service = make_service()
+            await service.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", service.port
+                )
+                await send(writer, {"op": "nonsense", "id": 7})
+                message = await recv(reader)
+                assert message["event"] == "error"
+                assert message["id"] == 7
+
+                await send(writer, {"op": "submit", "tasks": 0})
+                message = await recv(reader)
+                assert message["event"] == "error"
+
+                await send(writer, {"op": "stats"})
+                message = await recv_until(reader, "stats")
+                assert message["accepted"] == 0
+                assert message["conserved"] is True
+                writer.close()
+            finally:
+                await service.stop()
+
+        asyncio.run(asyncio.wait_for(scenario(), 30))
+
+    def test_machine_add_and_remove_events(self):
+        async def scenario():
+            # 2 machines x 4 slots: 8 slots, fully occupied by one job.
+            service = make_service(machines=2)
+            await service.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", service.port
+                )
+                await send(writer, {
+                    "op": "submit", "tasks": 8, "id": 0, "job_type": "service",
+                })
+                ack = await recv_until(reader, "ack")
+                assert ack["accepted"] == 8
+                for _ in range(8):
+                    await recv_until(reader, "placement")
+
+                # A ninth (service) task cannot be placed: cluster is full.
+                await send(writer, {
+                    "op": "submit", "tasks": 1, "id": 1, "job_type": "service",
+                })
+                await recv_until(reader, "ack")
+                await send(writer, {"op": "stats"})
+                stats = await recv_until(reader, "stats")
+                assert stats["pending"] == 1
+                assert stats["conserved"] is True
+
+                # Adding a machine unblocks it.
+                await send(writer, {"op": "add_machine", "count": 1})
+                ack = await recv_until(reader, "ack")
+                (new_machine,) = ack["machine_ids"]
+                placement = await recv_until(reader, "placement")
+                assert placement["machine_id"] == new_machine
+
+                # Removing that machine preempts its task; the task returns
+                # to pending (no free slot anywhere else).
+                await send(writer, {
+                    "op": "remove_machine", "machine_id": new_machine,
+                })
+                await recv_until(reader, "ack")
+                preemption = await recv_until(reader, "preemption")
+                assert preemption["task_id"] == placement["task_id"]
+                await send(writer, {"op": "stats"})
+                stats = await recv_until(reader, "stats")
+                assert stats["conserved"] is True
+                writer.close()
+            finally:
+                await service.stop()
+
+        asyncio.run(asyncio.wait_for(scenario(), 30))
+
+
+class TestDrainConservation:
+    def test_drain_rejects_queued_and_conserves_exactly(self):
+        """accepted == placed + pending + rejected holds at drain.
+
+        The cluster is sized so some accepted tasks cannot be placed
+        (pending at drain) and a submission queued behind the drain is
+        voided (rejected); the final snapshot must balance exactly.
+        """
+
+        async def scenario():
+            # 1 machine x 4 slots; 6 never-completing tasks: 4 place, 2 pend.
+            service = make_service(machines=1)
+            await service.start()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", service.port
+            )
+            await send(writer, {
+                "op": "submit", "tasks": 6, "id": 0, "job_type": "service",
+            })
+            await recv_until(reader, "ack")
+            for _ in range(4):
+                await recv_until(reader, "placement")
+
+            # Start the drain, then race a submission in behind it: it must
+            # be refused at the front door (not silently dropped).
+            snapshot_task = asyncio.create_task(service.stop())
+            await asyncio.sleep(0)
+            await send(writer, {"op": "submit", "tasks": 3, "id": 1})
+            ack = await recv_until(reader, "ack")
+            assert ack.get("error") == "draining"
+            assert ack["accepted"] == 0
+
+            snapshot = await snapshot_task
+            assert snapshot["accepted"] == 6
+            assert snapshot["placed"] == 4
+            assert snapshot["pending"] == 2
+            assert snapshot["rejected"] == 0
+            assert snapshot["conserved"] is True
+            writer.close()
+
+        asyncio.run(asyncio.wait_for(scenario(), 30))
+
+    def test_queued_unadmitted_submissions_are_rejected_on_drain(self):
+        """Tasks accepted but still in the inbox at drain become rejected."""
+
+        async def scenario():
+            # A long round interval so a submission sits in the inbox.
+            service = make_service(machines=4, round_interval=5.0)
+            await service.start()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", service.port
+            )
+            # First submission wakes the idle loop and is admitted at once;
+            # the second lands in the inter-round gap and stays queued.
+            await send(writer, {"op": "submit", "tasks": 2, "id": 0,
+                                "job_type": "service"})
+            await recv_until(reader, "ack")
+            for _ in range(2):
+                await recv_until(reader, "placement")
+            await send(writer, {"op": "submit", "tasks": 3, "id": 1,
+                                "job_type": "service"})
+            await recv_until(reader, "ack")
+
+            snapshot = await service.stop()
+            assert snapshot["accepted"] == 5
+            assert snapshot["placed"] == 2
+            assert snapshot["rejected"] == 3
+            assert snapshot["pending"] == 0
+            assert snapshot["conserved"] is True
+            writer.close()
+
+        asyncio.run(asyncio.wait_for(scenario(), 30))
+
+
+class TestBackpressure:
+    def test_slow_client_is_evicted_not_stalled(self):
+        """A client that never reads fills its queue and is evicted; the
+        round loop and other clients keep making progress."""
+
+        async def scenario():
+            service = make_service(
+                machines=16, client_queue_limit=4, round_interval=0.01,
+            )
+            await service.start()
+            try:
+                # The slow client submits enough tasks to overflow its own
+                # notification queue (ack + placements > 4) and never reads.
+                slow_reader, slow_writer = await asyncio.open_connection(
+                    "127.0.0.1", service.port
+                )
+                await send(slow_writer, {
+                    "op": "submit", "tasks": 16, "id": 0, "duration": 1.0,
+                })
+
+                # A healthy client keeps working while the slow one chokes.
+                result = await run_loadgen(
+                    "127.0.0.1", service.port, clients=1, jobs_per_client=2,
+                    tasks_per_job=4, duration=1.0,
+                )
+                assert result.tasks_placed == 8
+                assert result.errors == 0
+
+                # Eviction happened; the slow client's tasks were still
+                # admitted and placed (jobs outlive their submitter), so
+                # conservation holds and nothing stalled.
+                for _ in range(100):
+                    if service.stats.evicted_clients >= 1:
+                        break
+                    await asyncio.sleep(0.02)
+                assert service.stats.evicted_clients >= 1
+                stats = service.stats.snapshot(service._pending_actual())
+                assert stats["conserved"] is True
+                assert stats["accepted"] == 16 + 8
+                slow_writer.close()
+            finally:
+                await service.stop()
+
+        asyncio.run(asyncio.wait_for(scenario(), 30))
+
+
+class TestServiceChaos:
+    def test_worker_kill_mid_round_behind_service(self):
+        """A sharded scheduler with worker kills keeps serving placements.
+
+        The chaos policy kills a cell worker every round; the parent-side
+        fallback serves the affected cell, so clients still see all their
+        placements and the conservation law survives the faults.
+        """
+
+        async def scenario():
+            chaos = ChaosPolicy(rates={"worker_kill": 1.0}, seed=3)
+            scheduler = ShardedScheduler(
+                QuincyPolicy, num_cells=2, workers=True, chaos=chaos,
+            )
+            service = make_service(machines=16, scheduler=scheduler)
+            await service.start()
+            try:
+                result = await run_loadgen(
+                    "127.0.0.1", service.port, clients=2, jobs_per_client=2,
+                    tasks_per_job=4, duration=1.0,
+                )
+                assert result.tasks_placed == result.tasks_accepted == 16
+                assert result.errors == 0
+                stats = result.service_stats
+                assert stats["conserved"] is True
+                # The faults really fired behind the service.
+                assert chaos.injected.get("worker_kill", 0) >= 1
+            finally:
+                await service.stop()
+
+        asyncio.run(asyncio.wait_for(scenario(), 60))
+
+
+class TestServeCommand:
+    def test_serve_registered_with_help(self, capsys):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--machines", "8", "--port", "0"])
+        assert args.command == "serve"
+        assert args.machines == 8
+
+    def test_serve_rejects_invalid_machines(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--machines", "0"]) == 1
+        assert "error" in capsys.readouterr().err.lower()
+
+    def test_serve_drains_after_serve_seconds(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "serve", "--machines", "4", "--serve-seconds", "0.2",
+            "--round-interval", "0.01",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "serving on 127.0.0.1:" in output
+        assert "service drained" in output
+        assert "conservation: accepted == placed + pending + rejected" in output

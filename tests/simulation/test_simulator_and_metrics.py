@@ -226,6 +226,34 @@ class TestMetrics:
         assert full.tasks_placed == 4
         assert full.tasks_completed == 2
 
+    def test_data_locality_respects_batch_only_population(self):
+        # Regression: input_data_locality used to ignore batch_only, so
+        # service tasks counted in the locality metric while being
+        # excluded from every other per-task counter of collect_metrics.
+        from repro.cluster.task import JobType
+
+        state = make_cluster_state(num_machines=2, slots_per_machine=4)
+        service = make_job(
+            job_id=1, num_tasks=1, duration=None, job_type=JobType.SERVICE,
+            input_size_gb=10.0, input_locality={0: 0.0},
+        )
+        batch = make_job(
+            job_id=2, num_tasks=1, duration=5.0,
+            input_size_gb=10.0, input_locality={0: 1.0},
+        )
+        state.submit_job(service)
+        state.submit_job(batch)
+        for task in service.tasks + batch.tasks:
+            state.place_task(task.task_id, 0, now=1.0)
+        # The batch population reads 100% locally; only the service task
+        # read remotely.  batch_only metrics must not see the service read.
+        assert input_data_locality(state, batch_only=True) == pytest.approx(1.0)
+        assert input_data_locality(state, batch_only=False) == pytest.approx(0.5)
+        # And collect_metrics threads its flag through: one population for
+        # *all* task-level metrics, data locality included.
+        assert collect_metrics(state, batch_only=True).data_locality == pytest.approx(1.0)
+        assert collect_metrics(state, batch_only=False).data_locality == pytest.approx(0.5)
+
     def test_data_locality_credits_evicted_task_last_placement(self):
         # A task evicted after running read its input on the machine it
         # actually ran on; charging its bytes with zero possible credit
