@@ -120,6 +120,96 @@ def test_service_slo_p99_under_load(benchmark):
             proc.communicate()
 
 
+def _spawn_serve(extra=()):
+    """Start a ``serve`` subprocess, return ``(proc, port)`` after handshake."""
+    env = dict(os.environ)
+    repo_src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli.main", "serve",
+            "--machines", str(MACHINES),
+            "--round-interval", "0.02",
+            "--time-scale", "0.01",
+            "--serve-seconds", "300",
+            *extra,
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+    handshake = proc.stdout.readline().strip()
+    assert handshake.startswith("serving on "), handshake
+    return proc, int(handshake.rsplit(":", 1)[1])
+
+
+def test_wal_overhead_p99_durability_on_vs_off(tmp_path, benchmark):
+    """WAL-overhead experiment (ISSUE 10): p99 submission-to-placement
+    latency at 4/16 clients with the durability layer off vs on (fsync'd
+    write-ahead log + snapshots on a real state directory).
+
+    The guard is relative, not absolute: with durability on, p99 at each
+    load level must stay within ``max(2 x p99_off, p99_off + 50ms)`` --
+    the WAL is one fsync'd append per admission batch, so it must never
+    dominate the round interval.
+    """
+    p99 = {}  # (durable, clients) -> seconds
+    rows = []
+    for durable in (False, True):
+        extra = ()
+        if durable:
+            extra = ("--state-dir", str(tmp_path / "slo-state"))
+        proc, port = _spawn_serve(extra)
+        try:
+            for clients in LOAD_LEVELS:
+                result = run_loadgen_sync(
+                    "127.0.0.1", port,
+                    clients=clients,
+                    jobs_per_client=JOBS_PER_CLIENT,
+                    tasks_per_job=TASKS_PER_JOB,
+                    duration=1.0,
+                )
+                stats = result.service_stats
+                assert stats is not None and stats["conserved"] is True
+                assert result.tasks_placed == result.tasks_accepted
+                assert result.errors == 0
+                p99[(durable, clients)] = result.latency_percentile(99)
+                rows.append([
+                    "on" if durable else "off",
+                    str(clients),
+                    str(result.tasks_accepted),
+                    f"{result.latency_percentile(50) * 1000:.1f}",
+                    f"{result.latency_percentile(99) * 1000:.1f}",
+                ])
+            with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+                sock.sendall(b'{"op": "shutdown"}\n')
+                final = json.loads(sock.recv(65536).split(b"\n")[0])
+            assert final["conserved"] is True
+            out, _ = proc.communicate(timeout=60)
+            assert proc.returncode == 0, out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
+    print()
+    print(
+        f"WAL overhead ({MACHINES} machines, fsync on): p99 with durability "
+        "on vs off"
+    )
+    print(format_table(
+        ["durability", "clients", "tasks", "p50 [ms]", "p99 [ms]"], rows
+    ))
+
+    for clients in LOAD_LEVELS:
+        off = p99[(False, clients)]
+        on = p99[(True, clients)]
+        assert on <= max(2.0 * off, off + 0.05), (
+            f"durability-on p99 {on * 1000:.1f}ms at {clients} clients "
+            f"blew past the guard (off: {off * 1000:.1f}ms)"
+        )
+
+    benchmark(_inprocess_burst)
+
+
 def _inprocess_burst() -> None:
     import asyncio
 

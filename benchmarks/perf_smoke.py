@@ -37,7 +37,11 @@ committed baseline in ``perf_baseline.json``:
   admission -> round -> placement stream -> drain) -- guarding the
   scheduler-as-a-service front end; normalized against the from-scratch
   solve like the sim-replay kernel (``bench_service_slo.py`` is the
-  full-size subprocess version of the same path).
+  full-size subprocess version of the same path), and
+* the durability-on service-round kernel -- the identical burst with a
+  fsync'd write-ahead admission log and snapshots enabled -- guarding the
+  crash-safety layer's overhead (``bench_durability.py`` measures its raw
+  append/replay rates).
 
 The gates are host-normalized: the from-scratch solve (resp. the full
 rebuild) acts as the calibration workload, so requiring each measured
@@ -478,6 +482,59 @@ def measure_service_round() -> float:
     return time.perf_counter() - start
 
 
+def measure_service_round_durable() -> float:
+    """Durability-on service-round kernel: the same closed-loop burst as
+    :func:`measure_service_round`, but with a :class:`DurabilityLayer` on a
+    throwaway state directory (fsync on -- the real crash-safety cost).
+    Guards the write-ahead admission log + snapshot path from regressing
+    the service round by more than the gated factor.
+    """
+    import asyncio
+    import shutil
+    import tempfile
+
+    from repro.cluster.state import ClusterState
+    from repro.cluster.topology import build_topology
+    from repro.core import FirmamentScheduler
+    from repro.core.policies import QuincyPolicy as ServiceQuincyPolicy
+    from repro.service import DurabilityLayer, SchedulerService, ServiceConfig
+    from repro.service.loadgen import run_loadgen
+
+    state_dir = tempfile.mkdtemp(prefix="perf-smoke-durability-")
+
+    async def burst() -> None:
+        state = ClusterState(build_topology(16))
+        durability = DurabilityLayer(state_dir, fsync=True)
+        service = SchedulerService(
+            state,
+            FirmamentScheduler(ServiceQuincyPolicy()),
+            ServiceConfig(round_interval=0.002, time_scale=0.01),
+            durability=durability,
+        )
+        await service.start()
+        try:
+            result = await run_loadgen(
+                "127.0.0.1", service.port, clients=2, jobs_per_client=2,
+                tasks_per_job=4, duration=1.0, poll_stats=False,
+            )
+            if result.tasks_placed != result.tasks_accepted or result.errors:
+                raise AssertionError("perf smoke: the durable burst lost tasks")
+        finally:
+            snapshot = await service.stop()
+            if not snapshot["conserved"]:
+                raise AssertionError(
+                    "perf smoke: the durable service conservation law was "
+                    "violated"
+                )
+
+    try:
+        start = time.perf_counter()
+        asyncio.run(burst())
+        return time.perf_counter() - start
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+
 def main() -> int:
     update = "--update" in sys.argv[1:]
     scratch_runs, incremental_runs = [], []
@@ -488,6 +545,7 @@ def main() -> int:
     sim_replay_runs = []
     shard_mono_runs, shard_cell_runs = [], []
     service_round_runs = []
+    service_durable_runs = []
     for _ in range(RUNS):
         scratch, incremental = measure_round()
         scratch_runs.append(scratch)
@@ -509,6 +567,7 @@ def main() -> int:
         shard_mono_runs.append(shard_mono)
         shard_cell_runs.append(shard_cell)
         service_round_runs.append(measure_service_round())
+        service_durable_runs.append(measure_service_round_durable())
     measured = {
         "machines": MACHINES,
         "scratch_s": round(statistics.median(scratch_runs), 6),
@@ -527,6 +586,9 @@ def main() -> int:
         "sharded_mono_s": round(statistics.median(shard_mono_runs), 6),
         "sharded_cell_s": round(statistics.median(shard_cell_runs), 6),
         "service_round_s": round(statistics.median(service_round_runs), 6),
+        "service_round_durable_s": round(
+            statistics.median(service_durable_runs), 6
+        ),
     }
     measured["speedup"] = round(
         measured["scratch_s"] / max(measured["incremental_s"], 1e-9), 3
@@ -560,6 +622,11 @@ def main() -> int:
     # got slower.
     measured["service_round_speedup"] = round(
         measured["scratch_s"] / max(measured["service_round_s"], 1e-9), 3
+    )
+    # Same normalization for the durability-on burst: the ratio only drops
+    # if the WAL append + snapshot path itself got slower.
+    measured["service_durability_speedup"] = round(
+        measured["scratch_s"] / max(measured["service_round_durable_s"], 1e-9), 3
     )
     print(f"measured: {json.dumps(measured)}")
 
@@ -665,6 +732,18 @@ def main() -> int:
             "FAIL: service round regressed >2x host-normalized: "
             f"speedup {measured['service_round_speedup']:.2f}x vs baseline "
             f"{baseline_service_speedup:.2f}x"
+        )
+        failed = True
+    baseline_durability_speedup = baseline.get("service_durability_speedup")
+    if (
+        baseline_durability_speedup
+        and measured["service_durability_speedup"]
+        < MAX_SPEEDUP_LOSS * baseline_durability_speedup
+    ):
+        print(
+            "FAIL: durability-on service round regressed >2x host-normalized: "
+            f"speedup {measured['service_durability_speedup']:.2f}x vs "
+            f"baseline {baseline_durability_speedup:.2f}x"
         )
         failed = True
     if failed:

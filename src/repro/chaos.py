@@ -43,14 +43,35 @@ Fault classes (``FAULT_KINDS``):
     Perturb one potential in the incremental solver's persistent
     residual so a residual arc violates 0-optimality; the solver's
     ``validate_residual`` pre-delta check must catch it and rebuild.
+
+Process-level faults (ISSUE 10)
+-------------------------------
+
+The faults above all stay *inside* a surviving scheduler process.  The
+durability layer (:mod:`repro.service.durability`) needs the opposite: the
+whole service process dying without warning -- ``kill -9`` -- at the worst
+possible instants of the write-ahead-log protocol.  :class:`CrashInjector`
+delivers exactly that: it counts hits of named crash points
+(:data:`CRASH_POINTS`) threaded through the durability layer and, on the
+configured hit, SIGKILLs its own process (optionally after writing only a
+prefix of the in-flight record, producing a *torn* log tail the recovery
+path must detect by checksum and drop, never half-apply).
 """
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 from typing import Dict, Iterable, List, Mapping, Optional
 
-__all__ = ["FAULT_KINDS", "ChaosPolicy", "corrupt_residual_potentials"]
+__all__ = [
+    "FAULT_KINDS",
+    "CRASH_POINTS",
+    "ChaosPolicy",
+    "CrashInjector",
+    "corrupt_residual_potentials",
+]
 
 #: Every fault class the policy knows how to fire, in pipeline order.
 FAULT_KINDS = (
@@ -133,6 +154,101 @@ class ChaosPolicy:
         """Clear the injection log (e.g. between simulation runs)."""
         self.injected = {}
         self.injected_rounds = {}
+
+
+#: Named instants of the durability protocol at which a process crash is
+#: interesting, in the order the round pipeline reaches them:
+#:
+#: ``admit_append``
+#:     While appending the round's admission record to the write-ahead log
+#:     (supports tearing: only a prefix of the record reaches the disk).
+#: ``mid_drain``
+#:     Before applying each admitted inbox record to ``ClusterState`` --
+#:     the batch's admission record is durable but its effects are at most
+#:     partially in memory, so recovery must re-apply the whole batch.
+#: ``round_append``
+#:     While appending the round's applied placements/preemptions record
+#:     (tearing supported); the round's effects were applied in memory but
+#:     never became durable nor were acknowledged to clients.
+#: ``mid_snapshot``
+#:     Midway through writing the snapshot temp file, before the atomic
+#:     rename -- recovery must ignore the partial temp file and fall back
+#:     to the previous snapshot plus a longer log replay.
+CRASH_POINTS = ("admit_append", "mid_drain", "round_append", "mid_snapshot")
+
+
+class CrashInjector:
+    """SIGKILL the current process at the Nth hit of a named crash point.
+
+    The injector is armed for exactly one ``point`` (a member of
+    :data:`CRASH_POINTS`); every call to :meth:`hit` with that name
+    increments a counter, and on the configured occurrence the process
+    kills itself with ``SIGKILL`` -- no handlers, no atexit, no flushing:
+    the same abrupt death ``kill -9`` from outside produces.
+
+    For the two log-append points the caller passes the framed record
+    bytes and the open file; when ``tear_bytes`` is configured the
+    injector first writes (and fsyncs) only that prefix, manufacturing a
+    torn final record for the recovery path to detect and drop.
+
+    Args:
+        point: The armed crash point (one of :data:`CRASH_POINTS`).
+        hit: Crash on this occurrence of the point (1-based).
+        tear_bytes: For append points, write this many bytes of the framed
+            record before dying (``None`` = crash before writing anything).
+    """
+
+    def __init__(self, point: str, hit: int = 1, tear_bytes: Optional[int] = None) -> None:
+        if point not in CRASH_POINTS:
+            raise ValueError(f"unknown crash point: {point!r}")
+        if hit < 1:
+            raise ValueError("hit must be >= 1")
+        if tear_bytes is not None and tear_bytes < 1:
+            raise ValueError("tear_bytes must be >= 1")
+        self.point = point
+        self.hit_at = hit
+        self.tear_bytes = tear_bytes
+        self.hits = 0
+
+    @classmethod
+    def parse(cls, spec: str) -> "CrashInjector":
+        """Parse a ``point:hit[:tear_bytes]`` CLI spec (e.g. ``admit_append:2:12``)."""
+        parts = spec.split(":")
+        if not 1 <= len(parts) <= 3:
+            raise ValueError(f"bad crash spec: {spec!r} (want point:hit[:tear_bytes])")
+        point = parts[0]
+        hit = int(parts[1]) if len(parts) > 1 else 1
+        tear = int(parts[2]) if len(parts) > 2 else None
+        return cls(point, hit=hit, tear_bytes=tear)
+
+    def _die(self) -> None:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    def hit(self, point: str, fileobj=None, pending_bytes: Optional[bytes] = None) -> None:
+        """Record one pass through ``point``; crash if this is the armed hit.
+
+        Args:
+            point: The crash point being passed.
+            fileobj: Open binary file the caller was about to write to
+                (append points and the snapshot temp file).
+            pending_bytes: The bytes the caller was about to write; with
+                ``tear_bytes`` configured, a prefix is written and fsynced
+                before the process dies so the tear is really on disk.
+        """
+        if point != self.point:
+            return
+        self.hits += 1
+        if self.hits != self.hit_at:
+            return
+        if (
+            self.tear_bytes is not None
+            and fileobj is not None
+            and pending_bytes is not None
+        ):
+            fileobj.write(pending_bytes[: self.tear_bytes])
+            fileobj.flush()
+            os.fsync(fileobj.fileno())
+        self._die()
 
 
 def corrupt_residual_potentials(residual, seed: int = 0) -> bool:

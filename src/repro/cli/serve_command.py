@@ -8,17 +8,29 @@ service drains gracefully and the final conservation counters are
 printed; a violated conservation law (accepted != placed + pending +
 rejected) fails the command, so scripted callers -- the SLO benchmark,
 the CI service step -- get a hard signal.
+
+SIGTERM and SIGINT take the same graceful path: the signal requests a
+drain (void unadmitted submissions, flush notifications, print the
+conservation verdict) instead of killing the process mid-round.
+
+With ``--state-dir`` the service is crash-safe (write-ahead admission log
+plus periodic snapshots; see :mod:`repro.service.durability`), and
+``--recover`` restores from an existing state directory after a crash --
+the only kind of death the durability layer cannot drain through, which
+is exactly what ``--chaos-crash`` injects for the recovery harness.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import signal
 
+from repro.chaos import CRASH_POINTS, CrashInjector
 from repro.cli.simulate_command import POLICIES, SCHEDULERS, _make_scheduler
 from repro.cluster.state import ClusterState
 from repro.cluster.topology import build_topology
-from repro.service import SchedulerService, ServiceConfig
+from repro.service import DurabilityLayer, SchedulerService, ServiceConfig, recover
 from repro.solvers import PRICE_REFINE_MODES
 
 
@@ -32,8 +44,10 @@ def register(subparsers) -> None:
             "and machine events over a JSON-lines TCP protocol, submissions "
             "arriving between rounds are coalesced into one admission batch, "
             "and placement/preemption notifications stream back per client. "
-            "Exits non-zero if the service conservation law (accepted == "
-            "placed + pending + rejected) is violated at drain."
+            "With --state-dir the service write-ahead-logs every admission "
+            "and snapshots periodically, and --recover restores after a "
+            "crash. Exits non-zero if the service conservation law "
+            "(accepted == placed + pending + rejected) is violated at drain."
         ),
     )
     parser.add_argument(
@@ -103,6 +117,44 @@ def register(subparsers) -> None:
         "--serve-seconds", type=float, default=None, metavar="SECONDS",
         help="drain and exit after this long (default: serve until shutdown)",
     )
+    parser.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help=(
+            "durable state directory (write-ahead log + snapshots); the "
+            "service refuses a non-empty directory without --recover "
+            "(default: no durability)"
+        ),
+    )
+    parser.add_argument(
+        "--recover", action="store_true",
+        help=(
+            "restore from the newest valid snapshot in --state-dir and "
+            "replay the log tail before serving (an empty directory is a "
+            "cold start)"
+        ),
+    )
+    parser.add_argument(
+        "--snapshot-interval-rounds", type=int, default=64, metavar="N",
+        help="snapshot after N logged rounds (default: 64)",
+    )
+    parser.add_argument(
+        "--snapshot-max-log-bytes", type=int, default=4 * 1024 * 1024,
+        metavar="BYTES",
+        help="snapshot when the active log segment exceeds this (default: 4MiB)",
+    )
+    parser.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip fsync on log appends and snapshots (benchmarks only)",
+    )
+    parser.add_argument(
+        "--chaos-crash", default=None, metavar="POINT:HIT[:TEAR_BYTES]",
+        help=(
+            "SIGKILL this process at the HITth pass of a durability crash "
+            f"point ({', '.join(CRASH_POINTS)}), optionally tearing the "
+            "in-flight record to TEAR_BYTES; requires --state-dir "
+            "(recovery-harness fault injection)"
+        ),
+    )
     parser.set_defaults(handler=run)
 
 
@@ -110,14 +162,54 @@ def run(args: argparse.Namespace) -> int:
     """Run the service until shutdown; return the process exit code."""
     if args.machines <= 0:
         raise ValueError("cluster must have at least one machine")
+    if args.chaos_crash and not args.state_dir:
+        raise ValueError("--chaos-crash requires --state-dir")
+    if args.recover and not args.state_dir:
+        raise ValueError("--recover requires --state-dir")
     return asyncio.run(_serve(args))
 
 
 async def _serve(args) -> int:
-    topology = build_topology(
-        args.machines, slots_per_machine=args.slots_per_machine
-    )
-    state = ClusterState(topology)
+    durability = None
+    recovered = None
+    if args.state_dir:
+        crash = (
+            CrashInjector.parse(args.chaos_crash) if args.chaos_crash else None
+        )
+        durability = DurabilityLayer(
+            args.state_dir,
+            fsync=not args.no_fsync,
+            snapshot_interval_rounds=args.snapshot_interval_rounds,
+            snapshot_max_log_bytes=args.snapshot_max_log_bytes,
+            crash=crash,
+        )
+        if durability.has_prior_state():
+            if not args.recover:
+                print(
+                    f"error: state dir {args.state_dir} holds prior state; "
+                    "pass --recover to restore it",
+                    flush=True,
+                )
+                return 2
+            recovered = recover(args.state_dir)
+            torn = "dropped" if recovered.torn_tail_dropped else "absent"
+            print(
+                f"recovered from snapshot epoch {recovered.snapshot_epoch}: "
+                f"{recovered.replayed_records} records replayed, "
+                f"{recovered.duplicates_dropped} duplicates dropped, "
+                f"torn tail {torn}",
+                flush=True,
+            )
+
+    if recovered is not None:
+        # The cluster (machines included) comes from the durable state,
+        # not from --machines.
+        state = recovered.state
+    else:
+        topology = build_topology(
+            args.machines, slots_per_machine=args.slots_per_machine
+        )
+        state = ClusterState(topology)
     scheduler = _make_scheduler(
         args.scheduler, args.policy,
         price_refine=args.price_refine,
@@ -132,13 +224,40 @@ async def _serve(args) -> int:
         time_scale=args.time_scale,
         client_queue_limit=args.client_queue_limit,
     )
-    service = SchedulerService(state, scheduler, config)
+    service = SchedulerService(
+        state, scheduler, config, durability=durability, recovered=recovered
+    )
+    # SIGTERM/SIGINT request the same graceful drain a client shutdown op
+    # does: void unadmitted submissions, flush notifications, report the
+    # conservation verdict -- never die mid-round.  Installed before the
+    # handshake prints, so a driver that signals immediately after reading
+    # it cannot race the default (killing) handlers.
+    loop = asyncio.get_running_loop()
+    signalled = []
+
+    def _request_drain(signame: str) -> None:
+        signalled.append(signame)
+        service._draining = True
+        service._wake.set()
+
+    installed = []
+    for signame in ("SIGTERM", "SIGINT"):
+        try:
+            loop.add_signal_handler(
+                getattr(signal, signame), _request_drain, signame
+            )
+            installed.append(signame)
+        except (NotImplementedError, RuntimeError):
+            # Platforms without loop signal support keep the default
+            # handlers; the drain path is still reachable via shutdown.
+            pass
+
     await service.start()
     # The parseable handshake line scripted drivers wait for.
     print(f"serving on {args.host}:{service.port}", flush=True)
 
     # The round loop only completes when a drain was requested (a client's
-    # shutdown op); otherwise serve until the --serve-seconds timer.
+    # shutdown op, a signal); otherwise serve until --serve-seconds.
     try:
         if args.serve_seconds is not None:
             await asyncio.wait_for(
@@ -149,8 +268,13 @@ async def _serve(args) -> int:
             await asyncio.shield(service._round_task)
     except asyncio.TimeoutError:
         pass
+    finally:
+        for signame in installed:
+            loop.remove_signal_handler(getattr(signal, signame))
     snapshot = await service.stop()
 
+    if signalled:
+        print(f"draining on {signalled[0]}")
     print("service drained")
     for key in ("accepted", "placed", "pending", "rejected", "rounds",
                 "degraded_rounds", "preemptions", "completions",

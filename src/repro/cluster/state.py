@@ -68,6 +68,35 @@ class ClusterState:
             if machine.is_available and machine.num_slots > 0
         }
 
+    def __eq__(self, other: object) -> bool:
+        """Deep equality over everything the scheduler can observe.
+
+        Compares the topology (machines with health state, racks, the
+        membership version), the full job/task ledger, and every derived
+        index (live/terminated split, pending index, per-machine task
+        sets, free-slot index).  The dirty tracker and the monitor are
+        deliberately excluded: both are process-local bookkeeping (drain
+        epochs, observed load samples) that legitimately differs between
+        an original and a crash-recovered state without the states being
+        schedulably different.  Used by the snapshot round-trip tests and
+        the recovery-equivalence harness.
+        """
+        if not isinstance(other, ClusterState):
+            return NotImplemented
+        return (
+            self.topology.version == other.topology.version
+            and self.topology.machines == other.topology.machines
+            and self.topology.racks == other.topology.racks
+            and self.jobs == other.jobs
+            and self.tasks == other.tasks
+            and self._machine_tasks == other._machine_tasks
+            and set(self._pending_tasks) == set(other._pending_tasks)
+            and set(self._live_tasks) == set(other._live_tasks)
+            and set(self._free_slot_index) == set(other._free_slot_index)
+        )
+
+    __hash__ = object.__hash__
+
     def _refresh_free_slot_entry(self, machine_id: int) -> None:
         """Re-derive one machine's membership in the free-slot index."""
         machine = self.topology.machines.get(machine_id)

@@ -1,0 +1,741 @@
+"""Crash-safe scheduler state: write-ahead admission log + snapshot/restore.
+
+The scheduler service (:mod:`repro.service.server`) keeps its entire
+cluster state, pending queue, and accepted-work ledger in memory; without
+this module a crash voids the ``accepted == placed + pending + rejected``
+conservation law the moment the process dies.  The durability discipline
+here is the classic one -- periodic snapshot plus replayable event log --
+with recovery *verified* against a fault-free oracle by the
+recovery-equivalence harness (``tests/service/test_recovery.py``):
+
+* **Write-ahead admission log.**  Every inbox drain appends one fsync'd
+  ``admit`` record (submissions with their client-supplied idempotency
+  keys, machine add/remove events, completion timer firings) *before* the
+  batch mutates :class:`~repro.cluster.state.ClusterState`; every applied
+  round appends one ``round`` record (placements, migrations,
+  preemptions) *before* the round's effects are acknowledged to clients.
+  Records are length-prefixed and CRC32-checksummed, so a crash mid-append
+  leaves a *torn* tail that replay detects and drops -- a record is either
+  fully applied or void, never half-applied.
+* **Snapshots.**  Periodically (round-count- and log-size-triggered) the
+  full :class:`ClusterState` plus the service ledger is serialized to a
+  temp file, fsync'd, and atomically renamed; the log rotates to a fresh
+  segment and segments wholly behind the retained snapshots are deleted.
+  A crash mid-snapshot leaves only an ignored ``.tmp`` file.
+* **Recovery.**  :func:`recover` loads the newest *valid* snapshot
+  (falling back past corrupt ones), replays the log tail through the same
+  ``ClusterState`` mutations the live admission path uses, deduplicates
+  submissions by idempotency key, and returns a state that resumes
+  serving with conservation intact.
+
+Record framing (one record)::
+
+    <u32 payload length> <u32 CRC32(payload)> <payload: compact JSON>
+
+File layout inside the state directory::
+
+    snapshot-00000001.json     CRC-guarded snapshot, epoch 1
+    wal-00000001.log           records appended after snapshot 1
+    snapshot-00000002.json     ...
+    wal-00000002.log           the active segment
+
+The monitor's load statistics are deliberately *not* durable: monitoring
+data is ephemeral observability that repopulates from live observations,
+and no service-path mutation feeds it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.chaos import CrashInjector
+from repro.cluster.machine import Machine, MachineState, Rack
+from repro.cluster.state import ClusterState
+from repro.cluster.task import Job, JobType, Task, TaskState
+from repro.cluster.topology import ClusterTopology
+
+__all__ = [
+    "DurabilityLayer",
+    "RecoveredState",
+    "RecoveryError",
+    "new_ledger",
+    "read_segment",
+    "recover",
+    "restore_cluster_state",
+    "snapshot_cluster_state",
+]
+
+_HEADER = struct.Struct("<II")
+
+_SNAPSHOT_PREFIX = "snapshot-"
+_SEGMENT_PREFIX = "wal-"
+
+
+class RecoveryError(Exception):
+    """The on-disk state is inconsistent beyond what recovery tolerates."""
+
+
+# --------------------------------------------------------------------- #
+# ClusterState serialization
+# --------------------------------------------------------------------- #
+def _task_to_payload(task: Task) -> Dict[str, Any]:
+    return {
+        "task_id": task.task_id,
+        "job_id": task.job_id,
+        "duration": task.duration,
+        "submit_time": task.submit_time,
+        "cpu_request": task.cpu_request,
+        "ram_request_gb": task.ram_request_gb,
+        "network_request_mbps": task.network_request_mbps,
+        "input_size_gb": task.input_size_gb,
+        "input_locality": {str(k): v for k, v in task.input_locality.items()},
+        "priority": task.priority,
+        "state": task.state.value,
+        "placement_time": task.placement_time,
+        "start_time": task.start_time,
+        "finish_time": task.finish_time,
+        "machine_id": task.machine_id,
+        "last_machine_id": task.last_machine_id,
+    }
+
+
+def _task_from_payload(payload: Dict[str, Any]) -> Task:
+    return Task(
+        task_id=payload["task_id"],
+        job_id=payload["job_id"],
+        duration=payload["duration"],
+        submit_time=payload["submit_time"],
+        cpu_request=payload["cpu_request"],
+        ram_request_gb=payload["ram_request_gb"],
+        network_request_mbps=payload["network_request_mbps"],
+        input_size_gb=payload["input_size_gb"],
+        input_locality={int(k): v for k, v in payload["input_locality"].items()},
+        priority=payload["priority"],
+        state=TaskState(payload["state"]),
+        placement_time=payload["placement_time"],
+        start_time=payload["start_time"],
+        finish_time=payload["finish_time"],
+        machine_id=payload["machine_id"],
+        last_machine_id=payload["last_machine_id"],
+    )
+
+
+def _job_to_payload(job: Job) -> Dict[str, Any]:
+    return {
+        "job_id": job.job_id,
+        "job_type": job.job_type.value,
+        "submit_time": job.submit_time,
+        "priority": job.priority,
+        "name": job.name,
+        "tasks": [_task_to_payload(task) for task in job.tasks],
+    }
+
+
+def _job_from_payload(payload: Dict[str, Any]) -> Job:
+    job = Job(
+        job_id=payload["job_id"],
+        job_type=JobType(payload["job_type"]),
+        submit_time=payload["submit_time"],
+        priority=payload["priority"],
+        name=payload["name"],
+    )
+    # Bypass Job.add_task: it rewrites job_id/priority on the task, and a
+    # restore must reproduce the serialized fields bit for bit.
+    job.tasks = [_task_from_payload(task) for task in payload["tasks"]]
+    return job
+
+
+def _machine_to_payload(machine: Machine) -> Dict[str, Any]:
+    return {
+        "machine_id": machine.machine_id,
+        "rack_id": machine.rack_id,
+        "num_slots": machine.num_slots,
+        "cpu_cores": machine.cpu_cores,
+        "ram_gb": machine.ram_gb,
+        "network_bandwidth_mbps": machine.network_bandwidth_mbps,
+        "state": machine.state.value,
+        "name": machine.name,
+    }
+
+
+def _machine_from_payload(payload: Dict[str, Any]) -> Machine:
+    return Machine(
+        machine_id=payload["machine_id"],
+        rack_id=payload["rack_id"],
+        num_slots=payload["num_slots"],
+        cpu_cores=payload["cpu_cores"],
+        ram_gb=payload["ram_gb"],
+        network_bandwidth_mbps=payload["network_bandwidth_mbps"],
+        state=MachineState(payload["state"]),
+        name=payload["name"],
+    )
+
+
+def snapshot_cluster_state(state: ClusterState) -> Dict[str, Any]:
+    """Serialize a :class:`ClusterState` to a JSON-safe payload.
+
+    Covers every index :func:`restore_cluster_state` must reproduce: the
+    topology (machines with their health state, racks with their member
+    order, the membership version), the full job/task ledger including
+    terminated history, and the dirty tracker's epoch plus pending sets.
+    The derived indexes (live/terminated split, pending index, free-slot
+    index, per-machine task sets) are *not* serialized -- they are
+    recomputed from task states on restore, which is what the round-trip
+    test pins as ``==``-equivalent.
+    """
+    dirty = state.dirty._pending
+    return {
+        "topology": {
+            "version": state.topology.version,
+            "machines": [
+                _machine_to_payload(machine)
+                for machine in state.topology.machines.values()
+            ],
+            "racks": [
+                {
+                    "rack_id": rack.rack_id,
+                    "machine_ids": list(rack.machine_ids),
+                    "name": rack.name,
+                }
+                for rack in state.topology.racks.values()
+            ],
+        },
+        "jobs": [_job_to_payload(job) for job in state.jobs.values()],
+        "dirty": {
+            "epoch": state.dirty.epoch,
+            "full": dirty.full,
+            "tasks": sorted(dirty.tasks),
+            "jobs": sorted(dirty.jobs),
+            "machines_availability": sorted(dirty.machines_availability),
+            "machines_load": sorted(dirty.machines_load),
+        },
+    }
+
+
+def restore_cluster_state(payload: Dict[str, Any]) -> ClusterState:
+    """Rebuild a :class:`ClusterState` from :func:`snapshot_cluster_state`."""
+    topology = ClusterTopology()
+    for machine_payload in payload["topology"]["machines"]:
+        machine = _machine_from_payload(machine_payload)
+        topology.machines[machine.machine_id] = machine
+    for rack_payload in payload["topology"]["racks"]:
+        topology.racks[rack_payload["rack_id"]] = Rack(
+            rack_id=rack_payload["rack_id"],
+            machine_ids=list(rack_payload["machine_ids"]),
+            name=rack_payload["name"],
+        )
+    topology.version = payload["topology"]["version"]
+
+    state = ClusterState(topology)
+    for job_payload in payload["jobs"]:
+        job = _job_from_payload(job_payload)
+        state.jobs[job.job_id] = job
+        for task in job.tasks:
+            state.tasks[task.task_id] = task
+            if not task.is_finished:
+                state._live_tasks[task.task_id] = task
+            if task.is_pending:
+                state._pending_tasks[task.task_id] = task
+            if task.is_running:
+                state._machine_tasks[task.machine_id].add(task.task_id)
+    for machine_id in topology.machines:
+        state._refresh_free_slot_entry(machine_id)
+
+    # The constructor marked nothing dirty; reinstate the serialized
+    # tracker state exactly (pending sets and epoch), so a restored state
+    # drives the incremental graph path identically to the original.
+    dirty_payload = payload["dirty"]
+    state.dirty.epoch = dirty_payload["epoch"]
+    pending = state.dirty._pending
+    pending.full = dirty_payload["full"]
+    pending.tasks = set(dirty_payload["tasks"])
+    pending.jobs = set(dirty_payload["jobs"])
+    pending.machines_availability = set(dirty_payload["machines_availability"])
+    pending.machines_load = set(dirty_payload["machines_load"])
+    return state
+
+
+# --------------------------------------------------------------------- #
+# WAL record payload builders (writer side lives in the server)
+# --------------------------------------------------------------------- #
+def admit_payload(
+    submissions: List[Tuple[Optional[str], Job]],
+    machines_added: List[Machine],
+    machines_removed: List[int],
+    completions: List[Tuple[int, float]],
+    now: float,
+) -> Dict[str, Any]:
+    """Build the ``admit`` record payload for one inbox drain."""
+    return {
+        "now": now,
+        "submissions": [
+            {"key": key, "job": _job_to_payload(job)} for key, job in submissions
+        ],
+        "machines_added": [_machine_to_payload(m) for m in machines_added],
+        "machines_removed": list(machines_removed),
+        "completions": [[task_id, start] for task_id, start in completions],
+    }
+
+
+def round_payload(decision, now: float) -> Dict[str, Any]:
+    """Build the ``round`` record payload for one applied decision."""
+    return {
+        "now": now,
+        "placements": {str(t): m for t, m in decision.placements.items()},
+        "migrations": {str(t): m for t, m in decision.migrations.items()},
+        "preemptions": list(decision.preemptions),
+        "degraded": bool(decision.degraded),
+    }
+
+
+# --------------------------------------------------------------------- #
+# The service ledger (durable half of ServiceStats)
+# --------------------------------------------------------------------- #
+def new_ledger() -> Dict[str, Any]:
+    """Conservation counters plus the idempotency and first-placement maps."""
+    return {
+        "accepted": 0,
+        "placed": 0,
+        "rejected": 0,
+        "preemptions": 0,
+        "completions": 0,
+        "rounds": 0,
+        "degraded_rounds": 0,
+        "duplicates": 0,
+        "placed_ids": set(),
+        "idempotency": {},
+    }
+
+
+def _ledger_to_payload(ledger: Dict[str, Any]) -> Dict[str, Any]:
+    payload = dict(ledger)
+    payload["placed_ids"] = sorted(ledger["placed_ids"])
+    payload["idempotency"] = dict(ledger["idempotency"])
+    return payload
+
+
+def _ledger_from_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    ledger = new_ledger()
+    ledger.update(payload)
+    ledger["placed_ids"] = set(payload.get("placed_ids", ()))
+    ledger["idempotency"] = dict(payload.get("idempotency", {}))
+    return ledger
+
+
+# --------------------------------------------------------------------- #
+# Log framing
+# --------------------------------------------------------------------- #
+def _frame(payload: bytes) -> bytes:
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def read_segment(path: Path) -> Tuple[List[Dict[str, Any]], bool]:
+    """Read every intact record of one segment.
+
+    Returns ``(records, torn)``: ``torn`` is True when trailing bytes did
+    not form a complete checksummed record (short header, short payload,
+    CRC mismatch, or undecodable JSON) -- those bytes are dropped, never
+    half-applied.
+    """
+    data = Path(path).read_bytes()
+    records: List[Dict[str, Any]] = []
+    offset = 0
+    while True:
+        if offset == len(data):
+            return records, False
+        if len(data) - offset < _HEADER.size:
+            return records, True
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > len(data):
+            return records, True
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            return records, True
+        try:
+            record = json.loads(payload)
+        except ValueError:
+            return records, True
+        records.append(record)
+        offset = end
+
+
+def _snapshot_path(directory: Path, epoch: int) -> Path:
+    return directory / f"{_SNAPSHOT_PREFIX}{epoch:08d}.json"
+
+
+def _segment_path(directory: Path, epoch: int) -> Path:
+    return directory / f"{_SEGMENT_PREFIX}{epoch:08d}.log"
+
+
+def _indexed_files(directory: Path, prefix: str, suffix: str) -> List[Tuple[int, Path]]:
+    found = []
+    for path in directory.iterdir():
+        name = path.name
+        if name.startswith(prefix) and name.endswith(suffix):
+            try:
+                found.append((int(name[len(prefix): -len(suffix)]), path))
+            except ValueError:
+                continue
+    return sorted(found)
+
+
+def _load_snapshot(path: Path) -> Optional[Dict[str, Any]]:
+    """Load a CRC-guarded snapshot; ``None`` on any corruption."""
+    try:
+        raw = path.read_bytes()
+        header, _, body = raw.partition(b"\n")
+        if not body or int(header, 16) != zlib.crc32(body):
+            return None
+        return json.loads(body)
+    except (OSError, ValueError):
+        return None
+
+
+# --------------------------------------------------------------------- #
+# The durability layer (writer side)
+# --------------------------------------------------------------------- #
+class DurabilityLayer:
+    """Owns a state directory: the active WAL segment and snapshot rotation.
+
+    Args:
+        state_dir: Directory for snapshots and log segments (created if
+            missing).
+        fsync: fsync every appended record and snapshot (turn off only in
+            benchmarks isolating serialization cost from disk latency).
+        snapshot_interval_rounds: Snapshot after this many logged rounds.
+        snapshot_max_log_bytes: ... or when the active segment exceeds
+            this size, whichever comes first.
+        keep_snapshots: Retained snapshot generations.  Two by default, so
+            a crash that corrupts the newest snapshot (or tears it
+            mid-write) still recovers from the previous one plus its log.
+        crash: Optional :class:`~repro.chaos.CrashInjector` for the
+            kill -9 harness; ``None`` costs nothing.
+    """
+
+    def __init__(
+        self,
+        state_dir,
+        fsync: bool = True,
+        snapshot_interval_rounds: int = 64,
+        snapshot_max_log_bytes: int = 4 * 1024 * 1024,
+        keep_snapshots: int = 2,
+        crash: Optional[CrashInjector] = None,
+    ) -> None:
+        if snapshot_interval_rounds < 1:
+            raise ValueError("snapshot_interval_rounds must be >= 1")
+        if keep_snapshots < 1:
+            raise ValueError("keep_snapshots must be >= 1")
+        self.directory = Path(state_dir)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.snapshot_interval_rounds = snapshot_interval_rounds
+        self.snapshot_max_log_bytes = snapshot_max_log_bytes
+        self.keep_snapshots = keep_snapshots
+        self.crash = crash
+        #: Last assigned record sequence number (monotonic across segments).
+        self.seq = 0
+        #: Snapshot/segment epoch; 0 until the first snapshot is written.
+        self.epoch = 0
+        self.records_appended = 0
+        self.bytes_appended = 0
+        self.snapshots_written = 0
+        self._rounds_since_snapshot = 0
+        self._file = None
+        self._segment_bytes = 0
+
+    @property
+    def active(self) -> bool:
+        """Whether a segment is open for appends (a snapshot exists)."""
+        return self._file is not None
+
+    def has_prior_state(self) -> bool:
+        """Whether the directory already holds snapshots or segments."""
+        return bool(
+            _indexed_files(self.directory, _SNAPSHOT_PREFIX, ".json")
+            or _indexed_files(self.directory, _SEGMENT_PREFIX, ".log")
+        )
+
+    def resume_from(self, recovered: "RecoveredState") -> None:
+        """Continue sequence/epoch numbering after :func:`recover`."""
+        self.seq = recovered.seq
+        self.epoch = recovered.epoch
+
+    # ------------------------------------------------------------------ #
+    # Appends
+    # ------------------------------------------------------------------ #
+    def _append(self, kind: str, payload: Dict[str, Any], crash_point: str) -> None:
+        if self._file is None:
+            raise RecoveryError("no active segment: write a snapshot first")
+        self.seq += 1
+        record = dict(payload)
+        record["kind"] = kind
+        record["seq"] = self.seq
+        framed = _frame(json.dumps(record, separators=(",", ":")).encode("utf-8"))
+        if self.crash is not None:
+            self.crash.hit(crash_point, fileobj=self._file, pending_bytes=framed)
+        self._file.write(framed)
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+        self._segment_bytes += len(framed)
+        self.bytes_appended += len(framed)
+        self.records_appended += 1
+
+    def log_admission(self, payload: Dict[str, Any]) -> None:
+        """Append one fsync'd ``admit`` record (before the batch applies)."""
+        self._append("admit", payload, "admit_append")
+
+    def log_round(self, payload: Dict[str, Any]) -> None:
+        """Append one fsync'd ``round`` record (before clients are told)."""
+        self._append("round", payload, "round_append")
+        self._rounds_since_snapshot += 1
+
+    def crash_point(self, point: str) -> None:
+        """Pass a non-append crash point (``mid_drain``) to the injector."""
+        if self.crash is not None:
+            self.crash.hit(point)
+
+    # ------------------------------------------------------------------ #
+    # Snapshots
+    # ------------------------------------------------------------------ #
+    def should_snapshot(self) -> bool:
+        """Whether either snapshot trigger (rounds, log size) has tripped."""
+        return (
+            self._rounds_since_snapshot >= self.snapshot_interval_rounds
+            or self._segment_bytes >= self.snapshot_max_log_bytes
+        )
+
+    def write_snapshot(
+        self,
+        state_payload: Dict[str, Any],
+        ledger: Dict[str, Any],
+        clock: float,
+    ) -> Path:
+        """Write a snapshot atomically and rotate to a fresh segment.
+
+        The snapshot's barrier is the current log sequence number: records
+        up to and including it are superseded by the snapshot, and
+        segments wholly behind the retained snapshots are deleted.
+        """
+        self.epoch += 1
+        body = json.dumps(
+            {
+                "epoch": self.epoch,
+                "barrier_seq": self.seq,
+                "clock": clock,
+                "state": state_payload,
+                "ledger": _ledger_to_payload(ledger),
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+        content = f"{zlib.crc32(body):08x}".encode("ascii") + b"\n" + body
+        final = _snapshot_path(self.directory, self.epoch)
+        tmp = final.with_suffix(".json.tmp")
+        with open(tmp, "wb") as handle:
+            if self.crash is not None:
+                # Crash mid-write: leave a torn temp file on disk so the
+                # harness proves recovery never trusts an unrenamed temp.
+                self.crash.hit(
+                    "mid_snapshot",
+                    fileobj=handle,
+                    pending_bytes=content[: max(1, len(content) // 2)],
+                )
+            handle.write(content)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, final)
+        self._fsync_directory()
+
+        # Rotate: further records land in the new epoch's segment.
+        if self._file is not None:
+            self._file.close()
+        self._file = open(_segment_path(self.directory, self.epoch), "ab")
+        self._segment_bytes = 0
+        self._rounds_since_snapshot = 0
+        self.snapshots_written += 1
+        self._prune()
+        return final
+
+    def _fsync_directory(self) -> None:
+        if not self.fsync:
+            return
+        fd = os.open(self.directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def _prune(self) -> None:
+        """Drop snapshots beyond the retention count and superseded segments."""
+        snapshots = _indexed_files(self.directory, _SNAPSHOT_PREFIX, ".json")
+        keep = snapshots[-self.keep_snapshots:]
+        oldest_kept = keep[0][0] if keep else self.epoch
+        for epoch, path in snapshots[: -self.keep_snapshots]:
+            path.unlink(missing_ok=True)
+        for epoch, path in _indexed_files(self.directory, _SEGMENT_PREFIX, ".log"):
+            # Segment N holds records appended *after* snapshot N; it is
+            # needed by any retained snapshot <= N, so only segments
+            # strictly behind the oldest retained snapshot can go.
+            if epoch < oldest_kept:
+                path.unlink(missing_ok=True)
+        for path in self.directory.glob("*.tmp"):
+            path.unlink(missing_ok=True)
+
+    def close(self) -> None:
+        """Close the active segment (recovery reads files, not handles)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+# --------------------------------------------------------------------- #
+# Recovery (reader side)
+# --------------------------------------------------------------------- #
+@dataclass
+class RecoveredState:
+    """Everything :func:`recover` reconstructs from the state directory."""
+
+    state: ClusterState
+    ledger: Dict[str, Any]
+    #: Service clock at the last durable record, so a restarted service
+    #: resumes its monotonic time instead of rewinding to zero.
+    clock: float = 0.0
+    seq: int = 0
+    epoch: int = 0
+    snapshot_epoch: int = 0
+    replayed_records: int = 0
+    duplicates_dropped: int = 0
+    torn_tail_dropped: bool = False
+    snapshots_skipped: int = 0
+
+
+def _replay_admit(state: ClusterState, ledger: Dict[str, Any], record: Dict[str, Any]) -> int:
+    """Re-apply one admission batch; returns duplicates dropped."""
+    now = record["now"]
+    duplicates = 0
+    for submission in record["submissions"]:
+        key = submission.get("key")
+        if key is not None and key in ledger["idempotency"]:
+            duplicates += 1
+            ledger["duplicates"] += 1
+            continue
+        job = _job_from_payload(submission["job"])
+        state.submit_job(job)
+        ledger["accepted"] += len(job.tasks)
+        if key is not None:
+            ledger["idempotency"][key] = job.job_id
+    for machine_payload in record["machines_added"]:
+        state.add_machine(_machine_from_payload(machine_payload))
+    for machine_id in record["machines_removed"]:
+        evicted = state.fail_machine(machine_id, now)
+        ledger["preemptions"] += len(evicted)
+    for task_id, start in record["completions"]:
+        task = state.tasks.get(task_id)
+        # Same stale-completion guard as the live path: the timer firing
+        # belongs to this execution only if the task still runs from the
+        # recorded start.
+        if task is not None and task.is_running and task.start_time == start:
+            state.complete_task(task_id, now)
+            ledger["completions"] += 1
+    return duplicates
+
+
+def _replay_round(state: ClusterState, ledger: Dict[str, Any], record: Dict[str, Any]) -> None:
+    """Re-apply one round's logged effects (preempt, migrate, place)."""
+    now = record["now"]
+    for task_id in record["preemptions"]:
+        state.preempt_task(task_id, now)
+        ledger["preemptions"] += 1
+    started: List[int] = []
+    for task_id, machine_id in record["migrations"].items():
+        state.migrate_task(int(task_id), machine_id, now)
+        started.append(int(task_id))
+    for task_id, machine_id in record["placements"].items():
+        state.place_task(int(task_id), machine_id, now)
+        started.append(int(task_id))
+    for task_id in started:
+        if task_id not in ledger["placed_ids"]:
+            ledger["placed_ids"].add(task_id)
+            ledger["placed"] += 1
+    ledger["rounds"] += 1
+    if record["degraded"]:
+        ledger["degraded_rounds"] += 1
+
+
+def recover(state_dir) -> RecoveredState:
+    """Rebuild the service state from the newest valid snapshot + log tail.
+
+    Corrupt or torn snapshots are skipped (retention keeps the previous
+    generation and its segments); a torn final log record is dropped.
+    Raises :class:`RecoveryError` when no valid snapshot exists or a log
+    record contradicts the state it replays onto.
+    """
+    directory = Path(state_dir)
+    snapshots = _indexed_files(directory, _SNAPSHOT_PREFIX, ".json")
+    if not snapshots:
+        raise RecoveryError(f"no snapshot found in {directory}")
+
+    chosen: Optional[Dict[str, Any]] = None
+    skipped = 0
+    for epoch, path in reversed(snapshots):
+        chosen = _load_snapshot(path)
+        if chosen is not None:
+            break
+        skipped += 1
+    if chosen is None:
+        raise RecoveryError(f"every snapshot in {directory} is corrupt")
+
+    state = restore_cluster_state(chosen["state"])
+    ledger = _ledger_from_payload(chosen["ledger"])
+    recovered = RecoveredState(
+        state=state,
+        ledger=ledger,
+        clock=chosen["clock"],
+        seq=chosen["barrier_seq"],
+        epoch=chosen["epoch"],
+        snapshot_epoch=chosen["epoch"],
+        snapshots_skipped=skipped,
+    )
+
+    barrier = chosen["barrier_seq"]
+    for epoch, path in _indexed_files(directory, _SEGMENT_PREFIX, ".log"):
+        if epoch < chosen["epoch"]:
+            continue
+        records, torn = read_segment(path)
+        recovered.torn_tail_dropped = recovered.torn_tail_dropped or torn
+        for record in records:
+            if record["seq"] <= barrier:
+                continue
+            try:
+                if record["kind"] == "admit":
+                    recovered.duplicates_dropped += _replay_admit(
+                        state, ledger, record
+                    )
+                elif record["kind"] == "round":
+                    _replay_round(state, ledger, record)
+                else:
+                    raise RecoveryError(f"unknown record kind {record['kind']!r}")
+            except (KeyError, ValueError) as error:
+                raise RecoveryError(
+                    f"replaying record seq={record.get('seq')} of {path.name} "
+                    f"failed: {error}"
+                ) from error
+            recovered.seq = record["seq"]
+            recovered.clock = max(recovered.clock, record.get("now", 0.0))
+            recovered.replayed_records += 1
+        recovered.epoch = max(recovered.epoch, epoch)
+
+    # Whatever graph state a scheduler had is gone with the old process;
+    # force the first post-recovery round to rebuild from scratch instead
+    # of trusting a stale-looking epoch chain.
+    state.dirty.mark_all()
+    return recovered

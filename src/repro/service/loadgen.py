@@ -10,6 +10,16 @@ unbounded backlog.
 The per-task submission-to-placement latency is taken from the service's
 own ``placement`` events (service time, measured at the round boundary),
 so the SLO numbers exclude client-side network jitter.
+
+Crash-driving mode (ISSUE 10): with ``idempotency_keys=True`` every
+submission carries a deterministic per-(client, job) key, and with
+``reconnect=True`` a dropped connection -- the server was SIGKILLed by the
+recovery harness -- is retried against ``endpoint()`` (which the harness
+points at the restarted server's new port) and the in-flight job is
+*resubmitted under the same key*.  The service deduplicates: a job that
+survived the crash comes back as a ``duplicate: true`` ack listing the
+placements that already happened, so a resubmitted job is never placed
+twice -- which the per-task accounting here asserts.
 """
 
 from __future__ import annotations
@@ -17,7 +27,7 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 __all__ = ["LoadgenResult", "run_loadgen", "run_loadgen_sync"]
 
@@ -33,6 +43,12 @@ class LoadgenResult:
     #: Service-side submission-to-placement latency per placed task (s).
     latencies: List[float] = field(default_factory=list)
     errors: int = 0
+    #: Connections re-established after the server dropped us (crash runs).
+    reconnects: int = 0
+    #: Jobs resubmitted under their original idempotency key.
+    resubmissions: int = 0
+    #: Resubmissions the service answered with ``duplicate: true``.
+    duplicate_acks: int = 0
     #: Final service stats snapshot (the conservation counters), if polled.
     service_stats: Optional[Dict[str, Any]] = None
 
@@ -52,72 +68,175 @@ class LoadgenResult:
         self.tasks_placed += other.tasks_placed
         self.latencies.extend(other.latencies)
         self.errors += other.errors
+        self.reconnects += other.reconnects
+        self.resubmissions += other.resubmissions
+        self.duplicate_acks += other.duplicate_acks
 
 
-async def _read_event(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
-    line = await reader.readline()
+class _ConnectionLost(Exception):
+    """The server went away mid-exchange (EOF, reset, refused)."""
+
+
+async def _read_event(reader: asyncio.StreamReader) -> Dict[str, Any]:
+    try:
+        line = await reader.readline()
+    except (ConnectionResetError, BrokenPipeError, OSError) as error:
+        raise _ConnectionLost(str(error)) from error
     if not line:
-        return None
+        raise _ConnectionLost("EOF")
     return json.loads(line)
 
 
 async def _client_loop(
-    host: str,
-    port: int,
+    endpoint: Callable[[], Tuple[str, int]],
     jobs: int,
     tasks_per_job: int,
     duration: Optional[float],
     job_type: str,
+    client_index: int,
+    key_prefix: Optional[str],
+    reconnect: bool,
+    reconnect_attempts: int,
+    reconnect_delay: float,
 ) -> LoadgenResult:
     """One closed-loop client: submit, await all placements, repeat."""
     result = LoadgenResult()
-    reader, writer = await asyncio.open_connection(host, port)
-    try:
-        for sequence in range(jobs):
-            request = {
-                "op": "submit", "tasks": tasks_per_job, "id": sequence,
-                "job_type": job_type,
-            }
-            if duration is not None:
-                request["duration"] = duration
+    reader: Optional[asyncio.StreamReader] = None
+    writer: Optional[asyncio.StreamWriter] = None
+
+    async def close() -> None:
+        nonlocal reader, writer
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+        reader = writer = None
+
+    async def connect() -> bool:
+        nonlocal reader, writer
+        await close()
+        for attempt in range(max(1, reconnect_attempts)):
+            if attempt:
+                await asyncio.sleep(reconnect_delay)
+            host, port = endpoint()
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                return True
+            except OSError:
+                continue
+        return False
+
+    async def run_job(sequence: int, key: Optional[str],
+                      counted_placed: set, state: dict) -> None:
+        """One submit + wait-for-placements exchange on the live connection.
+
+        Raises :class:`_ConnectionLost` if the server dies mid-exchange;
+        the caller reconnects and calls again with the same ``key`` and
+        the same ``counted_placed``/``state`` so nothing is double
+        counted across attempts.
+        """
+        request: Dict[str, Any] = {
+            "op": "submit", "tasks": tasks_per_job, "id": sequence,
+            "job_type": job_type,
+        }
+        if key is not None:
+            request["key"] = key
+        if duration is not None:
+            request["duration"] = duration
+        try:
             writer.write(json.dumps(request).encode("utf-8") + b"\n")
             await writer.drain()
-            result.jobs_submitted += 1
+        except (ConnectionResetError, BrokenPipeError, OSError) as error:
+            raise _ConnectionLost(str(error)) from error
 
-            outstanding: set = set()
-            acked = False
-            while not acked or outstanding:
-                event = await _read_event(reader)
-                if event is None:
+        outstanding: set = set()
+        acked = False
+        while not acked or outstanding:
+            event = await _read_event(reader)
+            kind = event.get("event")
+            if kind == "ack" and event.get("id") == sequence:
+                acked = True
+                if event.get("error"):
                     result.errors += 1
-                    return result
-                kind = event.get("event")
-                if kind == "ack" and event.get("id") == sequence:
-                    acked = True
-                    if event.get("error"):
-                        result.errors += 1
-                        break
-                    result.tasks_accepted += event.get("accepted", 0)
-                    outstanding.update(event.get("task_ids", []))
-                elif kind == "placement":
-                    task_id = event.get("task_id")
-                    if task_id in outstanding:
-                        outstanding.discard(task_id)
+                    return
+                task_ids = event.get("task_ids", [])
+                if event.get("duplicate"):
+                    # The job survived a crash: the recovered service
+                    # already holds it.  Placements delivered before the
+                    # crash are listed; only the remainder is outstanding.
+                    result.duplicate_acks += 1
+                    if not state["accepted_counted"]:
+                        result.tasks_accepted += len(task_ids)
+                        state["accepted_counted"] = True
+                    already = set(event.get("placed_task_ids", []))
+                    for task_id in sorted(already - counted_placed):
+                        # Placed exactly once (before the crash); the
+                        # latency observation was lost with the old
+                        # connection, so only the count is recovered.
+                        counted_placed.add(task_id)
                         result.tasks_placed += 1
-                        result.latencies.append(float(event["latency"]))
-                elif kind == "rejected":
-                    for task_id in event.get("task_ids", []):
-                        outstanding.discard(task_id)
-                elif kind == "error":
-                    result.errors += 1
-                # completions/preemptions of earlier jobs are ignored:
-                # the closed loop only gates on the current job's placement.
+                    outstanding.update(set(task_ids) - already)
+                else:
+                    if not state["accepted_counted"]:
+                        result.tasks_accepted += event.get("accepted", 0)
+                        state["accepted_counted"] = True
+                    outstanding.update(task_ids)
+            elif kind == "placement":
+                task_id = event.get("task_id")
+                if task_id in outstanding:
+                    outstanding.discard(task_id)
+                    assert task_id not in counted_placed, (
+                        f"task {task_id} placed twice across resubmission"
+                    )
+                    counted_placed.add(task_id)
+                    result.tasks_placed += 1
+                    result.latencies.append(float(event["latency"]))
+            elif kind == "rejected":
+                for task_id in event.get("task_ids", []):
+                    outstanding.discard(task_id)
+            elif kind == "error":
+                result.errors += 1
+            # completions/preemptions of earlier jobs are ignored:
+            # the closed loop only gates on the current job's placement.
+
+    if not await connect():
+        result.errors += 1
+        return result
+    try:
+        for sequence in range(jobs):
+            key = (
+                f"{key_prefix}-c{client_index}-j{sequence}"
+                if key_prefix is not None
+                else None
+            )
+            counted_placed: set = set()
+            state = {"accepted_counted": False}
+            submitted = False
+            while True:
+                try:
+                    await run_job(sequence, key, counted_placed, state)
+                    if not submitted:
+                        result.jobs_submitted += 1
+                    break
+                except _ConnectionLost:
+                    if not submitted:
+                        result.jobs_submitted += 1
+                    submitted = True
+                    # Resubmitting without a key would double-accept the
+                    # job on a server that survived; only keyed loads may
+                    # retry across a connection loss.
+                    if not reconnect or key is None:
+                        result.errors += 1
+                        return result
+                    if not await connect():
+                        result.errors += 1
+                        return result
+                    result.reconnects += 1
+                    result.resubmissions += 1
     finally:
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError):
-            pass
+        await close()
     return result
 
 
@@ -127,8 +246,9 @@ async def _poll_stats(host: str, port: int) -> Optional[Dict[str, Any]]:
         writer.write(json.dumps({"op": "stats"}).encode("utf-8") + b"\n")
         await writer.drain()
         while True:
-            event = await _read_event(reader)
-            if event is None:
+            try:
+                event = await _read_event(reader)
+            except _ConnectionLost:
                 return None
             if event.get("event") == "stats":
                 return event
@@ -149,6 +269,12 @@ async def run_loadgen(
     duration: Optional[float] = 1.0,
     job_type: str = "batch",
     poll_stats: bool = True,
+    idempotency_keys: bool = False,
+    key_prefix: str = "lg",
+    reconnect: bool = False,
+    reconnect_attempts: int = 40,
+    reconnect_delay: float = 0.25,
+    endpoint: Optional[Callable[[], Tuple[str, int]]] = None,
 ) -> LoadgenResult:
     """Run ``clients`` concurrent closed-loop clients and aggregate.
 
@@ -162,17 +288,44 @@ async def run_loadgen(
             that never complete -- they hold their slots).
         job_type: ``"batch"`` or ``"service"``.
         poll_stats: Fetch the service's conservation counters afterwards.
+        idempotency_keys: Attach a deterministic per-(client, job) key to
+            every submission.
+        key_prefix: Key namespace, so two loadgen runs against one
+            service do not collide.
+        reconnect: Survive a dropped connection by reconnecting and
+            resubmitting the in-flight job under its key (requires
+            ``idempotency_keys``).
+        reconnect_attempts: Connection attempts per (re)connect before
+            giving up on the client.
+        reconnect_delay: Seconds between connection attempts (covers the
+            restart window of a crashed server).
+        endpoint: Callable returning the current ``(host, port)``; the
+            recovery harness swaps in the restarted server's ephemeral
+            port.  Defaults to the static ``host``/``port``.
     """
+    if reconnect and not idempotency_keys:
+        raise ValueError("reconnect=True requires idempotency_keys=True")
+    resolve = endpoint or (lambda: (host, port))
     outcomes = await asyncio.gather(*[
-        _client_loop(host, port, jobs_per_client, tasks_per_job, duration,
-                     job_type)
-        for _ in range(clients)
+        _client_loop(
+            resolve, jobs_per_client, tasks_per_job, duration, job_type,
+            client_index=index,
+            key_prefix=key_prefix if idempotency_keys else None,
+            reconnect=reconnect,
+            reconnect_attempts=reconnect_attempts,
+            reconnect_delay=reconnect_delay,
+        )
+        for index in range(clients)
     ])
     total = LoadgenResult(clients=clients)
     for outcome in outcomes:
         total.merge(outcome)
     if poll_stats:
-        total.service_stats = await _poll_stats(host, port)
+        stats_host, stats_port = resolve()
+        try:
+            total.service_stats = await _poll_stats(stats_host, stats_port)
+        except OSError:
+            total.service_stats = None
     return total
 
 

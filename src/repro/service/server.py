@@ -42,6 +42,20 @@ cluster state and reports ``conserved`` so clients (and the SLO benchmark)
 can verify the law end to end, mirroring the simulator's
 ``verify_placement_conservation``.
 
+Durability (optional)
+---------------------
+
+With a :class:`~repro.service.durability.DurabilityLayer` attached, the
+conservation law survives ``kill -9``: every inbox drain appends one
+fsync'd ``admit`` record *before* the batch mutates the state, every
+applied round appends one ``round`` record *before* its placements are
+acknowledged to clients, and snapshots rotate the log.  Submissions carry
+optional client-supplied idempotency ``key``s; a duplicate key gets the
+original ack back (``duplicate: true``) instead of a second job, which is
+what lets clients blindly resubmit across a crash.  The write path is
+synchronous inside the round loop on purpose -- a record is durable
+before any await point lets its effects escape to a client.
+
 Protocol (JSON lines, UTF-8, one object per line)
 -------------------------------------------------
 
@@ -78,6 +92,14 @@ from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 from repro.cluster.machine import Machine
 from repro.cluster.state import ClusterState
 from repro.cluster.task import Job, JobType, Task
+from repro.service.durability import (
+    DurabilityLayer,
+    RecoveredState,
+    admit_payload,
+    new_ledger,
+    round_payload,
+    snapshot_cluster_state,
+)
 
 __all__ = ["SchedulerService", "ServiceConfig", "ServiceStats"]
 
@@ -102,6 +124,10 @@ class ServiceConfig:
             finite tasks free their slots quickly.
         drain_timeout: Seconds :meth:`SchedulerService.stop` waits for the
             in-flight round and the notification queues to flush.
+        max_request_bytes: Upper bound on one JSON-lines request.  A
+            client sending a longer line (or undecodable bytes) gets an
+            ``error`` reply and is disconnected -- the reader never
+            buffers unboundedly on behalf of a hostile or broken peer.
     """
 
     host: str = "127.0.0.1"
@@ -110,6 +136,7 @@ class ServiceConfig:
     client_queue_limit: int = 1024
     time_scale: float = 1.0
     drain_timeout: float = 10.0
+    max_request_bytes: int = 1 << 20
 
 
 @dataclass
@@ -179,6 +206,13 @@ class SchedulerService:
             ``apply(state, decision, now)`` (:class:`FirmamentScheduler`,
             :class:`ShardedScheduler`, or the baseline wrappers).
         config: Service tunables.
+        durability: Optional write-ahead log + snapshot layer; ``None``
+            (the default) keeps the PR 9 in-memory-only behaviour.
+        recovered: Output of :func:`repro.service.durability.recover` to
+            resume from.  ``state`` must be ``recovered.state``; the
+            ledger reseeds the conservation counters, the idempotency
+            map, and the service clock, so ``accepted == placed +
+            pending + rejected`` holds across the crash boundary.
     """
 
     def __init__(
@@ -186,11 +220,15 @@ class SchedulerService:
         state: ClusterState,
         scheduler,
         config: Optional[ServiceConfig] = None,
+        durability: Optional[DurabilityLayer] = None,
+        recovered: Optional[RecoveredState] = None,
     ) -> None:
         self.state = state
         self.scheduler = scheduler
         self.config = config or ServiceConfig()
         self.stats = ServiceStats()
+        self._durability = durability
+        self._recovered = recovered
         self._server: Optional[asyncio.AbstractServer] = None
         self._round_task: Optional[asyncio.Task] = None
         self._wake = asyncio.Event()
@@ -208,9 +246,37 @@ class SchedulerService:
         #: Tasks that have received their first placement (so re-placements
         #: after preemption are not double counted).
         self._placed_ids: Set[int] = set()
+        #: Idempotency key -> (job_id, task_ids) for every accepted
+        #: submission that carried a key; consulted at the front door so a
+        #: resubmission (same client retrying, or a reconnect after a
+        #: crash) gets the original ack instead of a second job.
+        self._idempotency: Dict[str, Tuple[int, List[int]]] = {}
+        self._duplicates = 0
         self._draining = False
         self._stopped = asyncio.Event()
         self._t0 = time.monotonic()
+        if recovered is not None:
+            ledger = recovered.ledger
+            self.stats.accepted = ledger["accepted"]
+            self.stats.placed = ledger["placed"]
+            self.stats.rejected = ledger["rejected"]
+            self.stats.rounds = ledger["rounds"]
+            self.stats.degraded_rounds = ledger["degraded_rounds"]
+            self.stats.preemptions = ledger["preemptions"]
+            self.stats.completions = ledger["completions"]
+            self._duplicates = ledger["duplicates"]
+            self._placed_ids = set(ledger["placed_ids"])
+            for key, job_id in ledger["idempotency"].items():
+                job = state.jobs.get(job_id)
+                if job is not None:
+                    self._idempotency[key] = (
+                        job_id, [task.task_id for task in job.tasks]
+                    )
+            # Resume the service clock where the log ended, so recorded
+            # times stay monotonic across the restart.
+            self._t0 = time.monotonic() - recovered.clock
+            if durability is not None:
+                durability.resume_from(recovered)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -226,9 +292,35 @@ class SchedulerService:
         return time.monotonic() - self._t0
 
     async def start(self) -> None:
-        """Bind the listener and start the round loop."""
+        """Bind the listener and start the round loop.
+
+        With durability attached, a snapshot is written up front: a fresh
+        start gets epoch 1 (so recovery always finds a snapshot), and a
+        recovered start folds the replayed log tail into a new snapshot
+        immediately instead of re-replaying it on the next crash.
+        """
+        if self._durability is not None:
+            self._write_snapshot()
+        if self._recovered is not None:
+            # Completion timers died with the old process; re-arm them for
+            # every recovered running task.  The full duration is used --
+            # progress before the crash is not tracked, so a recovered
+            # task runs its duration again from the restart (documented
+            # conservative choice: slots stay conserved, finish is late).
+            loop = asyncio.get_running_loop()
+            for task in self.state.running_tasks():
+                if task.duration is not None:
+                    loop.call_later(
+                        max(task.duration * self.config.time_scale, 0.0),
+                        self._enqueue_completion,
+                        task.task_id,
+                        task.start_time,
+                    )
         self._server = await asyncio.start_server(
-            self._handle_client, self.config.host, self.config.port
+            self._handle_client,
+            self.config.host,
+            self.config.port,
+            limit=self.config.max_request_bytes,
         )
         self._round_task = asyncio.create_task(self._round_loop())
 
@@ -270,6 +362,11 @@ class SchedulerService:
         if self._handler_tasks:
             await asyncio.gather(*self._handler_tasks, return_exceptions=True)
         self._stopped.set()
+        if self._durability is not None:
+            # A graceful stop leaves a snapshot at the very tip of the
+            # log, so the next start replays nothing.
+            self._write_snapshot()
+            self._durability.close()
         close = getattr(self.scheduler, "close", None)
         if callable(close):
             close()
@@ -294,17 +391,47 @@ class SchedulerService:
         client.writer_task = asyncio.create_task(self._client_writer(client))
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # The stream limit tripped: the peer sent a line
+                    # longer than max_request_bytes.  Reply and hang up --
+                    # resynchronising inside an oversized line is
+                    # guesswork, and buffering it is the attack.
+                    self._hangup(client, "request line too long")
+                    break
                 if not line:
                     break
                 try:
-                    request = json.loads(line)
+                    text = line.decode("utf-8")
+                except UnicodeDecodeError:
+                    self._hangup(client, "request is not valid UTF-8")
+                    break
+                try:
+                    request = json.loads(text)
                 except json.JSONDecodeError as error:
+                    # Malformed (or truncated) JSON on an intact line:
+                    # recoverable, the next line may be fine.
                     self._notify(client.client_id, {
                         "event": "error", "error": f"bad json: {error}",
                     })
                     continue
-                self._dispatch(client, request)
+                if not isinstance(request, dict):
+                    self._notify(client.client_id, {
+                        "event": "error",
+                        "error": "request must be a JSON object",
+                    })
+                    continue
+                try:
+                    self._dispatch(client, request)
+                except Exception as error:
+                    # A handler bug must not silently kill the reader
+                    # task: the client keeps its connection and learns why
+                    # the request failed.
+                    self._notify(client.client_id, {
+                        "event": "error", "id": request.get("id"),
+                        "error": f"internal error: {error}",
+                    })
         except (ConnectionResetError, asyncio.IncompleteReadError):
             pass
         except asyncio.CancelledError:
@@ -334,6 +461,21 @@ class SchedulerService:
             payload["event"] = "stats"
             payload["id"] = req_id
             self._notify(client.client_id, payload)
+        elif op == "ledger":
+            # Per-idempotency-key placement ledger, for the recovery
+            # harness to compare a recovered service against its oracle.
+            keys = {
+                key: {
+                    "job_id": job_id,
+                    "task_ids": task_ids,
+                    "placed": [t for t in task_ids if t in self._placed_ids],
+                }
+                for key, (job_id, task_ids) in self._idempotency.items()
+            }
+            self._notify(client.client_id, {
+                "event": "ledger", "id": req_id, "keys": keys,
+                "duplicates": self._duplicates,
+            })
         elif op == "shutdown":
             payload = self.stats.snapshot(self._pending_actual())
             payload["event"] = "ack"
@@ -354,6 +496,31 @@ class SchedulerService:
             self._notify(client.client_id, {
                 "event": "error", "id": req_id,
                 "error": "tasks must be a positive integer",
+            })
+            return
+        key = request.get("key")
+        if key is not None and not isinstance(key, str):
+            self._notify(client.client_id, {
+                "event": "error", "id": req_id,
+                "error": "key must be a string",
+            })
+            return
+        if key is not None and key in self._idempotency:
+            # Duplicate submission (a retry, or a resubmit across a
+            # crash): return the *original* ack so the client can resume
+            # waiting on the surviving tasks; nothing is accepted twice.
+            job_id, task_ids = self._idempotency[key]
+            self._duplicates += 1
+            for task_id in task_ids:
+                # Notifications for the job now route to the resubmitting
+                # connection (the original owner is usually gone).
+                self._task_owner[task_id] = client.client_id
+            self._notify(client.client_id, {
+                "event": "ack", "id": req_id, "job_id": job_id,
+                "accepted": 0, "duplicate": True, "task_ids": task_ids,
+                "placed_task_ids": [
+                    t for t in task_ids if t in self._placed_ids
+                ],
             })
             return
         if self._draining:
@@ -393,7 +560,9 @@ class SchedulerService:
             task_ids.append(task.task_id)
             self._task_owner[task.task_id] = client.client_id
         self.stats.accepted += num_tasks
-        self._inbox.append((_SUBMIT, job))
+        if key is not None:
+            self._idempotency[key] = (job.job_id, list(task_ids))
+        self._inbox.append((_SUBMIT, (key, job)))
         self._wake.set()
         self._notify(client.client_id, {
             "event": "ack", "id": req_id, "job_id": job.job_id,
@@ -483,6 +652,21 @@ class SchedulerService:
         except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
             pass
 
+    def _hangup(self, client: _Client, reason: str) -> None:
+        """Best-effort error reply written directly before disconnecting.
+
+        Used when the *stream* is no longer trustworthy (oversized line,
+        undecodable bytes) -- the notification queue may never flush once
+        the reader breaks out, so the reply bypasses it.
+        """
+        try:
+            client.writer.write(
+                json.dumps({"event": "error", "error": reason}).encode("utf-8")
+                + b"\n"
+            )
+        except Exception:
+            pass
+
     def _close_client(self, client: _Client) -> None:
         client.evicted = True
         self._clients.pop(client.client_id, None)
@@ -524,6 +708,8 @@ class SchedulerService:
                     })
                 else:
                     self._apply_round(decision, now)
+            if self._durability is not None and self._durability.should_snapshot():
+                self._write_snapshot()
             # Pace rounds: the interval is a hard minimum so submissions
             # arriving in the gap coalesce into the next admission batch.
             # Only a drain request cuts the gap short.
@@ -547,11 +733,33 @@ class SchedulerService:
         self._drain_inbox(self.now())
 
     def _drain_inbox(self, now: float) -> None:
-        """Apply every queued admission record as state mutations."""
-        while self._inbox:
-            kind, payload = self._inbox.popleft()
+        """Apply every queued admission record as state mutations.
+
+        With durability attached, the whole batch is written to the
+        write-ahead log as one ``admit`` record *before* any of it mutates
+        the state: a crash mid-drain replays the full batch from the log,
+        a crash mid-append tears the record (detected by checksum and
+        dropped) and the batch never happened -- either way no
+        half-applied admission survives.
+        """
+        if not self._inbox:
+            return
+        batch = list(self._inbox)
+        self._inbox.clear()
+        if self._durability is not None and self._durability.active:
+            self._durability.log_admission(admit_payload(
+                submissions=[p for k, p in batch if k == _SUBMIT],
+                machines_added=[p for k, p in batch if k == _ADD_MACHINE],
+                machines_removed=[p for k, p in batch if k == _REMOVE_MACHINE],
+                completions=[p for k, p in batch if k == _COMPLETE],
+                now=now,
+            ))
+        for kind, payload in batch:
+            if self._durability is not None:
+                self._durability.crash_point("mid_drain")
             if kind == _SUBMIT:
-                self.state.submit_job(payload)
+                _key, job = payload
+                self.state.submit_job(job)
             elif kind == _ADD_MACHINE:
                 self.state.add_machine(payload)
             elif kind == _REMOVE_MACHINE:
@@ -589,7 +797,13 @@ class SchedulerService:
             if kind != _SUBMIT:
                 kept.append((kind, payload))
                 continue
-            task_ids = [task.task_id for task in payload.tasks]
+            key, job = payload
+            if key is not None:
+                # The job never became durable: forget its key so a
+                # resubmission after restart is accepted, not deduped
+                # into a job that does not exist.
+                self._idempotency.pop(key, None)
+            task_ids = [task.task_id for task in job.tasks]
             self.stats.rejected += len(task_ids)
             owner = self._task_owner.get(task_ids[0], -1) if task_ids else -1
             for task_id in task_ids:
@@ -600,9 +814,17 @@ class SchedulerService:
         self._inbox = kept
 
     def _apply_round(self, decision, now: float) -> None:
-        """Apply a decision, arm completion timers, publish notifications."""
+        """Apply a decision, arm completion timers, publish notifications.
+
+        The round's WAL record lands *after* the in-memory apply but
+        *before* any notification is queued: a crash in between loses the
+        round entirely (clients were never told), never acknowledges an
+        effect that did not become durable.
+        """
         loop = asyncio.get_running_loop()
         self.scheduler.apply(self.state, decision, now)
+        if self._durability is not None and self._durability.active:
+            self._durability.log_round(round_payload(decision, now))
         self.stats.rounds += 1
         if decision.degraded:
             self.stats.degraded_rounds += 1
@@ -650,16 +872,61 @@ class SchedulerService:
     # Conservation
     # ------------------------------------------------------------------ #
     def _pending_actual(self) -> int:
-        """Recompute pending from reality (inbox + unplaced state tasks)."""
+        """Recompute pending from reality (inbox + unplaced state tasks).
+
+        Derived from the cluster state rather than the per-connection
+        owner map: owners do not survive a crash, but every accepted task
+        that reached the state and never got its first placement is by
+        definition still pending, before and after recovery alike.
+        """
         queued = sum(
-            len(payload.tasks)
+            len(payload[1].tasks)
             for kind, payload in self._inbox
             if kind == _SUBMIT
         )
         unplaced = sum(
             1
-            for task_id in self._task_owner
+            for task_id in self.state.tasks
             if task_id not in self._placed_ids
-            and task_id in self.state.tasks
         )
         return queued + unplaced
+
+    # ------------------------------------------------------------------ #
+    # Durability
+    # ------------------------------------------------------------------ #
+    def _build_ledger(self) -> Dict[str, Any]:
+        """The durable half of the counters, as of the last WAL record.
+
+        Submissions still queued in the inbox were acked but not yet
+        logged, so they are excluded from the durable ``accepted`` leg
+        (and their idempotency keys from the durable map): after a crash
+        they are exactly the work clients must resubmit.
+        """
+        queued = sum(
+            len(payload[1].tasks)
+            for kind, payload in self._inbox
+            if kind == _SUBMIT
+        )
+        ledger = new_ledger()
+        ledger["accepted"] = self.stats.accepted - queued
+        ledger["placed"] = self.stats.placed
+        ledger["rejected"] = self.stats.rejected
+        ledger["preemptions"] = self.stats.preemptions
+        ledger["completions"] = self.stats.completions
+        ledger["rounds"] = self.stats.rounds
+        ledger["degraded_rounds"] = self.stats.degraded_rounds
+        ledger["duplicates"] = self._duplicates
+        ledger["placed_ids"] = set(self._placed_ids)
+        ledger["idempotency"] = {
+            key: job_id
+            for key, (job_id, _task_ids) in self._idempotency.items()
+            if job_id in self.state.jobs
+        }
+        return ledger
+
+    def _write_snapshot(self) -> None:
+        self._durability.write_snapshot(
+            snapshot_cluster_state(self.state),
+            self._build_ledger(),
+            clock=self.now(),
+        )

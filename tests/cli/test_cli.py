@@ -266,3 +266,75 @@ class TestTraceCommand:
             rows = list(csv.reader(stream))
         assert rows[0][0] == "job_id"
         assert len(rows) > 1
+
+
+class TestServeSignals:
+    """SIGTERM/SIGINT drain the service gracefully instead of killing it
+    mid-round (ISSUE 10 satellite)."""
+
+    def _spawn_serve(self, extra=()):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        repo_src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "src"
+        )
+        env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli.main", "serve",
+                "--machines", "4", "--round-interval", "0.01",
+                "--time-scale", "0.01", "--serve-seconds", "30",
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        )
+        handshake = proc.stdout.readline().strip()
+        assert handshake.startswith("serving on "), handshake
+        return proc, int(handshake.rsplit(":", 1)[1])
+
+    def test_sigterm_drains_and_reports_conservation(self):
+        import json
+        import signal
+        import socket
+
+        proc, port = self._spawn_serve()
+        try:
+            # Leave work in flight so the drain actually has something to
+            # account for.
+            with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+                sock.sendall(
+                    json.dumps({"op": "submit", "tasks": 3, "id": 1,
+                                "job_type": "service"}).encode() + b"\n"
+                )
+                reply = json.loads(sock.makefile("r").readline())
+                assert reply["event"] == "ack" and reply["accepted"] == 3
+                proc.send_signal(signal.SIGTERM)
+                returncode = proc.wait(timeout=30)
+            output = proc.stdout.read()
+            assert returncode == 0, (output, proc.stderr.read())
+            assert "draining on SIGTERM" in output
+            assert "service drained" in output
+            assert "conservation: accepted == placed + pending + rejected" in output
+            assert "accepted: 3" in output
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    def test_sigint_takes_the_same_drain_path(self):
+        import signal
+
+        proc, _port = self._spawn_serve()
+        try:
+            proc.send_signal(signal.SIGINT)
+            returncode = proc.wait(timeout=30)
+            output = proc.stdout.read()
+            assert returncode == 0, (output, proc.stderr.read())
+            assert "draining on SIGINT" in output
+            assert "service drained" in output
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
